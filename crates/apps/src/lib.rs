@@ -1,0 +1,53 @@
+//! Applications over the totally ordered broadcast service.
+//!
+//! The paper motivates `TO` as the foundation of the *replicated state
+//! machine* approach (Section 3, footnote 3): each processor keeps a
+//! replica; updates go through the totally ordered broadcast; replicas
+//! apply delivered updates in the common order. This crate provides:
+//!
+//! - [`rsm`] — a generic replicated-state-machine layer: any
+//!   [`rsm::StateMachine`] replicated over a delivered command stream,
+//!   with convergence checking;
+//! - [`ops`] — a serializable key-value command language (the commands
+//!   ride inside opaque [`gcs_model::Value`] payloads);
+//! - [`seqmem`] — the sequentially consistent memory of footnote 3
+//!   (local reads, writes through TO) and its atomic-memory variant
+//!   (all operations through TO);
+//! - [`workload`] — deterministic workload generators (uniform, bursty,
+//!   skewed senders) producing unique values, as the trace checkers
+//!   require;
+//! - [`loadbalance`] — view-aware work partitioning (the usage pattern of
+//!   the paper's follow-on load-balancing work), with primary-only
+//!   exclusive ownership as an option;
+//! - [`lock`] — a fault-tolerant FIFO lock service, the classic
+//!   state-machine-replication example after replicated memory.
+//!
+//! # Example
+//!
+//! ```
+//! use gcs_apps::ops::KvOp;
+//! use gcs_apps::rsm::{Replica, StateMachine};
+//! use gcs_apps::seqmem::KvStore;
+//!
+//! let mut replica = Replica::new(KvStore::default());
+//! replica.apply_payload(&KvOp::Put { key: "x".into(), value: 3 }.encode());
+//! replica.apply_payload(&KvOp::Inc { key: "x".into(), by: 4 }.encode());
+//! assert_eq!(replica.state().get("x"), Some(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadbalance;
+pub mod lock;
+pub mod ops;
+pub mod rsm;
+pub mod seqmem;
+pub mod workload;
+
+pub use loadbalance::Partitioner;
+pub use lock::{LockOp, LockTable};
+pub use ops::KvOp;
+pub use rsm::{Replica, StateMachine};
+pub use seqmem::{AtomicMemory, KvStore, SeqMemory};
+pub use workload::{Workload, WorkloadKind};

@@ -1,0 +1,172 @@
+//! View-aware work partitioning — the usage pattern of the follow-on
+//! work the paper cites (dynamic load balancing \[24\] and load-balanced
+//! replicated data \[27\]): each member of the current view takes
+//! ownership of a deterministic share of a key space, recomputed locally
+//! whenever the view changes, with no extra coordination.
+//!
+//! Ownership uses rendezvous (highest-random-weight) hashing, so a
+//! membership change only moves the keys owned by departed members —
+//! members that stay keep their shares, which is what makes view-driven
+//! rebalancing cheap.
+//!
+//! Safety note (the partitionable caveat): during a partition, two
+//! concurrent views both believe they own the whole key space, so
+//! ownership gives *at-least-one* responsibility, not mutual exclusion.
+//! For exclusive ownership, restrict work to primary views — exactly the
+//! quorum condition the `VStoTO` algorithm uses; [`Partitioner::any_view`]
+//! takes that choice as a flag.
+
+use gcs_model::{ProcId, QuorumSystem, View};
+use std::sync::Arc;
+
+/// A deterministic work partitioner over group views.
+#[derive(Clone)]
+pub struct Partitioner {
+    /// Restrict ownership to primary (quorum-containing) views.
+    primary_only: bool,
+    quorums: Option<Arc<dyn QuorumSystem>>,
+}
+
+impl Partitioner {
+    /// A partitioner that assigns work in every view (at-least-one
+    /// ownership across concurrent views).
+    pub fn any_view() -> Self {
+        Partitioner { primary_only: false, quorums: None }
+    }
+
+    /// A partitioner that assigns work only in primary views (exclusive
+    /// ownership, since primary views cannot be concurrent).
+    pub fn primary_only(quorums: Arc<dyn QuorumSystem>) -> Self {
+        Partitioner { primary_only: true, quorums: Some(quorums) }
+    }
+
+    /// The member of `view` that owns `key`, or `None` when this view is
+    /// not allowed to own anything (non-primary under
+    /// [`Partitioner::primary_only`]) or is empty.
+    pub fn owner(&self, view: &View, key: &str) -> Option<ProcId> {
+        if self.primary_only {
+            let q = self.quorums.as_ref().expect("primary_only has quorums");
+            if !q.is_quorum(&view.set) {
+                return None;
+            }
+        }
+        view.set.iter().copied().max_by_key(|p| weight(*p, key))
+    }
+
+    /// Whether processor `p` in `view` should handle `key`.
+    pub fn owns(&self, view: &View, p: ProcId, key: &str) -> bool {
+        self.owner(view, key) == Some(p)
+    }
+
+    /// The fraction (out of `sample` synthetic keys) owned by each member.
+    pub fn shares(&self, view: &View, sample: usize) -> Vec<(ProcId, usize)> {
+        let mut counts: std::collections::BTreeMap<ProcId, usize> =
+            view.set.iter().map(|&p| (p, 0)).collect();
+        for i in 0..sample {
+            if let Some(p) = self.owner(view, &format!("key-{i}")) {
+                *counts.get_mut(&p).expect("owner is a member") += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Rendezvous weight: a splittable 64-bit hash of (processor, key).
+fn weight(p: ProcId, key: &str) -> u64 {
+    // FNV-1a over the key, then a splitmix64 finalization with the
+    // processor id folded in. Stable across platforms and runs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut z = h ^ (u64::from(p.0).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_model::{Majority, ViewId};
+    use std::collections::BTreeSet;
+
+    fn view(ids: &[u32]) -> View {
+        View::new(
+            ViewId::new(1, ProcId(ids[0])),
+            ids.iter().map(|&i| ProcId(i)).collect(),
+        )
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let part = Partitioner::any_view();
+        let v = view(&[0, 1, 2]);
+        for i in 0..50 {
+            let key = format!("k{i}");
+            let a = part.owner(&v, &key).expect("some owner");
+            let b = part.owner(&v, &key).expect("some owner");
+            assert_eq!(a, b);
+            assert!(v.contains(a));
+        }
+    }
+
+    #[test]
+    fn shares_are_roughly_balanced() {
+        let part = Partitioner::any_view();
+        let v = view(&[0, 1, 2, 3]);
+        let shares = part.shares(&v, 2_000);
+        for (p, c) in &shares {
+            assert!(
+                (300..=700).contains(c),
+                "{p} owns {c}/2000 — rendezvous hash badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn members_that_stay_keep_their_keys() {
+        // Remove p3: only p3's keys may move.
+        let part = Partitioner::any_view();
+        let before = view(&[0, 1, 2, 3]);
+        let after = view(&[0, 1, 2]);
+        let mut moved = 0;
+        for i in 0..500 {
+            let key = format!("k{i}");
+            let ob = part.owner(&before, &key).expect("owner");
+            let oa = part.owner(&after, &key).expect("owner");
+            if ob != oa {
+                assert_eq!(ob, ProcId(3), "key moved from a surviving member");
+                moved += 1;
+            }
+        }
+        assert!(moved > 50, "p3 owned almost nothing before removal?");
+    }
+
+    #[test]
+    fn primary_only_blocks_minority_views() {
+        let part = Partitioner::primary_only(std::sync::Arc::new(Majority::new(5)));
+        let majority = view(&[0, 1, 2]);
+        let minority = view(&[3, 4]);
+        assert!(part.owner(&majority, "k").is_some());
+        assert!(part.owner(&minority, "k").is_none());
+        // Exclusive: disjoint primary views cannot coexist under a
+        // pairwise-intersecting quorum system, so any owner is unique.
+        let disjoint: BTreeSet<_> = majority.set.intersection(&minority.set).collect();
+        assert!(disjoint.is_empty());
+    }
+
+    #[test]
+    fn concurrent_views_both_serve_in_any_view_mode() {
+        let part = Partitioner::any_view();
+        let left = view(&[0, 1]);
+        let right = view(&[2, 3]);
+        // Both sides own every key somewhere (at-least-one ownership).
+        for i in 0..20 {
+            let key = format!("k{i}");
+            assert!(part.owner(&left, &key).is_some());
+            assert!(part.owner(&right, &key).is_some());
+        }
+    }
+}

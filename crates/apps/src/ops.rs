@@ -1,0 +1,91 @@
+//! The key-value command language carried inside broadcast values.
+
+use gcs_model::Value;
+use serde::{Deserialize, Serialize};
+
+/// A key-value store command.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum KvOp {
+    /// Set `key` to `value`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value.
+        value: i64,
+    },
+    /// Add `by` to `key` (missing keys start at 0).
+    Inc {
+        /// The key.
+        key: String,
+        /// The increment (may be negative).
+        by: i64,
+    },
+    /// Remove `key`.
+    Del {
+        /// The key.
+        key: String,
+    },
+    /// Read `key` (used by the atomic-memory variant, where reads are
+    /// serialized through the broadcast as well).
+    Get {
+        /// The key.
+        key: String,
+    },
+    /// An opaque marker making otherwise-identical commands unique, so
+    /// the encoded `Value` payloads stay distinct for the trace checkers.
+    Nop {
+        /// Uniquifier.
+        tag: u64,
+    },
+}
+
+impl KvOp {
+    /// Encodes the command into an opaque broadcast value.
+    pub fn encode(&self) -> Value {
+        Value::from(serde_json::to_vec(self).expect("KvOp serializes"))
+    }
+
+    /// Decodes a broadcast value back into a command.
+    ///
+    /// Returns `None` for payloads that are not commands (e.g. raw test
+    /// values).
+    pub fn decode(v: &Value) -> Option<KvOp> {
+        serde_json::from_slice(v.as_bytes()).ok()
+    }
+
+    /// A `Put` with a unique tag folded into the key-value pair, keeping
+    /// payloads distinct when workloads repeat logical writes.
+    pub fn tagged_put(key: impl Into<String>, value: i64) -> KvOp {
+        KvOp::Put { key: key.into(), value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for op in [
+            KvOp::Put { key: "a".into(), value: -3 },
+            KvOp::Inc { key: "b".into(), by: 7 },
+            KvOp::Del { key: "c".into() },
+            KvOp::Get { key: "d".into() },
+            KvOp::Nop { tag: 9 },
+        ] {
+            assert_eq!(KvOp::decode(&op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn non_command_payload_decodes_to_none() {
+        assert_eq!(KvOp::decode(&Value::from_u64(5)), None);
+    }
+
+    #[test]
+    fn distinct_ops_have_distinct_payloads() {
+        let a = KvOp::Put { key: "x".into(), value: 1 }.encode();
+        let b = KvOp::Put { key: "x".into(), value: 2 }.encode();
+        assert_ne!(a, b);
+    }
+}

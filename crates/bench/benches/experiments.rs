@@ -1,0 +1,57 @@
+//! One Criterion benchmark per experiment of the reproduction index
+//! (E1–E14). Each times the reduced (`quick`) variant of the same code
+//! the `gcs-harness` binaries run, so regressions in any layer of the
+//! stack — simulator, protocol, algorithm, or checkers — show up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcs_harness::experiments;
+
+macro_rules! exp_bench {
+    ($fn_name:ident, $module:ident, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut g = c.benchmark_group("experiments");
+            g.sample_size(10);
+            g.bench_function($label, |b| {
+                b.iter(|| {
+                    let tables = experiments::$module::run(true);
+                    criterion::black_box(tables.len())
+                })
+            });
+            g.finish();
+        }
+    };
+}
+
+exp_bench!(bench_e1, e01, "e1_to_conformance");
+exp_bench!(bench_e2, e02, "e2_to_bounds");
+exp_bench!(bench_e3, e03, "e3_vs_conformance");
+exp_bench!(bench_e4, e04, "e4_vs_bounds");
+exp_bench!(bench_e5, e05, "e5_simulation");
+exp_bench!(bench_e6, e06, "e6_invariants");
+exp_bench!(bench_e7, e07, "e7_recovery");
+exp_bench!(bench_e8, e08, "e8_weakvs");
+exp_bench!(bench_e9, e09, "e9_gap_ablation");
+exp_bench!(bench_e10, e10, "e10_membership");
+exp_bench!(bench_e11, e11, "e11_quorum");
+exp_bench!(bench_e12, e12, "e12_seqmem");
+exp_bench!(bench_e13, e13, "e13_exchange_cost");
+exp_bench!(bench_e14, e14, "e14_baseline");
+
+criterion_group!(
+    benches,
+    bench_e1,
+    bench_e2,
+    bench_e3,
+    bench_e4,
+    bench_e5,
+    bench_e6,
+    bench_e7,
+    bench_e8,
+    bench_e9,
+    bench_e10,
+    bench_e11,
+    bench_e12,
+    bench_e13,
+    bench_e14
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Component micro-benchmarks: scheduler step rate of the abstract
+//! composed system, simulated-network event throughput, token-ring
+//! end-to-end message throughput, invariant-suite evaluation cost, and
+//! trace-checker throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_bench::{abstract_system, run_abstract, run_stack};
+use gcs_core::adversary::SystemAdversary;
+use gcs_core::invariants::all_invariants;
+use gcs_core::to_trace::check_to_trace;
+use gcs_ioa::{Automaton, Runner};
+use gcs_model::ProcId;
+use gcs_vsimpl::{Stack, StackConfig};
+
+fn bench_abstract_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abstract_scheduler_steps");
+    for n in [3u32, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_abstract(n, 500, 7))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stack_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_ring_stack");
+    g.sample_size(10);
+    for n in [3u32, 5, 9] {
+        g.bench_with_input(BenchmarkId::new("deliver_30_msgs", n), &n, |b, &n| {
+            b.iter(|| run_stack(n, 30, 11))
+        });
+    }
+    g.finish();
+}
+
+fn bench_invariant_suite(c: &mut Criterion) {
+    // Fixture: a mid-execution state of the composed system.
+    let sys = abstract_system(3);
+    let mut runner = Runner::new(sys.clone(), SystemAdversary::default(), 3);
+    let exec = runner.run(600).expect("no invariants");
+    let state = exec.final_state().clone();
+    let checks = all_invariants();
+    c.bench_function("invariant_suite_one_state", |b| {
+        b.iter(|| {
+            let mut bad = 0;
+            for (_, check) in &checks {
+                if check(&state).is_err() {
+                    bad += 1;
+                }
+            }
+            criterion::black_box(bad)
+        })
+    });
+    // And the abstraction function alone.
+    c.bench_function("simulation_abstraction_one_state", |b| {
+        b.iter(|| criterion::black_box(gcs_core::simulation::abstraction(&state).queue.len()))
+    });
+    let _ = sys.initial();
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    // Fixture: a recorded implementation trace.
+    let mut stack = Stack::new(StackConfig::standard(3, 5, 5));
+    let pi = stack.config().pi;
+    for i in 0..50u64 {
+        stack.schedule_bcast(4 * pi + i * 10, ProcId((i % 3) as u32));
+    }
+    stack.run_until(4 * pi + 500 + 60 * pi);
+    let to_events = stack.to_obs().untimed();
+    let vs_actions = stack.vs_actions();
+    c.bench_function("to_trace_checker", |b| {
+        b.iter(|| criterion::black_box(check_to_trace(&to_events).brcvs))
+    });
+    c.bench_function("cause_checker", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                gcs_core::cause::check_trace(&vs_actions, &ProcId::range(3)).gprcv_checked,
+            )
+        })
+    });
+}
+
+fn bench_netsim_events(c: &mut Criterion) {
+    c.bench_function("netsim_50msg_stack_events", |b| {
+        b.iter(|| {
+            let mut stack = Stack::new(StackConfig::standard(4, 5, 23));
+            let pi = stack.config().pi;
+            for i in 0..50u64 {
+                stack.schedule_bcast(4 * pi + i * 5, ProcId((i % 4) as u32));
+            }
+            criterion::black_box(stack.run_until(4 * pi + 250 + 40 * pi))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_abstract_steps,
+    bench_stack_throughput,
+    bench_invariant_suite,
+    bench_checkers,
+    bench_netsim_events
+);
+criterion_main!(benches);

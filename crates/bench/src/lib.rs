@@ -1,0 +1,55 @@
+//! Benchmark support: shared fixtures for the Criterion benches.
+//!
+//! The benches live in `benches/`:
+//!
+//! - `experiments` — one Criterion benchmark per experiment of the
+//!   reproduction index (E1–E14), timing the reduced (`--quick`) variant
+//!   of exactly the code the harness binaries run;
+//! - `micro` — component micro-benchmarks: abstract scheduler steps,
+//!   network-simulation event throughput, token-ring message throughput,
+//!   invariant-suite evaluation cost, and checker throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gcs_core::adversary::SystemAdversary;
+use gcs_core::system::VsToToSystem;
+use gcs_ioa::Runner;
+use gcs_model::{Majority, ProcId, Time};
+use gcs_vsimpl::{Stack, StackConfig};
+use std::sync::Arc;
+
+/// Builds the standard abstract composed system over `n` processors with
+/// majority quorums.
+pub fn abstract_system(n: u32) -> VsToToSystem {
+    let procs = ProcId::range(n);
+    VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(n as usize)))
+}
+
+/// Runs `steps` scheduler steps of the abstract system and returns the
+/// number of recorded actions (for throughput reporting).
+pub fn run_abstract(n: u32, steps: usize, seed: u64) -> usize {
+    let mut runner = Runner::new(abstract_system(n), SystemAdversary::default(), seed);
+    runner.run(steps).expect("no invariants installed").actions().len()
+}
+
+/// Runs a stable implementation-stack workload and returns the total
+/// number of client deliveries.
+pub fn run_stack(n: u32, msgs: usize, seed: u64) -> usize {
+    let mut stack = Stack::new(StackConfig::standard(n, 5, seed));
+    let pi = stack.config().pi;
+    for i in 0..msgs {
+        stack.schedule_bcast(4 * pi + i as Time * 10, ProcId(i as u32 % n));
+    }
+    stack.run_until(4 * pi + msgs as Time * 10 + 60 * pi);
+    (0..n).map(|i| stack.delivered(ProcId(i)).len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixtures_do_work() {
+        assert!(super::run_abstract(3, 200, 1) > 0);
+        assert_eq!(super::run_stack(3, 5, 2), 15);
+    }
+}

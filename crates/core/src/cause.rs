@@ -1,0 +1,348 @@
+//! Reconstruction of the `cause` function and the trace properties of
+//! Lemma 4.2, plus the per-view prefix-delivery property.
+//!
+//! Lemma 4.2 states that every trace of `VS-machine` admits a unique
+//! mapping from `gprcv`/`safe` events to the `gpsnd` events that caused
+//! them, satisfying message integrity (same value, same view at both
+//! ends), no duplication, no reordering, and no losses (per sender and
+//! view, deliveries form a prefix of the sends). The proof observes that
+//! the *i*-th `gprcv_{p,q}` within a view must map to the *i*-th
+//! `gpsnd_p` within that view; [`check_trace`] reconstructs exactly that
+//! mapping and verifies each property, along with:
+//!
+//! - *local monotonicity* and *self inclusion* of `newview` events
+//!   (basic safety properties 1–2 of the introduction);
+//! - the *per-view prefix total order*: the full receive sequences of any
+//!   two members of a view are prefix-related;
+//! - the *safe notification* semantics: `safe(m)_{p,q}` occurs only after
+//!   `gprcv(m)_{p,r}` for every member `r` of `q`'s current view.
+//!
+//! The checker runs over any sequence of `VS` actions — traces of
+//! `VS-machine` itself, or traces recorded from the token-ring
+//! implementation in `gcs-vsimpl` (experiment E3).
+
+use crate::vs_machine::VsAction;
+use gcs_model::{ProcId, View, ViewId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The result of checking a trace: counts of checked events and all
+/// violations found (empty ⇔ the trace satisfies Lemma 4.2 and the
+/// prefix-delivery property).
+#[derive(Clone, Debug, Default)]
+pub struct CauseReport {
+    /// Number of `gprcv` events checked.
+    pub gprcv_checked: usize,
+    /// Number of `safe` events checked.
+    pub safe_checked: usize,
+    /// Number of `newview` events checked.
+    pub newview_checked: usize,
+    /// Number of distinct views observed.
+    pub views_seen: usize,
+    /// Human-readable violation descriptions.
+    pub violations: Vec<String>,
+}
+
+impl CauseReport {
+    /// Whether the trace passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for CauseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cause check: {} gprcv, {} safe, {} newview, {} views, {} violations",
+            self.gprcv_checked,
+            self.safe_checked,
+            self.newview_checked,
+            self.views_seen,
+            self.violations.len()
+        )
+    }
+}
+
+/// Checks a `VS` action sequence against Lemma 4.2 and the per-view
+/// prefix-delivery property. `p0` is the initial membership *P₀* (whose
+/// members start in the initial view).
+pub fn check_trace<M: Clone + PartialEq + fmt::Debug>(
+    actions: &[VsAction<M>],
+    p0: &BTreeSet<ProcId>,
+) -> CauseReport {
+    let mut report = CauseReport::default();
+    let v0 = View::initial(p0.clone());
+
+    // Current view of each processor (None = ⊥); membership of each seen view.
+    let mut current: BTreeMap<ProcId, Option<View>> = BTreeMap::new();
+    for &p in p0 {
+        current.insert(p, Some(v0.clone()));
+    }
+    let mut memberships: BTreeMap<ViewId, BTreeSet<ProcId>> = BTreeMap::new();
+    memberships.insert(v0.id, v0.set.clone());
+
+    // Sends per (sender, view), in order.
+    let mut sends: BTreeMap<(ProcId, ViewId), Vec<M>> = BTreeMap::new();
+    // Delivery counters per (sender, receiver, view) for gprcv and safe.
+    let mut rcv_count: BTreeMap<(ProcId, ProcId, ViewId), usize> = BTreeMap::new();
+    let mut safe_count: BTreeMap<(ProcId, ProcId, ViewId), usize> = BTreeMap::new();
+    // Full receive sequence per (receiver, view), for the prefix property.
+    let mut rcv_seq: BTreeMap<(ProcId, ViewId), Vec<(ProcId, M)>> = BTreeMap::new();
+    // Which processors have received a given (sender, view, index) message,
+    // for the safe-coverage check.
+    let mut receivers_of: BTreeMap<(ProcId, ViewId, usize), BTreeSet<ProcId>> = BTreeMap::new();
+
+    for (idx, a) in actions.iter().enumerate() {
+        match a {
+            VsAction::CreateView(v) => {
+                memberships.insert(v.id, v.set.clone());
+            }
+            VsAction::VsOrder { .. } => {}
+            VsAction::NewView { p, v } => {
+                report.newview_checked += 1;
+                memberships.insert(v.id, v.set.clone());
+                if !v.set.contains(p) {
+                    report
+                        .violations
+                        .push(format!("event {idx}: newview({v})_{p} without self inclusion"));
+                }
+                let prev = current.get(p).cloned().flatten();
+                if let Some(prev) = prev {
+                    if v.id <= prev.id {
+                        report.violations.push(format!(
+                            "event {idx}: newview at {p} not monotone ({} after {})",
+                            v.id, prev.id
+                        ));
+                    }
+                }
+                current.insert(*p, Some(v.clone()));
+            }
+            VsAction::GpSnd { p, m } => {
+                if let Some(Some(view)) = current.get(p) {
+                    sends.entry((*p, view.id)).or_default().push(m.clone());
+                }
+                // Sends at ⊥ are ignored (never delivered); nothing to record.
+            }
+            VsAction::GpRcv { src, dst, m } => {
+                report.gprcv_checked += 1;
+                let Some(Some(view)) = current.get(dst).cloned() else {
+                    report.violations.push(format!(
+                        "event {idx}: gprcv({m:?})_{src},{dst} while {dst} is at ⊥"
+                    ));
+                    continue;
+                };
+                let g = view.id;
+                let k = rcv_count.entry((*src, *dst, g)).or_insert(0);
+                let sent = sends.get(&(*src, g));
+                match sent.and_then(|v| v.get(*k)) {
+                    None => report.violations.push(format!(
+                        "event {idx}: gprcv #{k} of {src}→{dst} in {g} has no matching gpsnd \
+                         (message integrity / no-duplication)"
+                    )),
+                    Some(sm) if sm != m => report.violations.push(format!(
+                        "event {idx}: gprcv #{k} of {src}→{dst} in {g}: got {m:?}, \
+                         cause sent {sm:?} (no-reordering / no-losses)"
+                    )),
+                    Some(_) => {
+                        receivers_of.entry((*src, g, *k)).or_default().insert(*dst);
+                    }
+                }
+                *k += 1;
+                rcv_seq.entry((*dst, g)).or_default().push((*src, m.clone()));
+            }
+            VsAction::Safe { src, dst, m } => {
+                report.safe_checked += 1;
+                let Some(Some(view)) = current.get(dst).cloned() else {
+                    report.violations.push(format!(
+                        "event {idx}: safe({m:?})_{src},{dst} while {dst} is at ⊥"
+                    ));
+                    continue;
+                };
+                let g = view.id;
+                let k = safe_count.entry((*src, *dst, g)).or_insert(0);
+                let sent = sends.get(&(*src, g));
+                match sent.and_then(|v| v.get(*k)) {
+                    None => report.violations.push(format!(
+                        "event {idx}: safe #{k} of {src}→{dst} in {g} has no matching gpsnd"
+                    )),
+                    Some(sm) if sm != m => report.violations.push(format!(
+                        "event {idx}: safe #{k} of {src}→{dst} in {g}: got {m:?}, \
+                         cause sent {sm:?}"
+                    )),
+                    Some(_) => {
+                        // Safe coverage: every member of the view has
+                        // received this message already.
+                        let got = receivers_of.get(&(*src, g, *k));
+                        let members = memberships.get(&g).cloned().unwrap_or_default();
+                        let missing: Vec<ProcId> = members
+                            .iter()
+                            .copied()
+                            .filter(|r| !got.is_some_and(|set| set.contains(r)))
+                            .collect();
+                        if !missing.is_empty() {
+                            report.violations.push(format!(
+                                "event {idx}: safe #{k} of {src}→{dst} in {g} before \
+                                 delivery at {missing:?}"
+                            ));
+                        }
+                    }
+                }
+                // Safe must not outrun delivery at dst itself (next-safe ≤ next).
+                let delivered = rcv_count.get(&(*src, *dst, g)).copied().unwrap_or(0);
+                if *k >= delivered {
+                    report.violations.push(format!(
+                        "event {idx}: safe #{k} of {src}→{dst} in {g} but only {delivered} \
+                         delivered at {dst}"
+                    ));
+                }
+                *k += 1;
+            }
+        }
+    }
+
+    // Per-view prefix total order: receive sequences of any two members of
+    // the same view are prefix-related.
+    let mut views: BTreeSet<ViewId> = BTreeSet::new();
+    for (_, g) in rcv_seq.keys() {
+        views.insert(*g);
+    }
+    report.views_seen = memberships.len();
+    for g in views {
+        let seqs: Vec<(&ProcId, &Vec<(ProcId, M)>)> = rcv_seq
+            .iter()
+            .filter(|((_, gg), _)| *gg == g)
+            .map(|((q, _), s)| (q, s))
+            .collect();
+        for (i, (q1, s1)) in seqs.iter().enumerate() {
+            for (q2, s2) in &seqs[i + 1..] {
+                let pfx = gcs_model::seq::is_prefix(s1, s2) || gcs_model::seq::is_prefix(s2, s1);
+                if !pfx {
+                    report.violations.push(format!(
+                        "view {g}: receive sequences at {q1} and {q2} are not prefix-related"
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_model::Value;
+
+    type A = VsAction<Value>;
+
+    fn p0() -> BTreeSet<ProcId> {
+        ProcId::range(2)
+    }
+
+    fn snd(p: u32, x: u64) -> A {
+        VsAction::GpSnd { p: ProcId(p), m: Value::from_u64(x) }
+    }
+    fn rcv(src: u32, dst: u32, x: u64) -> A {
+        VsAction::GpRcv { src: ProcId(src), dst: ProcId(dst), m: Value::from_u64(x) }
+    }
+    fn safe(src: u32, dst: u32, x: u64) -> A {
+        VsAction::Safe { src: ProcId(src), dst: ProcId(dst), m: Value::from_u64(x) }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let trace =
+            vec![snd(0, 1), rcv(0, 0, 1), rcv(0, 1, 1), safe(0, 0, 1), safe(0, 1, 1)];
+        let r = check_trace(&trace, &p0());
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.gprcv_checked, 2);
+        assert_eq!(r.safe_checked, 2);
+    }
+
+    #[test]
+    fn duplication_is_caught() {
+        let trace = vec![snd(0, 1), rcv(0, 1, 1), rcv(0, 1, 1)];
+        let r = check_trace(&trace, &p0());
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("no matching gpsnd"));
+    }
+
+    #[test]
+    fn reordering_is_caught() {
+        let trace = vec![snd(0, 1), snd(0, 2), rcv(0, 1, 2), rcv(0, 1, 1)];
+        let r = check_trace(&trace, &p0());
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("no-reordering"));
+    }
+
+    #[test]
+    fn receive_without_send_is_caught() {
+        let trace = vec![rcv(0, 1, 9)];
+        let r = check_trace(&trace, &p0());
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn premature_safe_is_caught() {
+        // p1 never received the message, so safe at p0 is premature.
+        let trace = vec![snd(0, 1), rcv(0, 0, 1), safe(0, 0, 1)];
+        let r = check_trace(&trace, &p0());
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("before delivery"));
+    }
+
+    #[test]
+    fn cross_view_delivery_is_caught() {
+        // Message sent in g0, delivered after the receiver moved to g1.
+        let v1 = View::new(ViewId::new(1, ProcId(0)), p0());
+        let trace = vec![
+            snd(0, 1),
+            VsAction::NewView { p: ProcId(1), v: v1 },
+            rcv(0, 1, 1),
+        ];
+        let r = check_trace(&trace, &p0());
+        assert!(!r.ok(), "sending-view delivery must be enforced");
+    }
+
+    #[test]
+    fn non_monotone_newview_is_caught() {
+        let v1 = View::new(ViewId::new(1, ProcId(0)), p0());
+        let trace = vec![
+            VsAction::NewView { p: ProcId(0), v: v1 },
+            VsAction::NewView { p: ProcId(0), v: View::initial(p0()) },
+        ];
+        let r = check_trace::<Value>(&trace, &p0());
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("not monotone"));
+    }
+
+    #[test]
+    fn divergent_receive_sequences_are_caught() {
+        // Two senders; receivers see them in different orders.
+        let trace = vec![
+            snd(0, 1),
+            snd(1, 2),
+            rcv(0, 0, 1),
+            rcv(1, 0, 2),
+            rcv(1, 1, 2),
+            rcv(0, 1, 1),
+        ];
+        let r = check_trace(&trace, &p0());
+        assert!(!r.ok());
+        assert!(r.violations.iter().any(|v| v.contains("not prefix-related")));
+    }
+
+    #[test]
+    fn spec_machine_traces_pass_the_checker() {
+        use crate::adversary::VsAdversary;
+        use crate::vs_machine::VsMachine;
+        use gcs_ioa::Runner;
+        for seed in 0..5 {
+            let m: VsMachine<Value> = VsMachine::new(ProcId::range(3), ProcId::range(3));
+            let mut runner = Runner::new(m, VsAdversary::default(), seed);
+            let exec = runner.run(500).unwrap();
+            let r = check_trace(exec.actions(), &ProcId::range(3));
+            assert!(r.ok(), "seed {seed}: {:?}", r.violations.first());
+        }
+    }
+}

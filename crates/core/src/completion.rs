@@ -1,0 +1,214 @@
+//! Completion of an external VS trace into a full `VS-machine` execution
+//! — the strongest form of conformance checking for the implementation.
+//!
+//! The cause checker ([`crate::cause`]) verifies the *properties* of
+//! Lemma 4.2 on a trace; this module verifies *trace inclusion* outright:
+//! given the external events recorded from the implementation
+//! (`newview`, `gpsnd`, `gprcv`, `safe`), it reconstructs the hidden
+//! internal actions (`createview`, `vs-order`) and replays the whole
+//! sequence through the specification automaton, failing if any step is
+//! not enabled. Success means the external trace *is* a trace of
+//! `WeakVS-machine` — and therefore of `VS-machine`, by the
+//! trace-equivalence of Section 4.1's remark (executably witnessed by
+//! [`crate::weak_vs::reorder_createviews`]).
+//!
+//! Reconstruction rules:
+//! - a `createview(v)` is inserted immediately before the first event
+//!   that references view `v` (the weak machine does not require
+//!   identifier-ordered creation, which matters because different
+//!   processors install concurrent views in different orders);
+//! - a `vs-order(m, p, g)` is inserted when a `gprcv` needs the next
+//!   queue position filled and `m` is at the head of `pending[p,g]`.
+
+use crate::vs_machine::{VsAction, VsState};
+use crate::weak_vs::WeakVsMachine;
+use gcs_ioa::Automaton;
+use gcs_model::ProcId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Completes and replays an external VS action sequence through
+/// `WeakVS-machine`. On success returns the full action sequence
+/// (externals plus reconstructed internals); on failure, the index of the
+/// offending external event and an explanation.
+pub fn complete_and_replay<M>(
+    external: &[VsAction<M>],
+    procs: BTreeSet<ProcId>,
+    p0: BTreeSet<ProcId>,
+) -> Result<Vec<VsAction<M>>, (usize, String)>
+where
+    M: Clone + PartialEq + fmt::Debug,
+{
+    let machine: WeakVsMachine<M> = WeakVsMachine::new(procs, p0);
+    let mut state: VsState<M> = machine.initial();
+    let mut full: Vec<VsAction<M>> = Vec::new();
+    let perform = |state: &mut VsState<M>,
+                       full: &mut Vec<VsAction<M>>,
+                       idx: usize,
+                       a: VsAction<M>|
+     -> Result<(), (usize, String)> {
+        if !machine.is_enabled(state, &a) {
+            return Err((idx, format!("{a:?} not enabled in the specification")));
+        }
+        machine.apply(state, &a);
+        full.push(a);
+        Ok(())
+    };
+
+    for (idx, ev) in external.iter().enumerate() {
+        match ev {
+            VsAction::NewView { p, v } => {
+                if !state.created.contains(v) {
+                    perform(&mut state, &mut full, idx, VsAction::CreateView(v.clone()))?;
+                }
+                perform(
+                    &mut state,
+                    &mut full,
+                    idx,
+                    VsAction::NewView { p: *p, v: v.clone() },
+                )?;
+            }
+            VsAction::GpSnd { p, m } => {
+                perform(
+                    &mut state,
+                    &mut full,
+                    idx,
+                    VsAction::GpSnd { p: *p, m: m.clone() },
+                )?;
+            }
+            VsAction::GpRcv { src, dst, m } => {
+                // Ensure the queue reaches dst's next position with (m, src).
+                let Some(g) = state.current_viewid(*dst) else {
+                    return Err((idx, format!("gprcv at {dst} while its view is ⊥")));
+                };
+                let need = state.next(*dst, g) as usize;
+                if state.queue_of(g).len() < need {
+                    // The missing element must be the head of pending[src,g].
+                    perform(
+                        &mut state,
+                        &mut full,
+                        idx,
+                        VsAction::VsOrder { p: *src, g, m: m.clone() },
+                    )?;
+                }
+                perform(
+                    &mut state,
+                    &mut full,
+                    idx,
+                    VsAction::GpRcv { src: *src, dst: *dst, m: m.clone() },
+                )?;
+            }
+            VsAction::Safe { src, dst, m } => {
+                perform(
+                    &mut state,
+                    &mut full,
+                    idx,
+                    VsAction::Safe { src: *src, dst: *dst, m: m.clone() },
+                )?;
+            }
+            VsAction::CreateView(_) | VsAction::VsOrder { .. } => {
+                return Err((idx, "internal action in an external trace".to_string()));
+            }
+        }
+    }
+    Ok(full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_model::{Value, View, ViewId};
+
+    type A = VsAction<Value>;
+
+    fn p0() -> BTreeSet<ProcId> {
+        ProcId::range(2)
+    }
+
+    #[test]
+    fn clean_external_trace_completes() {
+        let v = Value::from_u64(1);
+        let external: Vec<A> = vec![
+            VsAction::GpSnd { p: ProcId(0), m: v.clone() },
+            VsAction::GpRcv { src: ProcId(0), dst: ProcId(0), m: v.clone() },
+            VsAction::GpRcv { src: ProcId(0), dst: ProcId(1), m: v.clone() },
+            VsAction::Safe { src: ProcId(0), dst: ProcId(1), m: v },
+        ];
+        let full = complete_and_replay(&external, p0(), p0()).expect("completes");
+        // One vs-order inserted.
+        assert_eq!(full.len(), external.len() + 1);
+        assert!(matches!(full[1], VsAction::VsOrder { .. }));
+    }
+
+    #[test]
+    fn views_installed_in_different_orders_complete() {
+        // p0 installs g1 then g2; p1 jumps straight to g2 — and a third
+        // view g3 references p1 only. CreateViews are reconstructed
+        // on demand, out of identifier order if needed.
+        let g1 = View::new(ViewId::new(1, ProcId(0)), [ProcId(0)].into());
+        let g2 = View::new(ViewId::new(2, ProcId(0)), p0());
+        let external: Vec<A> = vec![
+            VsAction::NewView { p: ProcId(1), v: g2.clone() },
+            VsAction::NewView { p: ProcId(0), v: g1.clone() },
+            VsAction::NewView { p: ProcId(0), v: g2.clone() },
+        ];
+        complete_and_replay(&external, p0(), p0()).expect("completes");
+    }
+
+    #[test]
+    fn phantom_delivery_fails() {
+        let external: Vec<A> = vec![VsAction::GpRcv {
+            src: ProcId(0),
+            dst: ProcId(1),
+            m: Value::from_u64(9),
+        }];
+        let err = complete_and_replay(&external, p0(), p0()).unwrap_err();
+        assert_eq!(err.0, 0);
+    }
+
+    #[test]
+    fn out_of_order_delivery_fails() {
+        let v1 = Value::from_u64(1);
+        let v2 = Value::from_u64(2);
+        let external: Vec<A> = vec![
+            VsAction::GpSnd { p: ProcId(0), m: v1 },
+            VsAction::GpSnd { p: ProcId(0), m: v2.clone() },
+            VsAction::GpRcv { src: ProcId(0), dst: ProcId(1), m: v2 },
+        ];
+        assert!(complete_and_replay(&external, p0(), p0()).is_err());
+    }
+
+    #[test]
+    fn premature_safe_fails() {
+        let v = Value::from_u64(1);
+        let external: Vec<A> = vec![
+            VsAction::GpSnd { p: ProcId(0), m: v.clone() },
+            VsAction::GpRcv { src: ProcId(0), dst: ProcId(0), m: v.clone() },
+            // p1 has not received yet: safe must be rejected.
+            VsAction::Safe { src: ProcId(0), dst: ProcId(0), m: v },
+        ];
+        assert!(complete_and_replay(&external, p0(), p0()).is_err());
+    }
+
+    #[test]
+    fn spec_machine_traces_complete() {
+        use crate::adversary::VsAdversary;
+        use crate::vs_machine::VsMachine;
+        use gcs_ioa::Runner;
+        for seed in 0..4 {
+            let m: VsMachine<Value> = VsMachine::new(ProcId::range(3), ProcId::range(3));
+            let mut runner = Runner::new(m, VsAdversary::default(), seed);
+            let exec = runner.run(400).unwrap();
+            let external: Vec<A> = exec
+                .actions()
+                .iter()
+                .filter(|a| {
+                    !matches!(a, VsAction::CreateView(_) | VsAction::VsOrder { .. })
+                })
+                .cloned()
+                .collect();
+            complete_and_replay(&external, ProcId::range(3), ProcId::range(3))
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Derived variables of `VStoTO-system` (Section 6): `allstate`,
+//! `allcontent`, and `allconfirm`, used by the invariants and by the
+//! simulation relation *f*.
+
+use crate::msg::AppMsg;
+use crate::system::SysState;
+use gcs_model::seq::lub;
+use gcs_model::{Label, ProcId, Summary, Value, ViewId};
+use std::collections::BTreeMap;
+
+/// `allstate[p,g]`: every summary attributable to processor `p` in view
+/// `g` — its own state summary while its current view is `g`, plus every
+/// state-exchange summary it sent in `g` that is still held in
+/// `VS-machine`'s `pending`/`queue` or recorded in some member's
+/// `gotstate`.
+pub fn allstate_pg(s: &SysState, p: ProcId, g: ViewId) -> Vec<Summary> {
+    let mut out = Vec::new();
+    let proc = &s.procs[&p];
+    // 1. p's own components, while p's current view is g.
+    if proc.current_id() == Some(g) {
+        out.push(proc.summary());
+    }
+    // 2. Summaries in pending[p,g].
+    if let Some(pend) = s.vs.pending.get(&(p, g)) {
+        for m in pend {
+            if let AppMsg::Summary(x) = m {
+                out.push(x.clone());
+            }
+        }
+    }
+    // 3. Summaries ⟨x, p⟩ in queue[g].
+    for (m, sender) in s.vs.queue_of(g) {
+        if *sender == p {
+            if let AppMsg::Summary(x) = m {
+                out.push(x.clone());
+            }
+        }
+    }
+    // 4. gotstate(p)_q for members q currently in g.
+    for (_, q) in s.procs.iter() {
+        if q.current_id() == Some(g) {
+            if let Some(x) = q.gotstate.get(&p) {
+                out.push(x.clone());
+            }
+        }
+    }
+    out
+}
+
+/// All `(p, g, summary)` entries of `allstate` (each summary tagged with
+/// the processor and view it is attributed to).
+pub fn allstate_entries(s: &SysState) -> Vec<(ProcId, ViewId, Summary)> {
+    let mut out = Vec::new();
+    let mut gs: std::collections::BTreeSet<ViewId> = s.vs.created_viewids();
+    // Views can only be referenced once created, but be thorough: also
+    // scan views mentioned in pending/queue keys.
+    gs.extend(s.vs.pending.keys().map(|(_, g)| *g));
+    gs.extend(s.vs.queue.keys().copied());
+    for &p in s.procs.keys() {
+        for &g in &gs {
+            for x in allstate_pg(s, p, g) {
+                out.push((p, g, x.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// `allcontent`: the union of `x.con` over all of `allstate` — everything
+/// anywhere that links a label with a data value.
+///
+/// Returns `Err` with the offending label if the union is not a function
+/// (that would violate Lemma 6.5).
+pub fn allcontent(s: &SysState) -> Result<BTreeMap<Label, Value>, Label> {
+    let mut out: BTreeMap<Label, Value> = BTreeMap::new();
+    for (_, _, x) in allstate_entries(s) {
+        for (l, a) in &x.con {
+            if let Some(prev) = out.get(l) {
+                if prev != a {
+                    return Err(*l);
+                }
+            } else {
+                out.insert(*l, a.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `allconfirm`: the least upper bound of `x.confirm` over `allstate`.
+///
+/// Returns `None` if the confirm prefixes are not consistent (that would
+/// violate Corollary 6.24).
+pub fn allconfirm(s: &SysState) -> Option<Vec<Label>> {
+    let confirms: Vec<Vec<Label>> =
+        allstate_entries(s).into_iter().map(|(_, _, x)| x.confirm()).collect();
+    lub(&confirms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{SysAction, VsToToSystem};
+    use gcs_ioa::Automaton;
+    use gcs_model::{Majority, View};
+    use std::sync::Arc;
+
+    fn system(n: u32) -> VsToToSystem {
+        let procs = ProcId::range(n);
+        VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(n as usize)))
+    }
+
+    #[test]
+    fn initial_allstate_contains_each_processor_summary() {
+        let sys = system(3);
+        let s = sys.initial();
+        for p in ProcId::range(3) {
+            let xs = allstate_pg(&s, p, ViewId::initial());
+            assert_eq!(xs.len(), 1, "exactly the local summary for {p}");
+            assert_eq!(xs[0], s.proc(p).summary());
+        }
+        assert!(allcontent(&s).unwrap().is_empty());
+        assert_eq!(allconfirm(&s), Some(vec![]));
+    }
+
+    #[test]
+    fn summaries_in_flight_are_tracked() {
+        let sys = system(2);
+        let mut s = sys.initial();
+        let g1 = ViewId::new(1, ProcId(0));
+        let v1 = View::new(g1, ProcId::range(2));
+        sys.apply(&mut s, &SysAction::CreateView(v1.clone()));
+        sys.apply(&mut s, &SysAction::NewView { p: ProcId(0), v: v1.clone() });
+        let m = s.proc(ProcId(0)).gpsnd_ready().unwrap();
+        sys.apply(&mut s, &SysAction::GpSnd { p: ProcId(0), m: m.clone() });
+        // Now p0's summary sits in pending[p0, g1] *and* in its own state.
+        let xs = allstate_pg(&s, ProcId(0), g1);
+        assert_eq!(xs.len(), 2);
+        // Order it into the queue: still tracked (case 3).
+        sys.apply(&mut s, &SysAction::VsOrder { p: ProcId(0), g: g1, m: m.clone() });
+        let xs = allstate_pg(&s, ProcId(0), g1);
+        assert_eq!(xs.len(), 2);
+        // Deliver to p0 itself: recorded in gotstate (case 4), dequeued
+        // from VS (next pointer moves but the queue keeps the element;
+        // allstate intentionally counts the queue copy).
+        sys.apply(&mut s, &SysAction::GpRcv { src: ProcId(0), dst: ProcId(0), m });
+        let xs = allstate_pg(&s, ProcId(0), g1);
+        assert_eq!(xs.len(), 3);
+    }
+
+    #[test]
+    fn allcontent_accumulates_labelled_values() {
+        let sys = system(2);
+        let mut s = sys.initial();
+        sys.apply(&mut s, &SysAction::Bcast { p: ProcId(1), a: Value::from_u64(5) });
+        assert!(allcontent(&s).unwrap().is_empty(), "unlabelled values are not content");
+        sys.apply(&mut s, &SysAction::Label { p: ProcId(1) });
+        let ac = allcontent(&s).unwrap();
+        assert_eq!(ac.len(), 1);
+        let (l, a) = ac.iter().next().unwrap();
+        assert_eq!(l.origin, ProcId(1));
+        assert_eq!(a, &Value::from_u64(5));
+    }
+}

@@ -1,0 +1,592 @@
+//! The conditional performance and fault-tolerance properties
+//! `TO-property(b,d,Q)` (Figure 5) and `VS-property(b,d,Q)` (Figure 7),
+//! as checkers over recorded timed traces.
+//!
+//! Both properties have the same shape: *if* the failure status stabilizes
+//! at some time *l* to a consistently partitioned system in which the set
+//! *Q* is good internally and cut off from the rest, *then* within a
+//! stabilization interval *l′ ≤ b* the service settles (views converge for
+//! VS; nothing for TO) and subsequent deliveries meet the deadline
+//! `max(t, l+l′) + d`.
+//!
+//! The checkers work on finite traces, so deadlines that extend beyond the
+//! end of the trace are *censored* (not counted as violations — the run
+//! simply did not observe long enough); the reports say how many
+//! obligations were censored. The checkers also *measure* the minimal
+//! stabilization interval and the worst observed latency, which is what
+//! experiments E2/E4 tabulate against the analytical bounds.
+
+use gcs_ioa::TimedTrace;
+use gcs_model::{FailureMap, ProcId, Status, Subject, Time, Value, View};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A unique message identifier assigned by the harness to match sends with
+/// their deliveries and safe indications.
+pub type MsgId = u64;
+
+/// An observable event for the `TO-property` checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ToObs {
+    /// `bcast(a)_p`.
+    Bcast {
+        /// Submitting location.
+        p: ProcId,
+        /// The data value (must be unique per submission).
+        a: Value,
+    },
+    /// `brcv(a)_{p,q}`.
+    Brcv {
+        /// Origin of the value.
+        src: ProcId,
+        /// Receiving location.
+        dst: ProcId,
+        /// The data value.
+        a: Value,
+    },
+    /// A failure-status input action.
+    Fail {
+        /// The location or directed pair.
+        subject: Subject,
+        /// The new status.
+        status: Status,
+    },
+}
+
+/// An observable event for the `VS-property` checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VsObs {
+    /// `newview(v)_p`.
+    NewView {
+        /// The processor being informed.
+        p: ProcId,
+        /// The new view.
+        v: View,
+    },
+    /// `gpsnd(m)_p`, with the harness-assigned message identifier.
+    GpSnd {
+        /// The sending processor.
+        p: ProcId,
+        /// Unique identifier of the message.
+        mid: MsgId,
+    },
+    /// `gprcv(m)_{p,q}`.
+    GpRcv {
+        /// The original sender.
+        src: ProcId,
+        /// The receiving processor.
+        dst: ProcId,
+        /// Unique identifier of the message.
+        mid: MsgId,
+    },
+    /// `safe(m)_{p,q}`.
+    Safe {
+        /// The original sender.
+        src: ProcId,
+        /// The processor receiving the indication.
+        dst: ProcId,
+        /// Unique identifier of the message.
+        mid: MsgId,
+    },
+    /// A failure-status input action.
+    Fail {
+        /// The location or directed pair.
+        subject: Subject,
+        /// The new status.
+        status: Status,
+    },
+}
+
+/// Parameters of a conditional property check.
+#[derive(Clone, Debug)]
+pub struct PropertyParams {
+    /// The stabilization-interval bound *b*.
+    pub b: Time,
+    /// The delivery bound *d*.
+    pub d: Time,
+    /// The stabilized set *Q*.
+    pub q: BTreeSet<ProcId>,
+    /// The ambient processor set *P*.
+    pub ambient: BTreeSet<ProcId>,
+}
+
+/// The outcome of a conditional property check.
+#[derive(Clone, Debug)]
+pub struct PropertyReport {
+    /// Whether the stabilization hypothesis held from some point on.
+    pub applicable: bool,
+    /// The stabilization time *l* (last failure event touching *Q*).
+    pub l: Time,
+    /// The measured minimal stabilization interval *l′*.
+    pub measured_l_prime: Time,
+    /// Worst delivery latency `T_v − max(t_v, l+l′)` over resolved
+    /// obligations (the effective *d*).
+    pub measured_d: Time,
+    /// Obligations whose deadline fell within the trace and were met.
+    pub resolved: usize,
+    /// Obligations censored by the end of the trace.
+    pub censored: usize,
+    /// Violation descriptions (unmet deadlines, view divergence, …).
+    pub violations: Vec<String>,
+    /// Whether the property `(b, d, Q)` holds on this trace:
+    /// vacuously if inapplicable, otherwise `measured_l′ ≤ b` and no
+    /// violations.
+    pub holds: bool,
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "applicable={} l={} l'={} d_meas={} resolved={} censored={} violations={} holds={}",
+            self.applicable,
+            self.l,
+            self.measured_l_prime,
+            self.measured_d,
+            self.resolved,
+            self.censored,
+            self.violations.len(),
+            self.holds
+        )
+    }
+}
+
+fn touches_q(subject: &Subject, q: &BTreeSet<ProcId>) -> bool {
+    match subject {
+        Subject::Loc(p) => q.contains(p),
+        Subject::Link(p, r) => q.contains(p) || q.contains(r),
+    }
+}
+
+/// Locates the stabilization point: returns `Some(l)` if from time `l`
+/// onwards no failure event touches `Q` and the final statuses satisfy the
+/// partition hypothesis for `Q`.
+fn stabilization_point<E>(
+    trace: &TimedTrace<E>,
+    fail_of: impl Fn(&E) -> Option<(Subject, Status)>,
+    params: &PropertyParams,
+) -> Option<Time> {
+    let mut fm = FailureMap::all_good();
+    let mut l = 0;
+    for ev in trace.events() {
+        if let Some((subject, status)) = fail_of(&ev.action) {
+            fm.set(subject, status);
+            if touches_q(&subject, &params.q) {
+                l = ev.time;
+            }
+        }
+    }
+    fm.stabilized_for(&params.q, &params.ambient).then_some(l)
+}
+
+/// A delivery obligation: something that happened at `trigger_time` and
+/// must be matched at every member of `Q` (`done` records the latest
+/// matching time per member, `None` = not yet observed).
+struct Obligation {
+    what: String,
+    trigger_time: Time,
+    done: BTreeMap<ProcId, Option<Time>>,
+}
+
+/// Resolves a set of obligations against the deadline rule
+/// `max(t, l+l′) + d`, measuring the minimal `l′` and the effective `d`.
+fn resolve(
+    obligations: Vec<Obligation>,
+    l: Time,
+    params: &PropertyParams,
+    horizon: Time,
+    report: &mut PropertyReport,
+    extra_l_prime: Time,
+) {
+    // Minimal l' required by the delivery obligations.
+    let mut l_prime: Time = extra_l_prime;
+    let mut pending: Vec<(Obligation, Time)> = Vec::new(); // (obligation, T_v)
+    for ob in obligations {
+        let missing: Vec<ProcId> = ob
+            .done
+            .iter()
+            .filter(|(_, t)| t.is_none())
+            .map(|(p, _)| *p)
+            .collect();
+        if missing.is_empty() {
+            let t_v = ob.done.values().map(|t| t.unwrap()).max().unwrap_or(ob.trigger_time);
+            if t_v > ob.trigger_time + params.d {
+                // Needs stabilization slack: l + l' ≥ t_v − d.
+                l_prime = l_prime.max((t_v - params.d).saturating_sub(l));
+            }
+            pending.push((ob, t_v));
+        } else {
+            // Not delivered everywhere. With the largest allowed slack
+            // (l' = b) would the deadline still fall inside the trace?
+            let deadline = ob.trigger_time.max(l + params.b) + params.d;
+            if deadline <= horizon {
+                report.violations.push(format!(
+                    "{} (t={}) undelivered at {missing:?} by deadline {deadline}",
+                    ob.what, ob.trigger_time
+                ));
+            } else {
+                report.censored += 1;
+            }
+        }
+    }
+    report.measured_l_prime = l_prime;
+    // Effective d with the measured l'.
+    for (ob, t_v) in pending {
+        let start = ob.trigger_time.max(l + l_prime);
+        report.measured_d = report.measured_d.max(t_v.saturating_sub(start));
+        report.resolved += 1;
+    }
+    report.holds = report.measured_l_prime <= params.b && report.violations.is_empty();
+}
+
+/// Checks `TO-property(b, d, Q)` on a timed trace of `bcast`/`brcv`/
+/// failure events.
+///
+/// Data values must be unique per `bcast` (the workload generators in this
+/// repository guarantee it); the checker verifies this precondition.
+pub fn check_to_property(trace: &TimedTrace<ToObs>, params: &PropertyParams) -> PropertyReport {
+    let mut report = PropertyReport {
+        applicable: false,
+        l: 0,
+        measured_l_prime: 0,
+        measured_d: 0,
+        resolved: 0,
+        censored: 0,
+        violations: Vec::new(),
+        holds: true,
+    };
+    let Some(l) = stabilization_point(
+        trace,
+        |e| match e {
+            ToObs::Fail { subject, status } => Some((*subject, *status)),
+            _ => None,
+        },
+        params,
+    ) else {
+        return report; // vacuously holds
+    };
+    report.applicable = true;
+    report.l = l;
+    let horizon = trace.last_time();
+
+    // Collect sends and deliveries, checking value uniqueness.
+    let mut sent: BTreeMap<Value, (ProcId, Time)> = BTreeMap::new();
+    let mut delivered: BTreeMap<Value, BTreeMap<ProcId, Time>> = BTreeMap::new();
+    for ev in trace.events() {
+        match &ev.action {
+            ToObs::Bcast { p, a } => {
+                if sent.insert(a.clone(), (*p, ev.time)).is_some() {
+                    report
+                        .violations
+                        .push(format!("value {a:?} broadcast twice; checker needs unique values"));
+                }
+            }
+            ToObs::Brcv { dst, a, .. } => {
+                delivered.entry(a.clone()).or_default().entry(*dst).or_insert(ev.time);
+            }
+            ToObs::Fail { .. } => {}
+        }
+    }
+
+    let mut obligations = Vec::new();
+    // Condition (b): values sent from Q must reach all of Q.
+    for (a, (p, t)) in &sent {
+        if !params.q.contains(p) {
+            continue;
+        }
+        let done = params
+            .q
+            .iter()
+            .map(|&r| (r, delivered.get(a).and_then(|m| m.get(&r)).copied()))
+            .collect();
+        obligations.push(Obligation {
+            what: format!("value {a:?} sent from {p}"),
+            trigger_time: *t,
+            done,
+        });
+    }
+    // Condition (c): values delivered to any member of Q must reach all of Q.
+    for (a, at) in &delivered {
+        let Some(first_q) = at
+            .iter()
+            .filter(|(r, _)| params.q.contains(r))
+            .map(|(_, &t)| t)
+            .min()
+        else {
+            continue;
+        };
+        let done =
+            params.q.iter().map(|&r| (r, at.get(&r).copied())).collect();
+        obligations.push(Obligation {
+            what: format!("value {a:?} delivered within Q"),
+            trigger_time: first_q,
+            done,
+        });
+    }
+    resolve(obligations, l, params, horizon, &mut report, 0);
+    report
+}
+
+/// Checks `VS-property(b, d, Q)` on a timed trace of VS events.
+pub fn check_vs_property(trace: &TimedTrace<VsObs>, params: &PropertyParams) -> PropertyReport {
+    let mut report = PropertyReport {
+        applicable: false,
+        l: 0,
+        measured_l_prime: 0,
+        measured_d: 0,
+        resolved: 0,
+        censored: 0,
+        violations: Vec::new(),
+        holds: true,
+    };
+    let Some(l) = stabilization_point(
+        trace,
+        |e| match e {
+            VsObs::Fail { subject, status } => Some((*subject, *status)),
+            _ => None,
+        },
+        params,
+    ) else {
+        return report;
+    };
+    report.applicable = true;
+    report.l = l;
+    let horizon = trace.last_time();
+
+    // Conditions (b)+(c): after l + l′ no newview at Q, and the latest
+    // views of all members of Q are one view ⟨g, S⟩ with S = Q. The
+    // measured l′ is the time of the last newview at a member of Q.
+    let mut last_view: BTreeMap<ProcId, (View, Time)> = BTreeMap::new();
+    for ev in trace.events() {
+        if let VsObs::NewView { p, v } = &ev.action {
+            if params.q.contains(p) {
+                last_view.insert(*p, (v.clone(), ev.time));
+            }
+        }
+    }
+    let mut last_nv: Time = 0;
+    let mut final_view: Option<View> = None;
+    let mut divergent = false;
+    for &p in &params.q {
+        match last_view.get(&p) {
+            None => {
+                report.violations.push(format!("{p} never installed a view"));
+                divergent = true;
+            }
+            Some((v, t)) => {
+                last_nv = last_nv.max(*t);
+                match &final_view {
+                    None => final_view = Some(v.clone()),
+                    Some(w) if w != v => {
+                        report.violations.push(format!(
+                            "final views diverge within Q: {w} at earlier member vs {v} at {p}"
+                        ));
+                        divergent = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let view_l_prime = last_nv.saturating_sub(l);
+    let mut obligations = Vec::new();
+    if let Some(v) = &final_view {
+        if !divergent {
+            if v.set != params.q {
+                report
+                    .violations
+                    .push(format!("final view membership {:?} ≠ Q {:?}", v.set, params.q));
+            } else {
+                // Condition (d): messages sent from Q while in ⟨g,S⟩ become
+                // safe at all members of Q.
+                let mut current: BTreeMap<ProcId, Option<View>> = BTreeMap::new();
+                let mut safes: BTreeMap<MsgId, BTreeMap<ProcId, Time>> = BTreeMap::new();
+                let mut sends: Vec<(MsgId, ProcId, Time)> = Vec::new();
+                for ev in trace.events() {
+                    match &ev.action {
+                        VsObs::NewView { p, v } => {
+                            current.insert(*p, Some(v.clone()));
+                        }
+                        VsObs::GpSnd { p, mid } => {
+                            if params.q.contains(p)
+                                && current.get(p).cloned().flatten().as_ref() == final_view.as_ref()
+                            {
+                                sends.push((*mid, *p, ev.time));
+                            }
+                        }
+                        VsObs::Safe { dst, mid, .. } => {
+                            safes.entry(*mid).or_default().entry(*dst).or_insert(ev.time);
+                        }
+                        _ => {}
+                    }
+                }
+                for (mid, p, t) in sends {
+                    let done = params
+                        .q
+                        .iter()
+                        .map(|&r| (r, safes.get(&mid).and_then(|m| m.get(&r)).copied()))
+                        .collect();
+                    obligations.push(Obligation {
+                        what: format!("message #{mid} sent from {p} in the final view"),
+                        trigger_time: t,
+                        done,
+                    });
+                }
+            }
+        }
+    }
+    resolve(obligations, l, params, horizon, &mut report, view_l_prime);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_model::ViewId;
+
+    fn params(b: Time, d: Time, qn: u32, n: u32) -> PropertyParams {
+        PropertyParams { b, d, q: ProcId::range(qn), ambient: ProcId::range(n) }
+    }
+
+    /// Failure events declaring the partition {Q | rest} at `t`.
+    fn partition_events(t: Time, qn: u32, n: u32) -> Vec<(Time, ToObs)> {
+        let ambient = ProcId::range(n);
+        let q = ProcId::range(qn);
+        let rest: BTreeSet<ProcId> = ambient.difference(&q).copied().collect();
+        let mut script = gcs_model::failure::FailureScript::new();
+        script.partition(t, &[q, rest], &ambient);
+        script
+            .sorted_events()
+            .iter()
+            .map(|e| (e.time, ToObs::Fail { subject: e.subject, status: e.status }))
+            .collect()
+    }
+
+    #[test]
+    fn vacuous_when_never_stabilized() {
+        let trace: TimedTrace<ToObs> =
+            [(5, ToObs::Bcast { p: ProcId(0), a: Value::from_u64(1) })].into_iter().collect();
+        // Cross links never went bad, so the hypothesis fails.
+        let r = check_to_property(&trace, &params(10, 10, 2, 3));
+        assert!(!r.applicable);
+        assert!(r.holds);
+    }
+
+    #[test]
+    fn timely_delivery_passes() {
+        let mut evs = partition_events(10, 2, 3);
+        let a = Value::from_u64(1);
+        evs.push((20, ToObs::Bcast { p: ProcId(0), a: a.clone() }));
+        evs.push((25, ToObs::Brcv { src: ProcId(0), dst: ProcId(0), a: a.clone() }));
+        evs.push((26, ToObs::Brcv { src: ProcId(0), dst: ProcId(1), a: a.clone() }));
+        evs.sort_by_key(|(t, _)| *t);
+        let trace: TimedTrace<ToObs> = evs.into_iter().collect();
+        let r = check_to_property(&trace, &params(5, 10, 2, 3));
+        assert!(r.applicable);
+        assert_eq!(r.l, 10);
+        assert!(r.holds, "{:?}", r.violations);
+        assert_eq!(r.measured_l_prime, 0);
+        assert_eq!(r.measured_d, 6);
+    }
+
+    #[test]
+    fn late_delivery_is_absorbed_by_l_prime_if_within_b() {
+        let mut evs = partition_events(10, 2, 3);
+        let a = Value::from_u64(1);
+        // Sent before stabilization, delivered well after: needs slack.
+        evs.insert(0, (1, ToObs::Bcast { p: ProcId(0), a: a.clone() }));
+        evs.push((30, ToObs::Brcv { src: ProcId(0), dst: ProcId(0), a: a.clone() }));
+        evs.push((34, ToObs::Brcv { src: ProcId(0), dst: ProcId(1), a: a.clone() }));
+        evs.sort_by_key(|(t, _)| *t);
+        let trace: TimedTrace<ToObs> = evs.into_iter().collect();
+        // T_v = 34, d = 10 ⇒ need l + l' ≥ 24 ⇒ l' ≥ 14.
+        let r = check_to_property(&trace, &params(20, 10, 2, 3));
+        assert!(r.applicable);
+        assert_eq!(r.measured_l_prime, 14);
+        assert!(r.holds);
+        // With b = 10 the same trace fails.
+        let r2 = check_to_property(&trace, &params(10, 10, 2, 3));
+        assert!(!r2.holds);
+    }
+
+    #[test]
+    fn missing_delivery_within_horizon_fails() {
+        let mut evs = partition_events(0, 2, 3);
+        let a = Value::from_u64(1);
+        evs.push((5, ToObs::Bcast { p: ProcId(0), a: a.clone() }));
+        evs.push((6, ToObs::Brcv { src: ProcId(0), dst: ProcId(0), a: a.clone() }));
+        // p1 never gets it; pad the horizon far beyond the deadline.
+        evs.push((1000, ToObs::Bcast { p: ProcId(1), a: Value::from_u64(2) }));
+        evs.sort_by_key(|(t, _)| *t);
+        let trace: TimedTrace<ToObs> = evs.into_iter().collect();
+        let r = check_to_property(&trace, &params(5, 10, 2, 3));
+        assert!(!r.holds);
+        assert!(r.violations[0].contains("undelivered"));
+    }
+
+    #[test]
+    fn missing_delivery_beyond_horizon_is_censored() {
+        let mut evs = partition_events(0, 2, 3);
+        let a = Value::from_u64(1);
+        evs.push((5, ToObs::Bcast { p: ProcId(0), a }));
+        evs.sort_by_key(|(t, _)| *t);
+        let trace: TimedTrace<ToObs> = evs.into_iter().collect();
+        // Deadline max(5, 0+5)+10 = 15 > horizon 5: censored, not violated.
+        let r = check_to_property(&trace, &params(5, 10, 2, 3));
+        assert!(r.holds);
+        assert_eq!(r.censored, 1);
+    }
+
+    #[test]
+    fn vs_property_checks_view_convergence() {
+        let q = ProcId::range(2);
+        let ambient = ProcId::range(3);
+        let rest: BTreeSet<ProcId> = ambient.difference(&q).copied().collect();
+        let mut script = gcs_model::failure::FailureScript::new();
+        script.partition(10, &[q.clone(), rest], &ambient);
+        let mut evs: Vec<(Time, VsObs)> = script
+            .sorted_events()
+            .iter()
+            .map(|e| (e.time, VsObs::Fail { subject: e.subject, status: e.status }))
+            .collect();
+        let v = View::new(ViewId::new(1, ProcId(0)), q.clone());
+        evs.push((15, VsObs::NewView { p: ProcId(0), v: v.clone() }));
+        evs.push((16, VsObs::NewView { p: ProcId(1), v: v.clone() }));
+        evs.push((20, VsObs::GpSnd { p: ProcId(0), mid: 1 }));
+        evs.push((22, VsObs::Safe { src: ProcId(0), dst: ProcId(0), mid: 1 }));
+        evs.push((23, VsObs::Safe { src: ProcId(0), dst: ProcId(1), mid: 1 }));
+        evs.sort_by_key(|(t, _)| *t);
+        let trace: TimedTrace<VsObs> = evs.into_iter().collect();
+        let r = check_vs_property(&trace, &params(10, 5, 2, 3));
+        assert!(r.applicable);
+        assert_eq!(r.measured_l_prime, 6, "l' is the last newview at Q");
+        assert!(r.holds, "{:?}", r.violations);
+
+        // A wrong final membership fails condition (c).
+        let r2 = check_vs_property(&trace, &params(10, 5, 3, 3));
+        assert!(!r2.applicable, "hypothesis needs Q cut off, not checked here");
+    }
+
+    #[test]
+    fn vs_property_detects_divergent_final_views() {
+        let q = ProcId::range(2);
+        let ambient = ProcId::range(2);
+        let mut script = gcs_model::failure::FailureScript::new();
+        script.heal(0, &ambient);
+        let mut evs: Vec<(Time, VsObs)> = script
+            .sorted_events()
+            .iter()
+            .map(|e| (e.time, VsObs::Fail { subject: e.subject, status: e.status }))
+            .collect();
+        let v1 = View::new(ViewId::new(1, ProcId(0)), q.clone());
+        let v2 = View::new(ViewId::new(2, ProcId(0)), q.clone());
+        evs.push((5, VsObs::NewView { p: ProcId(0), v: v1 }));
+        evs.push((6, VsObs::NewView { p: ProcId(1), v: v2 }));
+        evs.sort_by_key(|(t, _)| *t);
+        let trace: TimedTrace<VsObs> = evs.into_iter().collect();
+        let r = check_vs_property(&trace, &params(100, 5, 2, 2));
+        assert!(r.applicable);
+        assert!(!r.holds);
+        assert!(r.violations.iter().any(|v| v.contains("diverge")));
+    }
+}

@@ -1,0 +1,233 @@
+//! The `TO-machine` specification automaton (Figure 3).
+//!
+//! `TO-machine` specifies the safety of a totally ordered broadcast
+//! service. Clients submit data values with `bcast(a)_p`; an internal
+//! `to-order(a,p)` step moves the value from the per-origin `pending`
+//! queue into the single global `queue`; and `brcv(a)_{p,q}` delivers the
+//! next queue element to the client at `q`. Every client therefore
+//! receives a prefix of one common total order, consistent with each
+//! sender's submission order.
+
+use gcs_ioa::{ActionKind, Automaton};
+use gcs_model::{ProcId, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// An action of `TO-machine`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ToAction {
+    /// Input `bcast(a)_p`: the client at `p` submits data value `a`.
+    Bcast {
+        /// Submitting location.
+        p: ProcId,
+        /// The data value.
+        a: Value,
+    },
+    /// Internal `to-order(a, p)`: the head of `pending[p]` is appended to
+    /// the global queue.
+    ToOrder {
+        /// Origin of the value being ordered.
+        p: ProcId,
+        /// The data value (must equal the head of `pending[p]`).
+        a: Value,
+    },
+    /// Output `brcv(a)_{p,q}`: the value `a`, originated at `p`, is
+    /// delivered to the client at `q`.
+    Brcv {
+        /// Origin of the value.
+        src: ProcId,
+        /// Receiving location.
+        dst: ProcId,
+        /// The data value.
+        a: Value,
+    },
+}
+
+/// The state of `TO-machine`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ToState {
+    /// The global queue of ⟨value, origin⟩ pairs, in service order.
+    pub queue: Vec<(Value, ProcId)>,
+    /// Per-origin queues of submitted but not yet ordered values.
+    pub pending: BTreeMap<ProcId, VecDeque<Value>>,
+    /// `next[q]`: 1-based index into `queue` of the next value to deliver
+    /// at `q`.
+    pub next: BTreeMap<ProcId, u64>,
+}
+
+impl ToState {
+    /// The start state for the given location set.
+    pub fn initial(procs: &BTreeSet<ProcId>) -> Self {
+        ToState {
+            queue: Vec::new(),
+            pending: procs.iter().map(|&p| (p, VecDeque::new())).collect(),
+            next: procs.iter().map(|&p| (p, 1)).collect(),
+        }
+    }
+
+    /// The prefix of the global order already delivered at `q`.
+    pub fn delivered_prefix(&self, q: ProcId) -> &[(Value, ProcId)] {
+        let n = (self.next.get(&q).copied().unwrap_or(1) - 1) as usize;
+        &self.queue[..n.min(self.queue.len())]
+    }
+}
+
+/// The `TO-machine` automaton over a fixed location set.
+#[derive(Clone, Debug)]
+pub struct ToMachine {
+    procs: BTreeSet<ProcId>,
+}
+
+impl ToMachine {
+    /// Creates the machine for the given location set *P*.
+    pub fn new(procs: BTreeSet<ProcId>) -> Self {
+        ToMachine { procs }
+    }
+
+    /// The location set *P*.
+    pub fn procs(&self) -> &BTreeSet<ProcId> {
+        &self.procs
+    }
+}
+
+impl Automaton for ToMachine {
+    type State = ToState;
+    type Action = ToAction;
+
+    fn initial(&self) -> ToState {
+        ToState::initial(&self.procs)
+    }
+
+    fn enabled(&self, s: &ToState) -> Vec<ToAction> {
+        let mut out = Vec::new();
+        for (&p, pend) in &s.pending {
+            if let Some(a) = pend.front() {
+                out.push(ToAction::ToOrder { p, a: a.clone() });
+            }
+        }
+        for &q in &self.procs {
+            let idx = s.next[&q] as usize;
+            if let Some((a, p)) = s.queue.get(idx - 1) {
+                out.push(ToAction::Brcv { src: *p, dst: q, a: a.clone() });
+            }
+        }
+        out
+    }
+
+    fn is_enabled(&self, s: &ToState, action: &ToAction) -> bool {
+        match action {
+            ToAction::Bcast { p, .. } => self.procs.contains(p),
+            ToAction::ToOrder { p, a } => {
+                s.pending.get(p).and_then(|q| q.front()) == Some(a)
+            }
+            ToAction::Brcv { src, dst, a } => {
+                let Some(&next) = s.next.get(dst) else { return false };
+                s.queue.get(next as usize - 1) == Some(&(a.clone(), *src))
+            }
+        }
+    }
+
+    fn apply(&self, s: &mut ToState, action: &ToAction) {
+        match action {
+            ToAction::Bcast { p, a } => {
+                s.pending.get_mut(p).expect("unknown location").push_back(a.clone());
+            }
+            ToAction::ToOrder { p, a } => {
+                let head = s.pending.get_mut(p).and_then(|q| q.pop_front());
+                debug_assert_eq!(head.as_ref(), Some(a), "to-order of a non-head value");
+                s.queue.push((a.clone(), *p));
+            }
+            ToAction::Brcv { dst, .. } => {
+                *s.next.get_mut(dst).expect("unknown location") += 1;
+            }
+        }
+    }
+
+    fn kind(&self, action: &ToAction) -> ActionKind {
+        match action {
+            ToAction::Bcast { .. } => ActionKind::Input,
+            ToAction::ToOrder { .. } => ActionKind::Internal,
+            ToAction::Brcv { .. } => ActionKind::Output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_ioa::automaton::FnEnvironment;
+    use gcs_ioa::Runner;
+    use rand::Rng;
+
+    fn machine() -> ToMachine {
+        ToMachine::new(ProcId::range(3))
+    }
+
+    #[test]
+    fn bcast_then_order_then_deliver_everywhere() {
+        let m = machine();
+        let mut s = m.initial();
+        let a = Value::from_u64(7);
+        m.apply(&mut s, &ToAction::Bcast { p: ProcId(0), a: a.clone() });
+        assert!(m.is_enabled(&s, &ToAction::ToOrder { p: ProcId(0), a: a.clone() }));
+        m.apply(&mut s, &ToAction::ToOrder { p: ProcId(0), a: a.clone() });
+        for q in 0..3 {
+            let brcv = ToAction::Brcv { src: ProcId(0), dst: ProcId(q), a: a.clone() };
+            assert!(m.is_enabled(&s, &brcv));
+            m.apply(&mut s, &brcv);
+        }
+        assert_eq!(s.delivered_prefix(ProcId(2)).len(), 1);
+    }
+
+    #[test]
+    fn delivery_respects_queue_order() {
+        let m = machine();
+        let mut s = m.initial();
+        for x in [1u64, 2] {
+            let a = Value::from_u64(x);
+            m.apply(&mut s, &ToAction::Bcast { p: ProcId(1), a: a.clone() });
+        }
+        // FIFO per sender: to-order of the second value is not enabled yet.
+        assert!(!m.is_enabled(&s, &ToAction::ToOrder { p: ProcId(1), a: Value::from_u64(2) }));
+        m.apply(&mut s, &ToAction::ToOrder { p: ProcId(1), a: Value::from_u64(1) });
+        // Cannot deliver the second value before the first.
+        assert!(!m.is_enabled(
+            &s,
+            &ToAction::Brcv { src: ProcId(1), dst: ProcId(0), a: Value::from_u64(2) }
+        ));
+    }
+
+    /// Safety of the spec itself: on random executions, every client's
+    /// delivered sequence is a prefix of the global queue, and per-sender
+    /// FIFO is preserved.
+    #[test]
+    fn random_executions_deliver_consistent_prefixes() {
+        for seed in 0..10 {
+            let env = FnEnvironment(|_: &ToState, step: usize, rng: &mut dyn rand::RngCore| {
+                vec![ToAction::Bcast {
+                    p: ProcId(rng.gen_range(0..3)),
+                    a: Value::from_u64(step as u64),
+                }]
+            });
+            let mut runner = Runner::new(machine(), env, seed);
+            runner.add_invariant("next within queue", |s: &ToState| {
+                for (&q, &n) in &s.next {
+                    if n as usize > s.queue.len() + 1 {
+                        return Err(format!("next[{q}] = {n} beyond queue"));
+                    }
+                }
+                Ok(())
+            });
+            let exec = runner.run(300).unwrap();
+            let s = exec.final_state();
+            // Delivered sequences are prefixes of one total order by construction;
+            // verify per-sender submission order is respected in the queue.
+            for p in ProcId::range(3) {
+                let sent: Vec<&Value> =
+                    s.queue.iter().filter(|(_, o)| *o == p).map(|(a, _)| a).collect();
+                let mut sorted = sent.clone();
+                sorted.sort_by_key(|v| v.as_u64());
+                assert_eq!(sent, sorted, "per-sender FIFO violated for {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! `TO-machine` trace-membership checking for black-box traces.
+//!
+//! The forward-simulation check of [`crate::simulation`] certifies the
+//! *abstract* composed system, where the global state is visible. For the
+//! implementation stack of `gcs-vsimpl` only the external trace is
+//! observable; this module decides membership of such a trace in the
+//! trace set of `TO-machine` directly from its characterization:
+//!
+//! 1. **Integrity**: every delivered value was previously broadcast, and
+//!    is attributed to its true origin;
+//! 2. **No duplication**: no receiver gets the same value twice;
+//! 3. **Common total order**: the delivery sequences of any two receivers
+//!    are prefix-related (so all are prefixes of one service order);
+//! 4. **Per-sender FIFO**: the common order restricted to one sender's
+//!    values respects that sender's submission order.
+//!
+//! Together these are exactly the finite traces of Figure 3's automaton
+//! (for unique broadcast values, which the checker verifies first).
+
+use crate::properties::ToObs;
+use gcs_model::{ProcId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The outcome of a `TO-machine` trace-membership check.
+#[derive(Clone, Debug, Default)]
+pub struct ToTraceReport {
+    /// Number of `bcast` events seen.
+    pub bcasts: usize,
+    /// Number of `brcv` events checked.
+    pub brcvs: usize,
+    /// Violation descriptions (empty ⇔ the trace is a `TO-machine` trace).
+    pub violations: Vec<String>,
+}
+
+impl ToTraceReport {
+    /// Whether the trace passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ToTraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "to-trace check: {} bcast, {} brcv, {} violations",
+            self.bcasts,
+            self.brcvs,
+            self.violations.len()
+        )
+    }
+}
+
+/// Checks an (untimed) sequence of `TO` interface events for
+/// `TO-machine` trace membership. Failure-status events are ignored.
+pub fn check_to_trace(events: &[ToObs]) -> ToTraceReport {
+    let mut report = ToTraceReport::default();
+    // Broadcast log: value → (origin, submission index at that origin).
+    let mut bcast: BTreeMap<Value, (ProcId, usize)> = BTreeMap::new();
+    let mut submissions: BTreeMap<ProcId, usize> = BTreeMap::new();
+    // Delivery sequences per receiver.
+    let mut seqs: BTreeMap<ProcId, Vec<(ProcId, Value)>> = BTreeMap::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        match ev {
+            ToObs::Bcast { p, a } => {
+                report.bcasts += 1;
+                let k = submissions.entry(*p).or_insert(0);
+                if bcast.insert(a.clone(), (*p, *k)).is_some() {
+                    report.violations.push(format!(
+                        "event {idx}: value {a:?} broadcast twice; checker needs unique values"
+                    ));
+                }
+                *k += 1;
+            }
+            ToObs::Brcv { src, dst, a } => {
+                report.brcvs += 1;
+                match bcast.get(a) {
+                    None => report.violations.push(format!(
+                        "event {idx}: {dst} delivered {a:?} never broadcast (integrity)"
+                    )),
+                    Some((origin, _)) if origin != src => report.violations.push(format!(
+                        "event {idx}: {dst} delivered {a:?} attributed to {src}, \
+                         actually from {origin}"
+                    )),
+                    Some(_) => {}
+                }
+                let seq = seqs.entry(*dst).or_default();
+                if seq.iter().any(|(_, b)| b == a) {
+                    report.violations.push(format!(
+                        "event {idx}: {dst} delivered {a:?} twice (no-duplication)"
+                    ));
+                }
+                seq.push((*src, a.clone()));
+            }
+            ToObs::Fail { .. } => {}
+        }
+    }
+
+    // Common total order: all delivery sequences prefix-related.
+    let receivers: Vec<&ProcId> = seqs.keys().collect();
+    for (i, q1) in receivers.iter().enumerate() {
+        for q2 in &receivers[i + 1..] {
+            let s1 = &seqs[q1];
+            let s2 = &seqs[q2];
+            if !gcs_model::seq::is_prefix(s1, s2) && !gcs_model::seq::is_prefix(s2, s1) {
+                report.violations.push(format!(
+                    "delivery sequences at {q1} and {q2} are not prefix-related \
+                     (common total order)"
+                ));
+            }
+        }
+    }
+
+    // Per-sender FIFO in the longest sequence.
+    if let Some(longest) = seqs.values().max_by_key(|s| s.len()) {
+        let mut last_index: BTreeMap<ProcId, usize> = BTreeMap::new();
+        for (src, a) in longest {
+            if let Some((_, k)) = bcast.get(a) {
+                if let Some(prev) = last_index.get(src) {
+                    if k <= prev {
+                        report.violations.push(format!(
+                            "order of {a:?} violates {src}'s submission order (FIFO)"
+                        ));
+                    }
+                }
+                last_index.insert(*src, *k);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bc(p: u32, x: u64) -> ToObs {
+        ToObs::Bcast { p: ProcId(p), a: Value::from_u64(x) }
+    }
+    fn rv(src: u32, dst: u32, x: u64) -> ToObs {
+        ToObs::Brcv { src: ProcId(src), dst: ProcId(dst), a: Value::from_u64(x) }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let r = check_to_trace(&[bc(0, 1), bc(1, 2), rv(0, 0, 1), rv(1, 0, 2), rv(0, 1, 1)]);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.brcvs, 3);
+    }
+
+    #[test]
+    fn phantom_delivery_is_caught() {
+        let r = check_to_trace(&[rv(0, 1, 9)]);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("integrity"));
+    }
+
+    #[test]
+    fn wrong_attribution_is_caught() {
+        let r = check_to_trace(&[bc(0, 1), rv(2, 1, 1)]);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("attributed"));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_caught() {
+        let r = check_to_trace(&[bc(0, 1), rv(0, 1, 1), rv(0, 1, 1)]);
+        assert!(!r.ok());
+        assert!(r.violations.iter().any(|v| v.contains("no-duplication")));
+    }
+
+    #[test]
+    fn divergent_orders_are_caught() {
+        let r = check_to_trace(&[
+            bc(0, 1),
+            bc(1, 2),
+            rv(0, 0, 1),
+            rv(1, 0, 2),
+            rv(1, 1, 2),
+            rv(0, 1, 1),
+        ]);
+        assert!(!r.ok());
+        assert!(r.violations.iter().any(|v| v.contains("prefix-related")));
+    }
+
+    #[test]
+    fn sender_fifo_violation_is_caught() {
+        let r = check_to_trace(&[bc(0, 1), bc(0, 2), rv(0, 1, 2), rv(0, 1, 1)]);
+        assert!(!r.ok());
+        assert!(r.violations.iter().any(|v| v.contains("FIFO")));
+    }
+
+    #[test]
+    fn prefix_deliveries_are_fine() {
+        // One receiver far ahead; another has only a prefix.
+        let r = check_to_trace(&[
+            bc(0, 1),
+            bc(0, 2),
+            rv(0, 0, 1),
+            rv(0, 0, 2),
+            rv(0, 1, 1),
+        ]);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn abstract_system_traces_pass() {
+        use crate::adversary::SystemAdversary;
+        use crate::system::{SysAction, VsToToSystem};
+        use gcs_ioa::Runner;
+        use gcs_model::Majority;
+        use std::sync::Arc;
+        for seed in 0..3 {
+            let procs = ProcId::range(3);
+            let sys =
+                VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(3)));
+            let mut runner = Runner::new(sys, SystemAdversary::default(), seed);
+            let exec = runner.run(900).unwrap();
+            let events: Vec<ToObs> = exec
+                .actions()
+                .iter()
+                .filter_map(|a| match a {
+                    SysAction::Bcast { p, a } => Some(ToObs::Bcast { p: *p, a: a.clone() }),
+                    SysAction::Brcv { src, dst, a } => {
+                        Some(ToObs::Brcv { src: *src, dst: *dst, a: a.clone() })
+                    }
+                    _ => None,
+                })
+                .collect();
+            let r = check_to_trace(&events);
+            assert!(r.ok(), "seed {seed}: {:?}", r.violations.first());
+        }
+    }
+}

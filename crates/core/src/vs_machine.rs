@@ -1,0 +1,471 @@
+//! The `VS-machine` specification automaton (Figure 6).
+//!
+//! `VS-machine` specifies the safety of the view-synchronous group
+//! communication service. Views are created in identifier order by the
+//! internal `createview(v)` action (chosen by the environment — the
+//! specification places no restriction on *when* views form); each
+//! processor is told of views by `newview(v)_p`, always with increasing
+//! identifiers. Messages are sent with `gpsnd(m)_p`, placed into the
+//! per-view total order by `vs-order(m,p,g)`, delivered in that order by
+//! `gprcv(m)_{p,q}`, and reported all-delivered by `safe(m)_{p,q}`. A
+//! message sent while the sender's view is undefined (⊥) is ignored.
+//!
+//! The machine is generic over the message alphabet *M*; the `VStoTO`
+//! algorithm instantiates it with [`crate::AppMsg`].
+
+use gcs_ioa::{ActionKind, Automaton};
+use gcs_model::{ProcId, View, ViewId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// An action of `VS-machine`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VsAction<M> {
+    /// Internal `createview(v)`: a new view comes into existence. The
+    /// precondition requires `v.id` greater than every created id.
+    CreateView(View),
+    /// Output `newview(v)_p`: processor `p` learns of view `v`
+    /// (`p ∈ v.set` is enforced by the signature).
+    NewView {
+        /// The processor being informed.
+        p: ProcId,
+        /// The new view.
+        v: View,
+    },
+    /// Input `gpsnd(m)_p`: the client at `p` sends message `m`.
+    GpSnd {
+        /// The sending processor.
+        p: ProcId,
+        /// The message.
+        m: M,
+    },
+    /// Internal `vs-order(m, p, g)`: the head of `pending[p,g]` is
+    /// appended to `queue[g]`.
+    VsOrder {
+        /// The sender whose pending message is ordered.
+        p: ProcId,
+        /// The view in which the message was sent.
+        g: ViewId,
+        /// The message (must equal the head of `pending[p,g]`).
+        m: M,
+    },
+    /// Output `gprcv(m)_{p,q}`: delivery to `q` of the message `m` sent
+    /// by `p`, in `q`'s current view.
+    GpRcv {
+        /// The original sender.
+        src: ProcId,
+        /// The receiving processor.
+        dst: ProcId,
+        /// The message.
+        m: M,
+    },
+    /// Output `safe(m)_{p,q}`: report to `q` that `m` (sent by `p`) has
+    /// been delivered to every member of `q`'s current view.
+    Safe {
+        /// The original sender.
+        src: ProcId,
+        /// The processor receiving the indication.
+        dst: ProcId,
+        /// The message.
+        m: M,
+    },
+}
+
+/// The state of `VS-machine`.
+///
+/// `next` and `next-safe` are stored sparsely: a missing entry means the
+/// initial value 1, read through [`VsState::next`] and
+/// [`VsState::next_safe`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct VsState<M> {
+    /// The set of created views.
+    pub created: BTreeSet<View>,
+    /// `current-viewid[p] ∈ G⊥` for every processor.
+    pub current_viewid: BTreeMap<ProcId, Option<ViewId>>,
+    /// `pending[p,g]`: messages sent by `p` in view `g`, not yet ordered.
+    pub pending: BTreeMap<(ProcId, ViewId), VecDeque<M>>,
+    /// `queue[g]`: the per-view total order of ⟨message, sender⟩ pairs.
+    pub queue: BTreeMap<ViewId, Vec<(M, ProcId)>>,
+    /// `next[p,g]` (sparse, default 1).
+    pub next_map: BTreeMap<(ProcId, ViewId), u64>,
+    /// `next-safe[p,g]` (sparse, default 1).
+    pub next_safe_map: BTreeMap<(ProcId, ViewId), u64>,
+}
+
+impl<M> VsState<M> {
+    /// The start state: `created = {⟨g₀, P₀⟩}`, members of `P₀` in `g₀`,
+    /// everyone else at ⊥.
+    pub fn initial(procs: &BTreeSet<ProcId>, p0: &BTreeSet<ProcId>) -> Self {
+        let v0 = View::initial(p0.clone());
+        VsState {
+            created: [v0].into(),
+            current_viewid: procs
+                .iter()
+                .map(|&p| (p, p0.contains(&p).then(ViewId::initial)))
+                .collect(),
+            pending: BTreeMap::new(),
+            queue: BTreeMap::new(),
+            next_map: BTreeMap::new(),
+            next_safe_map: BTreeMap::new(),
+        }
+    }
+
+    /// `next[p,g]`, defaulting to 1.
+    pub fn next(&self, p: ProcId, g: ViewId) -> u64 {
+        self.next_map.get(&(p, g)).copied().unwrap_or(1)
+    }
+
+    /// `next-safe[p,g]`, defaulting to 1.
+    pub fn next_safe(&self, p: ProcId, g: ViewId) -> u64 {
+        self.next_safe_map.get(&(p, g)).copied().unwrap_or(1)
+    }
+
+    /// The current view identifier of `p` (`None` = ⊥).
+    pub fn current_viewid(&self, p: ProcId) -> Option<ViewId> {
+        self.current_viewid.get(&p).copied().flatten()
+    }
+
+    /// The created view with identifier `g`, if any (unique by
+    /// Lemma 4.1.1).
+    pub fn created_view(&self, g: ViewId) -> Option<&View> {
+        self.created.iter().find(|v| v.id == g)
+    }
+
+    /// The set of created view identifiers (the derived variable
+    /// `created-viewids`).
+    pub fn created_viewids(&self) -> BTreeSet<ViewId> {
+        self.created.iter().map(|v| v.id).collect()
+    }
+
+    /// The queue for view `g` (empty slice if none).
+    pub fn queue_of(&self, g: ViewId) -> &[(M, ProcId)] {
+        self.queue.get(&g).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for VsState<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VsState")
+            .field("created", &self.created)
+            .field("current_viewid", &self.current_viewid)
+            .field("pending", &self.pending)
+            .field("queue", &self.queue)
+            .field("next", &self.next_map)
+            .field("next_safe", &self.next_safe_map)
+            .finish()
+    }
+}
+
+/// The `VS-machine` automaton over a fixed ambient processor set and
+/// initial membership *P₀*.
+#[derive(Clone, Debug)]
+pub struct VsMachine<M> {
+    procs: BTreeSet<ProcId>,
+    p0: BTreeSet<ProcId>,
+    _msg: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M> VsMachine<M> {
+    /// Creates the machine for ambient set `procs` with initial membership
+    /// `p0 ⊆ procs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p0` is not a subset of `procs`.
+    pub fn new(procs: BTreeSet<ProcId>, p0: BTreeSet<ProcId>) -> Self {
+        assert!(p0.is_subset(&procs), "P0 must be a subset of P");
+        VsMachine { procs, p0, _msg: std::marker::PhantomData }
+    }
+
+    /// The ambient processor set *P*.
+    pub fn procs(&self) -> &BTreeSet<ProcId> {
+        &self.procs
+    }
+
+    /// The initial membership *P₀*.
+    pub fn p0(&self) -> &BTreeSet<ProcId> {
+        &self.p0
+    }
+
+    /// Checks the `createview` precondition: every created view has a
+    /// smaller identifier (in-order creation).
+    pub fn createview_enabled(&self, s: &VsState<M>, v: &View) -> bool {
+        !v.set.is_empty()
+            && v.set.is_subset(&self.procs)
+            && s.created.iter().all(|w| v.id > w.id)
+    }
+}
+
+impl<M: Clone + fmt::Debug + PartialEq> Automaton for VsMachine<M> {
+    type State = VsState<M>;
+    type Action = VsAction<M>;
+
+    fn initial(&self) -> VsState<M> {
+        VsState::initial(&self.procs, &self.p0)
+    }
+
+    fn enabled(&self, s: &VsState<M>) -> Vec<VsAction<M>> {
+        let mut out = Vec::new();
+        // newview(v)_p
+        for v in &s.created {
+            for &p in &v.set {
+                let cur = s.current_viewid(p);
+                if cur.is_none() || v.id > cur.unwrap() {
+                    out.push(VsAction::NewView { p, v: v.clone() });
+                }
+            }
+        }
+        // vs-order(m, p, g)
+        for ((p, g), pend) in &s.pending {
+            if let Some(m) = pend.front() {
+                out.push(VsAction::VsOrder { p: *p, g: *g, m: m.clone() });
+            }
+        }
+        for &q in &self.procs {
+            let Some(g) = s.current_viewid(q) else { continue };
+            let queue = s.queue_of(g);
+            // gprcv(m)_{p,q}
+            if let Some((m, p)) = queue.get(s.next(q, g) as usize - 1) {
+                out.push(VsAction::GpRcv { src: *p, dst: q, m: m.clone() });
+            }
+            // safe(m)_{p,q}
+            if let Some(view) = s.created_view(g) {
+                let ns = s.next_safe(q, g);
+                if let Some((m, p)) = queue.get(ns as usize - 1) {
+                    if view.set.iter().all(|&r| s.next(r, g) > ns) {
+                        out.push(VsAction::Safe { src: *p, dst: q, m: m.clone() });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn is_enabled(&self, s: &VsState<M>, action: &VsAction<M>) -> bool {
+        match action {
+            VsAction::CreateView(v) => self.createview_enabled(s, v),
+            VsAction::NewView { p, v } => {
+                v.set.contains(p)
+                    && s.created.contains(v)
+                    && match s.current_viewid(*p) {
+                        None => true,
+                        Some(cur) => v.id > cur,
+                    }
+            }
+            VsAction::GpSnd { p, .. } => self.procs.contains(p),
+            VsAction::VsOrder { p, g, m } => {
+                s.pending.get(&(*p, *g)).and_then(|q| q.front()) == Some(m)
+            }
+            VsAction::GpRcv { src, dst, m } => {
+                let Some(g) = s.current_viewid(*dst) else { return false };
+                s.queue_of(g).get(s.next(*dst, g) as usize - 1) == Some(&(m.clone(), *src))
+            }
+            VsAction::Safe { src, dst, m } => {
+                let Some(g) = s.current_viewid(*dst) else { return false };
+                let Some(view) = s.created_view(g) else { return false };
+                let ns = s.next_safe(*dst, g);
+                s.queue_of(g).get(ns as usize - 1) == Some(&(m.clone(), *src))
+                    && view.set.iter().all(|&r| s.next(r, g) > ns)
+            }
+        }
+    }
+
+    fn apply(&self, s: &mut VsState<M>, action: &VsAction<M>) {
+        match action {
+            VsAction::CreateView(v) => {
+                s.created.insert(v.clone());
+            }
+            VsAction::NewView { p, v } => {
+                s.current_viewid.insert(*p, Some(v.id));
+            }
+            VsAction::GpSnd { p, m } => {
+                if let Some(g) = s.current_viewid(*p) {
+                    s.pending.entry((*p, g)).or_default().push_back(m.clone());
+                }
+                // A message sent at ⊥ is simply ignored.
+            }
+            VsAction::VsOrder { p, g, m } => {
+                let head = s.pending.get_mut(&(*p, *g)).and_then(|q| q.pop_front());
+                debug_assert_eq!(head.as_ref(), Some(m), "vs-order of a non-head message");
+                s.queue.entry(*g).or_default().push((m.clone(), *p));
+            }
+            VsAction::GpRcv { dst, .. } => {
+                let g = s.current_viewid(*dst).expect("gprcv at ⊥");
+                let n = s.next(*dst, g);
+                s.next_map.insert((*dst, g), n + 1);
+            }
+            VsAction::Safe { dst, .. } => {
+                let g = s.current_viewid(*dst).expect("safe at ⊥");
+                let ns = s.next_safe(*dst, g);
+                s.next_safe_map.insert((*dst, g), ns + 1);
+            }
+        }
+    }
+
+    fn kind(&self, action: &VsAction<M>) -> ActionKind {
+        match action {
+            VsAction::CreateView(_) | VsAction::VsOrder { .. } => ActionKind::Internal,
+            VsAction::GpSnd { .. } => ActionKind::Input,
+            VsAction::NewView { .. } | VsAction::GpRcv { .. } | VsAction::Safe { .. } => {
+                ActionKind::Output
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_model::Value;
+
+    type M = Value;
+
+    fn machine() -> VsMachine<M> {
+        VsMachine::new(ProcId::range(3), ProcId::range(3))
+    }
+
+    fn v(epoch: u64, ids: &[u32]) -> View {
+        View::new(ViewId::new(epoch, ProcId(ids[0])), ids.iter().map(|&i| ProcId(i)).collect())
+    }
+
+    #[test]
+    fn initial_members_start_in_g0() {
+        let m = VsMachine::<M>::new(ProcId::range(3), [ProcId(0), ProcId(1)].into());
+        let s = m.initial();
+        assert_eq!(s.current_viewid(ProcId(0)), Some(ViewId::initial()));
+        assert_eq!(s.current_viewid(ProcId(2)), None);
+    }
+
+    #[test]
+    fn createview_requires_increasing_ids() {
+        let m = machine();
+        let mut s = m.initial();
+        let v1 = v(1, &[0, 1]);
+        assert!(m.is_enabled(&s, &VsAction::CreateView(v1.clone())));
+        m.apply(&mut s, &VsAction::CreateView(v1.clone()));
+        // Same id again: rejected. Lower id: rejected.
+        assert!(!m.is_enabled(&s, &VsAction::CreateView(v1.clone())));
+        assert!(!m.is_enabled(&s, &VsAction::CreateView(View::initial(ProcId::range(2)))));
+        assert!(m.is_enabled(&s, &VsAction::CreateView(v(2, &[0]))));
+    }
+
+    #[test]
+    fn newview_only_for_members_with_lower_current() {
+        let m = machine();
+        let mut s = m.initial();
+        let v1 = v(1, &[0, 1]);
+        m.apply(&mut s, &VsAction::CreateView(v1.clone()));
+        assert!(m.is_enabled(&s, &VsAction::NewView { p: ProcId(0), v: v1.clone() }));
+        // p2 is not a member.
+        assert!(!m.is_enabled(&s, &VsAction::NewView { p: ProcId(2), v: v1.clone() }));
+        m.apply(&mut s, &VsAction::NewView { p: ProcId(0), v: v1.clone() });
+        // Not twice.
+        assert!(!m.is_enabled(&s, &VsAction::NewView { p: ProcId(0), v: v1 }));
+    }
+
+    #[test]
+    fn send_at_bottom_is_ignored() {
+        let m = VsMachine::<M>::new(ProcId::range(2), [ProcId(0)].into());
+        let mut s = m.initial();
+        m.apply(&mut s, &VsAction::GpSnd { p: ProcId(1), m: Value::from_u64(1) });
+        assert!(s.pending.is_empty());
+    }
+
+    #[test]
+    fn message_flows_through_pending_queue_and_delivery() {
+        let m = machine();
+        let mut s = m.initial();
+        let g0 = ViewId::initial();
+        let val = Value::from_u64(9);
+        m.apply(&mut s, &VsAction::GpSnd { p: ProcId(0), m: val.clone() });
+        assert_eq!(s.pending[&(ProcId(0), g0)].len(), 1);
+        let ord = VsAction::VsOrder { p: ProcId(0), g: g0, m: val.clone() };
+        assert!(m.is_enabled(&s, &ord));
+        m.apply(&mut s, &ord);
+        assert_eq!(s.queue_of(g0).len(), 1);
+        // Safe not enabled before everyone received.
+        assert!(!m.is_enabled(
+            &s,
+            &VsAction::Safe { src: ProcId(0), dst: ProcId(0), m: val.clone() }
+        ));
+        for q in 0..3 {
+            let rcv = VsAction::GpRcv { src: ProcId(0), dst: ProcId(q), m: val.clone() };
+            assert!(m.is_enabled(&s, &rcv));
+            m.apply(&mut s, &rcv);
+        }
+        // Now safe is enabled at every member.
+        for q in 0..3 {
+            let sf = VsAction::Safe { src: ProcId(0), dst: ProcId(q), m: val.clone() };
+            assert!(m.is_enabled(&s, &sf), "safe not enabled at p{q}");
+            m.apply(&mut s, &sf);
+        }
+        assert_eq!(s.next_safe(ProcId(2), g0), 2);
+    }
+
+    #[test]
+    fn no_delivery_across_views() {
+        let m = machine();
+        let mut s = m.initial();
+        let g0 = ViewId::initial();
+        let val = Value::from_u64(1);
+        m.apply(&mut s, &VsAction::GpSnd { p: ProcId(0), m: val.clone() });
+        m.apply(&mut s, &VsAction::VsOrder { p: ProcId(0), g: g0, m: val.clone() });
+        // p1 moves to a later view; the g0 message is no longer deliverable there.
+        let v1 = v(1, &[0, 1, 2]);
+        m.apply(&mut s, &VsAction::CreateView(v1.clone()));
+        m.apply(&mut s, &VsAction::NewView { p: ProcId(1), v: v1 });
+        assert!(!m.is_enabled(
+            &s,
+            &VsAction::GpRcv { src: ProcId(0), dst: ProcId(1), m: val.clone() }
+        ));
+        // p0 is still in g0 and can receive it.
+        assert!(m.is_enabled(&s, &VsAction::GpRcv { src: ProcId(0), dst: ProcId(0), m: val }));
+    }
+
+    #[test]
+    fn safe_requires_all_members_of_known_view() {
+        // Membership {0,1}: safe requires both to have received.
+        let m = VsMachine::<M>::new(ProcId::range(2), ProcId::range(2));
+        let mut s = m.initial();
+        let g0 = ViewId::initial();
+        let val = Value::from_u64(5);
+        m.apply(&mut s, &VsAction::GpSnd { p: ProcId(1), m: val.clone() });
+        m.apply(&mut s, &VsAction::VsOrder { p: ProcId(1), g: g0, m: val.clone() });
+        m.apply(&mut s, &VsAction::GpRcv { src: ProcId(1), dst: ProcId(0), m: val.clone() });
+        assert!(!m.is_enabled(
+            &s,
+            &VsAction::Safe { src: ProcId(1), dst: ProcId(0), m: val.clone() }
+        ));
+        m.apply(&mut s, &VsAction::GpRcv { src: ProcId(1), dst: ProcId(1), m: val.clone() });
+        assert!(m.is_enabled(&s, &VsAction::Safe { src: ProcId(1), dst: ProcId(0), m: val }));
+    }
+
+    #[test]
+    fn enabled_enumeration_matches_is_enabled() {
+        use gcs_ioa::automaton::FnEnvironment;
+        use gcs_ioa::Runner;
+        use rand::Rng;
+        // Drive randomly; every enumerated action must pass is_enabled.
+        let env = FnEnvironment(|s: &VsState<M>, step: usize, rng: &mut dyn rand::RngCore| {
+            let mut out = vec![VsAction::GpSnd {
+                p: ProcId(rng.gen_range(0..3)),
+                m: Value::from_u64(step as u64),
+            }];
+            let epoch = s.created.iter().map(|v| v.id.epoch).max().unwrap_or(0) + 1;
+            out.push(VsAction::CreateView(v(epoch, &[rng.gen_range(0..3)])));
+            out
+        });
+        let mut runner = Runner::new(machine(), env, 11);
+        runner.add_observer(|_pre, _a, _post| {});
+        let exec = runner.run(400).unwrap();
+        // Re-execute and check each enumerated set.
+        let m = machine();
+        let mut s = m.initial();
+        for a in exec.actions() {
+            for cand in m.enabled(&s) {
+                assert!(m.is_enabled(&s, &cand), "enumerated {cand:?} not enabled");
+            }
+            m.apply(&mut s, a);
+        }
+    }
+}

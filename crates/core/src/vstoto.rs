@@ -1,0 +1,566 @@
+//! The per-processor `VStoTO` algorithm (Figures 9 and 10).
+//!
+//! `VsToToProc` is the state of one `VStoTO_p` automaton together with its
+//! transition functions, written so that the same code drives both the
+//! abstract composed system ([`crate::system::VsToToSystem`], where a
+//! scheduler resolves nondeterminism) and the timed implementation stack
+//! (`gcs-vsimpl`, where a good processor performs enabled actions
+//! immediately). Keeping a single implementation of the algorithm means
+//! the code that is model-checked against `TO-machine` is exactly the code
+//! that runs over the simulated network.
+//!
+//! ## Normal activity
+//!
+//! Client values are queued in `delay`, given system-wide unique labels
+//! (`label(a)_p`), stored in `content`, and multicast in the current view
+//! (`gpsnd(⟨l,a⟩)_p`). Delivered ⟨label, value⟩ pairs are appended to the
+//! tentative `order` when the view is primary; `safe` indications mark
+//! labels confirmable, `confirm_p` advances the confirmed prefix, and
+//! `brcv(a)_{q,p}` releases confirmed values to the client.
+//!
+//! ## Recovery activity
+//!
+//! On `newview`, the processor sends a summary of its state and collects
+//! the summaries of all members (`gotstate`). When the last summary
+//! arrives it *establishes* the view: it adopts `maxnextconfirm` and, for
+//! a primary view, `fullorder(gotstate)` (setting `highprimary` to the new
+//! view id), or for a non-primary view, `shortorder(gotstate)` (adopting
+//! the representative's `highprimary`). Once every member's summary is
+//! reported safe, all exchanged labels become safe in a primary view.
+
+use crate::msg::AppMsg;
+use gcs_model::summary::{fullorder, maxnextconfirm, maxprimary, shortorder};
+use gcs_model::{GotState, Label, ProcId, QuorumSystem, Summary, Value, View, ViewId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// The processing status of a `VStoTO_p` automaton.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcStatus {
+    /// Anywhere other than in the first phase of recovery.
+    Normal,
+    /// After a `newview`, before sending the state-exchange message.
+    Send,
+    /// Waiting for some members' state-exchange messages.
+    Collect,
+}
+
+/// The state of one `VStoTO_p` automaton (Figure 9), plus its processor
+/// identifier and the quorum system 𝒬 (fixed configuration).
+#[derive(Clone)]
+pub struct VsToToProc {
+    /// This processor's identifier (the subscript *p*).
+    pub id: ProcId,
+    /// The quorum system used for the `primary` test.
+    pub quorums: Arc<dyn QuorumSystem>,
+    /// `current ∈ views⊥`: the current view.
+    pub current: Option<View>,
+    /// `highprimary ∈ G⊥`.
+    pub highprimary: Option<ViewId>,
+    /// `status`.
+    pub status: ProcStatus,
+    /// `delay`: client values not yet labelled.
+    pub delay: VecDeque<Value>,
+    /// `content ⊆ L × A` (a partial function by Lemma 6.5).
+    pub content: BTreeMap<Label, Value>,
+    /// `nextseqno ∈ ℕ⁺`.
+    pub nextseqno: u64,
+    /// `buffer`: labelled values not yet multicast.
+    pub buffer: VecDeque<Label>,
+    /// `order ∈ L*`: the tentative total order.
+    pub order: Vec<Label>,
+    /// `nextconfirm ∈ ℕ⁺`.
+    pub nextconfirm: u64,
+    /// `nextreport ∈ ℕ⁺`.
+    pub nextreport: u64,
+    /// `gotstate`: summaries collected in the current recovery.
+    pub gotstate: GotState,
+    /// `safe-exch ⊆ P`: members whose summaries are safe.
+    pub safe_exch: BTreeSet<ProcId>,
+    /// `safe-labels ⊆ L`.
+    pub safe_labels: BTreeSet<Label>,
+}
+
+impl PartialEq for VsToToProc {
+    fn eq(&self, other: &Self) -> bool {
+        // Configuration (id, quorums) aside, compare the automaton state.
+        self.id == other.id
+            && self.current == other.current
+            && self.highprimary == other.highprimary
+            && self.status == other.status
+            && self.delay == other.delay
+            && self.content == other.content
+            && self.nextseqno == other.nextseqno
+            && self.buffer == other.buffer
+            && self.order == other.order
+            && self.nextconfirm == other.nextconfirm
+            && self.nextreport == other.nextreport
+            && self.gotstate == other.gotstate
+            && self.safe_exch == other.safe_exch
+            && self.safe_labels == other.safe_labels
+    }
+}
+
+impl fmt::Debug for VsToToProc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VsToToProc")
+            .field("id", &self.id)
+            .field("current", &self.current)
+            .field("highprimary", &self.highprimary)
+            .field("status", &self.status)
+            .field("delay", &self.delay)
+            .field("nextseqno", &self.nextseqno)
+            .field("buffer", &self.buffer)
+            .field("order", &self.order)
+            .field("nextconfirm", &self.nextconfirm)
+            .field("nextreport", &self.nextreport)
+            .field("gotstate_dom", &self.gotstate.keys().collect::<Vec<_>>())
+            .field("safe_exch", &self.safe_exch)
+            .field("safe_labels", &self.safe_labels)
+            .field("content_len", &self.content.len())
+            .finish()
+    }
+}
+
+/// What a `gprcv` effect did, so the composed system can maintain its
+/// history variables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GprcvOutcome {
+    /// Whether this receipt completed the state exchange (the processor
+    /// *established* its current view: `status` became `Normal`).
+    pub established: bool,
+}
+
+impl VsToToProc {
+    /// The start state for processor `p`: members of `P₀` begin in the
+    /// initial view with `highprimary = g₀`; everyone else at ⊥.
+    pub fn initial(
+        id: ProcId,
+        p0: &BTreeSet<ProcId>,
+        quorums: Arc<dyn QuorumSystem>,
+    ) -> Self {
+        let in_p0 = p0.contains(&id);
+        // Figure 9 initializes highprimary to g₀ for members of P₀ — which
+        // presumes the initial view is primary. When P₀ does not contain a
+        // quorum, that initialization contradicts Lemma 6.11(2) in the very
+        // start state (established non-primary view with highprimary equal
+        // to the current id); see DESIGN.md "Findings". We therefore treat
+        // g₀ as having affected the order only when ⟨g₀, P₀⟩ is primary,
+        // which is also semantically accurate: a non-primary initial view
+        // never orders anything.
+        let v0_primary = quorums.is_quorum(p0);
+        VsToToProc {
+            id,
+            quorums,
+            current: in_p0.then(|| View::initial(p0.clone())),
+            highprimary: (in_p0 && v0_primary).then(ViewId::initial),
+            status: ProcStatus::Normal,
+            delay: VecDeque::new(),
+            content: BTreeMap::new(),
+            nextseqno: 1,
+            buffer: VecDeque::new(),
+            order: Vec::new(),
+            nextconfirm: 1,
+            nextreport: 1,
+            gotstate: GotState::new(),
+            safe_exch: BTreeSet::new(),
+            safe_labels: BTreeSet::new(),
+        }
+    }
+
+    /// The derived variable `primary`: the current view is defined and its
+    /// membership contains a quorum.
+    pub fn primary(&self) -> bool {
+        self.current.as_ref().is_some_and(|v| self.quorums.is_quorum(&v.set))
+    }
+
+    /// The current view identifier, if defined.
+    pub fn current_id(&self) -> Option<ViewId> {
+        self.current.as_ref().map(|v| v.id)
+    }
+
+    /// This processor's state summary
+    /// `⟨content, order, nextconfirm, highprimary⟩`.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            con: self.content.clone(),
+            ord: self.order.clone(),
+            next: self.nextconfirm,
+            high: self.highprimary,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Input actions
+    // ------------------------------------------------------------------
+
+    /// Input `bcast(a)_p`: append `a` to `delay`.
+    pub fn bcast(&mut self, a: Value) {
+        self.delay.push_back(a);
+    }
+
+    /// Input `newview(v)_p`: start recovery for view `v`.
+    pub fn newview(&mut self, v: View) {
+        self.current = Some(v);
+        self.nextseqno = 1;
+        self.buffer.clear();
+        self.gotstate.clear();
+        self.safe_exch.clear();
+        self.safe_labels.clear();
+        self.status = ProcStatus::Send;
+    }
+
+    /// Input `gprcv(m)_{q,p}` for both message kinds.
+    pub fn gprcv(&mut self, src: ProcId, m: &AppMsg) -> GprcvOutcome {
+        match m {
+            AppMsg::Val(l, a) => {
+                self.content.insert(*l, a.clone());
+                // Figure 10 appends unconditionally; the guard below is a
+                // necessary correction. A value labelled during recovery
+                // (after `newview`, before the summary goes out) is part of
+                // the summary's `con`, so on establishment `fullorder`
+                // already places its label in `order`; when the ordinary
+                // message later arrives, an unconditional append would
+                // duplicate the label — and a duplicate in `order` gets
+                // confirmed and delivered twice, violating `TO-machine`.
+                // (Caught by the executable simulation check of
+                // Theorem 6.26; see DESIGN.md.)
+                if self.primary() && !self.order.contains(l) {
+                    self.order.push(*l);
+                }
+                GprcvOutcome { established: false }
+            }
+            AppMsg::Summary(x) => {
+                for (l, a) in &x.con {
+                    self.content.insert(*l, a.clone());
+                }
+                self.gotstate.insert(src, x.clone());
+                let complete = self
+                    .current
+                    .as_ref()
+                    .is_some_and(|v| self.gotstate.keys().copied().eq(v.set.iter().copied()));
+                if complete && self.status == ProcStatus::Collect {
+                    self.nextconfirm = maxnextconfirm(&self.gotstate);
+                    if self.primary() {
+                        self.order = fullorder(&self.gotstate);
+                        self.highprimary = self.current_id();
+                    } else {
+                        self.order = shortorder(&self.gotstate);
+                        self.highprimary = maxprimary(&self.gotstate);
+                    }
+                    self.status = ProcStatus::Normal;
+                    GprcvOutcome { established: true }
+                } else {
+                    GprcvOutcome { established: false }
+                }
+            }
+        }
+    }
+
+    /// Input `safe(m)_{q,p}` for both message kinds.
+    pub fn safe(&mut self, src: ProcId, m: &AppMsg) {
+        match m {
+            AppMsg::Val(l, _) => {
+                if self.primary() {
+                    self.safe_labels.insert(*l);
+                }
+            }
+            AppMsg::Summary(_) => {
+                self.safe_exch.insert(src);
+                let all = self
+                    .current
+                    .as_ref()
+                    .is_some_and(|v| self.safe_exch.iter().copied().eq(v.set.iter().copied()));
+                if all && self.primary() {
+                    self.safe_labels.extend(fullorder(&self.gotstate));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Locally controlled actions: precondition tests and effects
+    // ------------------------------------------------------------------
+
+    /// Whether internal `label(a)_p` is enabled (head of `delay` exists and
+    /// the current view is defined); returns the value that would be
+    /// labelled.
+    pub fn label_ready(&self) -> Option<&Value> {
+        if self.current.is_some() {
+            self.delay.front()
+        } else {
+            None
+        }
+    }
+
+    /// Effect of `label(a)_p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not enabled.
+    pub fn do_label(&mut self) -> Label {
+        let a = self.delay.pop_front().expect("label: delay empty");
+        let current = self.current.as_ref().expect("label: no current view");
+        let l = Label::new(current.id, self.nextseqno, self.id);
+        self.content.insert(l, a);
+        self.buffer.push_back(l);
+        self.nextseqno += 1;
+        l
+    }
+
+    /// Whether output `gpsnd(m)_p` is enabled, and for which message:
+    /// the state-exchange summary when `status = send`, or the head of
+    /// `buffer` when `status = normal`.
+    pub fn gpsnd_ready(&self) -> Option<AppMsg> {
+        match self.status {
+            ProcStatus::Send => Some(AppMsg::Summary(self.summary())),
+            ProcStatus::Normal => {
+                let l = self.buffer.front()?;
+                let a = self.content.get(l)?;
+                Some(AppMsg::Val(*l, a.clone()))
+            }
+            ProcStatus::Collect => None,
+        }
+    }
+
+    /// Effect of `gpsnd(m)_p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` does not match [`VsToToProc::gpsnd_ready`].
+    pub fn do_gpsnd(&mut self, m: &AppMsg) {
+        let ready = self.gpsnd_ready();
+        assert_eq!(ready.as_ref(), Some(m), "gpsnd of an unready message");
+        match m {
+            AppMsg::Val(..) => {
+                self.buffer.pop_front();
+            }
+            AppMsg::Summary(_) => {
+                self.status = ProcStatus::Collect;
+            }
+        }
+    }
+
+    /// Whether internal `confirm_p` is enabled:
+    /// `primary ∧ order(nextconfirm) ∈ safe-labels`.
+    pub fn confirm_ready(&self) -> bool {
+        self.primary()
+            && self
+                .order
+                .get(self.nextconfirm as usize - 1)
+                .is_some_and(|l| self.safe_labels.contains(l))
+    }
+
+    /// Effect of `confirm_p`; returns the confirmed label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not enabled.
+    pub fn do_confirm(&mut self) -> Label {
+        assert!(self.confirm_ready(), "confirm not enabled");
+        let l = self.order[self.nextconfirm as usize - 1];
+        self.nextconfirm += 1;
+        l
+    }
+
+    /// Whether output `brcv(a)_{q,p}` is enabled; returns
+    /// `(q, a)` = (origin of the next confirmed label, its value).
+    pub fn brcv_ready(&self) -> Option<(ProcId, Value)> {
+        if self.nextreport < self.nextconfirm {
+            let l = self.order.get(self.nextreport as usize - 1)?;
+            let a = self.content.get(l)?;
+            Some((l.origin, a.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Effect of `brcv(a)_{q,p}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not enabled.
+    pub fn do_brcv(&mut self) -> (ProcId, Value) {
+        let out = self.brcv_ready().expect("brcv not enabled");
+        self.nextreport += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_model::Majority;
+
+    fn proc(id: u32, n: u32) -> VsToToProc {
+        VsToToProc::initial(ProcId(id), &ProcId::range(n), Arc::new(Majority::new(n as usize)))
+    }
+
+    fn send_own(p: &mut VsToToProc, x: u64) -> (Label, Value) {
+        let a = Value::from_u64(x);
+        p.bcast(a.clone());
+        let l = p.do_label();
+        let m = AppMsg::Val(l, a.clone());
+        p.do_gpsnd(&m);
+        (l, a)
+    }
+
+    #[test]
+    fn initial_state_depends_on_p0_membership() {
+        let inside = proc(0, 3);
+        assert!(inside.current.is_some());
+        assert_eq!(inside.highprimary, Some(ViewId::initial()));
+        let outside = VsToToProc::initial(
+            ProcId(9),
+            &ProcId::range(3),
+            Arc::new(Majority::new(3)),
+        );
+        assert!(outside.current.is_none());
+        assert!(outside.highprimary.is_none());
+        assert!(outside.label_ready().is_none());
+    }
+
+    #[test]
+    fn normal_flow_confirms_and_reports_in_order() {
+        // Single-processor group: p0 alone is a majority of 1.
+        let mut p = proc(0, 1);
+        let (l, a) = send_own(&mut p, 7);
+        // VS loops the message back.
+        p.gprcv(ProcId(0), &AppMsg::Val(l, a.clone()));
+        assert_eq!(p.order, vec![l]);
+        assert!(!p.confirm_ready()); // not yet safe
+        p.safe(ProcId(0), &AppMsg::Val(l, a.clone()));
+        assert!(p.confirm_ready());
+        p.do_confirm();
+        assert_eq!(p.brcv_ready(), Some((ProcId(0), a.clone())));
+        let (src, got) = p.do_brcv();
+        assert_eq!((src, got), (ProcId(0), a));
+        assert!(p.brcv_ready().is_none());
+    }
+
+    #[test]
+    fn non_primary_records_content_but_does_not_order() {
+        let mut p = proc(0, 3); // majority of 3 needs 2 members
+        let v = View::new(ViewId::new(1, ProcId(0)), [ProcId(0)].into());
+        p.newview(v);
+        assert!(!p.primary());
+        // Recover through the (solo) state exchange.
+        let x = p.gpsnd_ready().unwrap();
+        p.do_gpsnd(&x);
+        let out = p.gprcv(ProcId(0), &x.clone());
+        assert!(out.established);
+        let (l, a) = send_own(&mut p, 1);
+        p.gprcv(ProcId(0), &AppMsg::Val(l, a.clone()));
+        assert!(p.content.contains_key(&l));
+        assert!(p.order.is_empty(), "non-primary must not extend order");
+        p.safe(ProcId(0), &AppMsg::Val(l, a));
+        assert!(p.safe_labels.is_empty(), "non-primary ignores safe");
+    }
+
+    #[test]
+    fn newview_resets_recovery_state_but_keeps_history() {
+        let mut p = proc(0, 1);
+        let (l, a) = send_own(&mut p, 3);
+        p.gprcv(ProcId(0), &AppMsg::Val(l, a.clone()));
+        p.safe(ProcId(0), &AppMsg::Val(l, a));
+        p.do_confirm();
+        let order_before = p.order.clone();
+        let v = View::new(ViewId::new(1, ProcId(0)), [ProcId(0)].into());
+        p.newview(v);
+        assert_eq!(p.status, ProcStatus::Send);
+        assert_eq!(p.nextseqno, 1);
+        assert!(p.buffer.is_empty() && p.safe_labels.is_empty() && p.gotstate.is_empty());
+        assert_eq!(p.order, order_before, "order survives view change");
+        assert_eq!(p.nextconfirm, 2, "confirmed prefix survives view change");
+    }
+
+    #[test]
+    fn state_exchange_in_primary_adopts_fullorder_and_new_highprimary() {
+        // Two of three processors form a primary view and exchange state.
+        let g1 = ViewId::new(1, ProcId(0));
+        let v = View::new(g1, [ProcId(0), ProcId(1)].into());
+        let mut p0 = proc(0, 3);
+        let mut p1 = proc(1, 3);
+        // p1 knows a label that p0 does not.
+        let (l1, _a1) = send_own(&mut p1, 10);
+        p0.newview(v.clone());
+        p1.newview(v.clone());
+        let x0 = p0.gpsnd_ready().unwrap();
+        p0.do_gpsnd(&x0);
+        let x1 = p1.gpsnd_ready().unwrap();
+        p1.do_gpsnd(&x1);
+        // Deliver both summaries to p0 (VS order).
+        assert!(!p0.gprcv(ProcId(0), &x0).established);
+        let out = p0.gprcv(ProcId(1), &x1);
+        assert!(out.established);
+        assert!(p0.primary());
+        assert_eq!(p0.highprimary, Some(g1));
+        assert!(p0.order.contains(&l1), "fullorder must pick up p1's label");
+        assert_eq!(p0.status, ProcStatus::Normal);
+        // Safe exchange: labels become safe only when both summaries are safe.
+        p0.safe(ProcId(0), &x0);
+        assert!(p0.safe_labels.is_empty());
+        p0.safe(ProcId(1), &x1);
+        assert!(p0.safe_labels.contains(&l1));
+    }
+
+    #[test]
+    fn state_exchange_in_non_primary_adopts_representative_order() {
+        let quorums: Arc<dyn QuorumSystem> = Arc::new(Majority::new(5));
+        let p0_set = ProcId::range(5);
+        let mut p0 = VsToToProc::initial(ProcId(0), &p0_set, quorums.clone());
+        let mut p1 = VsToToProc::initial(ProcId(1), &p0_set, quorums);
+        // Minority view {p0, p1} of the 5-processor system.
+        let g1 = ViewId::new(1, ProcId(0));
+        let v = View::new(g1, [ProcId(0), ProcId(1)].into());
+        // p1 has a more advanced history: highprimary g0 with an order.
+        let l = Label::new(ViewId::initial(), 1, ProcId(1));
+        p1.content.insert(l, Value::from_u64(5));
+        p1.order.push(l);
+        p0.newview(v.clone());
+        p1.newview(v.clone());
+        let x0 = p0.gpsnd_ready().unwrap();
+        p0.do_gpsnd(&x0);
+        let x1 = p1.gpsnd_ready().unwrap();
+        p1.do_gpsnd(&x1);
+        p0.gprcv(ProcId(0), &x0);
+        let out = p0.gprcv(ProcId(1), &x1);
+        assert!(out.established);
+        assert!(!p0.primary());
+        // Both reps have high = g0; chosenrep is the max id (p1), whose
+        // order contains l.
+        assert_eq!(p0.order, vec![l]);
+        assert_eq!(p0.highprimary, Some(ViewId::initial()));
+    }
+
+    #[test]
+    fn gpsnd_blocked_while_collecting() {
+        let mut p = proc(0, 1);
+        let v = View::new(ViewId::new(1, ProcId(0)), [ProcId(0)].into());
+        p.newview(v);
+        p.bcast(Value::from_u64(1));
+        p.do_label(); // labelling is allowed during recovery
+        // status = Send: the only send allowed is the summary.
+        assert!(matches!(p.gpsnd_ready(), Some(AppMsg::Summary(_))));
+        let x = p.gpsnd_ready().unwrap();
+        p.do_gpsnd(&x);
+        // status = Collect: nothing may be sent.
+        assert!(p.gpsnd_ready().is_none());
+        p.gprcv(ProcId(0), &x);
+        // status = Normal again: the buffered label may go out.
+        assert!(matches!(p.gpsnd_ready(), Some(AppMsg::Val(..))));
+    }
+
+    #[test]
+    fn labels_are_unique_and_increasing_per_view() {
+        let mut p = proc(0, 1);
+        p.bcast(Value::from_u64(1));
+        p.bcast(Value::from_u64(2));
+        let l1 = p.do_label();
+        let l2 = p.do_label();
+        assert!(l1 < l2);
+        assert_eq!(l1.seqno, 1);
+        assert_eq!(l2.seqno, 2);
+    }
+}

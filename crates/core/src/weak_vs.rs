@@ -1,0 +1,219 @@
+//! The `WeakVS-machine` variant (Section 4.1, Remark) and the
+//! createview-reordering construction that proves it trace-equivalent to
+//! `VS-machine`.
+//!
+//! `WeakVS-machine` weakens the `createview(v)` precondition so that it
+//! only enforces *unique* identifiers, not in-order creation. The paper
+//! observes that the two machines allow exactly the same finite traces,
+//! by reordering `createview` events ("pushing any such event earlier
+//! than any createview event for a bigger view"); this module implements
+//! that reordering ([`reorder_createviews`]) so the claim can be tested
+//! on arbitrary executions (experiment E8).
+
+use crate::vs_machine::{VsAction, VsMachine, VsState};
+use gcs_ioa::{ActionKind, Automaton};
+use gcs_model::View;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// `WeakVS-machine`: identical to [`VsMachine`] except that `createview`
+/// only requires the new identifier to be distinct from all created ones.
+#[derive(Clone, Debug)]
+pub struct WeakVsMachine<M> {
+    inner: VsMachine<M>,
+}
+
+impl<M> WeakVsMachine<M> {
+    /// Creates the machine (same parameters as [`VsMachine::new`]).
+    pub fn new(procs: BTreeSet<gcs_model::ProcId>, p0: BTreeSet<gcs_model::ProcId>) -> Self {
+        WeakVsMachine { inner: VsMachine::new(procs, p0) }
+    }
+
+    /// The strong machine with the same parameters.
+    pub fn strong(&self) -> &VsMachine<M> {
+        &self.inner
+    }
+
+    fn weak_createview_enabled(&self, s: &VsState<M>, v: &View) -> bool {
+        !v.set.is_empty()
+            && v.set.is_subset(self.inner.procs())
+            && s.created.iter().all(|w| v.id != w.id)
+    }
+}
+
+impl<M: Clone + fmt::Debug + PartialEq> Automaton for WeakVsMachine<M> {
+    type State = VsState<M>;
+    type Action = VsAction<M>;
+
+    fn initial(&self) -> VsState<M> {
+        self.inner.initial()
+    }
+
+    fn enabled(&self, s: &VsState<M>) -> Vec<VsAction<M>> {
+        self.inner.enabled(s)
+    }
+
+    fn is_enabled(&self, s: &VsState<M>, action: &VsAction<M>) -> bool {
+        match action {
+            VsAction::CreateView(v) => self.weak_createview_enabled(s, v),
+            other => self.inner.is_enabled(s, other),
+        }
+    }
+
+    fn apply(&self, s: &mut VsState<M>, action: &VsAction<M>) {
+        self.inner.apply(s, action);
+    }
+
+    fn kind(&self, action: &VsAction<M>) -> ActionKind {
+        self.inner.kind(action)
+    }
+}
+
+/// Rewrites a `WeakVS-machine` action sequence into a `VS-machine` action
+/// sequence with the same trace, by moving `createview` events so they
+/// occur in ascending identifier order while still preceding every event
+/// that depends on them.
+///
+/// The construction: let `u₁ < u₂ < … < u_k` be the created views in
+/// identifier order, and let `t_i` be the index (in the sequence without
+/// `createview` events) of the first event depending on `u_i` (its first
+/// `newview`); place `createview(u_i)` just before index
+/// `min_{j ≥ i} t_j`, breaking ties by ascending `i`. The result is a
+/// valid `VS-machine` execution (checked by the caller via replay) with an
+/// unchanged external subsequence, because `createview` is internal.
+pub fn reorder_createviews<M: Clone + PartialEq>(actions: &[VsAction<M>]) -> Vec<VsAction<M>> {
+    // Split off createview events, remembering the created views.
+    let mut views: Vec<View> = Vec::new();
+    let mut rest: Vec<VsAction<M>> = Vec::new();
+    for a in actions {
+        match a {
+            VsAction::CreateView(v) => views.push(v.clone()),
+            other => rest.push(other.clone()),
+        }
+    }
+    views.sort_by_key(|v| v.id);
+    // First dependent position of each view within `rest`.
+    let first_dep = |v: &View| -> usize {
+        rest.iter()
+            .position(|a| matches!(a, VsAction::NewView { v: w, .. } if w.id == v.id))
+            .unwrap_or(rest.len())
+    };
+    let t: Vec<usize> = views.iter().map(first_dep).collect();
+    // d_i = min_{j >= i} t_j, computed backwards.
+    let mut d = t.clone();
+    for i in (0..d.len().saturating_sub(1)).rev() {
+        d[i] = d[i].min(d[i + 1]);
+    }
+    // Interleave: before emitting rest[j], emit every createview with d_i == j.
+    let mut out = Vec::with_capacity(actions.len());
+    let mut vi = 0;
+    for (j, a) in rest.iter().enumerate() {
+        while vi < views.len() && d[vi] <= j {
+            out.push(VsAction::CreateView(views[vi].clone()));
+            vi += 1;
+        }
+        out.push(a.clone());
+    }
+    while vi < views.len() {
+        out.push(VsAction::CreateView(views[vi].clone()));
+        vi += 1;
+    }
+    out
+}
+
+/// Replays `actions` through `machine`, returning `Err` with the index of
+/// the first action that is not enabled (the final state otherwise).
+pub fn replay<A: Automaton>(machine: &A, actions: &[A::Action]) -> Result<A::State, usize> {
+    let mut s = machine.initial();
+    for (i, a) in actions.iter().enumerate() {
+        if !machine.is_enabled(&s, a) {
+            return Err(i);
+        }
+        machine.apply(&mut s, a);
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_model::{ProcId, Value, ViewId};
+
+    type M = Value;
+
+    fn weak() -> WeakVsMachine<M> {
+        WeakVsMachine::new(ProcId::range(3), ProcId::range(3))
+    }
+
+    fn strong() -> VsMachine<M> {
+        VsMachine::new(ProcId::range(3), ProcId::range(3))
+    }
+
+    fn v(epoch: u64, ids: &[u32]) -> View {
+        View::new(ViewId::new(epoch, ProcId(ids[0])), ids.iter().map(|&i| ProcId(i)).collect())
+    }
+
+    #[test]
+    fn weak_machine_allows_out_of_order_creation() {
+        let w = weak();
+        let mut s = w.initial();
+        let v3 = v(3, &[0, 1]);
+        let v1 = v(1, &[0, 2]);
+        w.apply(&mut s, &VsAction::CreateView(v3.clone()));
+        // Out-of-order: enabled in weak, not in strong.
+        assert!(w.is_enabled(&s, &VsAction::CreateView(v1.clone())));
+        assert!(!strong().is_enabled(&s, &VsAction::CreateView(v1.clone())));
+        // Duplicates rejected in both.
+        assert!(!w.is_enabled(&s, &VsAction::CreateView(v3)));
+    }
+
+    #[test]
+    fn reordering_turns_weak_executions_into_strong_ones() {
+        // Build a weak execution with descending createview order and
+        // interleaved dependent events.
+        let w = weak();
+        let actions: Vec<VsAction<M>> = vec![
+            VsAction::CreateView(v(5, &[0, 1, 2])),
+            VsAction::NewView { p: ProcId(0), v: v(5, &[0, 1, 2]) },
+            VsAction::GpSnd { p: ProcId(0), m: Value::from_u64(1) },
+            VsAction::CreateView(v(2, &[1, 2])),
+            VsAction::VsOrder { p: ProcId(0), g: ViewId::new(5, ProcId(0)), m: Value::from_u64(1) },
+            VsAction::GpRcv { src: ProcId(0), dst: ProcId(0), m: Value::from_u64(1) },
+            VsAction::CreateView(v(1, &[0])),
+        ];
+        // Valid in the weak machine...
+        replay(&w, &actions).expect("weak replay");
+        // ...not in the strong machine as-is...
+        assert!(replay(&strong(), &actions).is_err());
+        // ...but valid after reordering, with the same trace.
+        let reordered = reorder_createviews(&actions);
+        replay(&strong(), &reordered).expect("strong replay after reordering");
+        let ext = |acts: &[VsAction<M>]| -> Vec<VsAction<M>> {
+            acts.iter().filter(|a| strong().kind(a).is_external()).cloned().collect()
+        };
+        assert_eq!(ext(&actions), ext(&reordered));
+    }
+
+    #[test]
+    fn reordering_is_identity_for_already_ordered_executions() {
+        let actions: Vec<VsAction<M>> = vec![
+            VsAction::CreateView(v(1, &[0])),
+            VsAction::NewView { p: ProcId(0), v: v(1, &[0]) },
+            VsAction::CreateView(v(2, &[0, 1])),
+            VsAction::NewView { p: ProcId(1), v: v(2, &[0, 1]) },
+        ];
+        let reordered = reorder_createviews(&actions);
+        replay(&strong(), &reordered).expect("strong replay");
+        // Dependencies still respected even if exact positions shift.
+        let pos = |acts: &[VsAction<M>], pred: &dyn Fn(&VsAction<M>) -> bool| {
+            acts.iter().position(|a| pred(a)).unwrap()
+        };
+        let c2 = pos(&reordered, &|a| {
+            matches!(a, VsAction::CreateView(w) if w.id.epoch == 2)
+        });
+        let n2 = pos(&reordered, &|a| {
+            matches!(a, VsAction::NewView { v: w, .. } if w.id.epoch == 2)
+        });
+        assert!(c2 < n2);
+    }
+}

@@ -1,0 +1,7 @@
+//! Runs every experiment in sequence (pass --quick for reduced sizes).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in gcs_harness::experiments::run_all(quick) {
+        println!("{table}");
+    }
+}

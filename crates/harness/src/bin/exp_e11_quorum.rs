@@ -1,0 +1,7 @@
+//! Experiment binary; see gcs_harness::experiments::e11.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in gcs_harness::experiments::e11::run(quick) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,134 @@
+//! E9 — ablation: VS's early delivery + separate safe indication versus
+//! Totem-style *safe delivery* (introduction difference #5, footnote 5).
+//!
+//! In VS, a message is delivered as soon as it is ordered and the safe
+//! indication follows; in the safe-delivery variant the client sees the
+//! message only once every member has received it. The ablation measures
+//! the per-message `gprcv` latency (how early the tentative order can
+//! form) and the client `brcv` latency (unchanged, since confirmation
+//! waits for safety either way) — and shows that the variant *breaks the
+//! VS contract itself* (safe indications precede delivery at other
+//! members), which is exactly why the paper separates the two events.
+
+use crate::{row, Table};
+use gcs_core::cause::check_trace;
+use gcs_core::to_trace::check_to_trace;
+use gcs_model::{ProcId, Time};
+use gcs_netsim::TraceEvent;
+use gcs_vsimpl::{ImplEvent, Stack, StackConfig};
+use std::collections::BTreeMap;
+
+struct Measured {
+    mean_gprcv: f64,
+    mean_brcv: f64,
+    delivered: usize,
+    vs_violations: usize,
+    to_violations: usize,
+}
+
+fn measure(safe_delivery: bool, n: u32, msgs: usize, seed: u64) -> Measured {
+    let mut cfg = StackConfig::standard(n, 5, seed);
+    cfg.safe_delivery = safe_delivery;
+    let pi = cfg.pi;
+    let mut stack = Stack::new(cfg);
+    let start = 4 * pi;
+    let mut sent_at: BTreeMap<gcs_model::Value, Time> = BTreeMap::new();
+    for i in 0..msgs {
+        let t = start + i as Time * 10;
+        let v = stack.schedule_bcast(t, ProcId(i as u32 % n));
+        sent_at.insert(v, t);
+    }
+    stack.run_until(start + msgs as Time * 10 + 60 * pi);
+
+    // gprcv latency: gpsnd time → mean over receivers of gprcv time.
+    let mut snd_time: BTreeMap<u64, Time> = BTreeMap::new();
+    let mut gprcv_lat: Vec<Time> = Vec::new();
+    let mut brcv_lat: Vec<Time> = Vec::new();
+    let mut delivered = 0usize;
+    for ev in stack.trace().events() {
+        match &ev.action {
+            TraceEvent::App(ImplEvent::GpSnd { mid, .. }) => {
+                snd_time.insert(*mid, ev.time);
+            }
+            TraceEvent::App(ImplEvent::GpRcv { mid, .. }) => {
+                if let Some(&t0) = snd_time.get(mid) {
+                    gprcv_lat.push(ev.time - t0);
+                }
+            }
+            TraceEvent::App(ImplEvent::Brcv { a, .. }) => {
+                delivered += 1;
+                if let Some(&t0) = sent_at.get(a) {
+                    brcv_lat.push(ev.time - t0);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mean = |v: &[Time]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<Time>() as f64 / v.len() as f64
+        }
+    };
+    let vs = check_trace(&stack.vs_actions(), &ProcId::range(n));
+    let to = check_to_trace(&stack.to_obs().untimed());
+    Measured {
+        mean_gprcv: mean(&gprcv_lat),
+        mean_brcv: mean(&brcv_lat),
+        delivered,
+        vs_violations: vs.violations.len(),
+        to_violations: to.violations.len(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "E9 — early delivery + safe indication (VS) vs Totem-style safe delivery",
+        &[
+            "mode", "n", "msgs", "mean gprcv latency", "mean brcv latency",
+            "brcv events", "VS-contract violations", "TO violations",
+        ],
+    );
+    let n = 3u32;
+    let msgs = if quick { 6 } else { 25 };
+    for (name, sd) in [("VS (deliver then safe)", false), ("safe delivery", true)] {
+        let m = measure(sd, n, msgs, 90);
+        t.row(row![
+            name,
+            n,
+            msgs,
+            format!("{:.1}", m.mean_gprcv),
+            format!("{:.1}", m.mean_brcv),
+            m.delivered,
+            m.vs_violations,
+            m.to_violations
+        ]);
+    }
+    t.note(
+        "Expected shape: safe delivery inflates gprcv latency by roughly one \
+         token rotation while brcv latency is comparable; it reports nonzero \
+         VS-contract violations (safe precedes delivery at other members — \
+         the 'coordinated attack' tension the paper sidesteps by separating \
+         delivery from the safe notification), while TO-level safety holds in \
+         stable runs either way.",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_matches_paper_expectation() {
+        let tables = super::run(true);
+        let rows = tables[0].rows();
+        let g0: f64 = rows[0][3].parse().unwrap();
+        let g1: f64 = rows[1][3].parse().unwrap();
+        assert!(g1 > g0, "safe delivery should delay gprcv ({g0} vs {g1})");
+        assert_eq!(rows[0][6], "0", "VS mode must satisfy the VS contract");
+        assert_ne!(rows[1][6], "0", "safe-delivery mode must violate the VS contract");
+        assert_eq!(rows[0][7], "0");
+        assert_eq!(rows[1][7], "0");
+    }
+}

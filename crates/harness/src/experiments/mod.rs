@@ -1,0 +1,38 @@
+//! The experiments, one module per id. Each exposes
+//! `run(quick: bool) -> Vec<Table>`; `quick` shrinks sizes for tests and
+//! benches while exercising the same code paths.
+
+pub mod e01;
+pub mod e02;
+pub mod e03;
+pub mod e04;
+pub mod e05;
+pub mod e06;
+pub mod e07;
+pub mod e08;
+pub mod e09;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
+pub mod e14;
+
+/// Runs every experiment (used by the `exp_all` binary).
+pub fn run_all(quick: bool) -> Vec<crate::Table> {
+    let mut out = Vec::new();
+    out.extend(e01::run(quick));
+    out.extend(e02::run(quick));
+    out.extend(e03::run(quick));
+    out.extend(e04::run(quick));
+    out.extend(e05::run(quick));
+    out.extend(e06::run(quick));
+    out.extend(e07::run(quick));
+    out.extend(e08::run(quick));
+    out.extend(e09::run(quick));
+    out.extend(e10::run(quick));
+    out.extend(e11::run(quick));
+    out.extend(e12::run(quick));
+    out.extend(e13::run(quick));
+    out.extend(e14::run(quick));
+    out
+}

@@ -1,0 +1,33 @@
+//! The experiment harness: every formal artifact and analytical claim of
+//! the paper, regenerated as a measured table or series.
+//!
+//! One binary per experiment (`cargo run -p gcs-harness --bin exp_<id>`),
+//! with the experiment logic in [`experiments`] so tests and benches can
+//! drive reduced versions of the same code. See `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for captured results.
+//!
+//! | id | paper artifact | binary |
+//! |----|----------------|--------|
+//! | E1 | Fig 3 / §3.1 — TO-machine trace conformance | `exp_e1_to_conformance` |
+//! | E2 | Fig 5, Thm 7.1/7.2 — TO bounds | `exp_e2_to_bounds` |
+//! | E3 | Fig 6, Lemma 4.2 — VS conformance | `exp_e3_vs_conformance` |
+//! | E4 | Fig 7, §8 bounds — VS bounds | `exp_e4_vs_bounds` |
+//! | E5 | Figs 8–10, Thm 6.26 — simulation relation | `exp_e5_simulation` |
+//! | E6 | Lemma 4.1, §6.1 — invariant suite | `exp_e6_invariants` |
+//! | E7 | Fig 11/12 — recovery decomposition | `exp_e7_recovery` |
+//! | E8 | §4.1 remark — WeakVS equivalence | `exp_e8_weakvs` |
+//! | E9 | intro #5 / fn.5 — safe-delivery ablation | `exp_e9_gap_ablation` |
+//! | E10 | §8 fn.7 — membership ablation | `exp_e10_membership` |
+//! | E11 | §5 — quorum systems ablation | `exp_e11_quorum` |
+//! | E12 | §3 fn.3 — sequentially consistent memory | `exp_e12_seqmem` |
+//! | E13 | extension — state-exchange cost growth | `exp_e13_exchange_cost` |
+//! | E14 | extension — baseline comparison (fixed sequencer) | `exp_e14_baseline` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scenarios;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,123 @@
+//! The [`Automaton`] trait and environments.
+
+use rand::RngCore;
+use std::fmt;
+
+/// The signature classification of an action.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActionKind {
+    /// An input action: always enabled, controlled by the environment.
+    Input,
+    /// An output action: locally controlled, externally visible.
+    Output,
+    /// An internal action: locally controlled, hidden from traces.
+    Internal,
+}
+
+impl ActionKind {
+    /// Whether actions of this kind appear in traces.
+    pub fn is_external(self) -> bool {
+        matches!(self, ActionKind::Input | ActionKind::Output)
+    }
+
+    /// Whether actions of this kind are chosen by the automaton itself.
+    pub fn is_locally_controlled(self) -> bool {
+        matches!(self, ActionKind::Output | ActionKind::Internal)
+    }
+}
+
+/// An I/O automaton: a state set with a distinguished start state, an
+/// action signature, and a transition relation given in
+/// precondition/effect style.
+///
+/// The paper's model allows a *set* of start states and multiple automata
+/// composed over shared actions; here each specification or composed system
+/// is written as one `Automaton` value (composition is performed by the
+/// composed type's own `apply`, as the paper's `VStoTO-system` does), and
+/// the single start state suffices for every machine in the paper.
+pub trait Automaton {
+    /// The state type.
+    type State: Clone + fmt::Debug;
+    /// The action type.
+    type Action: Clone + fmt::Debug + PartialEq;
+
+    /// The start state.
+    fn initial(&self) -> Self::State;
+
+    /// The locally controlled actions enabled in `s` whose parameter space
+    /// is enumerable.
+    ///
+    /// Locally controlled actions with unbounded parameters (such as
+    /// `createview(v)`, where `v` ranges over all higher-id views) are not
+    /// enumerated here; an [`Environment`] proposes them instead.
+    fn enabled(&self, s: &Self::State) -> Vec<Self::Action>;
+
+    /// Whether `a` is enabled in `s`. Input actions are always enabled
+    /// (I/O automata are input-enabled).
+    fn is_enabled(&self, s: &Self::State, a: &Self::Action) -> bool;
+
+    /// Applies the effect of `a` to `s`.
+    ///
+    /// Callers must ensure `is_enabled(s, a)`; implementations may panic
+    /// otherwise.
+    fn apply(&self, s: &mut Self::State, a: &Self::Action);
+
+    /// The signature classification of `a`.
+    fn kind(&self, a: &Self::Action) -> ActionKind;
+
+    /// Runs `a` from `s` and returns the successor state (convenience).
+    fn step(&self, s: &Self::State, a: &Self::Action) -> Self::State {
+        let mut t = s.clone();
+        self.apply(&mut t, a);
+        t
+    }
+}
+
+/// A source of input actions and of adversarially chosen internal actions.
+///
+/// At each scheduler step the environment may propose candidate actions;
+/// the runner pools them with the automaton's own enabled actions and picks
+/// one. Proposals that are not enabled in the current state are discarded,
+/// so environments may over-approximate freely.
+pub trait Environment<A: Automaton + ?Sized> {
+    /// Candidate actions for the current step.
+    fn propose(&mut self, s: &A::State, step: usize, rng: &mut dyn RngCore) -> Vec<A::Action>;
+}
+
+/// The environment that proposes nothing: the automaton runs closed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullEnvironment;
+
+impl<A: Automaton> Environment<A> for NullEnvironment {
+    fn propose(&mut self, _: &A::State, _: usize, _: &mut dyn RngCore) -> Vec<A::Action> {
+        Vec::new()
+    }
+}
+
+/// An environment built from a closure.
+pub struct FnEnvironment<F>(pub F);
+
+impl<A, F> Environment<A> for FnEnvironment<F>
+where
+    A: Automaton,
+    F: FnMut(&A::State, usize, &mut dyn RngCore) -> Vec<A::Action>,
+{
+    fn propose(&mut self, s: &A::State, step: usize, rng: &mut dyn RngCore) -> Vec<A::Action> {
+        (self.0)(s, step, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(ActionKind::Input.is_external());
+        assert!(ActionKind::Output.is_external());
+        assert!(!ActionKind::Internal.is_external());
+        assert!(!ActionKind::Input.is_locally_controlled());
+        assert!(ActionKind::Output.is_locally_controlled());
+        assert!(ActionKind::Internal.is_locally_controlled());
+    }
+}

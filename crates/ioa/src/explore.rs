@@ -1,0 +1,189 @@
+//! Bounded exhaustive exploration: breadth-first search over *all*
+//! reachable states of an automaton up to a depth bound, checking
+//! invariants (and optionally a forward simulation) on every state.
+//!
+//! Random scheduling (the [`crate::Runner`]) goes deep; exploration goes
+//! wide. For tiny configurations — two or three processors, a couple of
+//! values, one adversarial view — the composed `VStoTO-system` has a
+//! state space small enough to enumerate exhaustively for a dozen levels,
+//! which checks the paper's invariants on *every* reachable state rather
+//! than a sampled path.
+
+use crate::automaton::Automaton;
+use std::collections::{HashSet, VecDeque};
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreLimits {
+    /// Maximum BFS depth (number of actions from the start state).
+    pub max_depth: usize,
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits { max_depth: 12, max_states: 200_000 }
+    }
+}
+
+/// Statistics from a completed exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions (state, action) examined.
+    pub transitions: usize,
+    /// Depth actually reached.
+    pub depth_reached: usize,
+    /// Whether exploration was truncated by `max_states`.
+    pub truncated: bool,
+}
+
+/// The result of an exploration: statistics, or the first failure with a
+/// witness action path from the start state.
+pub type ExploreResult<A> =
+    Result<ExploreStats, (Vec<<A as Automaton>::Action>, String)>;
+
+/// Explores all states reachable from the start state via the automaton's
+/// enabled actions plus the actions proposed by `extra` (an adversary with
+/// a *deterministic, finite* proposal set per state — exploration needs
+/// reproducible branching, so no RNG here).
+///
+/// `check` is evaluated on every visited state; the first `Err` aborts the
+/// search and returns the action path that reached the offending state.
+///
+/// States are deduplicated by their `Debug` rendering, which every state
+/// type in this workspace derives in full; this keeps the explorer
+/// independent of `Hash` implementations at the cost of some string
+/// building.
+pub fn explore<A: Automaton>(
+    automaton: &A,
+    extra: impl Fn(&A::State) -> Vec<A::Action>,
+    mut check: impl FnMut(&A::State) -> Result<(), String>,
+    limits: ExploreLimits,
+) -> ExploreResult<A> {
+    let initial = automaton.initial();
+    check(&initial).map_err(|e| (Vec::new(), e))?;
+    let mut seen: HashSet<String> = HashSet::new();
+    seen.insert(format!("{initial:?}"));
+    let mut queue: VecDeque<(A::State, usize, Vec<A::Action>)> = VecDeque::new();
+    queue.push_back((initial, 0, Vec::new()));
+    let mut stats = ExploreStats {
+        states: 1,
+        transitions: 0,
+        depth_reached: 0,
+        truncated: false,
+    };
+    while let Some((state, depth, path)) = queue.pop_front() {
+        stats.depth_reached = stats.depth_reached.max(depth);
+        if depth >= limits.max_depth {
+            continue;
+        }
+        let mut actions = automaton.enabled(&state);
+        actions.extend(
+            extra(&state).into_iter().filter(|a| automaton.is_enabled(&state, a)),
+        );
+        for action in actions {
+            stats.transitions += 1;
+            let next = automaton.step(&state, &action);
+            let key = format!("{next:?}");
+            if !seen.insert(key) {
+                continue;
+            }
+            let mut next_path = path.clone();
+            next_path.push(action);
+            if let Err(e) = check(&next) {
+                return Err((next_path, e));
+            }
+            stats.states += 1;
+            if stats.states >= limits.max_states {
+                stats.truncated = true;
+                return Ok(stats);
+            }
+            queue.push_back((next, depth + 1, next_path));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::ActionKind;
+
+    /// A counter mod k with an increment action.
+    struct ModK(u32);
+
+    impl Automaton for ModK {
+        type State = u32;
+        type Action = ();
+        fn initial(&self) -> u32 {
+            0
+        }
+        fn enabled(&self, _: &u32) -> Vec<()> {
+            vec![()]
+        }
+        fn is_enabled(&self, _: &u32, _: &()) -> bool {
+            true
+        }
+        fn apply(&self, s: &mut u32, _: &()) {
+            *s = (*s + 1) % self.0;
+        }
+        fn kind(&self, _: &()) -> ActionKind {
+            ActionKind::Internal
+        }
+    }
+
+    #[test]
+    fn explores_exactly_the_reachable_states() {
+        let stats = explore(
+            &ModK(5),
+            |_| Vec::new(),
+            |_| Ok(()),
+            ExploreLimits::default(),
+        )
+        .expect("no violation");
+        assert_eq!(stats.states, 5);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn violation_returns_shortest_witness_path() {
+        let err = explore(
+            &ModK(10),
+            |_| Vec::new(),
+            |s| if *s == 3 { Err("hit 3".into()) } else { Ok(()) },
+            ExploreLimits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.0.len(), 3, "BFS must find the 3-step witness");
+        assert_eq!(err.1, "hit 3");
+    }
+
+    #[test]
+    fn depth_bound_truncates_search() {
+        let stats = explore(
+            &ModK(100),
+            |_| Vec::new(),
+            |_| Ok(()),
+            ExploreLimits { max_depth: 4, max_states: 1_000_000 },
+        )
+        .unwrap();
+        assert_eq!(stats.states, 5); // 0..=4
+        assert_eq!(stats.depth_reached, 4);
+    }
+
+    #[test]
+    fn state_cap_reports_truncation() {
+        let stats = explore(
+            &ModK(1_000),
+            |_| Vec::new(),
+            |_| Ok(()),
+            ExploreLimits { max_depth: usize::MAX, max_states: 10 },
+        )
+        .unwrap();
+        assert!(stats.truncated);
+        assert_eq!(stats.states, 10);
+    }
+}

@@ -1,0 +1,402 @@
+//! The seeded scheduler: runs an automaton under an environment, recording
+//! the execution and checking invariants after every step.
+
+use crate::automaton::{Automaton, Environment};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// A recorded execution: the action sequence performed from the start
+/// state, together with the final state.
+#[derive(Clone)]
+pub struct Execution<A: Automaton> {
+    actions: Vec<A::Action>,
+    final_state: A::State,
+}
+
+impl<A: Automaton> fmt::Debug for Execution<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Execution")
+            .field("actions", &self.actions)
+            .field("final_state", &self.final_state)
+            .finish()
+    }
+}
+
+impl<A: Automaton> Execution<A> {
+    /// The full action sequence (inputs, outputs and internals).
+    pub fn actions(&self) -> &[A::Action] {
+        &self.actions
+    }
+
+    /// The state reached at the end of the execution.
+    pub fn final_state(&self) -> &A::State {
+        &self.final_state
+    }
+
+    /// The trace: the subsequence of external actions.
+    pub fn trace(&self, automaton: &A) -> Vec<A::Action> {
+        self.actions
+            .iter()
+            .filter(|a| automaton.kind(a).is_external())
+            .cloned()
+            .collect()
+    }
+}
+
+/// A reported invariant violation: which named invariant failed, at which
+/// step, with the checker's explanation and the action that broke it.
+pub struct InvariantViolation<A: Automaton> {
+    /// The name passed to [`Runner::add_invariant`].
+    pub invariant: &'static str,
+    /// Zero-based index of the step after which the violation was observed
+    /// (`None` means the start state itself was in violation).
+    pub step: Option<usize>,
+    /// The action performed in that step.
+    pub action: Option<A::Action>,
+    /// The checker's explanation.
+    pub message: String,
+}
+
+impl<A: Automaton> fmt::Debug for InvariantViolation<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant {:?} violated after step {:?} (action {:?}): {}",
+            self.invariant, self.step, self.action, self.message
+        )
+    }
+}
+
+impl<A: Automaton> fmt::Display for InvariantViolation<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+type InvariantFn<S> = Box<dyn FnMut(&S) -> Result<(), String>>;
+type WeightFn<A> = Box<dyn Fn(&A) -> u32>;
+type StepObserver<A> = Box<dyn FnMut(&<A as Automaton>::State, &<A as Automaton>::Action, &<A as Automaton>::State)>;
+
+/// A seeded random scheduler for an automaton under an environment.
+///
+/// At each step the runner pools the automaton's enabled locally controlled
+/// actions with the environment's (filtered) proposals, picks one uniformly
+/// at random using a deterministic ChaCha8 RNG, applies it, notifies step
+/// observers, and evaluates every installed invariant. Execution stops when
+/// the step budget is exhausted or no action is available.
+pub struct Runner<A: Automaton, E> {
+    automaton: A,
+    environment: E,
+    rng: ChaCha8Rng,
+    state: A::State,
+    actions: Vec<A::Action>,
+    invariants: Vec<(&'static str, InvariantFn<A::State>)>,
+    observers: Vec<StepObserver<A>>,
+    weight: Option<WeightFn<A::Action>>,
+}
+
+impl<A: Automaton, E: Environment<A>> Runner<A, E> {
+    /// Creates a runner with a reproducible seed.
+    pub fn new(automaton: A, environment: E, seed: u64) -> Self {
+        let state = automaton.initial();
+        Runner {
+            automaton,
+            environment,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            state,
+            actions: Vec::new(),
+            invariants: Vec::new(),
+            observers: Vec::new(),
+            weight: None,
+        }
+    }
+
+    /// Installs a weight function biasing the scheduler's choice among
+    /// enabled candidates: an action with weight `w` is picked with
+    /// probability proportional to `w` (weight 0 disables an action
+    /// entirely unless everything has weight 0, in which case the choice
+    /// falls back to uniform). Weighted scheduling steers long runs —
+    /// e.g. toward deliveries over view changes — without changing which
+    /// behaviours are *possible*.
+    pub fn set_weights(&mut self, weight: impl Fn(&A::Action) -> u32 + 'static) -> &mut Self {
+        self.weight = Some(Box::new(weight));
+        self
+    }
+
+    /// Installs a named invariant checked after every step (and on the
+    /// start state when the run begins).
+    pub fn add_invariant(
+        &mut self,
+        name: &'static str,
+        check: impl FnMut(&A::State) -> Result<(), String> + 'static,
+    ) -> &mut Self {
+        self.invariants.push((name, Box::new(check)));
+        self
+    }
+
+    /// Installs a step observer called with (pre-state, action, post-state)
+    /// for every step; used e.g. by the forward-simulation checker.
+    pub fn add_observer(
+        &mut self,
+        observer: impl FnMut(&A::State, &A::Action, &A::State) + 'static,
+    ) -> &mut Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &A::State {
+        &self.state
+    }
+
+    /// The automaton being run.
+    pub fn automaton(&self) -> &A {
+        &self.automaton
+    }
+
+    /// Performs up to `steps` scheduler steps and returns the recorded
+    /// execution. A step on which neither the automaton nor the
+    /// environment offers an action is *idle*: it consumes budget but
+    /// performs nothing (the environment may offer something on a later
+    /// step, e.g. a probabilistic adversary).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] encountered; the run stops
+    /// at that point.
+    pub fn run(&mut self, steps: usize) -> Result<Execution<A>, InvariantViolation<A>> {
+        self.check_invariants(None, None)?;
+        for _ in 0..steps {
+            self.step_once()?;
+        }
+        Ok(Execution { actions: self.actions.clone(), final_state: self.state.clone() })
+    }
+
+    /// Performs one scheduler step. Returns `Ok(false)` when no action is
+    /// available.
+    pub fn step_once(&mut self) -> Result<bool, InvariantViolation<A>> {
+        let mut candidates = self.automaton.enabled(&self.state);
+        let proposed = self.environment.propose(&self.state, self.actions.len(), &mut self.rng);
+        candidates.extend(
+            proposed.into_iter().filter(|a| self.automaton.is_enabled(&self.state, a)),
+        );
+        if candidates.is_empty() {
+            return Ok(false);
+        }
+        let idx = match &self.weight {
+            None => self.rng.gen_range(0..candidates.len()),
+            Some(weight) => {
+                let weights: Vec<u32> = candidates.iter().map(|a| weight(a)).collect();
+                let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+                if total == 0 {
+                    self.rng.gen_range(0..candidates.len())
+                } else {
+                    let mut pick = self.rng.gen_range(0..total);
+                    weights
+                        .iter()
+                        .position(|&w| {
+                            if pick < u64::from(w) {
+                                true
+                            } else {
+                                pick -= u64::from(w);
+                                false
+                            }
+                        })
+                        .expect("pick < total")
+                }
+            }
+        };
+        let action = candidates.swap_remove(idx);
+        self.perform(action)?;
+        Ok(true)
+    }
+
+    /// Performs a specific action (it must be enabled), recording it and
+    /// checking invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is not enabled.
+    pub fn perform(&mut self, action: A::Action) -> Result<(), InvariantViolation<A>> {
+        assert!(
+            self.automaton.is_enabled(&self.state, &action),
+            "perform: action {action:?} not enabled",
+        );
+        let pre = self.state.clone();
+        self.automaton.apply(&mut self.state, &action);
+        for obs in &mut self.observers {
+            obs(&pre, &action, &self.state);
+        }
+        self.actions.push(action);
+        let step = self.actions.len() - 1;
+        self.check_invariants(Some(step), self.actions.last().cloned())
+    }
+
+    fn check_invariants(
+        &mut self,
+        step: Option<usize>,
+        action: Option<A::Action>,
+    ) -> Result<(), InvariantViolation<A>> {
+        for (name, check) in &mut self.invariants {
+            if let Err(message) = check(&self.state) {
+                return Err(InvariantViolation {
+                    invariant: name,
+                    step,
+                    action: action.clone(),
+                    message,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{ActionKind, FnEnvironment, NullEnvironment};
+
+    /// A counter that can increment (internal) or emit its value (output).
+    struct Counter;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Act {
+        Inc,
+        Emit(u32),
+        Set(u32), // input
+    }
+
+    impl Automaton for Counter {
+        type State = u32;
+        type Action = Act;
+        fn initial(&self) -> u32 {
+            0
+        }
+        fn enabled(&self, s: &u32) -> Vec<Act> {
+            vec![Act::Inc, Act::Emit(*s)]
+        }
+        fn is_enabled(&self, s: &u32, a: &Act) -> bool {
+            match a {
+                Act::Inc => true,
+                Act::Emit(x) => x == s,
+                Act::Set(_) => true,
+            }
+        }
+        fn apply(&self, s: &mut u32, a: &Act) {
+            match a {
+                Act::Inc => *s += 1,
+                Act::Emit(_) => {}
+                Act::Set(x) => *s = *x,
+            }
+        }
+        fn kind(&self, a: &Act) -> ActionKind {
+            match a {
+                Act::Inc => ActionKind::Internal,
+                Act::Emit(_) => ActionKind::Output,
+                Act::Set(_) => ActionKind::Input,
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let run = |seed| Runner::new(Counter, NullEnvironment, seed).run(50).unwrap().actions().to_vec();
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8)); // overwhelmingly likely
+    }
+
+    #[test]
+    fn trace_contains_only_external_actions() {
+        let mut runner = Runner::new(Counter, NullEnvironment, 1);
+        let exec = runner.run(30).unwrap();
+        let trace = exec.trace(runner.automaton());
+        assert!(trace.iter().all(|a| matches!(a, Act::Emit(_) | Act::Set(_))));
+        assert!(trace.len() < exec.actions().len()); // some Incs happened
+    }
+
+    #[test]
+    fn environment_inputs_are_applied() {
+        let env = FnEnvironment(|_: &u32, step: usize, _: &mut dyn rand::RngCore| {
+            if step == 0 {
+                vec![Act::Set(100)]
+            } else {
+                vec![]
+            }
+        });
+        let mut runner = Runner::new(Counter, env, 3);
+        let exec = runner.run(40).unwrap();
+        // Eventually Set(100) is either picked at step 0 or never proposed again.
+        let picked = exec.actions().iter().any(|a| matches!(a, Act::Set(100)));
+        if picked {
+            assert!(*exec.final_state() >= 100);
+        }
+    }
+
+    #[test]
+    fn invariant_violation_reports_step_and_action() {
+        let mut runner = Runner::new(Counter, NullEnvironment, 1);
+        runner.add_invariant("below five", |s: &u32| {
+            if *s < 5 {
+                Ok(())
+            } else {
+                Err(format!("counter reached {s}"))
+            }
+        });
+        let err = runner.run(1000).unwrap_err();
+        assert_eq!(err.invariant, "below five");
+        assert_eq!(err.action, Some(Act::Inc));
+        assert!(err.message.contains("5"));
+    }
+
+    #[test]
+    fn observers_see_pre_and_post() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let log: Rc<RefCell<Vec<(u32, u32)>>> = Rc::new(RefCell::new(vec![]));
+        let log2 = log.clone();
+        let mut runner = Runner::new(Counter, NullEnvironment, 1);
+        runner.add_observer(move |pre, _a, post| log2.borrow_mut().push((*pre, *post)));
+        runner.run(10).unwrap();
+        for (pre, post) in log.borrow().iter() {
+            assert!(*post == *pre || *post == *pre + 1);
+        }
+        assert_eq!(log.borrow().len(), 10);
+    }
+
+    #[test]
+    fn perform_records_specific_action() {
+        let mut runner = Runner::new(Counter, NullEnvironment, 1);
+        runner.perform(Act::Inc).unwrap();
+        runner.perform(Act::Emit(1)).unwrap();
+        assert_eq!(runner.state(), &1);
+    }
+
+    #[test]
+    fn weighted_scheduling_biases_choices() {
+        // Weight Emit at 0: only Inc should ever be chosen.
+        let mut runner = Runner::new(Counter, NullEnvironment, 4);
+        runner.set_weights(|a: &Act| match a {
+            Act::Inc => 10,
+            _ => 0,
+        });
+        let exec = runner.run(50).unwrap();
+        assert!(exec.actions().iter().all(|a| matches!(a, Act::Inc)));
+        assert_eq!(*exec.final_state(), 50);
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let mut runner = Runner::new(Counter, NullEnvironment, 4);
+        runner.set_weights(|_: &Act| 0);
+        let exec = runner.run(50).unwrap();
+        assert_eq!(exec.actions().len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled")]
+    fn perform_rejects_disabled_action() {
+        let mut runner = Runner::new(Counter, NullEnvironment, 1);
+        runner.perform(Act::Emit(9)).unwrap();
+    }
+}

@@ -1,0 +1,395 @@
+//! Step-by-step forward-simulation checking (Section 6.2 of the paper;
+//! Lynch–Vaandrager forward simulations).
+//!
+//! A forward simulation from a concrete automaton *C* to a specification
+//! automaton *S* is given here in its functional form: an abstraction
+//! function `f : states(C) → states(S)` together with a *step
+//! correspondence* mapping each concrete step to the sequence of abstract
+//! actions that simulate it. The checker verifies, for each concrete step
+//! `(s, a, s')`:
+//!
+//! 1. every abstract action in the correspondence is enabled where it is
+//!    performed, starting from `f(s)`;
+//! 2. executing the sequence ends exactly in `f(s')`;
+//! 3. the external projection of the abstract sequence equals the external
+//!    projection of `a` (trace preservation).
+//!
+//! Checking every step of an execution whose first state is initial (plus
+//! the base-case check [`ForwardSimulation::check_initial`]) establishes
+//! that the recorded trace of *C* is a trace of *S* — the executable
+//! counterpart of Theorem 6.26.
+
+use crate::automaton::Automaton;
+use std::fmt;
+
+/// Why a simulation step check failed.
+#[derive(Clone, Debug)]
+pub enum SimulationError<CA: fmt::Debug, SA: fmt::Debug> {
+    /// The abstract image of the concrete start state is not the abstract
+    /// start state.
+    InitialMismatch {
+        /// Rendering of the two differing abstract states.
+        explanation: String,
+    },
+    /// An abstract action in the correspondence sequence was not enabled.
+    AbstractActionDisabled {
+        /// The concrete action whose step was being simulated.
+        concrete: CA,
+        /// The disabled abstract action.
+        abstract_action: SA,
+        /// Position within the correspondence sequence.
+        position: usize,
+    },
+    /// After executing the abstract sequence, the abstract state differs
+    /// from the image of the concrete post-state.
+    PostStateMismatch {
+        /// The concrete action whose step was being simulated.
+        concrete: CA,
+        /// Rendering of the two differing abstract states.
+        explanation: String,
+    },
+    /// The external projections of the concrete step and the abstract
+    /// sequence differ.
+    TraceMismatch {
+        /// The concrete action whose step was being simulated.
+        concrete: CA,
+        /// External projection of the concrete action, if any.
+        concrete_external: Option<SA>,
+        /// External abstract actions produced by the correspondence.
+        abstract_externals: Vec<SA>,
+    },
+}
+
+impl<CA: fmt::Debug, SA: fmt::Debug> fmt::Display for SimulationError<CA, SA> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::InitialMismatch { explanation } => {
+                write!(f, "abstract image of the initial state is not initial: {explanation}")
+            }
+            SimulationError::AbstractActionDisabled { concrete, abstract_action, position } => {
+                write!(
+                    f,
+                    "simulating {concrete:?}: abstract action {abstract_action:?} \
+                     (position {position}) is not enabled"
+                )
+            }
+            SimulationError::PostStateMismatch { concrete, explanation } => {
+                write!(f, "simulating {concrete:?}: post-state mismatch: {explanation}")
+            }
+            SimulationError::TraceMismatch { concrete, concrete_external, abstract_externals } => {
+                write!(
+                    f,
+                    "simulating {concrete:?}: external projection {concrete_external:?} \
+                     vs abstract externals {abstract_externals:?}"
+                )
+            }
+        }
+    }
+}
+
+impl<CA: fmt::Debug, SA: fmt::Debug> std::error::Error for SimulationError<CA, SA> {}
+
+/// A forward simulation from a concrete automaton to a specification.
+///
+/// `abstraction` is the function *f* of Section 6.2; `correspondence` maps
+/// a concrete step (pre-state and action) to the abstract action sequence
+/// simulating it (often empty, for steps that the abstraction absorbs);
+/// `project` maps a concrete action to its abstract external counterpart,
+/// or `None` when the concrete action is internal (or hidden, like the
+/// `gp*` actions in the composed `VStoTO-system`).
+pub struct ForwardSimulation<C: Automaton, S: Automaton, F, G, P> {
+    spec: S,
+    abstraction: F,
+    correspondence: G,
+    project: P,
+    _concrete: std::marker::PhantomData<fn(&C)>,
+}
+
+impl<C, S, F, G, P> ForwardSimulation<C, S, F, G, P>
+where
+    C: Automaton,
+    S: Automaton,
+    S::State: PartialEq,
+    F: Fn(&C::State) -> S::State,
+    G: Fn(&C::State, &C::Action) -> Vec<S::Action>,
+    P: Fn(&C::Action) -> Option<S::Action>,
+{
+    /// Creates a checker.
+    pub fn new(spec: S, abstraction: F, correspondence: G, project: P) -> Self {
+        ForwardSimulation {
+            spec,
+            abstraction,
+            correspondence,
+            project,
+            _concrete: std::marker::PhantomData,
+        }
+    }
+
+    /// The specification automaton.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// Base case: the abstract image of the concrete start state must be
+    /// the abstract start state.
+    pub fn check_initial(
+        &self,
+        concrete_initial: &C::State,
+    ) -> Result<(), SimulationError<C::Action, S::Action>> {
+        let image = (self.abstraction)(concrete_initial);
+        let start = self.spec.initial();
+        if image == start {
+            Ok(())
+        } else {
+            Err(SimulationError::InitialMismatch {
+                explanation: format!("f(initial) = {image:?}, spec initial = {start:?}"),
+            })
+        }
+    }
+
+    /// Inductive step: checks one concrete step `(pre, action, post)`.
+    pub fn check_step(
+        &self,
+        pre: &C::State,
+        action: &C::Action,
+        post: &C::State,
+    ) -> Result<(), SimulationError<C::Action, S::Action>> {
+        let mut abs = (self.abstraction)(pre);
+        let seq = (self.correspondence)(pre, action);
+        let mut externals = Vec::new();
+        for (position, sa) in seq.iter().enumerate() {
+            if !self.spec.is_enabled(&abs, sa) {
+                return Err(SimulationError::AbstractActionDisabled {
+                    concrete: action.clone(),
+                    abstract_action: sa.clone(),
+                    position,
+                });
+            }
+            if self.spec.kind(sa).is_external() {
+                externals.push(sa.clone());
+            }
+            self.spec.apply(&mut abs, sa);
+        }
+        let expected = (self.abstraction)(post);
+        if abs != expected {
+            return Err(SimulationError::PostStateMismatch {
+                concrete: action.clone(),
+                explanation: format!("reached {abs:?}, expected {expected:?}"),
+            });
+        }
+        let concrete_external = (self.project)(action);
+        let trace_ok = match (&concrete_external, externals.as_slice()) {
+            (None, []) => true,
+            (Some(ce), [ae]) => ce == ae,
+            _ => false,
+        };
+        if !trace_ok {
+            return Err(SimulationError::TraceMismatch {
+                concrete: action.clone(),
+                concrete_external,
+                abstract_externals: externals,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::ActionKind;
+
+    /// Concrete: counts by twos using two internal half-steps, then emits.
+    /// Abstract: counts by ones, then emits.
+    struct ByHalves;
+    struct ByOnes;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum CAct {
+        Half,
+        Emit(u32),
+    }
+    #[derive(Clone, Debug, PartialEq)]
+    enum SAct {
+        One,
+        Emit(u32),
+    }
+
+    impl Automaton for ByHalves {
+        type State = (u32, bool); // (value, half-pending)
+        type Action = CAct;
+        fn initial(&self) -> (u32, bool) {
+            (0, false)
+        }
+        fn enabled(&self, s: &(u32, bool)) -> Vec<CAct> {
+            vec![CAct::Half, CAct::Emit(s.0)]
+        }
+        fn is_enabled(&self, s: &(u32, bool), a: &CAct) -> bool {
+            match a {
+                CAct::Half => true,
+                CAct::Emit(x) => *x == s.0,
+            }
+        }
+        fn apply(&self, s: &mut (u32, bool), a: &CAct) {
+            match a {
+                CAct::Half => {
+                    if s.1 {
+                        s.0 += 1;
+                        s.1 = false;
+                    } else {
+                        s.1 = true;
+                    }
+                }
+                CAct::Emit(_) => {}
+            }
+        }
+        fn kind(&self, a: &CAct) -> ActionKind {
+            match a {
+                CAct::Half => ActionKind::Internal,
+                CAct::Emit(_) => ActionKind::Output,
+            }
+        }
+    }
+
+    impl Automaton for ByOnes {
+        type State = u32;
+        type Action = SAct;
+        fn initial(&self) -> u32 {
+            0
+        }
+        fn enabled(&self, s: &u32) -> Vec<SAct> {
+            vec![SAct::One, SAct::Emit(*s)]
+        }
+        fn is_enabled(&self, s: &u32, a: &SAct) -> bool {
+            match a {
+                SAct::One => true,
+                SAct::Emit(x) => x == s,
+            }
+        }
+        fn apply(&self, s: &mut u32, a: &SAct) {
+            if matches!(a, SAct::One) {
+                *s += 1;
+            }
+        }
+        fn kind(&self, a: &SAct) -> ActionKind {
+            match a {
+                SAct::One => ActionKind::Internal,
+                SAct::Emit(_) => ActionKind::Output,
+            }
+        }
+    }
+
+    fn checker() -> ForwardSimulation<
+        ByHalves,
+        ByOnes,
+        impl Fn(&(u32, bool)) -> u32,
+        impl Fn(&(u32, bool), &CAct) -> Vec<SAct>,
+        impl Fn(&CAct) -> Option<SAct>,
+    > {
+        ForwardSimulation::<ByHalves, _, _, _, _>::new(
+            ByOnes,
+            |s: &(u32, bool)| s.0,
+            |s: &(u32, bool), a: &CAct| match a {
+                // The second half-step corresponds to one abstract increment.
+                CAct::Half if s.1 => vec![SAct::One],
+                CAct::Half => vec![],
+                CAct::Emit(x) => vec![SAct::Emit(*x)],
+            },
+            |a: &CAct| match a {
+                CAct::Half => None,
+                CAct::Emit(x) => Some(SAct::Emit(*x)),
+            },
+        )
+    }
+
+    #[test]
+    fn valid_simulation_passes_along_executions() {
+        let c = ByHalves;
+        let sim = checker();
+        sim.check_initial(&c.initial()).unwrap();
+        let mut s = c.initial();
+        for i in 0..20 {
+            let a = if i % 3 == 0 { CAct::Emit(s.0) } else { CAct::Half };
+            let post = c.step(&s, &a);
+            sim.check_step(&s, &a, &post).unwrap();
+            s = post;
+        }
+    }
+
+    #[test]
+    fn broken_correspondence_is_detected() {
+        let sim = ForwardSimulation::<ByHalves, _, _, _, _>::new(
+            ByOnes,
+            |s: &(u32, bool)| s.0,
+            // Wrong: claims every half-step is an abstract increment.
+            |_: &(u32, bool), a: &CAct| match a {
+                CAct::Half => vec![SAct::One],
+                CAct::Emit(x) => vec![SAct::Emit(*x)],
+            },
+            |a: &CAct| match a {
+                CAct::Half => None,
+                CAct::Emit(x) => Some(SAct::Emit(*x)),
+            },
+        );
+        let c = ByHalves;
+        let s = c.initial();
+        let post = c.step(&s, &CAct::Half); // first half: value unchanged
+        let err = sim.check_step(&s, &CAct::Half, &post).unwrap_err();
+        assert!(matches!(err, SimulationError::PostStateMismatch { .. }));
+    }
+
+    #[test]
+    fn trace_mismatch_is_detected() {
+        let sim = ForwardSimulation::<ByHalves, _, _, _, _>::new(
+            ByOnes,
+            |s: &(u32, bool)| s.0,
+            // Wrong: drops the external emit.
+            |_: &(u32, bool), _: &CAct| vec![],
+            |a: &CAct| match a {
+                CAct::Half => None,
+                CAct::Emit(x) => Some(SAct::Emit(*x)),
+            },
+        );
+        let c = ByHalves;
+        let s = c.initial();
+        let post = c.step(&s, &CAct::Emit(0));
+        let err = sim.check_step(&s, &CAct::Emit(0), &post).unwrap_err();
+        assert!(matches!(err, SimulationError::TraceMismatch { .. }));
+    }
+
+    #[test]
+    fn initial_mismatch_is_detected() {
+        let sim = ForwardSimulation::<ByHalves, _, _, _, _>::new(
+            ByOnes,
+            |s: &(u32, bool)| s.0 + 1, // wrong abstraction
+            |_: &(u32, bool), _: &CAct| vec![],
+            |_: &CAct| None,
+        );
+        assert!(matches!(
+            sim.check_initial(&ByHalves.initial()),
+            Err(SimulationError::InitialMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn disabled_abstract_action_is_detected() {
+        let sim = ForwardSimulation::<ByHalves, _, _, _, _>::new(
+            ByOnes,
+            |s: &(u32, bool)| s.0,
+            // Wrong: emits a stale value abstractly.
+            |_: &(u32, bool), a: &CAct| match a {
+                CAct::Half => vec![],
+                CAct::Emit(_) => vec![SAct::Emit(999)],
+            },
+            |a: &CAct| match a {
+                CAct::Half => None,
+                CAct::Emit(x) => Some(SAct::Emit(*x)),
+            },
+        );
+        let c = ByHalves;
+        let s = c.initial();
+        let post = c.step(&s, &CAct::Emit(0));
+        let err = sim.check_step(&s, &CAct::Emit(0), &post).unwrap_err();
+        assert!(matches!(err, SimulationError::AbstractActionDisabled { .. }));
+    }
+}

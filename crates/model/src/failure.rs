@@ -1,0 +1,340 @@
+//! The good/bad/ugly failure-status model (Figure 4, Sections 3.2 and 7).
+//!
+//! Failure statuses are *inputs* to the specifications: the environment
+//! declares each location and each directed pair of locations `good`, `bad`
+//! or `ugly`, and the conditional performance properties only bite in
+//! executions whose failure status stabilizes. This module provides the
+//! status type, the evolving status map, timed failure events, and builders
+//! for the partition scripts used throughout the experiments.
+
+use crate::{ProcId, Time};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A failure status: the intended meaning (Section 3.2) is that a `good`
+/// process takes enabled steps immediately and a `good` channel delivers
+/// within δ; a `bad` process is stopped and a `bad` channel delivers
+/// nothing; an `ugly` process or channel operates at nondeterministic speed
+/// and may drop messages.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Status {
+    /// Timely operation.
+    #[default]
+    Good,
+    /// Complete stop / no delivery.
+    Bad,
+    /// Nondeterministic speed, possible loss.
+    Ugly,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Good => write!(f, "good"),
+            Status::Bad => write!(f, "bad"),
+            Status::Ugly => write!(f, "ugly"),
+        }
+    }
+}
+
+/// The subject of a failure-status action: a location *p* or a directed
+/// pair *(p, q)*.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Subject {
+    /// A processor location.
+    Loc(ProcId),
+    /// A directed channel from the first to the second processor.
+    Link(ProcId, ProcId),
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::Loc(p) => write!(f, "{p}"),
+            Subject::Link(p, q) => write!(f, "{p}→{q}"),
+        }
+    }
+}
+
+/// A timed failure-status input action, e.g. *bad_{p,q}* at time 40.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FailureEvent {
+    /// When the status changes.
+    pub time: Time,
+    /// Which location or directed pair changes.
+    pub subject: Subject,
+    /// The new status.
+    pub status: Status,
+}
+
+impl FailureEvent {
+    /// Convenience constructor.
+    pub fn new(time: Time, subject: Subject, status: Status) -> Self {
+        FailureEvent { time, subject, status }
+    }
+}
+
+/// The current failure status of every location and directed pair.
+///
+/// Following the paper, the status of a subject with no recorded action
+/// defaults to `good`.
+///
+/// # Example
+///
+/// ```
+/// use gcs_model::{FailureMap, ProcId, Status, Subject};
+/// let mut fm = FailureMap::default();
+/// assert_eq!(fm.link(ProcId(0), ProcId(1)), Status::Good);
+/// fm.set(Subject::Link(ProcId(0), ProcId(1)), Status::Bad);
+/// assert_eq!(fm.link(ProcId(0), ProcId(1)), Status::Bad);
+/// assert_eq!(fm.link(ProcId(1), ProcId(0)), Status::Good); // directed
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FailureMap {
+    locs: BTreeMap<ProcId, Status>,
+    links: BTreeMap<(ProcId, ProcId), Status>,
+}
+
+impl FailureMap {
+    /// A map in which everything is `good` (the initial condition).
+    pub fn all_good() -> Self {
+        FailureMap::default()
+    }
+
+    /// The status of location `p`.
+    pub fn loc(&self, p: ProcId) -> Status {
+        self.locs.get(&p).copied().unwrap_or_default()
+    }
+
+    /// The status of the directed pair `(p, q)`.
+    pub fn link(&self, p: ProcId, q: ProcId) -> Status {
+        self.links.get(&(p, q)).copied().unwrap_or_default()
+    }
+
+    /// Sets the status of a subject.
+    pub fn set(&mut self, subject: Subject, status: Status) {
+        match subject {
+            Subject::Loc(p) => {
+                self.locs.insert(p, status);
+            }
+            Subject::Link(p, q) => {
+                self.links.insert((p, q), status);
+            }
+        }
+    }
+
+    /// Applies a failure event (ignoring its timestamp).
+    pub fn apply(&mut self, ev: &FailureEvent) {
+        self.set(ev.subject, ev.status);
+    }
+
+    /// Whether the map satisfies the stabilization hypothesis of
+    /// `TO-property`/`VS-property` for the set `Q`: all locations in `Q`
+    /// and all pairs within `Q` are good, and every pair with exactly one
+    /// endpoint in `Q` is bad.
+    pub fn stabilized_for(&self, q: &BTreeSet<ProcId>, ambient: &BTreeSet<ProcId>) -> bool {
+        for &p in q {
+            if self.loc(p) != Status::Good {
+                return false;
+            }
+            for &r in q {
+                if self.link(p, r) != Status::Good {
+                    return false;
+                }
+            }
+            for &o in ambient.difference(q) {
+                if self.link(p, o) != Status::Bad || self.link(o, p) != Status::Bad {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A timed failure script: a time-sorted list of failure events fed to the
+/// network simulator and, with the same timestamps, into recorded traces so
+/// the property checkers can locate stabilization points.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureScript {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureScript {
+    /// An empty script: everything stays good forever.
+    pub fn new() -> Self {
+        FailureScript::default()
+    }
+
+    /// Adds a single event.
+    pub fn push(&mut self, ev: FailureEvent) -> &mut Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Declares, at `time`, the partition described by `groups`: links
+    /// within a group become good, links between different groups (and to
+    /// or from processors in no group) become bad, and every processor in
+    /// some group becomes good while processors in no group become bad.
+    ///
+    /// This is exactly the "consistently partitioned system" shape that the
+    /// conditional properties talk about; after this instant the script is
+    /// quiescent for each group, so `VS-property`/`TO-property` apply to
+    /// each group that contains a quorum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups are not pairwise disjoint or not contained in
+    /// `ambient`.
+    pub fn partition(
+        &mut self,
+        time: Time,
+        groups: &[BTreeSet<ProcId>],
+        ambient: &BTreeSet<ProcId>,
+    ) -> &mut Self {
+        let mut seen = BTreeSet::new();
+        for g in groups {
+            for &p in g {
+                assert!(ambient.contains(&p), "{p} not in ambient set");
+                assert!(seen.insert(p), "{p} appears in two groups");
+            }
+        }
+        let group_of = |p: ProcId| groups.iter().position(|g| g.contains(&p));
+        for &p in ambient {
+            let status = if group_of(p).is_some() { Status::Good } else { Status::Bad };
+            self.push(FailureEvent::new(time, Subject::Loc(p), status));
+            for &q in ambient {
+                if p == q {
+                    continue;
+                }
+                let st = match (group_of(p), group_of(q)) {
+                    (Some(a), Some(b)) if a == b => Status::Good,
+                    _ => Status::Bad,
+                };
+                self.push(FailureEvent::new(time, Subject::Link(p, q), st));
+            }
+        }
+        self
+    }
+
+    /// Declares everything in `ambient` mutually connected and good at
+    /// `time` (the one-group partition).
+    pub fn heal(&mut self, time: Time, ambient: &BTreeSet<ProcId>) -> &mut Self {
+        self.partition(time, std::slice::from_ref(ambient), ambient)
+    }
+
+    /// Marks a single processor bad at `time` (a crash without state loss).
+    pub fn crash(&mut self, time: Time, p: ProcId) -> &mut Self {
+        self.push(FailureEvent::new(time, Subject::Loc(p), Status::Bad))
+    }
+
+    /// Marks a single processor good at `time` (a recovery).
+    pub fn recover(&mut self, time: Time, p: ProcId) -> &mut Self {
+        self.push(FailureEvent::new(time, Subject::Loc(p), Status::Good))
+    }
+
+    /// Marks the directed links both ways between `p` and `q` with `status`.
+    pub fn set_pair(&mut self, time: Time, p: ProcId, q: ProcId, status: Status) -> &mut Self {
+        self.push(FailureEvent::new(time, Subject::Link(p, q), status));
+        self.push(FailureEvent::new(time, Subject::Link(q, p), status))
+    }
+
+    /// The events sorted by time (stable for equal times).
+    pub fn sorted_events(&self) -> Vec<FailureEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.time);
+        evs
+    }
+
+    /// The raw events in insertion order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// The time of the last event, or 0 for an empty script.
+    pub fn last_time(&self) -> Time {
+        self.events.iter().map(|e| e.time).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<ProcId> {
+        ids.iter().map(|&i| ProcId(i)).collect()
+    }
+
+    #[test]
+    fn default_status_is_good() {
+        let fm = FailureMap::all_good();
+        assert_eq!(fm.loc(ProcId(7)), Status::Good);
+        assert_eq!(fm.link(ProcId(1), ProcId(2)), Status::Good);
+    }
+
+    #[test]
+    fn links_are_directed() {
+        let mut fm = FailureMap::default();
+        fm.set(Subject::Link(ProcId(0), ProcId(1)), Status::Ugly);
+        assert_eq!(fm.link(ProcId(0), ProcId(1)), Status::Ugly);
+        assert_eq!(fm.link(ProcId(1), ProcId(0)), Status::Good);
+    }
+
+    #[test]
+    fn partition_script_matches_property_hypothesis() {
+        let ambient = set(&[0, 1, 2, 3, 4]);
+        let q = set(&[0, 1, 2]);
+        let rest = set(&[3, 4]);
+        let mut script = FailureScript::new();
+        script.partition(10, &[q.clone(), rest], &ambient);
+        let mut fm = FailureMap::all_good();
+        for ev in script.sorted_events() {
+            fm.apply(&ev);
+        }
+        assert!(fm.stabilized_for(&q, &ambient));
+    }
+
+    #[test]
+    fn stabilized_for_fails_when_cross_link_good() {
+        let ambient = set(&[0, 1, 2]);
+        let q = set(&[0, 1]);
+        let fm = FailureMap::all_good(); // cross links still good
+        assert!(!fm.stabilized_for(&q, &ambient));
+    }
+
+    #[test]
+    fn stabilized_for_fails_when_member_bad() {
+        let ambient = set(&[0, 1, 2]);
+        let q = set(&[0, 1]);
+        let mut script = FailureScript::new();
+        script.partition(0, &[q.clone(), set(&[2])], &ambient);
+        let mut fm = FailureMap::all_good();
+        for ev in script.sorted_events() {
+            fm.apply(&ev);
+        }
+        let mut fm2 = fm.clone();
+        fm2.set(Subject::Loc(ProcId(1)), Status::Bad);
+        assert!(fm.stabilized_for(&q, &ambient));
+        assert!(!fm2.stabilized_for(&q, &ambient));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two groups")]
+    fn overlapping_groups_rejected() {
+        let ambient = set(&[0, 1]);
+        FailureScript::new().partition(0, &[set(&[0, 1]), set(&[1])], &ambient);
+    }
+
+    #[test]
+    fn heal_makes_everything_good() {
+        let ambient = set(&[0, 1, 2]);
+        let mut script = FailureScript::new();
+        script.partition(0, &[set(&[0]), set(&[1, 2])], &ambient).heal(5, &ambient);
+        let mut fm = FailureMap::all_good();
+        for ev in script.sorted_events() {
+            fm.apply(&ev);
+        }
+        assert!(fm.stabilized_for(&ambient, &ambient));
+        assert_eq!(script.last_time(), 5);
+    }
+}

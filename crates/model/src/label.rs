@@ -1,0 +1,76 @@
+//! Message labels: *L = G × ℕ⁺ × P* (Figure 8).
+
+use crate::{ProcId, ViewId};
+use std::fmt;
+
+/// A system-wide unique message label, *⟨id, seqno, origin⟩ ∈ L*.
+///
+/// The `VStoTO` algorithm assigns each submitted data value a label made of
+/// the view identifier current at the submitting processor, a per-view
+/// sequence number, and the processor identifier. Labels are ordered
+/// lexicographically; this order is total because identifiers break ties,
+/// and it is the order used by `fullorder` when a primary view arranges
+/// leftover labels (Figure 8).
+///
+/// # Example
+///
+/// ```
+/// use gcs_model::{Label, ProcId, ViewId};
+/// let g = ViewId::new(1, ProcId(0));
+/// let a = Label::new(g, 1, ProcId(2));
+/// let b = Label::new(g, 2, ProcId(0));
+/// assert!(a < b); // seqno dominates origin
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label {
+    /// The view identifier current when the value was labelled (*l.id*).
+    pub view: ViewId,
+    /// The per-view sequence number, starting at 1 (*l.seqno*).
+    pub seqno: u64,
+    /// The processor where the value originated (*l.origin*).
+    pub origin: ProcId,
+}
+
+impl Label {
+    /// Creates a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqno` is zero; sequence numbers are drawn from ℕ⁺.
+    pub fn new(view: ViewId, seqno: u64, origin: ProcId) -> Self {
+        assert!(seqno > 0, "label sequence numbers start at 1");
+        Label { view, seqno, origin }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{},{},{}⟩", self.view, self.seqno, self.origin)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_lexicographic_view_seqno_origin() {
+        let g1 = ViewId::new(1, ProcId(0));
+        let g2 = ViewId::new(2, ProcId(0));
+        assert!(Label::new(g1, 9, ProcId(9)) < Label::new(g2, 1, ProcId(0)));
+        assert!(Label::new(g1, 1, ProcId(9)) < Label::new(g1, 2, ProcId(0)));
+        assert!(Label::new(g1, 1, ProcId(0)) < Label::new(g1, 1, ProcId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence numbers start at 1")]
+    fn zero_seqno_rejected() {
+        let _ = Label::new(ViewId::initial(), 0, ProcId(0));
+    }
+}

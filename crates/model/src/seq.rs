@@ -1,0 +1,159 @@
+//! Sequence utilities from Section 2: prefix order, consistent collections,
+//! least upper bounds, and `applyall`.
+
+/// Whether `s` is a prefix of `t` (written *s ≤ t* in the paper).
+///
+/// ```
+/// use gcs_model::seq::is_prefix;
+/// assert!(is_prefix(&[1, 2], &[1, 2, 3]));
+/// assert!(is_prefix::<u8>(&[], &[]));
+/// assert!(!is_prefix(&[2], &[1, 2]));
+/// ```
+pub fn is_prefix<T: PartialEq>(s: &[T], t: &[T]) -> bool {
+    s.len() <= t.len() && s.iter().zip(t).all(|(a, b)| a == b)
+}
+
+/// Whether a collection of sequences is *consistent*: every pair is related
+/// by the prefix order.
+///
+/// ```
+/// use gcs_model::seq::consistent;
+/// assert!(consistent(&[vec![1], vec![1, 2], vec![]]));
+/// assert!(!consistent(&[vec![1], vec![2]]));
+/// ```
+pub fn consistent<T: PartialEq>(seqs: &[Vec<T>]) -> bool {
+    for (i, s) in seqs.iter().enumerate() {
+        for t in &seqs[i + 1..] {
+            if !is_prefix(s, t) && !is_prefix(t, s) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The least upper bound of a consistent collection of sequences: the
+/// minimum sequence of which every element is a prefix (written *lub(S)*).
+///
+/// Returns `None` if the collection is not consistent. The lub of an empty
+/// collection is the empty sequence.
+///
+/// ```
+/// use gcs_model::seq::lub;
+/// assert_eq!(lub(&[vec![1], vec![1, 2]]), Some(vec![1, 2]));
+/// assert_eq!(lub(&[vec![1], vec![2]]), None);
+/// assert_eq!(lub::<u8>(&[]), Some(vec![]));
+/// ```
+pub fn lub<T: PartialEq + Clone>(seqs: &[Vec<T>]) -> Option<Vec<T>> {
+    let mut best: &[T] = &[];
+    for s in seqs {
+        if is_prefix(best, s) {
+            best = s;
+        } else if !is_prefix(s, best) {
+            return None;
+        }
+    }
+    Some(best.to_vec())
+}
+
+/// Applies a partial function `f` to every element of `s`
+/// (written *applyall(f, s)*).
+///
+/// Returns `None` if `f` is undefined (returns `None`) on some element; the
+/// paper requires `dom(f) ⊇ range(s)`, so a `None` here signals a broken
+/// precondition at the call site.
+///
+/// ```
+/// use gcs_model::seq::applyall;
+/// let f = |x: &u32| if *x < 10 { Some(x * 2) } else { None };
+/// assert_eq!(applyall(f, &[1, 2, 3]), Some(vec![2, 4, 6]));
+/// assert_eq!(applyall(f, &[1, 99]), None);
+/// ```
+pub fn applyall<T, U>(mut f: impl FnMut(&T) -> Option<U>, s: &[T]) -> Option<Vec<U>> {
+    s.iter().map(|x| f(x)).collect()
+}
+
+/// The longest common prefix of two sequences.
+///
+/// ```
+/// use gcs_model::seq::common_prefix;
+/// assert_eq!(common_prefix(&[1, 2, 3], &[1, 2, 9]), vec![1, 2]);
+/// ```
+pub fn common_prefix<T: PartialEq + Clone>(s: &[T], t: &[T]) -> Vec<T> {
+    s.iter().zip(t).take_while(|(a, b)| a == b).map(|(a, _)| a.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prefix_basics() {
+        assert!(is_prefix(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!is_prefix(&[1, 2, 3], &[1, 2]));
+        assert!(is_prefix::<u8>(&[], &[1]));
+    }
+
+    #[test]
+    fn lub_picks_longest() {
+        let seqs = vec![vec![1, 2], vec![1], vec![1, 2, 3]];
+        assert_eq!(lub(&seqs), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn lub_detects_inconsistency_even_when_nonadjacent() {
+        let seqs = vec![vec![1, 2, 3], vec![1, 2], vec![1, 9]];
+        assert_eq!(lub(&seqs), None);
+        assert!(!consistent(&seqs));
+    }
+
+    #[test]
+    fn common_prefix_of_disjoint_is_empty() {
+        assert_eq!(common_prefix(&[1], &[2]), Vec::<i32>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prefix_is_reflexive(s in proptest::collection::vec(any::<u8>(), 0..20)) {
+            prop_assert!(is_prefix(&s, &s));
+        }
+
+        #[test]
+        fn prefixes_of_same_seq_are_consistent(
+            s in proptest::collection::vec(any::<u8>(), 0..20),
+            a in 0usize..21, b in 0usize..21,
+        ) {
+            let a = a.min(s.len());
+            let b = b.min(s.len());
+            let seqs = vec![s[..a].to_vec(), s[..b].to_vec()];
+            prop_assert!(consistent(&seqs));
+            let l = lub(&seqs).unwrap();
+            prop_assert!(is_prefix(&l, &s));
+            prop_assert_eq!(l.len(), a.max(b));
+        }
+
+        #[test]
+        fn lub_is_an_upper_bound(
+            s in proptest::collection::vec(any::<u8>(), 0..20),
+            cuts in proptest::collection::vec(0usize..21, 0..5),
+        ) {
+            let seqs: Vec<Vec<u8>> =
+                cuts.iter().map(|&c| s[..c.min(s.len())].to_vec()).collect();
+            let l = lub(&seqs).unwrap();
+            for q in &seqs {
+                prop_assert!(is_prefix(q, &l));
+            }
+        }
+
+        #[test]
+        fn common_prefix_is_prefix_of_both(
+            s in proptest::collection::vec(any::<u8>(), 0..20),
+            t in proptest::collection::vec(any::<u8>(), 0..20),
+        ) {
+            let c = common_prefix(&s, &t);
+            prop_assert!(is_prefix(&c, &s));
+            prop_assert!(is_prefix(&c, &t));
+        }
+    }
+}

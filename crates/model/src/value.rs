@@ -1,0 +1,119 @@
+//! Application data values: the set *A*.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// An opaque application data value, an element of the set *A*.
+///
+/// Both specifications treat data values as uninterpreted; a `Value` is a
+/// cheaply clonable byte string. Applications (Section 3, footnote 3) encode
+/// their operations into values; tests and examples usually use the small
+/// integer constructors.
+///
+/// # Example
+///
+/// ```
+/// use gcs_model::Value;
+/// let v = Value::from_u64(42);
+/// assert_eq!(v.as_u64(), Some(42));
+/// let w = Value::from("hello");
+/// assert_eq!(w.len(), 5);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// Creates a value from raw bytes.
+    pub fn new(bytes: Bytes) -> Self {
+        Value(bytes)
+    }
+
+    /// Encodes a `u64` as a value (big-endian).
+    pub fn from_u64(x: u64) -> Self {
+        Value(Bytes::copy_from_slice(&x.to_be_bytes()))
+    }
+
+    /// Decodes a value previously produced by [`Value::from_u64`].
+    ///
+    /// Returns `None` if the payload is not exactly eight bytes.
+    pub fn as_u64(&self) -> Option<u64> {
+        let arr: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        Some(u64::from_be_bytes(arr))
+    }
+
+    /// The underlying bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value(Bytes::from(v))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::from_u64(x)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(x) = self.as_u64() {
+            write!(f, "v{x}")
+        } else if let Ok(s) = std::str::from_utf8(&self.0) {
+            write!(f, "v{s:?}")
+        } else {
+            write!(f, "v<{} bytes>", self.0.len())
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for x in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(Value::from_u64(x).as_u64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn non_u64_payload_decodes_to_none() {
+        assert_eq!(Value::from("abc").as_u64(), None);
+        assert_eq!(Value::default().as_u64(), None);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", Value::from_u64(7)), "v7");
+        assert_eq!(format!("{:?}", Value::from("hi")), "v\"hi\"");
+        assert!(!format!("{:?}", Value::default()).is_empty());
+    }
+}

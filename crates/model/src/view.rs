@@ -1,0 +1,142 @@
+//! Views: a view identifier paired with a membership set.
+
+use crate::{ProcId, ViewId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A view *v = ⟨v.id, v.set⟩ ∈ views = G × 𝒫(P)* (Section 4).
+///
+/// A view associates a view identifier with the set of processors believed
+/// to be the current group membership. The distinguished initial view
+/// *v₀ = ⟨g₀, P₀⟩* is built with [`View::initial`].
+///
+/// # Example
+///
+/// ```
+/// use gcs_model::{ProcId, View, ViewId};
+/// let v = View::new(ViewId::new(1, ProcId(0)), ProcId::range(3));
+/// assert_eq!(v.size(), 3);
+/// assert!(v.contains(ProcId(2)));
+/// assert!(!v.contains(ProcId(3)));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct View {
+    /// The view identifier *v.id*.
+    pub id: ViewId,
+    /// The membership set *v.set*.
+    pub set: BTreeSet<ProcId>,
+}
+
+impl View {
+    /// Creates a view from an identifier and a membership set.
+    pub fn new(id: ViewId, set: BTreeSet<ProcId>) -> Self {
+        View { id, set }
+    }
+
+    /// The distinguished initial view *v₀ = ⟨g₀, P₀⟩* with membership *P₀*.
+    ///
+    /// ```
+    /// use gcs_model::{ProcId, View, ViewId};
+    /// let v0 = View::initial(ProcId::range(4));
+    /// assert_eq!(v0.id, ViewId::initial());
+    /// ```
+    pub fn initial(p0: BTreeSet<ProcId>) -> Self {
+        View { id: ViewId::initial(), set: p0 }
+    }
+
+    /// Whether `p` is a member of this view.
+    pub fn contains(&self, p: ProcId) -> bool {
+        self.set.contains(&p)
+    }
+
+    /// The number of members.
+    pub fn size(&self) -> usize {
+        self.set.len()
+    }
+
+    /// The deterministically chosen leader of this view: the member with
+    /// the smallest identifier. Used by the token-ring implementation
+    /// (Section 8) and available to applications.
+    ///
+    /// Returns `None` for an (illegal) empty membership.
+    pub fn leader(&self) -> Option<ProcId> {
+        self.set.iter().next().copied()
+    }
+
+    /// The ring successor of `p` within the membership: the next member in
+    /// increasing identifier order, wrapping around to the smallest.
+    ///
+    /// Returns `None` if `p` is not a member.
+    pub fn ring_successor(&self, p: ProcId) -> Option<ProcId> {
+        if !self.set.contains(&p) {
+            return None;
+        }
+        self.set
+            .range((std::ops::Bound::Excluded(p), std::ops::Bound::Unbounded))
+            .next()
+            .or_else(|| self.set.iter().next())
+            .copied()
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {{", self.id)?;
+        for (i, p) in self.set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}⟩")
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(ids: &[u32]) -> View {
+        View::new(ViewId::new(1, ProcId(0)), ids.iter().map(|&i| ProcId(i)).collect())
+    }
+
+    #[test]
+    fn leader_is_min_member() {
+        assert_eq!(view(&[3, 1, 2]).leader(), Some(ProcId(1)));
+        assert_eq!(View::new(ViewId::initial(), BTreeSet::new()).leader(), None);
+    }
+
+    #[test]
+    fn ring_successor_wraps() {
+        let v = view(&[1, 4, 7]);
+        assert_eq!(v.ring_successor(ProcId(1)), Some(ProcId(4)));
+        assert_eq!(v.ring_successor(ProcId(4)), Some(ProcId(7)));
+        assert_eq!(v.ring_successor(ProcId(7)), Some(ProcId(1)));
+        assert_eq!(v.ring_successor(ProcId(2)), None);
+    }
+
+    #[test]
+    fn singleton_ring_successor_is_self() {
+        let v = view(&[5]);
+        assert_eq!(v.ring_successor(ProcId(5)), Some(ProcId(5)));
+    }
+
+    #[test]
+    fn initial_view_uses_g0() {
+        let v0 = View::initial(ProcId::range(2));
+        assert_eq!(v0.id, ViewId::initial());
+        assert_eq!(v0.size(), 2);
+    }
+
+    #[test]
+    fn display_shows_members() {
+        let v = view(&[0, 1]);
+        assert_eq!(v.to_string(), "⟨g1.0, {p0,p1}⟩");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the discrete-event engine: determinism,
+//! good-channel delay bounds, bad-processor freeze/replay, and failure
+//! scripts as pure state.
+
+use gcs_model::failure::FailureScript;
+use gcs_model::{ProcId, Time};
+use gcs_netsim::{Context, Engine, NetConfig, Process, TraceEvent};
+use proptest::prelude::*;
+
+/// Relays every message it receives to the next processor (mod n), and
+/// emits `(hop, time)` on each receipt.
+struct Relay {
+    id: ProcId,
+    n: u32,
+}
+
+impl Process for Relay {
+    type Msg = u32; // remaining hops
+    type Input = u32;
+    type Event = (u32, Time);
+
+    fn id(&self) -> ProcId {
+        self.id
+    }
+    fn on_start(&mut self, _ctx: &mut Context<'_, u32, (u32, Time)>) {}
+    fn on_message(&mut self, _from: ProcId, hops: u32, ctx: &mut Context<'_, u32, (u32, Time)>) {
+        ctx.emit((hops, ctx.now()));
+        if hops > 0 {
+            ctx.send(ProcId((self.id.0 + 1) % self.n), hops - 1);
+        }
+    }
+    fn on_timer(&mut self, _: u64, _: &mut Context<'_, u32, (u32, Time)>) {}
+    fn on_input(&mut self, hops: u32, ctx: &mut Context<'_, u32, (u32, Time)>) {
+        ctx.send(ProcId((self.id.0 + 1) % self.n), hops);
+    }
+}
+
+fn build(n: u32, delta: Time, seed: u64) -> Engine<Relay> {
+    let cfg = NetConfig { delta_min: 1, delta: delta.max(1), ..NetConfig::default() };
+    Engine::new((0..n).map(|i| Relay { id: ProcId(i), n }), cfg, seed)
+}
+
+proptest! {
+    /// Identical configuration + seed ⇒ identical trace; different seeds
+    /// are allowed to differ (and usually do).
+    #[test]
+    fn runs_are_pure_functions_of_seed(
+        n in 2u32..6,
+        delta in 1u64..10,
+        seed in any::<u64>(),
+        hops in 1u32..20,
+    ) {
+        let run = |s| {
+            let mut e = build(n, delta, s);
+            e.schedule_input(5, ProcId(0), hops);
+            e.run_until(10_000);
+            format!("{:?}", e.trace())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// On good channels, each relay hop takes at least 1 and at most δ
+    /// ticks: the k-th receipt happens within [5 + k, 5 + kδ].
+    #[test]
+    fn good_channel_hops_respect_delta(
+        n in 2u32..6,
+        delta in 1u64..10,
+        seed in any::<u64>(),
+        hops in 1u32..15,
+    ) {
+        let mut e = build(n, delta, seed);
+        e.schedule_input(5, ProcId(0), hops);
+        e.run_until(100_000);
+        let mut receipts: Vec<(u32, Time)> = e
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|ev| match ev.action {
+                TraceEvent::App(x) => Some(x),
+                _ => None,
+            })
+            .collect();
+        receipts.sort_by_key(|(h, _)| std::cmp::Reverse(*h));
+        prop_assert_eq!(receipts.len() as u32, hops + 1);
+        for (k, (_, t)) in receipts.iter().enumerate() {
+            let k = k as u64 + 1;
+            prop_assert!(*t >= 5 + k && *t <= 5 + k * delta.max(1),
+                "hop {k} at {t} outside [{}, {}]", 5 + k, 5 + k * delta.max(1));
+        }
+    }
+
+    /// A bad interval only delays: everything sent while a processor is
+    /// frozen arrives after recovery, nothing is lost.
+    #[test]
+    fn bad_processor_preserves_messages(
+        seed in any::<u64>(),
+        crash_at in 1u64..20,
+        recover_after in 1u64..200,
+    ) {
+        let n = 3u32;
+        let mut e = build(n, 3, seed);
+        let mut script = FailureScript::new();
+        script.crash(crash_at, ProcId(1)).recover(crash_at + recover_after, ProcId(1));
+        e.load_failures(&script);
+        // p0 sends a 1-hop message to p1 (p1 emits, forwards to p2).
+        e.schedule_input(crash_at + 1, ProcId(0), 1);
+        e.run_until(crash_at + recover_after + 1_000);
+        // p1 emitted despite being frozen at delivery time.
+        let p1_got = e.trace().events().iter().any(|ev| matches!(
+            ev.action, TraceEvent::App((1, t)) if t >= crash_at
+        ));
+        prop_assert!(p1_got, "frozen processor lost a message");
+        prop_assert_eq!(e.stats().dropped, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! An implementation of the VS service (Section 8) and the timed `VStoTO`
+//! stack providing totally ordered broadcast end to end, over the
+//! discrete-event network simulator of `gcs-netsim`.
+//!
+//! The implementation follows the paper's sketch:
+//!
+//! - **Membership** ([`node`]) is the 3-round protocol of Cristian and
+//!   Schmuck: a processor that detects trouble (token loss, or contact
+//!   from outside its view) broadcasts a *call for participation* with a
+//!   fresh view identifier; processors reply with *accept* unless they
+//!   have accepted a higher identifier; after 2δ the initiator announces
+//!   the membership (*join*), and members install the view. A one-round
+//!   variant (footnote 7 ablation) skips the call/accept exchange and
+//!   forms the view from recently heard-from processors.
+//! - **Ordered delivery and safe indications** ride a **token** that a
+//!   deterministically chosen leader (the least member) launches every π:
+//!   each member appends its buffered messages, delivers the prefix it
+//!   has not yet delivered, and updates its delivered count in the token;
+//!   a message is *safe* once every member's recorded count passes it.
+//! - **The `VStoTO` layer** ([`timed_vstoto`]) is the *same*
+//!   [`gcs_core::vstoto::VsToToProc`] state machine that is model-checked
+//!   against `TO-machine`; here its locally controlled actions are
+//!   performed eagerly, which is exactly the timed discipline of
+//!   Section 7 ("a good processor takes any enabled step immediately").
+//!
+//! The analytical bounds of Section 8, for a stabilized group *Q* of size
+//! *n*, are `b = 9δ + max{π + (n+3)δ, μ}` and `d = 2π + nδ`
+//! ([`bounds`]); experiments E2/E4 measure the simulated stack against
+//! them.
+//!
+//! [`service`] assembles the full stack and returns recorded timed traces
+//! in the three shapes the checkers of `gcs-core` consume: raw `VS`
+//! actions (for the Lemma 4.2 cause checker), `VsObs` (for
+//! `VS-property`), and `ToObs` (for `TO-property` and `TO-machine` trace
+//! conformance).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod figure11;
+pub mod node;
+pub mod sequencer;
+pub mod service;
+pub mod stats;
+pub mod threaded;
+pub mod timed_vstoto;
+pub mod wire;
+
+pub use figure11::{check_figure11, Figure11Params, Figure11Report};
+pub use node::{MembershipMode, ProtoConfig, VsNode};
+pub use sequencer::{SeqWire, SequencerNode};
+pub use service::{RunOutcome, Stack, StackConfig};
+pub use stats::{stack_stats, TraceStats};
+pub use threaded::{ThreadedConfig, ThreadedStack};
+pub use timed_vstoto::TimedVsToTo;
+pub use wire::{ImplEvent, Token, TokenMsg, Wire};
+
+use gcs_model::Time;
+
+/// The analytical bounds of Section 8 for the token-ring implementation.
+///
+/// For a stabilized set of `n` processors with channel delay `delta`,
+/// token period `pi` (which must exceed `n·delta`) and merge-probe period
+/// `mu`:
+///
+/// - stabilization bound `b = 9δ + max{π + (n+3)δ, μ}`;
+/// - delivery bound `d = 2π + nδ`.
+pub mod bounds {
+    use super::Time;
+
+    /// The stabilization bound *b* of Section 8.
+    pub fn b(n: usize, delta: Time, pi: Time, mu: Time) -> Time {
+        9 * delta + (pi + (n as Time + 3) * delta).max(mu)
+    }
+
+    /// The safe-delivery bound *d* of Section 8.
+    pub fn d(n: usize, delta: Time, pi: Time) -> Time {
+        2 * pi + n as Time * delta
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn bounds_match_the_paper_formulas() {
+            // n = 3, δ = 5, π = 20, μ = 40:
+            // b = 45 + max(20 + 30, 40) = 95; d = 40 + 15 = 55.
+            assert_eq!(super::b(3, 5, 20, 40), 95);
+            assert_eq!(super::d(3, 5, 20), 55);
+        }
+
+        #[test]
+        fn mu_dominates_when_large() {
+            // b = 9δ + μ when μ > π + (n+3)δ.
+            assert_eq!(super::b(3, 5, 20, 1000), 45 + 1000);
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! The VS service node: Cristian–Schmuck membership plus the token ring
+//! (Section 8), as a [`gcs_netsim::Process`].
+
+use crate::timed_vstoto::{ClientEffects, VsClient};
+use crate::wire::{ImplEvent, Token, TokenMsg, Wire};
+use gcs_model::{ProcId, Time, Value, View, ViewId};
+use gcs_netsim::{Context, Process};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which membership protocol to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MembershipMode {
+    /// The 3-round protocol of Section 8: call → accept → join.
+    ThreeRound,
+    /// The 1-round variant (footnote 7): the initiator announces a
+    /// membership built from recently heard-from processors, with no
+    /// call/accept exchange. Forms views faster but from staler
+    /// information, so it stabilizes less quickly.
+    OneRound,
+}
+
+/// Protocol parameters.
+#[derive(Clone, Debug)]
+pub struct ProtoConfig {
+    /// The ambient processor set *P*.
+    pub procs: BTreeSet<ProcId>,
+    /// The initial membership *P₀* (these processors start in *v₀*).
+    pub p0: BTreeSet<ProcId>,
+    /// The (maximum) good-channel delay δ; must match the network config.
+    pub delta: Time,
+    /// The token launch period π (must exceed `n·δ`).
+    pub pi: Time,
+    /// The merge-probe period μ.
+    pub mu: Time,
+    /// Membership protocol variant.
+    pub mode: MembershipMode,
+    /// Totem-style *safe delivery* (ablation E9, cf. introduction
+    /// difference #5): when true, a message is delivered to the client
+    /// only once every member is known to have received it, so the
+    /// `gprcv` and `safe` indications coincide; when false (the paper's
+    /// VS), delivery happens as soon as the token brings the message and
+    /// the safe indication follows separately.
+    pub safe_delivery: bool,
+}
+
+impl ProtoConfig {
+    /// A sensible configuration for `n` processors all starting in the
+    /// group, with the given δ: `π = 2nδ`, `μ = 4nδ`.
+    pub fn standard(n: u32, delta: Time) -> Self {
+        let procs = ProcId::range(n);
+        ProtoConfig {
+            p0: procs.clone(),
+            procs,
+            delta,
+            pi: 2 * n as Time * delta,
+            mu: 4 * n as Time * delta,
+            mode: MembershipMode::ThreeRound,
+            safe_delivery: false,
+        }
+    }
+}
+
+// Timer kinds: low 3 bits tag, rest the generation.
+const TAG_PROBE: u64 = 0;
+const TAG_TOKEN: u64 = 1;
+const TAG_LAUNCH: u64 = 2;
+const TAG_FORM: u64 = 3;
+const TAG_MASK: u64 = 0b111;
+
+fn timer_kind(tag: u64, gen: u64) -> u64 {
+    tag | (gen << 3)
+}
+
+/// The VS service node hosting a [`VsClient`] (usually the
+/// [`crate::TimedVsToTo`] layer).
+pub struct VsNode<C> {
+    id: ProcId,
+    cfg: ProtoConfig,
+    client: C,
+    // --- membership state ---
+    view: Option<View>,
+    /// Bumped at every install; timers carry the generation they were set
+    /// in and stale ones are ignored.
+    gen: u64,
+    /// Highest view identifier ever seen anywhere.
+    max_seen: ViewId,
+    /// Highest view identifier accepted (replied to, or installed).
+    accepted: ViewId,
+    /// In-progress formation: proposed id and responders so far.
+    forming: Option<(ViewId, BTreeSet<ProcId>)>,
+    last_form: Option<Time>,
+    /// Last time each processor was heard from (any packet).
+    heard: BTreeMap<ProcId, Time>,
+    // --- token state (per current view) ---
+    out_buf: Vec<TokenMsg>,
+    delivered_count: u64,
+    received_count: u64,
+    safe_count: u64,
+    holding: Option<Box<Token>>,
+    pending_token: Option<Box<Token>>,
+    last_token: Time,
+    mid_counter: u64,
+}
+
+impl<C: VsClient> VsNode<C> {
+    /// Creates the node for processor `id` hosting `client`.
+    pub fn new(id: ProcId, cfg: ProtoConfig, client: C) -> Self {
+        assert!(cfg.procs.contains(&id), "{id} not in the ambient set");
+        assert!(
+            cfg.pi > cfg.procs.len() as Time * cfg.delta,
+            "token period π must exceed n·δ"
+        );
+        let in_p0 = cfg.p0.contains(&id);
+        let view = in_p0.then(|| View::initial(cfg.p0.clone()));
+        VsNode {
+            id,
+            cfg,
+            client,
+            view,
+            gen: 0,
+            max_seen: ViewId::initial(),
+            accepted: ViewId::initial(),
+            forming: None,
+            last_form: None,
+            heard: BTreeMap::new(),
+            out_buf: Vec::new(),
+            delivered_count: 0,
+            received_count: 0,
+            safe_count: 0,
+            holding: None,
+            pending_token: None,
+            last_token: 0,
+            mid_counter: 0,
+        }
+    }
+
+    /// The hosted client.
+    pub fn client(&self) -> &C {
+        &self.client
+    }
+
+    /// The currently installed view, if any.
+    pub fn current_view(&self) -> Option<&View> {
+        self.view.as_ref()
+    }
+
+    /// A one-line rendering of the membership-protocol state, for
+    /// diagnostics and experiments.
+    pub fn membership_debug(&self) -> String {
+        format!(
+            "view={:?} accepted={} max_seen={} forming={:?} last_form={:?}",
+            self.view.as_ref().map(|v| v.to_string()),
+            self.accepted,
+            self.max_seen,
+            self.forming.as_ref().map(|(vid, r)| format!("{vid}:{r:?}")),
+            self.last_form,
+        )
+    }
+
+    fn current_id(&self) -> Option<ViewId> {
+        self.view.as_ref().map(|v| v.id)
+    }
+
+    fn is_leader(&self) -> bool {
+        self.view.as_ref().and_then(|v| v.leader()) == Some(self.id)
+    }
+
+    fn token_timeout(&self) -> Time {
+        let n = self.view.as_ref().map(|v| v.size()).unwrap_or(1) as Time;
+        // π between launches, up to (n+3)δ in flight, plus a per-id
+        // stagger so simultaneous expiry does not cause call storms.
+        self.cfg.pi + (n + 3) * self.cfg.delta + self.id.0 as Time
+    }
+
+    fn next_mid(&mut self) -> u64 {
+        self.mid_counter += 1;
+        ((self.id.0 as u64) << 40) | self.mid_counter
+    }
+
+    fn queue_effects(
+        &mut self,
+        effects: ClientEffects,
+        ctx: &mut Context<'_, Wire, ImplEvent>,
+    ) {
+        for m in effects.gpsnd {
+            // A send while no view is installed is ignored, matching
+            // VS-machine's treatment of gpsnd at ⊥ — but the event is
+            // still emitted so traces reflect the attempt.
+            let mid = self.next_mid();
+            ctx.emit(ImplEvent::GpSnd { p: self.id, mid, m: m.clone() });
+            if self.view.is_some() {
+                self.out_buf.push(TokenMsg { src: self.id, mid, msg: m });
+            }
+        }
+        for (src, a) in effects.brcv {
+            ctx.emit(ImplEvent::Brcv { src, dst: self.id, a });
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Membership
+    // ----------------------------------------------------------------
+
+    fn trigger_formation(&mut self, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        self.last_form = Some(ctx.now());
+        let base = self
+            .max_seen
+            .max(self.accepted)
+            .max(self.current_id().unwrap_or_else(ViewId::initial));
+        let vid = base.successor(self.id);
+        self.max_seen = vid;
+        match self.cfg.mode {
+            MembershipMode::ThreeRound => {
+                self.accepted = vid;
+                self.forming = Some((vid, [self.id].into()));
+                for &q in &self.cfg.procs.clone() {
+                    if q != self.id {
+                        ctx.send(q, Wire::Call { viewid: vid });
+                    }
+                }
+                // Strictly more than the 2δ round trip: with the
+                // deterministic simulator a call + accept can take exactly
+                // 2δ, and the deadline must not tie with (and beat) the
+                // last accept's delivery.
+                ctx.set_timer(2 * self.cfg.delta + 1, timer_kind(TAG_FORM, self.gen));
+            }
+            MembershipMode::OneRound => {
+                let horizon = ctx.now().saturating_sub(2 * self.cfg.mu);
+                let members: BTreeSet<ProcId> = self
+                    .cfg
+                    .procs
+                    .iter()
+                    .copied()
+                    .filter(|&q| {
+                        q == self.id
+                            || self.heard.get(&q).is_some_and(|&t| t >= horizon)
+                    })
+                    .collect();
+                self.accepted = vid;
+                self.install_and_announce(View::new(vid, members), ctx);
+            }
+        }
+    }
+
+    fn install_and_announce(&mut self, v: View, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        for &q in &v.set {
+            if q != self.id {
+                ctx.send(q, Wire::Join { view: v.clone() });
+            }
+        }
+        self.install(v, ctx);
+    }
+
+    fn install(&mut self, v: View, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        debug_assert!(v.set.contains(&self.id));
+        self.gen += 1;
+        self.max_seen = self.max_seen.max(v.id);
+        self.accepted = self.accepted.max(v.id);
+        self.view = Some(v.clone());
+        self.forming = None;
+        self.out_buf.clear();
+        self.delivered_count = 0;
+        self.received_count = 0;
+        self.safe_count = 0;
+        self.holding = None;
+        self.last_token = ctx.now();
+        ctx.emit(ImplEvent::NewView { p: self.id, v: v.clone() });
+        let mut effects = ClientEffects::default();
+        self.client.on_newview(&v, &mut effects);
+        self.queue_effects(effects, ctx);
+        if self.is_leader() {
+            self.holding = Some(Box::new(Token::new(&v)));
+            // Launch promptly on installation, then pace by π.
+            ctx.set_timer(0, timer_kind(TAG_LAUNCH, self.gen));
+        }
+        ctx.set_timer(self.token_timeout(), timer_kind(TAG_TOKEN, self.gen));
+        // A token that raced ahead of our join can be processed now.
+        if let Some(tok) = self.pending_token.take() {
+            if Some(tok.view) == self.current_id() {
+                self.process_token(tok, ctx, false);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Token
+    // ----------------------------------------------------------------
+
+    /// Appends, delivers, reports safe, and forwards the token.
+    /// `relaunch` is true when the leader is launching at a π boundary
+    /// (the token must go to the successor rather than be held again).
+    fn process_token(
+        &mut self,
+        mut tok: Box<Token>,
+        ctx: &mut Context<'_, Wire, ImplEvent>,
+        relaunch: bool,
+    ) {
+        self.last_token = ctx.now();
+        let view = self.view.clone().expect("token processed only inside a view");
+        loop {
+            let mut progressed = false;
+            if !self.out_buf.is_empty() {
+                tok.msgs.append(&mut self.out_buf);
+                progressed = true;
+            }
+            // The token's per-member count records *receipt*; under safe
+            // delivery the client sees a message only once it is safe, so
+            // receipt and client delivery are tracked separately there.
+            if self.cfg.safe_delivery {
+                self.received_count = tok.msgs.len() as u64;
+            } else {
+                while (self.delivered_count as usize) < tok.msgs.len() {
+                    let tm = tok.msgs[self.delivered_count as usize].clone();
+                    self.delivered_count += 1;
+                    ctx.emit(ImplEvent::GpRcv {
+                        src: tm.src,
+                        dst: self.id,
+                        mid: tm.mid,
+                        m: tm.msg.clone(),
+                    });
+                    let mut effects = ClientEffects::default();
+                    self.client.on_gprcv(tm.src, &tm.msg, &mut effects);
+                    self.queue_effects(effects, ctx);
+                    progressed = true;
+                }
+                self.received_count = self.delivered_count;
+            }
+            tok.delivered.insert(self.id, self.received_count);
+            let sp = tok.safe_prefix();
+            if self.cfg.safe_delivery {
+                // Deliver the newly safe prefix first, then report it safe.
+                while self.delivered_count < sp {
+                    let tm = tok.msgs[self.delivered_count as usize].clone();
+                    self.delivered_count += 1;
+                    ctx.emit(ImplEvent::GpRcv {
+                        src: tm.src,
+                        dst: self.id,
+                        mid: tm.mid,
+                        m: tm.msg.clone(),
+                    });
+                    let mut effects = ClientEffects::default();
+                    self.client.on_gprcv(tm.src, &tm.msg, &mut effects);
+                    self.queue_effects(effects, ctx);
+                    progressed = true;
+                }
+            }
+            while self.safe_count < sp {
+                let tm = tok.msgs[self.safe_count as usize].clone();
+                self.safe_count += 1;
+                ctx.emit(ImplEvent::Safe {
+                    src: tm.src,
+                    dst: self.id,
+                    mid: tm.mid,
+                    m: tm.msg.clone(),
+                });
+                let mut effects = ClientEffects::default();
+                self.client.on_safe(tm.src, &tm.msg, &mut effects);
+                self.queue_effects(effects, ctx);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Forward. The leader paces an *idle* token at π (the paper's
+        // "spacing of token creation"), but keeps a *busy* token
+        // circulating continuously — otherwise end-to-end safety would
+        // take ~3π instead of the d = 2π + nδ of Section 8. The token is
+        // idle once everything is delivered everywhere and two further
+        // clean rotations have propagated the final safe prefix to every
+        // member.
+        if self.is_leader() {
+            let all_delivered =
+                tok.safe_prefix() as usize == tok.msgs.len() && self.out_buf.is_empty();
+            if all_delivered {
+                tok.clean_rounds = tok.clean_rounds.saturating_add(1);
+            } else {
+                tok.clean_rounds = 0;
+            }
+            let busy = tok.clean_rounds < 2;
+            let succ = view.ring_successor(self.id).expect("member of own view");
+            if (relaunch || busy) && succ != self.id {
+                ctx.send(succ, Wire::Token(tok));
+            } else {
+                self.holding = Some(tok);
+            }
+        } else {
+            let succ = view.ring_successor(self.id).expect("member of own view");
+            if succ == self.id {
+                self.holding = Some(tok);
+            } else {
+                ctx.send(succ, Wire::Token(tok));
+            }
+        }
+    }
+}
+
+impl<C: VsClient> Process for VsNode<C> {
+    type Msg = Wire;
+    type Input = Value;
+    type Event = ImplEvent;
+
+    fn id(&self) -> ProcId {
+        self.id
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        // Stagger probes per id to avoid synchronized storms.
+        ctx.set_timer(self.cfg.mu + self.id.0 as Time, timer_kind(TAG_PROBE, 0));
+        if self.view.is_some() {
+            if self.is_leader() {
+                self.holding =
+                    Some(Box::new(Token::new(self.view.as_ref().expect("just checked"))));
+                ctx.set_timer(self.cfg.pi, timer_kind(TAG_LAUNCH, self.gen));
+            }
+            ctx.set_timer(self.token_timeout(), timer_kind(TAG_TOKEN, self.gen));
+        }
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: Wire, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        self.heard.insert(from, ctx.now());
+        match msg {
+            Wire::Probe => {
+                let stranger = match &self.view {
+                    None => true,
+                    Some(v) => !v.set.contains(&from),
+                };
+                let recently = self
+                    .last_form
+                    .is_some_and(|t| ctx.now().saturating_sub(t) < 2 * self.cfg.delta);
+                if stranger && self.forming.is_none() && !recently {
+                    self.trigger_formation(ctx);
+                }
+            }
+            Wire::Call { viewid } => {
+                self.max_seen = self.max_seen.max(viewid);
+                let above_current = match self.current_id() {
+                    None => true,
+                    Some(cur) => viewid > cur,
+                };
+                if viewid > self.accepted && above_current {
+                    self.accepted = viewid;
+                    // Accepting a fresher call supersedes our own attempt.
+                    if self.forming.as_ref().is_some_and(|(vid, _)| *vid < viewid) {
+                        self.forming = None;
+                    }
+                    ctx.send(from, Wire::Accept { viewid });
+                }
+            }
+            Wire::Accept { viewid } => {
+                if let Some((vid, responders)) = &mut self.forming {
+                    if *vid == viewid {
+                        responders.insert(from);
+                    }
+                }
+            }
+            Wire::Join { view } => {
+                self.max_seen = self.max_seen.max(view.id);
+                if !view.set.contains(&self.id) {
+                    return;
+                }
+                let above_current = match self.current_id() {
+                    None => true,
+                    Some(cur) => view.id > cur,
+                };
+                // Do not install below something we already agreed to.
+                if above_current && view.id >= self.accepted {
+                    self.install(view, ctx);
+                }
+            }
+            Wire::Token(tok) => {
+                match self.current_id() {
+                    Some(cur) if tok.view == cur => self.process_token(tok, ctx, false),
+                    Some(cur) if tok.view > cur => self.pending_token = Some(tok),
+                    None => self.pending_token = Some(tok),
+                    _ => {} // stale token from a dead view: drop
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        let tag = kind & TAG_MASK;
+        let gen = kind >> 3;
+        match tag {
+            TAG_PROBE => {
+                let outside: Vec<ProcId> = self
+                    .cfg
+                    .procs
+                    .iter()
+                    .copied()
+                    .filter(|&q| {
+                        q != self.id
+                            && match &self.view {
+                                None => true,
+                                Some(v) => !v.set.contains(&q),
+                            }
+                    })
+                    .collect();
+                for q in outside {
+                    ctx.send(q, Wire::Probe);
+                }
+                ctx.set_timer(self.cfg.mu, timer_kind(TAG_PROBE, 0));
+            }
+            TAG_TOKEN => {
+                if gen != self.gen || self.view.is_none() {
+                    return;
+                }
+                let elapsed = ctx.now().saturating_sub(self.last_token);
+                let timeout = self.token_timeout();
+                if elapsed >= timeout && self.forming.is_none() {
+                    self.trigger_formation(ctx);
+                    // Keep watching in case the formation stalls.
+                    ctx.set_timer(timeout, timer_kind(TAG_TOKEN, self.gen));
+                } else {
+                    ctx.set_timer(
+                        timeout.saturating_sub(elapsed).max(1),
+                        timer_kind(TAG_TOKEN, self.gen),
+                    );
+                }
+            }
+            TAG_LAUNCH => {
+                if gen != self.gen {
+                    return;
+                }
+                if let Some(mut tok) = self.holding.take() {
+                    tok.round += 1;
+                    self.process_token(tok, ctx, true);
+                }
+                ctx.set_timer(self.cfg.pi, timer_kind(TAG_LAUNCH, self.gen));
+            }
+            TAG_FORM => {
+                if gen != self.gen {
+                    return;
+                }
+                if let Some((vid, responders)) = self.forming.take() {
+                    if self.accepted > vid {
+                        return; // a higher formation superseded ours
+                    }
+                    self.install_and_announce(View::new(vid, responders), ctx);
+                }
+            }
+            _ => unreachable!("unknown timer tag {tag}"),
+        }
+    }
+
+    fn on_input(&mut self, a: Value, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        ctx.emit(ImplEvent::Bcast { p: self.id, a: a.clone() });
+        let mut effects = ClientEffects::default();
+        self.client.on_input(a, &mut effects);
+        self.queue_effects(effects, ctx);
+    }
+}

@@ -1,0 +1,423 @@
+//! A real-time threaded runtime for the VS/TO stack: each protocol node
+//! runs on its own OS thread, messages travel over crossbeam channels
+//! through a router that applies per-link delays and failure statuses,
+//! and timers fire against the wall clock.
+//!
+//! This hosts the *same* [`VsNode`]`<`[`TimedVsToTo`]`>` state machines as
+//! the deterministic simulator — the runtime only replaces the event
+//! source, exactly the "mapping of the abstract algorithm to the target
+//! platform" the paper anticipates (Section 1). Wall-clock execution is
+//! not deterministic, so tests against this runtime assert safety (which
+//! must hold unconditionally — the recorded traces go through the same
+//! checkers) and eventual delivery, not exact timings.
+//!
+//! Time unit: one tick = one millisecond.
+
+use crate::node::{ProtoConfig, VsNode};
+use crate::timed_vstoto::TimedVsToTo;
+use crate::wire::{ImplEvent, Wire};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use gcs_ioa::TimedTrace;
+use gcs_model::{FailureMap, Majority, ProcId, Status, Subject, Time, Value};
+use gcs_netsim::{CollectedEffects, Process, TraceEvent};
+use parking_lot::{Mutex, RwLock};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum NodeEvent {
+    Msg { from: ProcId, wire: Wire },
+    Input(Value),
+    Stop,
+}
+
+struct RouterPacket {
+    due: Time,
+    seq: u64,
+    from: ProcId,
+    to: ProcId,
+    wire: Wire,
+}
+
+impl PartialEq for RouterPacket {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for RouterPacket {}
+impl PartialOrd for RouterPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RouterPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest due first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// Configuration of the threaded runtime.
+#[derive(Clone)]
+pub struct ThreadedConfig {
+    /// Number of nodes.
+    pub n: u32,
+    /// Maximum link delay in milliseconds (the δ of the protocol).
+    pub delta_ms: Time,
+    /// Token period π in milliseconds.
+    pub pi_ms: Time,
+    /// Probe period μ in milliseconds.
+    pub mu_ms: Time,
+    /// Seed for link-delay randomness.
+    pub seed: u64,
+}
+
+impl ThreadedConfig {
+    /// A small-scale default suitable for tests: δ = 4 ms, π = 2nδ,
+    /// μ = 4nδ.
+    pub fn small(n: u32, seed: u64) -> Self {
+        let delta = 4;
+        ThreadedConfig {
+            n,
+            delta_ms: delta,
+            pi_ms: 2 * n as Time * delta,
+            mu_ms: 4 * n as Time * delta,
+            seed,
+        }
+    }
+}
+
+/// A running threaded stack: `n` protocol nodes on their own threads, a
+/// router thread applying link delays and failure statuses, and a shared
+/// recorded trace.
+pub struct ThreadedStack {
+    inputs: Vec<Sender<NodeEvent>>,
+    router_tx: Sender<Option<RouterPacket>>,
+    failures: Arc<RwLock<FailureMap>>,
+    trace: Arc<Mutex<TimedTrace<TraceEvent<ImplEvent>>>>,
+    delivered: Arc<Mutex<Vec<Vec<(ProcId, Value)>>>>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: Instant,
+    seq: Arc<Mutex<u64>>,
+    n: u32,
+}
+
+impl ThreadedStack {
+    /// Spawns the nodes and the router.
+    pub fn start(config: ThreadedConfig) -> Self {
+        let n = config.n;
+        let procs = ProcId::range(n);
+        let proto = ProtoConfig {
+            procs: procs.clone(),
+            p0: procs.clone(),
+            delta: config.delta_ms,
+            pi: config.pi_ms,
+            mu: config.mu_ms,
+            mode: crate::node::MembershipMode::ThreeRound,
+            safe_delivery: false,
+        };
+        let epoch = Instant::now();
+        let failures = Arc::new(RwLock::new(FailureMap::all_good()));
+        let trace = Arc::new(Mutex::new(TimedTrace::new()));
+        let delivered = Arc::new(Mutex::new(vec![Vec::new(); n as usize]));
+        let seq = Arc::new(Mutex::new(0u64));
+
+        // Node channels.
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<NodeEvent>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        // Router channel: None = shutdown.
+        let (router_tx, router_rx) = bounded::<Option<RouterPacket>>(1024);
+
+        let mut handles = Vec::new();
+        // Router thread.
+        {
+            let failures = failures.clone();
+            let senders = senders.clone();
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+            let delta = config.delta_ms.max(1);
+            handles.push(std::thread::spawn(move || {
+                let mut heap: BinaryHeap<RouterPacket> = BinaryHeap::new();
+                loop {
+                    let now = epoch.elapsed().as_millis() as Time;
+                    let timeout = heap
+                        .peek()
+                        .map(|p| Duration::from_millis(p.due.saturating_sub(now)))
+                        .unwrap_or(Duration::from_millis(50));
+                    match router_rx.recv_timeout(timeout) {
+                        Ok(Some(mut pkt)) => {
+                            let status = if pkt.from == pkt.to {
+                                Status::Good
+                            } else {
+                                failures.read().link(pkt.from, pkt.to)
+                            };
+                            match status {
+                                Status::Bad => continue,
+                                Status::Ugly if rng.gen_bool(0.3) => continue,
+                                _ => {}
+                            }
+                            let now = epoch.elapsed().as_millis() as Time;
+                            pkt.due = now + rng.gen_range(1..=delta);
+                            heap.push(pkt);
+                        }
+                        Ok(None) => break,
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    let now = epoch.elapsed().as_millis() as Time;
+                    while heap.peek().is_some_and(|p| p.due <= now) {
+                        let pkt = heap.pop().expect("peeked");
+                        let _ = senders[pkt.to.index()]
+                            .send(NodeEvent::Msg { from: pkt.from, wire: pkt.wire });
+                    }
+                }
+            }));
+        }
+
+        // Node threads.
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let id = ProcId(i as u32);
+            let proto = proto.clone();
+            let p0 = proto.p0.clone();
+            let router = router_tx.clone();
+            let trace = trace.clone();
+            let delivered = delivered.clone();
+            let failures = failures.clone();
+            let seq = seq.clone();
+            let quorums = Arc::new(Majority::new(n as usize));
+            handles.push(std::thread::spawn(move || {
+                let mut node =
+                    VsNode::new(id, proto, TimedVsToTo::new(id, &p0, quorums));
+                let mut fx: CollectedEffects<Wire, ImplEvent> = CollectedEffects::new(0);
+                let mut timers: Vec<(Time, u64)> = Vec::new();
+                let now_ms = || epoch.elapsed().as_millis() as Time;
+                fx.set_now(now_ms());
+                node.on_start(&mut fx.ctx());
+                loop {
+                    // Flush effects: sends to the router, timers locally,
+                    // emits (and deliveries) into the shared records.
+                    for (to, wire) in fx.take_sends() {
+                        let mut s = seq.lock();
+                        *s += 1;
+                        let pkt = RouterPacket { due: 0, seq: *s, from: id, to, wire };
+                        drop(s);
+                        if router.send(Some(pkt)).is_err() {
+                            return;
+                        }
+                    }
+                    for (delay, kind) in std::mem::take(&mut fx.timers) {
+                        timers.push((now_ms() + delay, kind));
+                    }
+                    for e in std::mem::take(&mut fx.emits) {
+                        if let ImplEvent::Brcv { src, a, .. } = &e {
+                            delivered.lock()[id.index()].push((*src, a.clone()));
+                        }
+                        // The shared trace requires nondecreasing times;
+                        // threads race, so clamp to the recorded maximum.
+                        let mut t = trace.lock();
+                        let at = now_ms().max(t.last_time());
+                        t.push(at, TraceEvent::App(e));
+                    }
+                    // Wait for the next event or timer.
+                    timers.sort_unstable();
+                    let timeout = timers
+                        .first()
+                        .map(|(due, _)| Duration::from_millis(due.saturating_sub(now_ms())))
+                        .unwrap_or(Duration::from_millis(20));
+                    // A "bad" node sleeps instead of processing (frozen).
+                    if failures.read().loc(id) == Status::Bad {
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                    match rx.recv_timeout(timeout) {
+                        Ok(NodeEvent::Stop) => return,
+                        Ok(NodeEvent::Msg { from, wire }) => {
+                            fx.set_now(now_ms());
+                            node.on_message(from, wire, &mut fx.ctx());
+                        }
+                        Ok(NodeEvent::Input(a)) => {
+                            fx.set_now(now_ms());
+                            node.on_input(a, &mut fx.ctx());
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            let now = now_ms();
+                            fx.set_now(now);
+                            let due: Vec<u64> = timers
+                                .iter()
+                                .filter(|(d, _)| *d <= now)
+                                .map(|(_, k)| *k)
+                                .collect();
+                            timers.retain(|(d, _)| *d > now);
+                            for kind in due {
+                                node.on_timer(kind, &mut fx.ctx());
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            }));
+        }
+
+        ThreadedStack {
+            inputs: senders,
+            router_tx,
+            failures,
+            trace,
+            delivered,
+            handles,
+            epoch,
+            seq,
+            n,
+        }
+    }
+
+    /// Submits a client value at `p`; the node records the `bcast` event
+    /// when its handler runs.
+    pub fn bcast(&self, p: ProcId, a: Value) {
+        let _ = self.inputs[p.index()].send(NodeEvent::Input(a));
+    }
+
+    /// Sets the directed-link statuses both ways between `p` and `q`.
+    pub fn set_pair(&self, p: ProcId, q: ProcId, status: Status) {
+        let mut fm = self.failures.write();
+        fm.set(Subject::Link(p, q), status);
+        fm.set(Subject::Link(q, p), status);
+    }
+
+    /// Marks a processor's status (bad nodes freeze; they keep state and
+    /// resume on recovery).
+    pub fn set_proc(&self, p: ProcId, status: Status) {
+        self.failures.write().set(Subject::Loc(p), status);
+    }
+
+    /// What each client has been delivered so far.
+    pub fn delivered(&self) -> Vec<Vec<(ProcId, Value)>> {
+        self.delivered.lock().clone()
+    }
+
+    /// A snapshot of the recorded trace.
+    pub fn trace_snapshot(&self) -> TimedTrace<TraceEvent<ImplEvent>> {
+        self.trace.lock().clone()
+    }
+
+    /// Blocks until every client has delivered at least `count` values or
+    /// the deadline passes; returns whether the goal was reached.
+    pub fn await_deliveries(&self, count: usize, deadline: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if self
+                .delivered
+                .lock()
+                .iter()
+                .all(|d| d.len() >= count)
+            {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Milliseconds since the stack started (the trace time base).
+    pub fn uptime_ms(&self) -> Time {
+        self.epoch.elapsed().as_millis() as Time
+    }
+
+    /// Total packets routed so far.
+    pub fn packets_routed(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    /// Stops all threads and returns the final recorded trace.
+    pub fn shutdown(self) -> TimedTrace<TraceEvent<ImplEvent>> {
+        for tx in &self.inputs {
+            let _ = tx.send(NodeEvent::Stop);
+        }
+        let _ = self.router_tx.send(None);
+        for h in self.handles {
+            let _ = h.join();
+        }
+        Arc::try_unwrap(self.trace)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::cause::check_trace;
+    use gcs_core::to_trace::check_to_trace;
+
+    #[test]
+    fn threaded_stack_delivers_one_total_order() {
+        let stack = ThreadedStack::start(ThreadedConfig::small(3, 7));
+        for i in 0..6u64 {
+            stack.bcast(ProcId((i % 3) as u32), Value::from_u64(i + 1));
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        assert!(
+            stack.await_deliveries(6, Duration::from_secs(10)),
+            "deliveries timed out: {:?}",
+            stack.delivered().iter().map(|d| d.len()).collect::<Vec<_>>()
+        );
+        let delivered = stack.delivered();
+        let trace = stack.shutdown();
+        for d in &delivered[1..] {
+            assert_eq!(&delivered[0][..6], &d[..6], "orders diverge");
+        }
+        // The wall-clock trace passes the same specification checkers.
+        let to = check_to_trace(&crate::convert::to_obs(&trace).untimed());
+        assert!(to.ok(), "{:?}", to.violations.first());
+        let cause = check_trace(&crate::convert::vs_actions(&trace), &ProcId::range(3));
+        assert!(cause.ok(), "{:?}", cause.violations.first());
+    }
+
+    #[test]
+    fn threaded_partition_stalls_minority_then_heals() {
+        let stack = ThreadedStack::start(ThreadedConfig::small(3, 11));
+        // Give the ring a moment, then cut p2 off.
+        std::thread::sleep(Duration::from_millis(100));
+        stack.set_pair(ProcId(0), ProcId(2), Status::Bad);
+        stack.set_pair(ProcId(1), ProcId(2), Status::Bad);
+        std::thread::sleep(Duration::from_millis(300));
+        for i in 0..4u64 {
+            stack.bcast(ProcId((i % 2) as u32), Value::from_u64(i + 1));
+        }
+        // The majority {p0,p1} must deliver; p2 must not (it is alone).
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_secs(10) {
+            let d = stack.delivered();
+            if d[0].len() >= 4 && d[1].len() >= 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let d = stack.delivered();
+        assert!(d[0].len() >= 4 && d[1].len() >= 4, "majority stalled: {d:?}");
+        assert_eq!(d[2].len(), 0, "isolated minority must not deliver");
+        // Heal: p2 catches up through the state exchange.
+        stack.set_pair(ProcId(0), ProcId(2), Status::Good);
+        stack.set_pair(ProcId(1), ProcId(2), Status::Good);
+        assert!(
+            stack.await_deliveries(4, Duration::from_secs(15)),
+            "p2 failed to catch up: {:?}",
+            stack.delivered().iter().map(|d| d.len()).collect::<Vec<_>>()
+        );
+        let trace = stack.shutdown();
+        let to = check_to_trace(&crate::convert::to_obs(&trace).untimed());
+        assert!(to.ok(), "{:?}", to.violations.first());
+    }
+}

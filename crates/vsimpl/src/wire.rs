@@ -1,0 +1,184 @@
+//! Wire messages of the membership/token protocol and the trace events
+//! the implementation emits.
+
+use gcs_core::msg::AppMsg;
+use gcs_model::{ProcId, Value, View, ViewId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One group-multicast message riding the token: the sender, a globally
+/// unique message identifier, and the payload.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TokenMsg {
+    /// The original sender (`gpsnd` location).
+    pub src: ProcId,
+    /// Harness-level unique identifier (for matching in timed traces).
+    pub mid: u64,
+    /// The payload.
+    pub msg: AppMsg,
+}
+
+/// The circulating token of Section 8: it carries the per-view message
+/// sequence and, per member, how many of those messages that member had
+/// delivered when the token last left it.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The view this token belongs to.
+    pub view: ViewId,
+    /// Rotation counter (diagnostic).
+    pub round: u64,
+    /// The per-view total order of messages.
+    pub msgs: Vec<TokenMsg>,
+    /// Per-member delivered counts as of the token's last visit.
+    pub delivered: BTreeMap<ProcId, u64>,
+    /// Number of consecutive full rotations with no outstanding work
+    /// (everything delivered everywhere). Maintained by the leader to
+    /// decide between immediate re-circulation (busy) and π-paced
+    /// launches (idle); two clean rotations guarantee every member has
+    /// seen the final safe prefix.
+    pub clean_rounds: u32,
+}
+
+impl Token {
+    /// A fresh token for a newly installed view.
+    pub fn new(view: &View) -> Self {
+        Token {
+            view: view.id,
+            round: 0,
+            msgs: Vec::new(),
+            delivered: view.set.iter().map(|&p| (p, 0)).collect(),
+            clean_rounds: 0,
+        }
+    }
+
+    /// The number of messages every member has delivered (the safe
+    /// prefix length).
+    pub fn safe_prefix(&self) -> u64 {
+        self.delivered.values().copied().min().unwrap_or(0)
+    }
+}
+
+/// A protocol packet.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Wire {
+    /// Periodic contact attempt to processors outside the sender's view.
+    Probe,
+    /// Round 1 of membership: call for participation in `viewid`.
+    Call {
+        /// The proposed view identifier.
+        viewid: ViewId,
+    },
+    /// Round 2: acceptance of a call.
+    Accept {
+        /// The accepted view identifier.
+        viewid: ViewId,
+    },
+    /// Round 3: the initiator announces the membership.
+    Join {
+        /// The new view.
+        view: View,
+    },
+    /// The rotating ordered-delivery token.
+    Token(Box<Token>),
+}
+
+/// A trace event emitted by the implementation stack. The `VS`-interface
+/// events carry both the unique message identifier (for the timed
+/// property checkers) and the payload (for the Lemma 4.2 cause checker);
+/// `Bcast`/`Brcv` are the `TO` client interface.
+#[derive(Clone, PartialEq)]
+pub enum ImplEvent {
+    /// `newview(v)_p`.
+    NewView {
+        /// The installing processor.
+        p: ProcId,
+        /// The installed view.
+        v: View,
+    },
+    /// `gpsnd(m)_p`.
+    GpSnd {
+        /// The sender.
+        p: ProcId,
+        /// Unique message identifier.
+        mid: u64,
+        /// The payload.
+        m: AppMsg,
+    },
+    /// `gprcv(m)_{p,q}`.
+    GpRcv {
+        /// The original sender.
+        src: ProcId,
+        /// The receiver.
+        dst: ProcId,
+        /// Unique message identifier.
+        mid: u64,
+        /// The payload.
+        m: AppMsg,
+    },
+    /// `safe(m)_{p,q}`.
+    Safe {
+        /// The original sender.
+        src: ProcId,
+        /// The receiver of the indication.
+        dst: ProcId,
+        /// Unique message identifier.
+        mid: u64,
+        /// The payload.
+        m: AppMsg,
+    },
+    /// `bcast(a)_p` — the TO client submits a value.
+    Bcast {
+        /// Submitting location.
+        p: ProcId,
+        /// The data value.
+        a: Value,
+    },
+    /// `brcv(a)_{q,p}` — the TO service delivers a value.
+    Brcv {
+        /// Origin of the value.
+        src: ProcId,
+        /// Receiving location.
+        dst: ProcId,
+        /// The data value.
+        a: Value,
+    },
+}
+
+impl fmt::Debug for ImplEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImplEvent::NewView { p, v } => write!(f, "newview({v})_{p}"),
+            ImplEvent::GpSnd { p, mid, m } => write!(f, "gpsnd#{mid}({m:?})_{p}"),
+            ImplEvent::GpRcv { src, dst, mid, m } => {
+                write!(f, "gprcv#{mid}({m:?})_{src},{dst}")
+            }
+            ImplEvent::Safe { src, dst, mid, m } => {
+                write!(f, "safe#{mid}({m:?})_{src},{dst}")
+            }
+            ImplEvent::Bcast { p, a } => write!(f, "bcast({a:?})_{p}"),
+            ImplEvent::Brcv { src, dst, a } => write!(f, "brcv({a:?})_{src},{dst}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_has_zero_safe_prefix() {
+        let v = View::new(ViewId::new(1, ProcId(0)), ProcId::range(3));
+        let t = Token::new(&v);
+        assert_eq!(t.safe_prefix(), 0);
+        assert_eq!(t.delivered.len(), 3);
+    }
+
+    #[test]
+    fn safe_prefix_is_the_minimum() {
+        let v = View::new(ViewId::new(1, ProcId(0)), ProcId::range(2));
+        let mut t = Token::new(&v);
+        t.delivered.insert(ProcId(0), 5);
+        t.delivered.insert(ProcId(1), 3);
+        assert_eq!(t.safe_prefix(), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! `pgcs-sim` — run the TO service stack under a named failure scenario
+//! and print the timeline, delivery report, and specification checks.
+//!
+//! ```text
+//! USAGE:
+//!   pgcs-sim [--n N] [--delta D] [--seed S] [--msgs M]
+//!            [--scenario stable|partition|merge|crash|cascade]
+//!            [--one-round] [--safe-delivery] [--timeline]
+//! ```
+
+use pgcs::harness::scenarios;
+use pgcs::model::ProcId;
+use pgcs::netsim::TraceEvent;
+use pgcs::spec::cause::check_trace;
+use pgcs::spec::to_trace::check_to_trace;
+use pgcs::vsimpl::{ImplEvent, MembershipMode};
+
+struct Args {
+    n: u32,
+    delta: u64,
+    seed: u64,
+    msgs: usize,
+    scenario: String,
+    one_round: bool,
+    safe_delivery: bool,
+    timeline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 4,
+        delta: 5,
+        seed: 1,
+        msgs: 10,
+        scenario: "merge".into(),
+        one_round: false,
+        safe_delivery: false,
+        timeline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = val("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--delta" => {
+                args.delta = val("--delta")?.parse().map_err(|e| format!("--delta: {e}"))?
+            }
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--msgs" => args.msgs = val("--msgs")?.parse().map_err(|e| format!("--msgs: {e}"))?,
+            "--scenario" => args.scenario = val("--scenario")?,
+            "--one-round" => args.one_round = true,
+            "--safe-delivery" => args.safe_delivery = true,
+            "--timeline" => args.timeline = true,
+            "--help" | "-h" => {
+                println!(
+                    "pgcs-sim: simulate the partitionable group communication stack\n\n\
+                     options:\n  --n N            processors (default 4)\n  \
+                     --delta D        channel delay δ (default 5)\n  \
+                     --seed S         RNG seed (default 1)\n  \
+                     --msgs M         client submissions (default 10)\n  \
+                     --scenario NAME  stable|partition|merge|crash|cascade (default merge)\n  \
+                     --one-round      use the 1-round membership variant\n  \
+                     --safe-delivery  use Totem-style safe delivery\n  \
+                     --timeline       print the full event timeline"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.n < 2 || args.n > 16 {
+        return Err("--n must be in 2..=16".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pgcs-sim: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut sc = match args.scenario.as_str() {
+        "stable" => scenarios::stable(args.n, args.delta, args.msgs, args.seed),
+        "partition" => {
+            scenarios::partition(args.n, args.n / 2 + 1, args.delta, args.msgs, args.seed)
+        }
+        "merge" => scenarios::merge(args.n, args.n / 2 + 1, args.delta, args.msgs, args.seed),
+        "crash" => scenarios::crash(args.n, args.delta, args.msgs, args.seed),
+        "cascade" => scenarios::cascade(args.n.max(4), args.delta, args.msgs, args.seed),
+        other => {
+            eprintln!("pgcs-sim: unknown scenario {other}");
+            std::process::exit(2);
+        }
+    };
+    sc.config.mode =
+        if args.one_round { MembershipMode::OneRound } else { MembershipMode::ThreeRound };
+    sc.config.safe_delivery = args.safe_delivery;
+
+    println!(
+        "scenario {} | n={} δ={} π={} μ={} seed={} msgs={} horizon={}",
+        sc.name,
+        sc.config.n,
+        sc.config.delta,
+        sc.config.pi,
+        sc.config.mu,
+        sc.config.seed,
+        args.msgs,
+        sc.horizon
+    );
+    let stack = sc.run();
+
+    if args.timeline {
+        println!("\ntimeline:");
+        for ev in stack.trace().events() {
+            match &ev.action {
+                TraceEvent::App(ImplEvent::NewView { p, v }) => {
+                    println!("  t={:<7} newview {v} at {p}", ev.time)
+                }
+                TraceEvent::App(ImplEvent::Bcast { p, a }) => {
+                    println!("  t={:<7} bcast {a:?} at {p}", ev.time)
+                }
+                TraceEvent::App(ImplEvent::Brcv { src, dst, a }) => {
+                    println!("  t={:<7} brcv {a:?} ({src}) at {dst}", ev.time)
+                }
+                TraceEvent::Fail { subject, status } => {
+                    println!("  t={:<7} fail {subject} → {status}", ev.time)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    println!("\nfinal views:");
+    for i in 0..sc.config.n {
+        let p = ProcId(i);
+        match stack.view_of(p) {
+            Some(v) => println!("  {p}: {v}  ({} delivered)", stack.delivered(p).len()),
+            None => println!("  {p}: ⊥"),
+        }
+    }
+
+    let to = check_to_trace(&stack.to_obs().untimed());
+    println!("\nTO-machine conformance: {to}");
+    let vs = check_trace(&stack.vs_actions(), &sc.config.p0);
+    println!("VS Lemma 4.2 conformance: {vs}");
+    if args.safe_delivery && !vs.ok() {
+        println!(
+            "  (expected with --safe-delivery: Totem-style delivery does not \
+             satisfy the VS safe-notification contract; see EXPERIMENTS.md E9)"
+        );
+    }
+    let ok = to.ok() && (vs.ok() || args.safe_delivery);
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,87 @@
+//! Long-running refinement checks on the abstract composed system: the
+//! invariant suite and the simulation relation together, across quorum
+//! systems and adversary intensities.
+
+use pgcs::ioa::Runner;
+use pgcs::model::{Explicit, Majority, ProcId, QuorumSystem, Weighted};
+use pgcs::spec::adversary::SystemAdversary;
+use pgcs::spec::invariants::install_invariants;
+use pgcs::spec::simulation::install_simulation_check;
+use pgcs::spec::system::VsToToSystem;
+use std::sync::Arc;
+
+fn refine(n: u32, quorums: Arc<dyn QuorumSystem>, adv: SystemAdversary, seed: u64, steps: usize) {
+    let procs = ProcId::range(n);
+    let sys = VsToToSystem::new(procs.clone(), procs, quorums);
+    let mut runner = Runner::new(sys, adv, seed);
+    install_invariants(&mut runner);
+    let violations = install_simulation_check(&mut runner);
+    runner.run(steps).unwrap_or_else(|e| panic!("invariant violated: {e}"));
+    let v = violations.borrow();
+    assert!(v.is_empty(), "simulation violated: {:?}", v.first());
+}
+
+#[test]
+fn majority_quorums_long_run() {
+    for seed in 0..3 {
+        refine(3, Arc::new(Majority::new(3)), SystemAdversary::default(), seed, 1_500);
+    }
+}
+
+#[test]
+fn four_processors_heavy_churn() {
+    refine(
+        4,
+        Arc::new(Majority::new(4)),
+        SystemAdversary::default().with_view_prob(0.25),
+        11,
+        1_200,
+    );
+}
+
+#[test]
+fn explicit_quorum_system() {
+    let q = Explicit::new(vec![
+        [ProcId(0), ProcId(1)].into(),
+        [ProcId(1), ProcId(2)].into(),
+        [ProcId(0), ProcId(2)].into(),
+    ])
+    .expect("valid quorums");
+    refine(3, Arc::new(q), SystemAdversary::default(), 5, 1_500);
+}
+
+#[test]
+fn weighted_quorum_system() {
+    let q = Weighted::new([(ProcId(0), 3), (ProcId(1), 1), (ProcId(2), 1), (ProcId(3), 1)]);
+    refine(4, Arc::new(q), SystemAdversary::default(), 9, 1_200);
+}
+
+#[test]
+fn quiescing_run_confirms_everything_outstanding() {
+    use pgcs::spec::system::SysAction;
+    let procs = ProcId::range(3);
+    let sys = VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(3)));
+    // Churn then settle; submissions stop at step 600.
+    let adv = SystemAdversary::quiescing(300, 600);
+    let mut runner = Runner::new(sys, adv, 21);
+    install_invariants(&mut runner);
+    let violations = install_simulation_check(&mut runner);
+    let exec = runner.run(6_000).expect("invariants hold");
+    assert!(violations.borrow().is_empty());
+    // After settling, whatever was labelled in the final (primary, full)
+    // view must eventually be delivered to everyone. Count deliveries to
+    // each destination: they should be equal once quiescent.
+    let mut per_dst = std::collections::BTreeMap::new();
+    for a in exec.actions() {
+        if let SysAction::Brcv { dst, .. } = a {
+            *per_dst.entry(*dst).or_insert(0usize) += 1;
+        }
+    }
+    // The final state must have every processor caught up to the common
+    // confirmed prefix (scheduler fairness over 6000 steps).
+    let s = exec.final_state();
+    let confirms: Vec<u64> = s.procs.values().map(|p| p.nextconfirm).collect();
+    let reports: Vec<u64> = s.procs.values().map(|p| p.nextreport).collect();
+    assert_eq!(confirms.iter().max(), confirms.iter().min(), "confirm divergence {confirms:?}");
+    assert_eq!(reports.iter().max(), reports.iter().min(), "report divergence {reports:?}");
+}
