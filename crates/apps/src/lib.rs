@@ -43,6 +43,7 @@ pub mod lock;
 pub mod ops;
 pub mod rsm;
 pub mod seqmem;
+mod wire;
 pub mod workload;
 
 pub use loadbalance::Partitioner;

@@ -10,12 +10,12 @@
 //! exactly the order the TO service assigned.
 
 use crate::rsm::StateMachine;
+use crate::wire::{WireReader, WireWriter};
 use gcs_model::{ProcId, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A lock request, broadcast through the TO service.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LockOp {
     /// Request the named lock for a processor; queues FIFO if held.
     Acquire {
@@ -35,15 +35,31 @@ pub enum LockOp {
     },
 }
 
+/// Magic prefix distinguishing encoded lock requests from other payloads.
+const MAGIC: [u8; 2] = *b"Lk";
+
 impl LockOp {
     /// Encodes for broadcast.
     pub fn encode(&self) -> Value {
-        Value::from(serde_json::to_vec(self).expect("LockOp serializes"))
+        let bytes = match self {
+            LockOp::Acquire { name, who, tag } => {
+                WireWriter::new(MAGIC, 0).str(name).u32(*who).u64(*tag)
+            }
+            LockOp::Release { name, who } => WireWriter::new(MAGIC, 1).str(name).u32(*who),
+        };
+        Value::from(bytes.finish())
     }
 
     /// Decodes a broadcast payload.
     pub fn decode(v: &Value) -> Option<LockOp> {
-        serde_json::from_slice(v.as_bytes()).ok()
+        let (opcode, mut r) = WireReader::open(v.as_bytes(), MAGIC)?;
+        let op = match opcode {
+            0 => LockOp::Acquire { name: r.str()?, who: r.u32()?, tag: r.u64()? },
+            1 => LockOp::Release { name: r.str()?, who: r.u32()? },
+            _ => return None,
+        };
+        r.end()?;
+        Some(op)
     }
 }
 

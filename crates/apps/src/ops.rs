@@ -1,10 +1,10 @@
 //! The key-value command language carried inside broadcast values.
 
+use crate::wire::{WireReader, WireWriter};
 use gcs_model::Value;
-use serde::{Deserialize, Serialize};
 
 /// A key-value store command.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum KvOp {
     /// Set `key` to `value`.
     Put {
@@ -39,10 +39,20 @@ pub enum KvOp {
     },
 }
 
+/// Magic prefix distinguishing encoded commands from raw test values.
+const MAGIC: [u8; 2] = *b"Kv";
+
 impl KvOp {
     /// Encodes the command into an opaque broadcast value.
     pub fn encode(&self) -> Value {
-        Value::from(serde_json::to_vec(self).expect("KvOp serializes"))
+        let bytes = match self {
+            KvOp::Put { key, value } => WireWriter::new(MAGIC, 0).str(key).i64(*value),
+            KvOp::Inc { key, by } => WireWriter::new(MAGIC, 1).str(key).i64(*by),
+            KvOp::Del { key } => WireWriter::new(MAGIC, 2).str(key),
+            KvOp::Get { key } => WireWriter::new(MAGIC, 3).str(key),
+            KvOp::Nop { tag } => WireWriter::new(MAGIC, 4).u64(*tag),
+        };
+        Value::from(bytes.finish())
     }
 
     /// Decodes a broadcast value back into a command.
@@ -50,7 +60,17 @@ impl KvOp {
     /// Returns `None` for payloads that are not commands (e.g. raw test
     /// values).
     pub fn decode(v: &Value) -> Option<KvOp> {
-        serde_json::from_slice(v.as_bytes()).ok()
+        let (opcode, mut r) = WireReader::open(v.as_bytes(), MAGIC)?;
+        let op = match opcode {
+            0 => KvOp::Put { key: r.str()?, value: r.i64()? },
+            1 => KvOp::Inc { key: r.str()?, by: r.i64()? },
+            2 => KvOp::Del { key: r.str()? },
+            3 => KvOp::Get { key: r.str()? },
+            4 => KvOp::Nop { tag: r.u64()? },
+            _ => return None,
+        };
+        r.end()?;
+        Some(op)
     }
 
     /// A `Put` with a unique tag folded into the key-value pair, keeping

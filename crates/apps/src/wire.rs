@@ -1,0 +1,142 @@
+//! A tiny self-describing byte codec for the command languages carried
+//! inside broadcast values.
+//!
+//! Each command type owns a two-byte magic prefix followed by a one-byte
+//! opcode and length-prefixed fields. Decoding validates the magic, the
+//! opcode, and that the payload is consumed exactly, so raw test values
+//! (which lack the magic) decode to `None` rather than to a garbage
+//! command.
+
+/// Incrementally writes length-prefixed fields.
+pub(crate) struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Starts a payload with the given magic and opcode.
+    pub(crate) fn new(magic: [u8; 2], opcode: u8) -> Self {
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&magic);
+        buf.push(opcode);
+        WireWriter { buf }
+    }
+
+    /// Appends a u64 (little-endian, fixed 8 bytes).
+    pub(crate) fn u64(mut self, x: u64) -> Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    /// Appends an i64 (little-endian, fixed 8 bytes).
+    pub(crate) fn i64(mut self, x: i64) -> Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    /// Appends a u32 (little-endian, fixed 4 bytes).
+    pub(crate) fn u32(mut self, x: u32) -> Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    /// Appends a string as u32 length + UTF-8 bytes.
+    pub(crate) fn str(mut self, s: &str) -> Self {
+        self.buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Finishes the payload.
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Incrementally reads length-prefixed fields.
+pub(crate) struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Opens a payload, returning the opcode if the magic matches.
+    pub(crate) fn open(buf: &'a [u8], magic: [u8; 2]) -> Option<(u8, Self)> {
+        if buf.len() < 3 || buf[..2] != magic {
+            return None;
+        }
+        Some((buf[2], WireReader { buf: &buf[3..] }))
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    /// Reads a fixed 8-byte u64.
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a fixed 8-byte i64.
+    pub(crate) fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a fixed 4-byte u32.
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a u32-length-prefixed UTF-8 string.
+    pub(crate) fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// Succeeds only if the whole payload was consumed.
+    pub(crate) fn end(self) -> Option<()> {
+        self.buf.is_empty().then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_fields() {
+        let buf = WireWriter::new(*b"ZZ", 7)
+            .str("hello")
+            .i64(-42)
+            .u64(9)
+            .u32(3)
+            .finish();
+        let (op, mut r) = WireReader::open(&buf, *b"ZZ").unwrap();
+        assert_eq!(op, 7);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.u64().unwrap(), 9);
+        assert_eq!(r.u32().unwrap(), 3);
+        r.end().unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_or_trailing_bytes_fail() {
+        let buf = WireWriter::new(*b"AA", 1).u64(5).finish();
+        assert!(WireReader::open(&buf, *b"BB").is_none());
+        let (_, r) = WireReader::open(&buf, *b"AA").unwrap();
+        assert!(r.end().is_none(), "unread field must fail end()");
+        assert!(WireReader::open(&[1u8], *b"AA").is_none());
+    }
+
+    #[test]
+    fn truncated_fields_fail() {
+        let buf = WireWriter::new(*b"AA", 1).str("abc").finish();
+        let (_, mut r) = WireReader::open(&buf[..buf.len() - 1], *b"AA").unwrap();
+        assert!(r.str().is_none());
+    }
+}

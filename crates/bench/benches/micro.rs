@@ -6,9 +6,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcs_bench::{abstract_system, run_abstract, run_stack};
 use gcs_core::adversary::SystemAdversary;
+use gcs_core::derived::DerivedState;
 use gcs_core::invariants::all_invariants;
+use gcs_core::system::SysState;
 use gcs_core::to_trace::check_to_trace;
-use gcs_ioa::{Automaton, Runner};
+use gcs_ioa::Runner;
 use gcs_model::ProcId;
 use gcs_vsimpl::{Stack, StackConfig};
 
@@ -33,18 +35,25 @@ fn bench_stack_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_invariant_suite(c: &mut Criterion) {
-    // Fixture: a mid-execution state of the composed system.
+/// A mid-execution state of the composed system, used as the fixture for
+/// the invariant and derived-state benchmarks.
+fn mid_execution_state() -> SysState {
     let sys = abstract_system(3);
-    let mut runner = Runner::new(sys.clone(), SystemAdversary::default(), 3);
+    let mut runner = Runner::new(sys, SystemAdversary::default(), 3);
     let exec = runner.run(600).expect("no invariants");
-    let state = exec.final_state().clone();
+    exec.final_state().clone()
+}
+
+fn bench_invariant_suite(c: &mut Criterion) {
+    let state = mid_execution_state();
     let checks = all_invariants();
     c.bench_function("invariant_suite_one_state", |b| {
         b.iter(|| {
+            // One shared snapshot serves the whole suite.
+            let d = DerivedState::new(&state);
             let mut bad = 0;
             for (_, check) in &checks {
-                if check(&state).is_err() {
+                if check(&state, &d).is_err() {
                     bad += 1;
                 }
             }
@@ -55,7 +64,13 @@ fn bench_invariant_suite(c: &mut Criterion) {
     c.bench_function("simulation_abstraction_one_state", |b| {
         b.iter(|| criterion::black_box(gcs_core::simulation::abstraction(&state).queue.len()))
     });
-    let _ = sys.initial();
+}
+
+fn bench_derived_state(c: &mut Criterion) {
+    let state = mid_execution_state();
+    c.bench_function("derived_state_snapshot", |b| {
+        b.iter(|| criterion::black_box(DerivedState::new(&state).entries.len()))
+    });
 }
 
 fn bench_checkers(c: &mut Criterion) {
@@ -98,6 +113,7 @@ criterion_group!(
     bench_abstract_steps,
     bench_stack_throughput,
     bench_invariant_suite,
+    bench_derived_state,
     bench_checkers,
     bench_netsim_events
 );

@@ -1,12 +1,195 @@
 //! Derived variables of `VStoTO-system` (Section 6): `allstate`,
 //! `allcontent`, and `allconfirm`, used by the invariants and by the
 //! simulation relation *f*.
+//!
+//! The centerpiece is [`DerivedState`]: a borrowed snapshot of every
+//! derived variable, computed **once per state** and shared by all ~29
+//! invariant checks and the simulation abstraction. Building it walks
+//! each summary source (processor components, `pending`, `queue`,
+//! `gotstate`) exactly once and records `&Summary` borrows instead of
+//! clones, so a full invariant sweep costs one pass over the state
+//! rather than one quadratic reconstruction per check.
+//!
+//! The free functions ([`allstate_pg`], [`allstate_entries`],
+//! [`allcontent`], [`allconfirm`]) remain as thin wrappers for callers
+//! that need a one-off owned answer.
 
 use crate::msg::AppMsg;
 use crate::system::SysState;
-use gcs_model::seq::lub;
-use gcs_model::{Label, ProcId, Summary, Value, ViewId};
-use std::collections::BTreeMap;
+use gcs_model::seq::is_prefix;
+use gcs_model::{Label, ProcId, Summary, Value, View, ViewId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A borrowed view of a [`Summary`] (or of the equivalent components of
+/// a processor state), avoiding the `con`/`ord` clones that building an
+/// owned `Summary` would cost.
+#[derive(Clone, Copy, Debug)]
+pub struct SummaryRef<'a> {
+    /// The known ⟨label, value⟩ pairs (*x.con*).
+    pub con: &'a BTreeMap<Label, Value>,
+    /// The tentative total order of labels (*x.ord*).
+    pub ord: &'a [Label],
+    /// One past the number of confirmed labels (*x.next*).
+    pub next: u64,
+    /// The highest established-primary view affecting `ord` (*x.high*).
+    pub high: Option<ViewId>,
+}
+
+impl<'a> SummaryRef<'a> {
+    /// Borrows an owned summary.
+    pub fn of(x: &'a Summary) -> Self {
+        SummaryRef { con: &x.con, ord: &x.ord, next: x.next, high: x.high }
+    }
+
+    /// The summary of a processor's current components, without
+    /// materializing it (the borrowed equivalent of
+    /// [`crate::vstoto::VsToToProc::summary`]).
+    pub fn of_proc(p: &'a crate::vstoto::VsToToProc) -> Self {
+        SummaryRef {
+            con: &p.content,
+            ord: &p.order,
+            next: p.nextconfirm,
+            high: p.highprimary,
+        }
+    }
+
+    /// The confirmed prefix *x.confirm* as a borrowed slice: the prefix
+    /// of `ord` of length `min(next − 1, |ord|)`.
+    pub fn confirm(&self) -> &'a [Label] {
+        let n = usize::try_from(self.next.saturating_sub(1)).unwrap_or(usize::MAX);
+        &self.ord[..n.min(self.ord.len())]
+    }
+
+    /// Clones into an owned [`Summary`].
+    pub fn to_summary(&self) -> Summary {
+        Summary {
+            con: self.con.clone(),
+            ord: self.ord.to_vec(),
+            next: self.next,
+            high: self.high,
+        }
+    }
+}
+
+/// Every derived variable of Section 6, computed once from a state and
+/// borrowed from it. Invariant checks and the simulation abstraction
+/// all read from one snapshot instead of recomputing per check.
+pub struct DerivedState<'a> {
+    /// All `(p, g, summary)` entries of `allstate`, sorted by `(p, g)`
+    /// with each group in source order (own components, `pending`,
+    /// `queue`, `gotstate`) — the same order [`allstate_entries`]
+    /// produces.
+    pub entries: Vec<(ProcId, ViewId, SummaryRef<'a>)>,
+    /// `allcontent`: the union of `x.con` over `allstate`, or the first
+    /// label bound to two distinct values (a Lemma 6.5 violation).
+    pub allcontent: Result<BTreeMap<Label, &'a Value>, Label>,
+    /// `allconfirm`: the lub of `x.confirm` over `allstate`, or `None`
+    /// if the prefixes are inconsistent (a Corollary 6.24 violation).
+    pub allconfirm: Option<Vec<Label>>,
+    /// Identifiers of every created view.
+    pub created_ids: BTreeSet<ViewId>,
+    /// The created views whose membership contains a quorum.
+    pub quorum_views: Vec<&'a View>,
+}
+
+impl<'a> DerivedState<'a> {
+    /// Computes the full snapshot in one pass over each summary source.
+    pub fn new(s: &'a SysState) -> Self {
+        // Group summaries by the (processor, view) they are attributed
+        // to. Each source is walked once; the per-group push order (own,
+        // pending, queue, gotstate) reproduces allstate_pg's case order.
+        let mut buckets: BTreeMap<(ProcId, ViewId), Vec<SummaryRef<'a>>> = BTreeMap::new();
+        // Case 1: p's own components, while p's current view is g.
+        for (&p, proc) in &s.procs {
+            if let Some(g) = proc.current_id() {
+                buckets.entry((p, g)).or_default().push(SummaryRef::of_proc(proc));
+            }
+        }
+        // Case 2: summaries in pending[p, g].
+        for ((p, g), pend) in &s.vs.pending {
+            for m in pend {
+                if let AppMsg::Summary(x) = m {
+                    buckets.entry((*p, *g)).or_default().push(SummaryRef::of(x));
+                }
+            }
+        }
+        // Case 3: summaries ⟨x, p⟩ in queue[g].
+        for (g, queue) in &s.vs.queue {
+            for (m, sender) in queue {
+                if let AppMsg::Summary(x) = m {
+                    buckets.entry((*sender, *g)).or_default().push(SummaryRef::of(x));
+                }
+            }
+        }
+        // Case 4: gotstate(p)_q for members q currently in g, in
+        // ascending q order (the order the per-(p,g) scan visited them).
+        for q in s.procs.values() {
+            if let Some(g) = q.current_id() {
+                for (&p, x) in &q.gotstate {
+                    buckets.entry((p, g)).or_default().push(SummaryRef::of(x));
+                }
+            }
+        }
+        let mut entries = Vec::with_capacity(buckets.values().map(Vec::len).sum());
+        for ((p, g), refs) in buckets {
+            for r in refs {
+                entries.push((p, g, r));
+            }
+        }
+
+        // allcontent: first-conflict error, in entry order.
+        let allcontent = (|| {
+            let mut out: BTreeMap<Label, &'a Value> = BTreeMap::new();
+            for (_, _, x) in &entries {
+                for (l, a) in x.con {
+                    if let Some(prev) = out.get(l) {
+                        if *prev != a {
+                            return Err(*l);
+                        }
+                    } else {
+                        out.insert(*l, a);
+                    }
+                }
+            }
+            Ok(out)
+        })();
+
+        // allconfirm: lub of the confirm slices (no per-entry Vec).
+        let allconfirm = (|| {
+            let mut best: &[Label] = &[];
+            for (_, _, x) in &entries {
+                let c = x.confirm();
+                if is_prefix(best, c) {
+                    best = c;
+                } else if !is_prefix(c, best) {
+                    return None;
+                }
+            }
+            Some(best.to_vec())
+        })();
+
+        let created_ids = s.vs.created_viewids();
+        let quorum_views = match s.procs.values().next() {
+            Some(any) => {
+                s.vs.created.iter().filter(|v| any.quorums.is_quorum(&v.set)).collect()
+            }
+            None => Vec::new(),
+        };
+
+        DerivedState { entries, allcontent, allconfirm, created_ids, quorum_views }
+    }
+
+    /// The summaries attributed to `(p, g)` — `allstate[p,g]` as borrows.
+    ///
+    /// `entries` is sorted by `(p, g)`, so the group is one contiguous
+    /// run located by binary search.
+    pub fn for_pg(&self, p: ProcId, g: ViewId) -> &[(ProcId, ViewId, SummaryRef<'a>)] {
+        let start = self.entries.partition_point(|&(ep, eg, _)| (ep, eg) < (p, g));
+        let end = start
+            + self.entries[start..].partition_point(|&(ep, eg, _)| (ep, eg) == (p, g));
+        &self.entries[start..end]
+    }
+}
 
 /// `allstate[p,g]`: every summary attributable to processor `p` in view
 /// `g` — its own state summary while its current view is `g`, plus every
@@ -14,56 +197,18 @@ use std::collections::BTreeMap;
 /// `VS-machine`'s `pending`/`queue` or recorded in some member's
 /// `gotstate`.
 pub fn allstate_pg(s: &SysState, p: ProcId, g: ViewId) -> Vec<Summary> {
-    let mut out = Vec::new();
-    let proc = &s.procs[&p];
-    // 1. p's own components, while p's current view is g.
-    if proc.current_id() == Some(g) {
-        out.push(proc.summary());
-    }
-    // 2. Summaries in pending[p,g].
-    if let Some(pend) = s.vs.pending.get(&(p, g)) {
-        for m in pend {
-            if let AppMsg::Summary(x) = m {
-                out.push(x.clone());
-            }
-        }
-    }
-    // 3. Summaries ⟨x, p⟩ in queue[g].
-    for (m, sender) in s.vs.queue_of(g) {
-        if *sender == p {
-            if let AppMsg::Summary(x) = m {
-                out.push(x.clone());
-            }
-        }
-    }
-    // 4. gotstate(p)_q for members q currently in g.
-    for (_, q) in s.procs.iter() {
-        if q.current_id() == Some(g) {
-            if let Some(x) = q.gotstate.get(&p) {
-                out.push(x.clone());
-            }
-        }
-    }
-    out
+    let d = DerivedState::new(s);
+    d.for_pg(p, g).iter().map(|(_, _, x)| x.to_summary()).collect()
 }
 
 /// All `(p, g, summary)` entries of `allstate` (each summary tagged with
 /// the processor and view it is attributed to).
 pub fn allstate_entries(s: &SysState) -> Vec<(ProcId, ViewId, Summary)> {
-    let mut out = Vec::new();
-    let mut gs: std::collections::BTreeSet<ViewId> = s.vs.created_viewids();
-    // Views can only be referenced once created, but be thorough: also
-    // scan views mentioned in pending/queue keys.
-    gs.extend(s.vs.pending.keys().map(|(_, g)| *g));
-    gs.extend(s.vs.queue.keys().copied());
-    for &p in s.procs.keys() {
-        for &g in &gs {
-            for x in allstate_pg(s, p, g) {
-                out.push((p, g, x.clone()));
-            }
-        }
-    }
-    out
+    DerivedState::new(s)
+        .entries
+        .iter()
+        .map(|&(p, g, x)| (p, g, x.to_summary()))
+        .collect()
 }
 
 /// `allcontent`: the union of `x.con` over all of `allstate` — everything
@@ -72,19 +217,9 @@ pub fn allstate_entries(s: &SysState) -> Vec<(ProcId, ViewId, Summary)> {
 /// Returns `Err` with the offending label if the union is not a function
 /// (that would violate Lemma 6.5).
 pub fn allcontent(s: &SysState) -> Result<BTreeMap<Label, Value>, Label> {
-    let mut out: BTreeMap<Label, Value> = BTreeMap::new();
-    for (_, _, x) in allstate_entries(s) {
-        for (l, a) in &x.con {
-            if let Some(prev) = out.get(l) {
-                if prev != a {
-                    return Err(*l);
-                }
-            } else {
-                out.insert(*l, a.clone());
-            }
-        }
-    }
-    Ok(out)
+    DerivedState::new(s)
+        .allcontent
+        .map(|m| m.into_iter().map(|(l, a)| (l, a.clone())).collect())
 }
 
 /// `allconfirm`: the least upper bound of `x.confirm` over `allstate`.
@@ -92,9 +227,7 @@ pub fn allcontent(s: &SysState) -> Result<BTreeMap<Label, Value>, Label> {
 /// Returns `None` if the confirm prefixes are not consistent (that would
 /// violate Corollary 6.24).
 pub fn allconfirm(s: &SysState) -> Option<Vec<Label>> {
-    let confirms: Vec<Vec<Label>> =
-        allstate_entries(s).into_iter().map(|(_, _, x)| x.confirm()).collect();
-    lub(&confirms)
+    DerivedState::new(s).allconfirm
 }
 
 #[cfg(test)]
@@ -160,5 +293,44 @@ mod tests {
         let (l, a) = ac.iter().next().unwrap();
         assert_eq!(l.origin, ProcId(1));
         assert_eq!(a, &Value::from_u64(5));
+    }
+
+    /// The shared snapshot and the one-off wrappers must stay in
+    /// lockstep: same entries in the same order, same allcontent, same
+    /// allconfirm, on a state with churn in flight.
+    #[test]
+    fn snapshot_matches_free_functions_mid_execution() {
+        use crate::adversary::SystemAdversary;
+        use gcs_ioa::Runner;
+        for seed in [2u64, 9] {
+            let mut runner = Runner::new(system(3), SystemAdversary::default(), seed);
+            let exec = runner.run(500).expect("no invariants installed");
+            let s = exec.final_state();
+            let d = DerivedState::new(s);
+            let owned = allstate_entries(s);
+            assert_eq!(owned.len(), d.entries.len());
+            for ((p1, g1, x1), &(p2, g2, x2)) in owned.iter().zip(d.entries.iter()) {
+                assert_eq!((p1, g1), (&p2, &g2));
+                assert_eq!(*x1, x2.to_summary());
+                assert_eq!(x1.confirm(), x2.confirm());
+            }
+            assert_eq!(
+                allcontent(s).ok(),
+                d.allcontent
+                    .as_ref()
+                    .ok()
+                    .map(|m| m.iter().map(|(l, a)| (*l, (*a).clone())).collect())
+            );
+            assert_eq!(allconfirm(s), d.allconfirm);
+            // for_pg returns exactly the (p, g) runs of the entry list.
+            for &(p, g, _) in &d.entries {
+                let group = d.for_pg(p, g);
+                assert!(!group.is_empty());
+                assert!(group.iter().all(|&(ep, eg, _)| ep == p && eg == g));
+                let expected =
+                    owned.iter().filter(|(ep, eg, _)| (*ep, *eg) == (p, g)).count();
+                assert_eq!(group.len(), expected);
+            }
+        }
     }
 }

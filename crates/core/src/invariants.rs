@@ -7,6 +7,11 @@
 //! transcription error in the algorithm of Figures 8–10 or the machine of
 //! Figure 6 would surface here as a violation.
 //!
+//! Every check takes the state **and** a [`DerivedState`] snapshot, so the
+//! derived variables (`allstate`, `allcontent`, `allconfirm`, the quorum
+//! views) are computed once per state and shared across the whole suite
+//! instead of being rebuilt inside each lemma.
+//!
 //! Notes on the handful of places where the paper's statement needs a
 //! side condition to be checkable:
 //!
@@ -19,15 +24,17 @@
 //!   applicable σ (the longest common prefix of the relevant
 //!   `buildorder`s), which implies the property for every shorter prefix.
 
-use crate::derived::{allconfirm, allcontent, allstate_entries, allstate_pg};
+use crate::derived::DerivedState;
 use crate::msg::AppMsg;
 use crate::system::SysState;
 use crate::vstoto::ProcStatus;
 use gcs_model::seq::{common_prefix, is_prefix};
 use gcs_model::{Label, ProcId, ViewId};
 
-/// A named invariant over the composed system state.
-pub type Invariant = (&'static str, fn(&SysState) -> Result<(), String>);
+/// A named invariant over the composed system state plus its derived-state
+/// snapshot.
+pub type Invariant =
+    (&'static str, fn(&SysState, &DerivedState<'_>) -> Result<(), String>);
 
 /// Every invariant in this module, in paper order.
 pub fn all_invariants() -> Vec<Invariant> {
@@ -64,14 +71,25 @@ pub fn all_invariants() -> Vec<Invariant> {
     ]
 }
 
-/// Installs every invariant on a runner for the composed system.
+/// Checks every invariant against one shared snapshot, reporting the first
+/// violation as `"name: explanation"`.
+pub fn check_all(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    for (name, check) in all_invariants() {
+        check(s, d).map_err(|e| format!("{name}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Installs the invariant suite on a runner for the composed system, as a
+/// single check that builds the [`DerivedState`] snapshot once per state.
 pub fn install_invariants<E>(runner: &mut gcs_ioa::Runner<crate::system::VsToToSystem, E>)
 where
     E: gcs_ioa::Environment<crate::system::VsToToSystem>,
 {
-    for (name, check) in all_invariants() {
-        runner.add_invariant(name, check);
-    }
+    runner.add_invariant("invariant suite", |s| {
+        let d = DerivedState::new(s);
+        check_all(s, &d)
+    });
 }
 
 fn fail(msg: String) -> Result<(), String> {
@@ -82,7 +100,7 @@ fn fail(msg: String) -> Result<(), String> {
 // Lemma 4.1 — VS-machine state invariants
 // ---------------------------------------------------------------------
 
-fn lemma_4_1_1(s: &SysState) -> Result<(), String> {
+fn lemma_4_1_1(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     let mut seen = std::collections::BTreeMap::new();
     for v in &s.vs.created {
         if let Some(other) = seen.insert(v.id, &v.set) {
@@ -95,7 +113,7 @@ fn lemma_4_1_1(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_4_1_2_3(s: &SysState) -> Result<(), String> {
+fn lemma_4_1_2_3(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, cv) in &s.vs.current_viewid {
         if let Some(g) = cv {
             let Some(view) = s.vs.created_view(*g) else {
@@ -109,13 +127,12 @@ fn lemma_4_1_2_3(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_4_1_4_6(s: &SysState) -> Result<(), String> {
-    let created = s.vs.created_viewids();
+fn lemma_4_1_4_6(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
     for ((p, g), pend) in &s.vs.pending {
         if pend.is_empty() {
             continue;
         }
-        if !created.contains(g) {
+        if !d.created_ids.contains(g) {
             return fail(format!("pending[{p},{g}] nonempty but {g} not created"));
         }
         match s.vs.current_viewid(*p) {
@@ -131,13 +148,12 @@ fn lemma_4_1_4_6(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_4_1_7_9(s: &SysState) -> Result<(), String> {
-    let created = s.vs.created_viewids();
+fn lemma_4_1_7_9(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
     for (g, queue) in &s.vs.queue {
         if queue.is_empty() {
             continue;
         }
-        if !created.contains(g) {
+        if !d.created_ids.contains(g) {
             return fail(format!("queue[{g}] nonempty but {g} not created"));
         }
         for (_, p) in queue {
@@ -155,7 +171,7 @@ fn lemma_4_1_7_9(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_4_1_10_12(s: &SysState) -> Result<(), String> {
+fn lemma_4_1_10_12(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (&(p, g), &n) in &s.vs.next_map {
         let len = s.vs.queue_of(g).len() as u64;
         if n > len + 1 {
@@ -174,7 +190,7 @@ fn lemma_4_1_10_12(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_4_1_13_14(s: &SysState) -> Result<(), String> {
+fn lemma_4_1_13_14(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     let check = |map: &std::collections::BTreeMap<(ProcId, ViewId), u64>,
                  name: &str|
      -> Result<(), String> {
@@ -197,7 +213,7 @@ fn lemma_4_1_13_14(s: &SysState) -> Result<(), String> {
 // Section 6.1 — invariants of the composed system
 // ---------------------------------------------------------------------
 
-fn lemma_6_1(s: &SysState) -> Result<(), String> {
+fn lemma_6_1(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
         let vs_cur = s.vs.current_viewid(p);
         match (&proc.current, vs_cur) {
@@ -218,7 +234,7 @@ fn lemma_6_1(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_2(s: &SysState) -> Result<(), String> {
+fn lemma_6_2(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
         if proc.current.is_none() && proc.status != ProcStatus::Normal {
             return fail(format!("{p} has status {:?} at ⊥", proc.status));
@@ -227,7 +243,7 @@ fn lemma_6_2(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_3(s: &SysState) -> Result<(), String> {
+fn lemma_6_3(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     // Part 1: buffer labels carry the owner and its current view.
     for (&p, proc) in &s.procs {
         for l in &proc.buffer {
@@ -266,8 +282,11 @@ fn lemma_6_3(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_4(s: &SysState) -> Result<(), String> {
-    let ac = allcontent(s).map_err(|l| format!("allcontent not a function at {l}"))?;
+fn lemma_6_4(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    let ac = d
+        .allcontent
+        .as_ref()
+        .map_err(|l| format!("allcontent not a function at {l}"))?;
     for l in ac.keys() {
         let proc = &s.procs[&l.origin];
         match proc.current_id() {
@@ -285,11 +304,14 @@ fn lemma_6_4(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_5(s: &SysState) -> Result<(), String> {
-    allcontent(s).map(|_| ()).map_err(|l| format!("two values for label {l}"))
+fn lemma_6_5(_s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    d.allcontent
+        .as_ref()
+        .map(|_| ())
+        .map_err(|l| format!("two values for label {l}"))
 }
 
-fn lemma_6_6(s: &SysState) -> Result<(), String> {
+fn lemma_6_6(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
         for l in &proc.buffer {
             if !proc.content.contains_key(l) {
@@ -300,11 +322,9 @@ fn lemma_6_6(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_7(s: &SysState) -> Result<(), String> {
-    let gs: Vec<ViewId> = s.vs.created_viewids().into_iter().collect();
-    let entries = allstate_entries(s);
+fn lemma_6_7(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
-        for &g in &gs {
+        for &g in &d.created_ids {
             let future = match proc.current_id() {
                 None => true,
                 Some(cur) => cur < g,
@@ -312,12 +332,12 @@ fn lemma_6_7(s: &SysState) -> Result<(), String> {
             if !future {
                 continue;
             }
-            if !allstate_pg(s, p, g).is_empty() {
+            if !d.for_pg(p, g).is_empty() {
                 return fail(format!("allstate[{p},{g}] nonempty before {p} reached {g}"));
             }
         }
         // Parts 5–6: no labels of a view the origin has not reached.
-        for (_, _, x) in &entries {
+        for (_, _, x) in &d.entries {
             for l in x.con.keys() {
                 if l.origin == p {
                     let reached = proc.current_id().is_some_and(|cur| cur >= l.view);
@@ -334,7 +354,7 @@ fn lemma_6_7(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_8(s: &SysState) -> Result<(), String> {
+fn lemma_6_8(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
         if proc.status != ProcStatus::Send {
             continue;
@@ -355,17 +375,17 @@ fn lemma_6_8(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_9(s: &SysState) -> Result<(), String> {
+fn lemma_6_9(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
         if proc.status != ProcStatus::Collect {
             continue;
         }
         let Some(g) = proc.current_id() else { continue };
-        for x in allstate_pg(s, p, g) {
+        for (_, _, x) in d.for_pg(p, g) {
             if !x.con.keys().all(|l| proc.content.contains_key(l)) {
                 return fail(format!("collect at {p}: summary con ⊄ content"));
             }
-            if x.ord != proc.order {
+            if x.ord != &proc.order[..] {
                 return fail(format!("collect at {p}: summary ord differs from order"));
             }
             if x.next != proc.nextconfirm {
@@ -379,7 +399,7 @@ fn lemma_6_9(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_10(s: &SysState) -> Result<(), String> {
+fn lemma_6_10(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for &(p, g) in &s.established {
         match s.procs[&p].current_id() {
             None => return fail(format!("established[{p},{g}] but current = ⊥")),
@@ -404,7 +424,7 @@ fn lemma_6_10(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_11(s: &SysState) -> Result<(), String> {
+fn lemma_6_11(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
         if let Some(cur) = proc.current_id() {
             let est = s.is_established(p, cur);
@@ -459,8 +479,8 @@ fn lemma_6_11(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_12(s: &SysState) -> Result<(), String> {
-    for (p, g, x) in allstate_entries(s) {
+fn lemma_6_12(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    for &(p, g, x) in &d.entries {
         if !(x.high <= Some(g)) {
             return fail(format!("allstate[{p},{g}] has high {:?} > {g}", x.high));
         }
@@ -473,13 +493,8 @@ fn lemma_6_12(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn quorum_views(s: &SysState) -> Vec<&gcs_model::View> {
-    let any = s.procs.values().next().expect("nonempty system");
-    s.vs.created.iter().filter(|v| any.quorums.is_quorum(&v.set)).collect()
-}
-
-fn lemma_6_13(s: &SysState) -> Result<(), String> {
-    for v in quorum_views(s) {
+fn lemma_6_13(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    for v in &d.quorum_views {
         for (&p, proc) in &s.procs {
             if s.is_established(p, v.id)
                 && proc.current_id().is_some_and(|cur| cur > v.id)
@@ -495,15 +510,14 @@ fn lemma_6_13(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_14(s: &SysState) -> Result<(), String> {
-    let entries = allstate_entries(s);
-    for v in quorum_views(s) {
+fn lemma_6_14(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    for v in &d.quorum_views {
         for &p in s.procs.keys() {
             if !s.is_established(p, v.id) {
                 continue;
             }
-            for (q, g, x) in &entries {
-                if *q == p && *g > v.id && !(x.high >= Some(v.id)) {
+            for &(q, g, x) in &d.entries {
+                if q == p && g > v.id && !(x.high >= Some(v.id)) {
                     return fail(format!(
                         "allstate[{p},{g}] has high {:?} < established primary {}",
                         x.high, v.id
@@ -515,11 +529,11 @@ fn lemma_6_14(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_15(s: &SysState) -> Result<(), String> {
+fn lemma_6_15(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
         if let Some(g) = proc.current_id() {
             if !s.is_established(p, g) {
-                for x in allstate_pg(s, p, g) {
+                for (_, _, x) in d.for_pg(p, g) {
                     if x.high == Some(g) {
                         return fail(format!(
                             "allstate[{p},{g}] has high = {g} before establishment"
@@ -532,8 +546,8 @@ fn lemma_6_15(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_16(s: &SysState) -> Result<(), String> {
-    for (p, g, x) in allstate_entries(s) {
+fn lemma_6_16(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    for &(p, g, x) in &d.entries {
         match x.high {
             None => {
                 if !x.ord.is_empty() {
@@ -546,7 +560,7 @@ fn lemma_6_16(s: &SysState) -> Result<(), String> {
                 };
                 let witness = v.set.iter().any(|&q| {
                     s.is_established(q, h)
-                        && s.buildorder(q, h) == x.ord.as_slice()
+                        && s.buildorder(q, h) == x.ord
                         && (h == g || s.procs[&q].current_id().is_some_and(|cur| cur > h))
                 });
                 if !witness {
@@ -561,7 +575,7 @@ fn lemma_6_16(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_17(s: &SysState) -> Result<(), String> {
+fn lemma_6_17(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for v in &s.vs.created {
         let someone = s.procs.keys().any(|&p| s.is_established(p, v.id));
         if !someone {
@@ -579,9 +593,8 @@ fn lemma_6_17(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_18_19(s: &SysState) -> Result<(), String> {
-    let entries = allstate_entries(s);
-    for v in quorum_views(s) {
+fn lemma_6_18_19(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    for v in &d.quorum_views {
         // Corollary 6.19 instance: all members established v.
         if v.set.iter().all(|&p| s.is_established(p, v.id)) {
             let mut sigma: Option<Vec<Label>> = None;
@@ -593,8 +606,8 @@ fn lemma_6_18_19(s: &SysState) -> Result<(), String> {
                 });
             }
             let sigma = sigma.unwrap_or_default();
-            for (p, g, x) in &entries {
-                if x.high >= Some(v.id) && !is_prefix(&sigma, &x.ord) {
+            for &(p, g, x) in &d.entries {
+                if x.high >= Some(v.id) && !is_prefix(&sigma, x.ord) {
                     return fail(format!(
                         "σ of established primary {} (len {}) not a prefix of \
                          allstate[{p},{g}].ord (high {:?})",
@@ -622,8 +635,8 @@ fn lemma_6_18_19(s: &SysState) -> Result<(), String> {
                 });
             }
             let sigma = sigma.unwrap_or_default();
-            for (p, g, x) in &entries {
-                if x.high > Some(v.id) && !is_prefix(&sigma, &x.ord) {
+            for &(p, g, x) in &d.entries {
+                if x.high > Some(v.id) && !is_prefix(&sigma, x.ord) {
                     return fail(format!(
                         "σ of left primary {} (len {}) not a prefix of \
                          allstate[{p},{g}].ord (high {:?})",
@@ -638,7 +651,7 @@ fn lemma_6_18_19(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_20(s: &SysState) -> Result<(), String> {
+fn lemma_6_20(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (&p, proc) in &s.procs {
         if proc.safe_labels.is_empty() {
             continue;
@@ -668,10 +681,13 @@ fn lemma_6_20(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_21(s: &SysState) -> Result<(), String> {
-    let ac = allcontent(s).map_err(|l| format!("allcontent not a function at {l}"))?;
+fn lemma_6_21(_s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    let ac = d
+        .allcontent
+        .as_ref()
+        .map_err(|l| format!("allcontent not a function at {l}"))?;
     let labels: Vec<Label> = ac.keys().copied().collect();
-    for (p, g, x) in allstate_entries(s) {
+    for &(p, g, x) in &d.entries {
         let pos: std::collections::BTreeMap<Label, usize> =
             x.ord.iter().enumerate().map(|(i, l)| (*l, i)).collect();
         for (i_prime, l_prime) in x.ord.iter().enumerate() {
@@ -692,8 +708,8 @@ fn lemma_6_21(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn lemma_6_22(s: &SysState) -> Result<(), String> {
-    for (p, g, x) in allstate_entries(s) {
+fn lemma_6_22(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    for &(p, g, x) in &d.entries {
         // Part 2.
         if x.next > x.ord.len() as u64 + 1 {
             return fail(format!(
@@ -707,10 +723,10 @@ fn lemma_6_22(s: &SysState) -> Result<(), String> {
         if confirm.is_empty() {
             continue;
         }
-        let supported = quorum_views(s).into_iter().any(|v| {
+        let supported = d.quorum_views.iter().any(|v| {
             Some(v.id) <= x.high
                 && v.set.iter().all(|&q| {
-                    s.is_established(q, v.id) && is_prefix(&confirm, s.buildorder(q, v.id))
+                    s.is_established(q, v.id) && is_prefix(confirm, s.buildorder(q, v.id))
                 })
         });
         if !supported {
@@ -723,11 +739,10 @@ fn lemma_6_22(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn corollary_6_23(s: &SysState) -> Result<(), String> {
-    let entries = allstate_entries(s);
-    for (p1, g1, x1) in &entries {
-        for (p2, g2, x2) in &entries {
-            if x1.high <= x2.high && !is_prefix(&x1.confirm(), &x2.ord) {
+fn corollary_6_23(_s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    for &(p1, g1, x1) in &d.entries {
+        for &(p2, g2, x2) in &d.entries {
+            if x1.high <= x2.high && !is_prefix(x1.confirm(), x2.ord) {
                 return fail(format!(
                     "confirm of allstate[{p1},{g1}] not a prefix of allstate[{p2},{g2}].ord"
                 ));
@@ -737,8 +752,8 @@ fn corollary_6_23(s: &SysState) -> Result<(), String> {
     Ok(())
 }
 
-fn corollary_6_24(s: &SysState) -> Result<(), String> {
-    match allconfirm(s) {
+fn corollary_6_24(_s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
+    match &d.allconfirm {
         Some(_) => Ok(()),
         None => fail("confirm prefixes are not pairwise consistent".to_string()),
     }
@@ -761,8 +776,9 @@ mod tests {
     #[test]
     fn all_invariants_hold_on_initial_state() {
         let s = system(3).initial();
+        let d = DerivedState::new(&s);
         for (name, check) in all_invariants() {
-            check(&s).unwrap_or_else(|e| panic!("{name} on initial state: {e}"));
+            check(&s, &d).unwrap_or_else(|e| panic!("{name} on initial state: {e}"));
         }
     }
 
@@ -799,6 +815,7 @@ mod tests {
         let sys = system(3);
         let mut s = sys.initial();
         s.established.insert((ProcId(0), gcs_model::ViewId::new(9, ProcId(0))));
-        assert!(lemma_6_10(&s).is_err());
+        let d = DerivedState::new(&s);
+        assert!(lemma_6_10(&s, &d).is_err());
     }
 }

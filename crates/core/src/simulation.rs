@@ -19,7 +19,7 @@
 //! that execution what Theorem 6.26 proves in general: every trace of
 //! `VStoTO-system` is a trace of `TO-machine`.
 
-use crate::derived::{allconfirm, allcontent};
+use crate::derived::DerivedState;
 use crate::system::{SysAction, SysState, VsToToSystem};
 use crate::to_machine::{ToAction, ToMachine, ToState};
 use gcs_ioa::{ForwardSimulation, Runner};
@@ -36,12 +36,25 @@ use std::rc::Rc;
 /// inconsistent — those are invariant violations (Lemma 6.5,
 /// Corollary 6.24) that the invariant suite reports with better context.
 pub fn abstraction(s: &SysState) -> ToState {
-    let content = allcontent(s).expect("allcontent is a function (Lemma 6.5)");
-    let confirm = allconfirm(s).expect("allconfirm is defined (Corollary 6.24)");
+    abstraction_with(s, &DerivedState::new(s))
+}
+
+/// The abstraction function over an already-computed [`DerivedState`]
+/// snapshot — `allstate` is walked once instead of once per derived
+/// variable.
+pub fn abstraction_with(s: &SysState, d: &DerivedState<'_>) -> ToState {
+    let content = d
+        .allcontent
+        .as_ref()
+        .expect("allcontent is a function (Lemma 6.5)");
+    let confirm = d
+        .allconfirm
+        .as_ref()
+        .expect("allconfirm is defined (Corollary 6.24)");
     let confirmed: BTreeSet<Label> = confirm.iter().copied().collect();
     let queue = confirm
         .iter()
-        .map(|l| (content.get(l).expect("confirmed label has content").clone(), l.origin))
+        .map(|l| ((*content.get(l).expect("confirmed label has content")).clone(), l.origin))
         .collect();
     let pending = s
         .procs
@@ -52,7 +65,7 @@ pub fn abstraction(s: &SysState) -> ToState {
             let mut vals: std::collections::VecDeque<gcs_model::Value> = content
                 .iter()
                 .filter(|(l, _)| l.origin == p && !confirmed.contains(l))
-                .map(|(_, a)| a.clone())
+                .map(|(_, a)| (*a).clone())
                 .collect();
             vals.extend(proc.delay.iter().cloned());
             (p, vals)
@@ -71,7 +84,9 @@ pub fn correspondence(pre: &SysState, action: &SysAction) -> Vec<ToAction> {
             vec![ToAction::Brcv { src: *src, dst: *dst, a: a.clone() }]
         }
         SysAction::Confirm { p } => {
-            let confirm = allconfirm(pre).expect("allconfirm defined");
+            // One snapshot serves both allconfirm and allcontent.
+            let d = DerivedState::new(pre);
+            let confirm = d.allconfirm.as_ref().expect("allconfirm defined");
             let proc = &pre.procs[p];
             if proc.nextconfirm as usize <= confirm.len() {
                 // Someone already confirmed this label; allconfirm is
@@ -79,8 +94,8 @@ pub fn correspondence(pre: &SysState, action: &SysAction) -> Vec<ToAction> {
                 Vec::new()
             } else {
                 let l = proc.order[proc.nextconfirm as usize - 1];
-                let content = allcontent(pre).expect("allcontent is a function");
-                let a = content.get(&l).expect("ordered label has content").clone();
+                let content = d.allcontent.as_ref().expect("allcontent is a function");
+                let a = (*content.get(&l).expect("ordered label has content")).clone();
                 vec![ToAction::ToOrder { p: l.origin, a }]
             }
         }

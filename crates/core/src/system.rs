@@ -229,32 +229,22 @@ impl Automaton for VsToToSystem {
     fn is_enabled(&self, s: &SysState, action: &SysAction) -> bool {
         match action {
             SysAction::Bcast { p, .. } => self.procs.contains(p),
-            SysAction::Brcv { src, dst, a } => {
-                s.procs.get(dst).and_then(|proc| proc.brcv_ready()).as_ref()
-                    == Some(&(*src, a.clone()))
-            }
+            SysAction::Brcv { src, dst, a } => s
+                .procs
+                .get(dst)
+                .is_some_and(|proc| proc.brcv_ready_ref() == Some((*src, a))),
             SysAction::Label { p } => {
                 s.procs.get(p).is_some_and(|proc| proc.label_ready().is_some())
             }
             SysAction::Confirm { p } => s.procs.get(p).is_some_and(|proc| proc.confirm_ready()),
             SysAction::CreateView(v) => self.vs.createview_enabled(&s.vs, v),
-            SysAction::NewView { p, v } => {
-                self.vs.is_enabled(&s.vs, &VsAction::NewView { p: *p, v: v.clone() })
-            }
+            SysAction::NewView { p, v } => self.vs.newview_enabled(&s.vs, *p, v),
             SysAction::GpSnd { p, m } => {
-                s.procs.get(p).is_some_and(|proc| proc.gpsnd_ready().as_ref() == Some(m))
+                s.procs.get(p).is_some_and(|proc| proc.gpsnd_matches(m))
             }
-            SysAction::VsOrder { p, g, m } => {
-                self.vs.is_enabled(&s.vs, &VsAction::VsOrder { p: *p, g: *g, m: m.clone() })
-            }
-            SysAction::GpRcv { src, dst, m } => self.vs.is_enabled(
-                &s.vs,
-                &VsAction::GpRcv { src: *src, dst: *dst, m: m.clone() },
-            ),
-            SysAction::Safe { src, dst, m } => self.vs.is_enabled(
-                &s.vs,
-                &VsAction::Safe { src: *src, dst: *dst, m: m.clone() },
-            ),
+            SysAction::VsOrder { p, g, m } => self.vs.vsorder_enabled(&s.vs, *p, *g, m),
+            SysAction::GpRcv { src, dst, m } => self.vs.gprcv_enabled(&s.vs, *src, *dst, m),
+            SysAction::Safe { src, dst, m } => self.vs.safe_enabled(&s.vs, *src, *dst, m),
         }
     }
 

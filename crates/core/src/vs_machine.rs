@@ -194,6 +194,45 @@ impl<M> VsMachine<M> {
             && v.set.is_subset(&self.procs)
             && s.created.iter().all(|w| v.id > w.id)
     }
+
+    /// Checks the `newview(v)_p` precondition against a borrowed view.
+    pub fn newview_enabled(&self, s: &VsState<M>, p: ProcId, v: &View) -> bool {
+        v.set.contains(&p)
+            && s.created.contains(v)
+            && match s.current_viewid(p) {
+                None => true,
+                Some(cur) => v.id > cur,
+            }
+    }
+}
+
+/// Borrowed precondition checks — equivalent to [`Automaton::is_enabled`]
+/// on the corresponding action but comparing message components in
+/// place, so enabledness probes never clone an `M`.
+impl<M: PartialEq> VsMachine<M> {
+    /// Checks the `vs-order(m, p, g)` precondition.
+    pub fn vsorder_enabled(&self, s: &VsState<M>, p: ProcId, g: ViewId, m: &M) -> bool {
+        s.pending.get(&(p, g)).and_then(|q| q.front()) == Some(m)
+    }
+
+    /// Checks the `gprcv(m)_{src,dst}` precondition.
+    pub fn gprcv_enabled(&self, s: &VsState<M>, src: ProcId, dst: ProcId, m: &M) -> bool {
+        let Some(g) = s.current_viewid(dst) else { return false };
+        s.queue_of(g)
+            .get(s.next(dst, g) as usize - 1)
+            .is_some_and(|(qm, qp)| qm == m && *qp == src)
+    }
+
+    /// Checks the `safe(m)_{src,dst}` precondition.
+    pub fn safe_enabled(&self, s: &VsState<M>, src: ProcId, dst: ProcId, m: &M) -> bool {
+        let Some(g) = s.current_viewid(dst) else { return false };
+        let Some(view) = s.created_view(g) else { return false };
+        let ns = s.next_safe(dst, g);
+        s.queue_of(g)
+            .get(ns as usize - 1)
+            .is_some_and(|(qm, qp)| qm == m && *qp == src)
+            && view.set.iter().all(|&r| s.next(r, g) > ns)
+    }
 }
 
 impl<M: Clone + fmt::Debug + PartialEq> Automaton for VsMachine<M> {
@@ -244,29 +283,11 @@ impl<M: Clone + fmt::Debug + PartialEq> Automaton for VsMachine<M> {
     fn is_enabled(&self, s: &VsState<M>, action: &VsAction<M>) -> bool {
         match action {
             VsAction::CreateView(v) => self.createview_enabled(s, v),
-            VsAction::NewView { p, v } => {
-                v.set.contains(p)
-                    && s.created.contains(v)
-                    && match s.current_viewid(*p) {
-                        None => true,
-                        Some(cur) => v.id > cur,
-                    }
-            }
+            VsAction::NewView { p, v } => self.newview_enabled(s, *p, v),
             VsAction::GpSnd { p, .. } => self.procs.contains(p),
-            VsAction::VsOrder { p, g, m } => {
-                s.pending.get(&(*p, *g)).and_then(|q| q.front()) == Some(m)
-            }
-            VsAction::GpRcv { src, dst, m } => {
-                let Some(g) = s.current_viewid(*dst) else { return false };
-                s.queue_of(g).get(s.next(*dst, g) as usize - 1) == Some(&(m.clone(), *src))
-            }
-            VsAction::Safe { src, dst, m } => {
-                let Some(g) = s.current_viewid(*dst) else { return false };
-                let Some(view) = s.created_view(g) else { return false };
-                let ns = s.next_safe(*dst, g);
-                s.queue_of(g).get(ns as usize - 1) == Some(&(m.clone(), *src))
-                    && view.set.iter().all(|&r| s.next(r, g) > ns)
-            }
+            VsAction::VsOrder { p, g, m } => self.vsorder_enabled(s, *p, *g, m),
+            VsAction::GpRcv { src, dst, m } => self.gprcv_enabled(s, *src, *dst, m),
+            VsAction::Safe { src, dst, m } => self.safe_enabled(s, *src, *dst, m),
         }
     }
 

@@ -324,14 +324,35 @@ impl VsToToProc {
         }
     }
 
+    /// Whether `gpsnd(m)_p` is enabled *for this specific message* —
+    /// equivalent to `gpsnd_ready() == Some(m)` but compared
+    /// component-wise against the live state, so no summary or value is
+    /// materialized per test (the scheduler calls this on every
+    /// enabledness probe).
+    pub fn gpsnd_matches(&self, m: &AppMsg) -> bool {
+        match m {
+            AppMsg::Summary(x) => {
+                self.status == ProcStatus::Send
+                    && x.next == self.nextconfirm
+                    && x.high == self.highprimary
+                    && x.ord == self.order
+                    && x.con == self.content
+            }
+            AppMsg::Val(l, a) => {
+                self.status == ProcStatus::Normal
+                    && self.buffer.front() == Some(l)
+                    && self.content.get(l) == Some(a)
+            }
+        }
+    }
+
     /// Effect of `gpsnd(m)_p`.
     ///
     /// # Panics
     ///
     /// Panics if `m` does not match [`VsToToProc::gpsnd_ready`].
     pub fn do_gpsnd(&mut self, m: &AppMsg) {
-        let ready = self.gpsnd_ready();
-        assert_eq!(ready.as_ref(), Some(m), "gpsnd of an unready message");
+        assert!(self.gpsnd_matches(m), "gpsnd of an unready message");
         match m {
             AppMsg::Val(..) => {
                 self.buffer.pop_front();
@@ -367,10 +388,16 @@ impl VsToToProc {
     /// Whether output `brcv(a)_{q,p}` is enabled; returns
     /// `(q, a)` = (origin of the next confirmed label, its value).
     pub fn brcv_ready(&self) -> Option<(ProcId, Value)> {
+        self.brcv_ready_ref().map(|(q, a)| (q, a.clone()))
+    }
+
+    /// [`VsToToProc::brcv_ready`] without cloning the value — the form
+    /// the scheduler's enabledness test uses.
+    pub fn brcv_ready_ref(&self) -> Option<(ProcId, &Value)> {
         if self.nextreport < self.nextconfirm {
             let l = self.order.get(self.nextreport as usize - 1)?;
             let a = self.content.get(l)?;
-            Some((l.origin, a.clone()))
+            Some((l.origin, a))
         } else {
             None
         }

@@ -3,7 +3,7 @@
 //! reordering construction.
 
 use gcs_core::adversary::{SystemAdversary, VsAdversary};
-use gcs_core::invariants::all_invariants;
+use gcs_core::invariants::install_invariants;
 use gcs_core::simulation::install_simulation_check;
 use gcs_core::system::VsToToSystem;
 use gcs_core::vs_machine::{VsAction, VsMachine};
@@ -100,9 +100,7 @@ proptest! {
             .with_bcast_prob(bcast_prob)
             .with_view_prob(view_prob);
         let mut runner = Runner::new(sys, adv, seed);
-        for (name, check) in all_invariants() {
-            runner.add_invariant(name, check);
-        }
+        install_invariants(&mut runner);
         let violations = install_simulation_check(&mut runner);
         runner.run(350).map_err(|e| TestCaseError::fail(format!("{e}")))?;
         prop_assert!(violations.borrow().is_empty(),

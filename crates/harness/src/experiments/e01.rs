@@ -5,6 +5,7 @@
 //! and the full implementation stack (checked black-box on its recorded
 //! client trace). Expected result: zero violations everywhere.
 
+use crate::par::par_seeds;
 use crate::scenarios;
 use crate::{row, Table};
 use gcs_core::adversary::SystemAdversary;
@@ -25,9 +26,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["n", "seeds", "steps/seed", "brcv events", "trace violations"],
     );
     for n in [3u32, 4, 5] {
-        let mut brcvs = 0usize;
-        let mut violations = 0usize;
-        for seed in 0..seeds {
+        let seed_list: Vec<u64> = (0..seeds).collect();
+        let per_seed = par_seeds(&seed_list, |seed| {
             let procs = ProcId::range(n);
             let sys = VsToToSystem::new(
                 procs.clone(),
@@ -37,13 +37,16 @@ pub fn run(quick: bool) -> Vec<Table> {
             let mut runner = Runner::new(sys, SystemAdversary::default(), seed);
             let v = install_simulation_check(&mut runner);
             let exec = runner.run(steps).expect("no invariants installed");
-            brcvs += exec
+            let brcvs = exec
                 .actions()
                 .iter()
                 .filter(|a| matches!(a, SysAction::Brcv { .. }))
                 .count();
-            violations += v.borrow().len();
-        }
+            let violations = v.borrow().len();
+            (brcvs, violations)
+        });
+        let brcvs: usize = per_seed.iter().map(|(b, _)| b).sum();
+        let violations: usize = per_seed.iter().map(|(_, v)| v).sum();
         abs.row(row![n, seeds, steps, brcvs, violations]);
     }
     abs.note("Every step is checked against the simulation relation f of Section 6.2.");

@@ -4,6 +4,7 @@
 //! Stress variants: heavy view churn, quiescing churn (system settles),
 //! submission-heavy, and non-majority quorum systems.
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_core::adversary::SystemAdversary;
 use gcs_core::simulation::install_simulation_check;
@@ -11,6 +12,25 @@ use gcs_core::system::VsToToSystem;
 use gcs_ioa::Runner;
 use gcs_model::{Explicit, Majority, ProcId, QuorumSystem};
 use std::sync::Arc;
+
+/// One seed's worth of per-step simulation checking: returns
+/// `(steps checked, violations)`. Public so the parallel-determinism
+/// regression test can drive it with explicit worker counts.
+pub fn seed_counts(
+    n: u32,
+    quorums: &Arc<dyn QuorumSystem>,
+    adv: &SystemAdversary,
+    seed: u64,
+    steps: usize,
+) -> (usize, usize) {
+    let procs = ProcId::range(n);
+    let sys = VsToToSystem::new(procs.clone(), procs, quorums.clone());
+    let mut runner = Runner::new(sys, adv.clone(), seed);
+    let v = install_simulation_check(&mut runner);
+    let exec = runner.run(steps).expect("no invariants installed");
+    let violations = v.borrow().len();
+    (exec.actions().len(), violations)
+}
 
 fn variant(
     t: &mut Table,
@@ -21,17 +41,10 @@ fn variant(
     seeds: u64,
     steps: usize,
 ) {
-    let mut checked = 0usize;
-    let mut violations = 0usize;
-    for seed in 0..seeds {
-        let procs = ProcId::range(n);
-        let sys = VsToToSystem::new(procs.clone(), procs, quorums.clone());
-        let mut runner = Runner::new(sys, adv.clone(), seed);
-        let v = install_simulation_check(&mut runner);
-        let exec = runner.run(steps).expect("no invariants installed");
-        checked += exec.actions().len();
-        violations += v.borrow().len();
-    }
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let per_seed = par_seeds(&seed_list, |seed| seed_counts(n, &quorums, &adv, seed, steps));
+    let checked: usize = per_seed.iter().map(|(c, _)| c).sum();
+    let violations: usize = per_seed.iter().map(|(_, v)| v).sum();
     t.row(row![name, n, seeds, checked, violations]);
 }
 

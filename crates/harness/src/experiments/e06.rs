@@ -2,8 +2,10 @@
 //! every step of randomly scheduled executions with adversarial view
 //! churn. One row per lemma; expected: zero violations.
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_core::adversary::SystemAdversary;
+use gcs_core::derived::DerivedState;
 use gcs_core::invariants::all_invariants;
 use gcs_core::system::VsToToSystem;
 use gcs_ioa::Runner;
@@ -12,34 +14,51 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
+/// One seed's worth of invariant checking: every check evaluated on the
+/// post-state of every step against one shared [`DerivedState`] snapshot
+/// per state. Returns `(states checked, violations)` per invariant, in
+/// [`all_invariants`] order. Public so the parallel-determinism
+/// regression test can drive it with explicit worker counts.
+pub fn seed_counts(n: u32, seed: u64, steps: usize) -> Vec<(usize, usize)> {
+    let procs = ProcId::range(n);
+    let sys = VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(n as usize)));
+    let mut runner = Runner::new(sys, SystemAdversary::default().with_view_prob(0.1), seed);
+    let checks = all_invariants();
+    let counts: Rc<RefCell<Vec<(usize, usize)>>> =
+        Rc::new(RefCell::new(vec![(0, 0); checks.len()]));
+    let sink = counts.clone();
+    runner.add_observer(move |_pre, _a, post| {
+        let d = DerivedState::new(post);
+        let mut c = sink.borrow_mut();
+        for (i, (_, check)) in checks.iter().enumerate() {
+            c[i].0 += 1;
+            if check(post, &d).is_err() {
+                c[i].1 += 1;
+            }
+        }
+    });
+    runner.run(steps).expect("no erroring invariants installed");
+    drop(runner);
+    Rc::try_unwrap(counts).expect("observer dropped with runner").into_inner()
+}
+
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
     let seeds = if quick { 2 } else { 10 };
     let steps = if quick { 300 } else { 1_500 };
     let n = 3u32;
 
-    // Count states checked and violations per invariant across all runs.
+    // Count states checked and violations per invariant across all runs,
+    // aggregating the per-seed counts in seed order.
     let names: Vec<&'static str> = all_invariants().iter().map(|(n, _)| *n).collect();
-    let counts: Rc<RefCell<Vec<(usize, usize)>>> =
-        Rc::new(RefCell::new(vec![(0, 0); names.len()]));
-
-    for seed in 0..seeds {
-        let procs = ProcId::range(n);
-        let sys = VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(3)));
-        let mut runner =
-            Runner::new(sys, SystemAdversary::default().with_view_prob(0.1), seed);
-        let sink = counts.clone();
-        let checks = all_invariants();
-        runner.add_observer(move |_pre, _a, post| {
-            let mut c = sink.borrow_mut();
-            for (i, (_, check)) in checks.iter().enumerate() {
-                c[i].0 += 1;
-                if check(post).is_err() {
-                    c[i].1 += 1;
-                }
-            }
-        });
-        runner.run(steps).expect("no erroring invariants installed");
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let per_seed = par_seeds(&seed_list, |seed| seed_counts(n, seed, steps));
+    let mut counts = vec![(0usize, 0usize); names.len()];
+    for one_seed in &per_seed {
+        for (total, c) in counts.iter_mut().zip(one_seed) {
+            total.0 += c.0;
+            total.1 += c.1;
+        }
     }
 
     let mut t = Table::new(
@@ -47,7 +66,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["invariant", "states checked", "violations"],
     );
     for (i, name) in names.iter().enumerate() {
-        let (checked, viol) = counts.borrow()[i];
+        let (checked, viol) = counts[i];
         t.row(row![name, checked, viol]);
     }
     t.note(format!(
@@ -60,12 +79,12 @@ pub fn run(quick: bool) -> Vec<Table> {
 /// E6b: bounded *exhaustive* exploration — the invariants on every
 /// reachable state of a tiny configuration, not a random sample.
 fn exhaustive(quick: bool) -> Table {
+    use gcs_core::invariants::check_all;
     use gcs_core::system::SysAction;
     use gcs_ioa::{explore, ExploreLimits};
     use gcs_model::{Value, View, ViewId};
     let procs = ProcId::range(2);
     let sys = VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(2)));
-    let checks = all_invariants();
     let proposals = |s: &gcs_core::system::SysState| {
         let mut out = Vec::new();
         for (i, p) in [ProcId(0), ProcId(1)].into_iter().enumerate() {
@@ -86,12 +105,7 @@ fn exhaustive(quick: bool) -> Table {
     let result = explore(
         &sys,
         proposals,
-        |s| {
-            for (name, check) in &checks {
-                check(s).map_err(|e| format!("{name}: {e}"))?;
-            }
-            Ok(())
-        },
+        |s| check_all(s, &DerivedState::new(s)),
         ExploreLimits { max_depth: depth, max_states: 400_000 },
     );
     let mut t = Table::new(

@@ -27,7 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod par;
 pub mod scenarios;
 pub mod table;
 
+pub use par::{par_seeds, par_seeds_with};
 pub use table::Table;

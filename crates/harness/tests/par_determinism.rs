@@ -1,0 +1,37 @@
+//! Regression: the parallel seed fan-out must be invisible in the
+//! results. For a fixed 16-seed set, the per-seed E5 (simulation
+//! relation) and E6 (invariant suite) counts — and hence the aggregated
+//! experiment tables — are bit-for-bit identical whether the seeds run
+//! sequentially or sharded across any number of workers.
+
+use gcs_core::adversary::SystemAdversary;
+use gcs_harness::experiments::{e05, e06};
+use gcs_harness::par_seeds_with;
+use gcs_model::{Majority, QuorumSystem};
+use std::sync::Arc;
+
+const SEEDS: std::ops::Range<u64> = 0..16;
+
+#[test]
+fn e5_simulation_counts_identical_across_worker_counts() {
+    let seeds: Vec<u64> = SEEDS.collect();
+    let quorums: Arc<dyn QuorumSystem> = Arc::new(Majority::new(3));
+    let adv = SystemAdversary::default();
+    let f = |seed: u64| e05::seed_counts(3, &quorums, &adv, seed, 120);
+    let sequential = par_seeds_with(&seeds, 1, f);
+    assert!(sequential.iter().all(|&(checked, _)| checked > 0));
+    for workers in [2, 5, 16] {
+        assert_eq!(par_seeds_with(&seeds, workers, f), sequential, "{workers} workers");
+    }
+}
+
+#[test]
+fn e6_invariant_counts_identical_across_worker_counts() {
+    let seeds: Vec<u64> = SEEDS.collect();
+    let f = |seed: u64| e06::seed_counts(3, seed, 80);
+    let sequential = par_seeds_with(&seeds, 1, f);
+    assert!(sequential.iter().all(|counts| counts.iter().all(|&(checked, _)| checked > 0)));
+    for workers in [2, 5, 16] {
+        assert_eq!(par_seeds_with(&seeds, workers, f), sequential, "{workers} workers");
+    }
+}

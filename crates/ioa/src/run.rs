@@ -223,10 +223,16 @@ impl<A: Automaton, E: Environment<A>> Runner<A, E> {
             self.automaton.is_enabled(&self.state, &action),
             "perform: action {action:?} not enabled",
         );
-        let pre = self.state.clone();
-        self.automaton.apply(&mut self.state, &action);
-        for obs in &mut self.observers {
-            obs(&pre, &action, &self.state);
+        // The pre-state is only materialized for observers; invariant-only
+        // runs skip the per-step state clone entirely.
+        if self.observers.is_empty() {
+            self.automaton.apply(&mut self.state, &action);
+        } else {
+            let pre = self.state.clone();
+            self.automaton.apply(&mut self.state, &action);
+            for obs in &mut self.observers {
+                obs(&pre, &action, &self.state);
+            }
         }
         self.actions.push(action);
         let step = self.actions.len() - 1;

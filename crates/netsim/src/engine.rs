@@ -183,6 +183,57 @@ impl<M, E> CollectedEffects<M, E> {
     }
 }
 
+/// Per-link good-delay overrides. Processes almost always occupy a dense
+/// id space (`ProcId(0..n)`), so the overrides live in a flat
+/// `width × width` table probed with one multiply-add on every routed
+/// packet; a pathologically sparse id space falls back to an ordered map.
+/// Both representations answer identical queries.
+#[derive(Clone, Debug)]
+enum LinkDelays {
+    Dense { width: usize, table: Vec<(Time, Time)> },
+    Sparse { default: (Time, Time), map: BTreeMap<(ProcId, ProcId), (Time, Time)> },
+}
+
+impl LinkDelays {
+    /// Beyond this id width the dense table would waste memory.
+    const DENSE_MAX_WIDTH: usize = 1024;
+
+    fn new<'a>(ids: impl Iterator<Item = &'a ProcId>, default: (Time, Time)) -> Self {
+        let width = ids.map(|p| p.0 as usize + 1).max().unwrap_or(0);
+        if width <= Self::DENSE_MAX_WIDTH {
+            LinkDelays::Dense { width, table: vec![default; width * width] }
+        } else {
+            LinkDelays::Sparse { default, map: BTreeMap::new() }
+        }
+    }
+
+    fn set(&mut self, p: ProcId, q: ProcId, range: (Time, Time)) {
+        match self {
+            LinkDelays::Dense { width, table } => {
+                let (f, t) = (p.0 as usize, q.0 as usize);
+                // Routed packets always travel between known processes,
+                // whose ids fit the table; an override naming an unknown
+                // location can never be consulted (such messages vanish
+                // before the delay lookup).
+                if f < *width && t < *width {
+                    table[f * *width + t] = range;
+                }
+            }
+            LinkDelays::Sparse { map, .. } => {
+                map.insert((p, q), range);
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, p: ProcId, q: ProcId) -> (Time, Time) {
+        match self {
+            LinkDelays::Dense { width, table } => table[p.0 as usize * width + q.0 as usize],
+            LinkDelays::Sparse { default, map } => map.get(&(p, q)).copied().unwrap_or(*default),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 enum Payload<M, I> {
     Deliver { from: ProcId, msg: M },
@@ -229,7 +280,7 @@ pub struct Engine<P: Process> {
     rng: ChaCha8Rng,
     trace: TimedTrace<TraceEvent<P::Event>>,
     started: bool,
-    link_delays: BTreeMap<(ProcId, ProcId), (Time, Time)>,
+    link_delays: LinkDelays,
     stats: NetStats,
 }
 
@@ -263,6 +314,7 @@ impl<P: Process> Engine<P> {
             heap.push(Reverse(QueuedEvent { time: 0, seq, to: id, payload: Payload::Start }));
             seq += 1;
         }
+        let link_delays = LinkDelays::new(procs.keys(), (config.delta_min, config.delta));
         Engine {
             procs,
             heap,
@@ -275,7 +327,7 @@ impl<P: Process> Engine<P> {
             rng: ChaCha8Rng::seed_from_u64(seed),
             trace: TimedTrace::new(),
             started: false,
-            link_delays: BTreeMap::new(),
+            link_delays,
             stats: NetStats::default(),
         }
     }
@@ -295,7 +347,7 @@ impl<P: Process> Engine<P> {
     /// Panics if `min > max` or `max` is zero.
     pub fn set_link_delay(&mut self, p: ProcId, q: ProcId, min: Time, max: Time) {
         assert!(min <= max && max > 0, "invalid delay range {min}..={max}");
-        self.link_delays.insert((p, q), (min, max));
+        self.link_delays.set(p, q, (min, max));
     }
 
     /// Overrides the delay range both ways between `p` and `q`.
@@ -480,11 +532,7 @@ impl<P: Process> Engine<P> {
         }
         let status =
             if from == to { Status::Good } else { self.failures.link(from, to) };
-        let (dmin, dmax) = self
-            .link_delays
-            .get(&(from, to))
-            .copied()
-            .unwrap_or((self.config.delta_min, self.config.delta));
+        let (dmin, dmax) = self.link_delays.get(from, to);
         let delay = match status {
             Status::Good => {
                 if dmin >= dmax {
@@ -695,6 +743,20 @@ mod tests {
         assert!(times.iter().any(|&t| t == 50), "WAN hop receipt at t=50: {times:?}");
         assert!(times.iter().any(|&t| t < 20), "LAN receipts stay fast: {times:?}");
         let _ = t_p1;
+    }
+
+    #[test]
+    fn link_delay_table_dense_and_sparse_agree() {
+        let default = (1, 5);
+        let mut dense = LinkDelays::new([ProcId(0), ProcId(2)].iter(), default);
+        let mut sparse = LinkDelays::new([ProcId(0), ProcId(100_000)].iter(), default);
+        assert!(matches!(dense, LinkDelays::Dense { .. }));
+        assert!(matches!(sparse, LinkDelays::Sparse { .. }));
+        for ld in [&mut dense, &mut sparse] {
+            ld.set(ProcId(0), ProcId(2), (7, 9));
+            assert_eq!(ld.get(ProcId(0), ProcId(2)), (7, 9), "override read back");
+            assert_eq!(ld.get(ProcId(2), ProcId(0)), default, "other direction untouched");
+        }
     }
 
     #[test]

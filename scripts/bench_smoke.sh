@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Smoke-run the micro benchmark suite in quick mode (short measurement
+# windows, a few samples per bench). Exercises the checker-path benches
+# added with the derived-state snapshot work — invariant_suite_one_state,
+# simulation_abstraction_one_state, derived_state_snapshot — alongside
+# the rest of the suite. Extra arguments are forwarded to the bench
+# harness (e.g. a substring filter: `scripts/bench_smoke.sh derived`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo bench -p gcs-bench --bench micro -- --quick "$@"

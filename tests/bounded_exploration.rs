@@ -5,7 +5,8 @@
 
 use pgcs::ioa::{explore, Automaton, ExploreLimits};
 use pgcs::model::{Majority, ProcId, Value, View, ViewId};
-use pgcs::spec::invariants::all_invariants;
+use pgcs::spec::derived::DerivedState;
+use pgcs::spec::invariants::check_all;
 use pgcs::spec::system::{SysAction, SysState, VsToToSystem};
 use std::sync::Arc;
 
@@ -41,16 +42,10 @@ fn proposals(s: &SysState) -> Vec<SysAction> {
 #[test]
 fn every_reachable_state_satisfies_all_invariants() {
     let sys = tiny_system();
-    let checks = all_invariants();
     let stats = explore(
         &sys,
         proposals,
-        |s: &SysState| {
-            for (name, check) in &checks {
-                check(s).map_err(|e| format!("{name}: {e}"))?;
-            }
-            Ok(())
-        },
+        |s: &SysState| check_all(s, &DerivedState::new(s)),
         ExploreLimits { max_depth: 9, max_states: 150_000 },
     )
     .unwrap_or_else(|(path, e)| panic!("violation after {:?}: {e}", path));

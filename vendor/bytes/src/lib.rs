@@ -1,0 +1,142 @@
+//! Offline drop-in subset of the `bytes` crate: an immutable,
+//! cheaply-cloneable byte buffer backed by `Arc<[u8]>`.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable chunk of contiguous memory.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies `data` into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Creates `Bytes` from a static slice without copying semantics
+    /// concerns (contents are still copied into the shared buffer).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrows the contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the contents into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_and_compares() {
+        let a = Bytes::copy_from_slice(b"hello");
+        let b = Bytes::from(b"hello".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(&a[..], b"hello");
+        assert_eq!(a.len(), 5);
+        assert!(Bytes::new().is_empty());
+        assert!(a < Bytes::copy_from_slice(b"world"));
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = Bytes::copy_from_slice(b"abc");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+    }
+}

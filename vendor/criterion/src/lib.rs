@@ -1,0 +1,313 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Implements the surface this workspace uses — `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple
+//! wall-clock harness: each benchmark is warmed up, calibrated to a
+//! target measurement window, and reported as median ns/iter across a
+//! handful of samples. No statistics engine, plotting, or HTML reports.
+//!
+//! CLI compatibility: ignores unknown flags (so `cargo bench` extra
+//! args don't break it), honors a substring filter argument, `--quick`
+//! for a short measurement window, and runs a single iteration per
+//! bench under `--test` (what `cargo test --benches` passes).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from
+/// deleting the computation of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How thoroughly to measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Normal measurement windows.
+    Full,
+    /// Short windows (`--quick`): good enough for smoke comparisons.
+    Quick,
+    /// One iteration per bench (`--test`): just check it runs.
+    Test,
+}
+
+impl Mode {
+    fn measure_window(self) -> Duration {
+        match self {
+            Mode::Full => Duration::from_millis(300),
+            Mode::Quick => Duration::from_millis(40),
+            Mode::Test => Duration::ZERO,
+        }
+    }
+
+    fn samples(self) -> usize {
+        match self {
+            Mode::Full => 5,
+            Mode::Quick => 3,
+            Mode::Test => 1,
+        }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its median per-call time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, also used to calibrate the batch size.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+        if self.mode == Mode::Test {
+            self.ns_per_iter = first.as_nanos() as f64;
+            self.total_iters = 1;
+            return;
+        }
+
+        let window = self.mode.measure_window();
+        let per_sample = (window.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(self.mode.samples());
+        let mut total = 0u64;
+        for _ in 0..self.mode.samples() {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            samples.push(elapsed / per_sample as f64);
+            total += per_sample;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+        self.total_iters = total;
+    }
+}
+
+/// A benchmark identifier such as `group/param` or `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Full,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies `cargo bench` command-line arguments: a bare string is a
+    /// substring filter, `--quick` / `--test` select shorter modes, and
+    /// every other flag is accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => self.mode = Mode::Quick,
+                "--test" => self.mode = Mode::Test,
+                // Flags with a value we must consume.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            ns_per_iter: 0.0,
+            total_iters: 0,
+        };
+        f(&mut b);
+        let (value, unit) = humanize_ns(b.ns_per_iter);
+        println!(
+            "{id:<50} time: {value:>10.2} {unit}/iter  ({} iters)",
+            b.total_iters
+        );
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+fn humanize_ns(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the stub harness sizes
+    /// samples from the mode instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labeled `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labeled `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a function `$name(c: &mut Criterion)` that runs `$target(c)`
+/// for each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group with CLI-configured settings.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            mode: Mode::Quick,
+            ns_per_iter: 0.0,
+            total_iters: 0,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter > 0.0);
+        assert!(b.total_iters > 0);
+    }
+
+    #[test]
+    fn group_and_function_apis_compose() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: None,
+        };
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_with_input(BenchmarkId::new("sub", 4), &4, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: Some("match_me".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 0)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn humanize_picks_sensible_units() {
+        assert_eq!(humanize_ns(12.0).1, "ns");
+        assert_eq!(humanize_ns(1.2e4).1, "µs");
+        assert_eq!(humanize_ns(3.4e7).1, "ms");
+        assert_eq!(humanize_ns(2.0e9).1, "s");
+    }
+}
