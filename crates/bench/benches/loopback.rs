@@ -1,0 +1,74 @@
+//! Loopback TCP cluster benchmarks: end-to-end delivery throughput of
+//! the real transport stack (binary codec + sockets + node runtime),
+//! measured two ways — direct submission into a node's event loop, and
+//! the full TCP client protocol (`Submit`/`Deliver` frames) driven by
+//! the closed-loop load generator.
+//!
+//! Throughput here is protocol-paced: a value is delivered only after
+//! its label has been seen safe, i.e. after two full token rotations, so
+//! these numbers measure the ring and the transport together, not the
+//! codec alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcs_model::{ProcId, Value};
+use gcs_net::cluster::{ClusterConfig, LoopbackCluster};
+use gcs_net::load::{run_load, LoadConfig, LoadMode};
+use std::cell::Cell;
+use std::time::Duration;
+
+const BATCH: u64 = 100;
+
+fn bench_direct_submit(c: &mut Criterion) {
+    let cluster = LoopbackCluster::start(ClusterConfig::patient(3)).expect("bind loopback");
+    // Values must be distinct across iterations; hand each batch its own
+    // disjoint range and wait for the cumulative delivery count.
+    let next = Cell::new(1u64);
+    let mut g = c.benchmark_group("loopback_tcp");
+    g.sample_size(10);
+    g.bench_function("deliver_100_direct", |b| {
+        b.iter(|| {
+            let base = next.get();
+            next.set(base + BATCH);
+            for i in 0..BATCH {
+                cluster.submit(ProcId((i % 3) as u32), Value::from_u64(base + i));
+            }
+            let target = (base - 1 + BATCH) as usize;
+            assert!(
+                cluster.await_deliveries(target, Duration::from_secs(60)),
+                "deliveries stalled before {target}"
+            );
+        })
+    });
+    g.finish();
+    cluster.stop();
+}
+
+fn bench_tcp_client(c: &mut Criterion) {
+    let cluster = LoopbackCluster::start(ClusterConfig::patient(3)).expect("bind loopback");
+    let addr = cluster.addr(ProcId(0));
+    let next = Cell::new(1u64);
+    let mut g = c.benchmark_group("loopback_tcp");
+    g.sample_size(10);
+    g.bench_function("client_closed_loop_100", |b| {
+        b.iter(|| {
+            let base = next.get();
+            next.set(base + BATCH);
+            let report = run_load(
+                addr,
+                &LoadConfig {
+                    ops: BATCH,
+                    value_base: base,
+                    mode: LoadMode::Closed { window: 16 },
+                    idle_timeout: Duration::from_secs(30),
+                },
+            )
+            .expect("client connects");
+            assert_eq!(report.delivered, BATCH, "client lost operations");
+        })
+    });
+    g.finish();
+    cluster.stop();
+}
+
+criterion_group!(benches, bench_direct_submit, bench_tcp_client);
+criterion_main!(benches);

@@ -434,13 +434,13 @@ fn lemma_6_11(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
                     proc.highprimary
                 ));
             }
-            if est && !proc.primary() && !(proc.highprimary < Some(cur)) {
+            if est && !proc.primary() && (proc.highprimary >= Some(cur)) {
                 return fail(format!(
                     "{p} established non-primary {cur} but highprimary = {:?}",
                     proc.highprimary
                 ));
             }
-            if !est && !(proc.highprimary < Some(cur)) {
+            if !est && (proc.highprimary >= Some(cur)) {
                 return fail(format!(
                     "{p} not established in {cur} but highprimary = {:?}",
                     proc.highprimary
@@ -448,7 +448,7 @@ fn lemma_6_11(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
             }
             // Part 4: recorded summaries are strictly older than the view.
             for (q, x) in &proc.gotstate {
-                if !(x.high < Some(cur)) {
+                if x.high >= Some(cur) {
                     return fail(format!(
                         "gotstate_{p}({q}).high = {:?} not below current {cur}",
                         x.high
@@ -461,7 +461,7 @@ fn lemma_6_11(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for (g, queue) in &s.vs.queue {
         for (m, q) in queue {
             if let AppMsg::Summary(x) = m {
-                if !(x.high < Some(*g)) {
+                if x.high >= Some(*g) {
                     return fail(format!("queue[{g}] summary from {q} has high {:?}", x.high));
                 }
             }
@@ -470,7 +470,7 @@ fn lemma_6_11(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     for ((q, g), pend) in &s.vs.pending {
         for m in pend {
             if let AppMsg::Summary(x) = m {
-                if !(x.high < Some(*g)) {
+                if x.high >= Some(*g) {
                     return fail(format!("pending[{q},{g}] summary has high {:?}", x.high));
                 }
             }
@@ -481,11 +481,11 @@ fn lemma_6_11(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
 
 fn lemma_6_12(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
     for &(p, g, x) in &d.entries {
-        if !(x.high <= Some(g)) {
+        if x.high > Some(g) {
             return fail(format!("allstate[{p},{g}] has high {:?} > {g}", x.high));
         }
         if let Some(cur) = s.procs[&p].current_id() {
-            if !(x.high <= Some(cur)) {
+            if x.high > Some(cur) {
                 return fail(format!("allstate[{p},{g}].high {:?} > current {cur}", x.high));
             }
         }
@@ -498,7 +498,7 @@ fn lemma_6_13(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
         for (&p, proc) in &s.procs {
             if s.is_established(p, v.id)
                 && proc.current_id().is_some_and(|cur| cur > v.id)
-                && !(proc.highprimary >= Some(v.id))
+                && (proc.highprimary < Some(v.id))
             {
                 return fail(format!(
                     "{p} established primary {} and moved on, but highprimary = {:?}",
@@ -517,7 +517,7 @@ fn lemma_6_14(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
                 continue;
             }
             for &(q, g, x) in &d.entries {
-                if q == p && g > v.id && !(x.high >= Some(v.id)) {
+                if q == p && g > v.id && (x.high < Some(v.id)) {
                     return fail(format!(
                         "allstate[{p},{g}] has high {:?} < established primary {}",
                         x.high, v.id
@@ -582,7 +582,7 @@ fn lemma_6_17(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
             continue;
         }
         for &q in &v.set {
-            if !s.procs[&q].current_id().is_some_and(|cur| cur >= v.id) {
+            if s.procs[&q].current_id().is_none_or(|cur| cur < v.id) {
                 return fail(format!(
                     "{} established by someone but member {q} has not reached it",
                     v.id

@@ -407,13 +407,12 @@ pub fn check_vs_property(trace: &TimedTrace<VsObs>, params: &PropertyParams) -> 
                         VsObs::NewView { p, v } => {
                             current.insert(*p, Some(v.clone()));
                         }
-                        VsObs::GpSnd { p, mid } => {
+                        VsObs::GpSnd { p, mid }
                             if params.q.contains(p)
                                 && current.get(p).cloned().flatten().as_ref() == final_view.as_ref()
-                            {
+                            => {
                                 sends.push((*mid, *p, ev.time));
                             }
-                        }
                         VsObs::Safe { dst, mid, .. } => {
                             safes.entry(*mid).or_default().entry(*dst).or_insert(ev.time);
                         }

@@ -116,6 +116,9 @@ pub fn project(action: &SysAction) -> Option<ToAction> {
 
 /// Builds the forward-simulation checker for a system over the given
 /// processor set.
+// The three `impl Fn` parameters cannot be factored into a `type` alias
+// (impl Trait is not allowed there), so the spelled-out type stays.
+#[allow(clippy::type_complexity)]
 pub fn simulation_checker(
     procs: BTreeSet<ProcId>,
 ) -> ForwardSimulation<

@@ -6,6 +6,7 @@
 //! plus view monotonicity/self-inclusion and the per-view prefix total
 //! order. Expected: zero violations in every scenario.
 
+use crate::par::par_seeds;
 use crate::scenarios;
 use crate::{row, Table};
 use gcs_core::cause::check_trace;
@@ -18,21 +19,30 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["scenario", "n", "gprcv", "safe", "newview", "views", "violations"],
     );
     let seeds = if quick { 1 } else { 3 };
-    for s in 0..seeds {
-        for sc in scenarios::battery(200 + s * 31) {
-            let stack = sc.run();
-            let actions = stack.vs_actions();
-            let r = check_trace(&actions, &sc.config.p0);
-            t.row(row![
-                sc.name,
-                sc.config.n,
-                r.gprcv_checked,
-                r.safe_checked,
-                r.newview_checked,
-                r.views_seen,
-                r.violations.len()
-            ]);
-        }
+    // Building the batteries is cheap plain data; flatten the seed × battery
+    // nest so every scenario runs in parallel, rows appended in loop order.
+    let scs: Vec<_> = (0..seeds)
+        .flat_map(|s| scenarios::battery(200 + s * 31))
+        .collect();
+    let idx: Vec<u64> = (0..scs.len() as u64).collect();
+    let rows = par_seeds(&idx, |i| {
+        let sc = &scs[i as usize];
+        let stack = sc.run();
+        let actions = stack.vs_actions();
+        let r = check_trace(&actions, &sc.config.p0);
+        row![
+            sc.name,
+            sc.config.n,
+            r.gprcv_checked,
+            r.safe_checked,
+            r.newview_checked,
+            r.views_seen,
+            r.violations.len()
+        ]
+        .to_vec()
+    });
+    for cells in rows {
+        t.row(&cells);
     }
     t.note(
         "Checked per event: message integrity (same value, sending view = \

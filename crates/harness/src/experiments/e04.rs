@@ -7,13 +7,14 @@
 //! shows the *shape* of the bounds: both grow linearly in n and δ, and
 //! the measured values stay below them.
 
+use crate::par::par_seeds;
 use crate::scenarios;
 use crate::{row, Table};
 use gcs_core::properties::{check_vs_property, PropertyParams};
 use gcs_model::ProcId;
 use gcs_vsimpl::bounds;
 
-fn series_row(t: &mut Table, n: u32, left: u32, delta: u64, msgs: usize, seed: u64) {
+fn series_row(n: u32, left: u32, delta: u64, msgs: usize, seed: u64) -> Vec<String> {
     let sc = scenarios::partition(n, left, delta, msgs, seed);
     let nq = sc.q.len();
     let cfg = &sc.config;
@@ -24,7 +25,7 @@ fn series_row(t: &mut Table, n: u32, left: u32, delta: u64, msgs: usize, seed: u
         &stack.vs_obs(),
         &PropertyParams { b, d, q: sc.q.clone(), ambient: ProcId::range(cfg.n) },
     );
-    t.row(row![
+    row![
         n,
         nq,
         delta,
@@ -36,7 +37,8 @@ fn series_row(t: &mut Table, n: u32, left: u32, delta: u64, msgs: usize, seed: u
         r.measured_d,
         r.resolved,
         if r.holds && r.applicable { "✓" } else { "✗" }
-    ]);
+    ]
+    .to_vec()
 }
 
 /// Runs the experiment.
@@ -53,8 +55,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     let sizes: &[(u32, u32)] =
         if quick { &[(3, 2), (5, 3)] } else { &[(3, 2), (5, 3), (7, 4), (9, 5)] };
-    for &(n, left) in sizes {
-        series_row(&mut by_n, n, left, 5, msgs, 40 + n as u64);
+    let idx: Vec<u64> = (0..sizes.len() as u64).collect();
+    for cells in par_seeds(&idx, |i| {
+        let (n, left) = sizes[i as usize];
+        series_row(n, left, 5, msgs, 40 + n as u64)
+    }) {
+        by_n.row(&cells);
     }
     by_n.note("b and d grow linearly in n (π = 2nδ, μ = 4nδ scale with n here).");
 
@@ -63,8 +69,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         &headers,
     );
     let deltas: &[u64] = if quick { &[2, 10] } else { &[2, 5, 10, 20] };
-    for &delta in deltas {
-        series_row(&mut by_delta, 5, 3, delta, msgs, 60 + delta);
+    for cells in par_seeds(deltas, |delta| series_row(5, 3, delta, msgs, 60 + delta)) {
+        by_delta.row(&cells);
     }
     by_delta.note("Both bounds and measurements scale linearly in δ.");
 

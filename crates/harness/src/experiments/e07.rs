@@ -6,6 +6,7 @@
 //! summaries become safe at every member, (3) reconciled values reach the
 //! clients. The series shows how each phase scales with group size.
 
+use crate::par::par_seeds;
 use crate::scenarios;
 use crate::{row, Table};
 use gcs_vsimpl::{check_figure11, Figure11Params};
@@ -33,11 +34,10 @@ fn phases_after(stack: &gcs_vsimpl::Stack, t0: Time) -> Phases {
             TraceEvent::App(ImplEvent::Safe { m: AppMsg::Summary(_), .. }) => {
                 exchange_safe = Some(ev.time)
             }
-            TraceEvent::App(ImplEvent::Brcv { .. }) => {
-                if first_delivery.is_none() && exchange_safe.is_some() {
+            TraceEvent::App(ImplEvent::Brcv { .. })
+                if first_delivery.is_none() && exchange_safe.is_some() => {
                     first_delivery = Some(ev.time);
                 }
-            }
             _ => {}
         }
     }
@@ -54,7 +54,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         ],
     );
     let sizes: &[u32] = if quick { &[4] } else { &[4, 6, 8] };
-    for &n in sizes {
+    let rows = par_seeds(&sizes.iter().map(|&n| n as u64).collect::<Vec<_>>(), |n64| {
+        let n = n64 as u32;
         let sc = scenarios::merge(n, n - 1, 5, if quick { 6 } else { 12 }, 70 + n as u64);
         let t_heal = sc.script.last_time();
         let stack = sc.run();
@@ -72,7 +73,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 ambient: gcs_model::ProcId::range(sc.config.n),
             },
         );
-        t.row(row![
+        row![
             n,
             sc.config.delta,
             sc.config.pi,
@@ -83,7 +84,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             format!("{} ({} ≤ {})",
                 if f11.premises_hold && f11.holds { "✓" } else { "✗" },
                 f11.measured_alpha3, d)
-        ]);
+        ]
+        .to_vec()
+    });
+    for cells in rows {
+        t.row(&cells);
     }
     t.note(
         "Phases: membership (probe + 3-round formation), then the summary \

@@ -5,6 +5,7 @@
 //! construction and replayed in the strict `VS-machine`; external traces
 //! must match exactly.
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_core::vs_machine::{VsAction, VsMachine};
 use gcs_core::weak_vs::{reorder_createviews, replay, WeakVsMachine};
@@ -25,12 +26,10 @@ pub fn run(quick: bool) -> Vec<Table> {
     let seeds = if quick { 4 } else { 30 };
     let steps = if quick { 300 } else { 1_200 };
     let n = 3u32;
-    let mut total_actions = 0usize;
-    let mut total_creates = 0usize;
-    let mut out_of_order = 0usize;
-    let mut replay_ok = 0usize;
-    let mut trace_eq = 0usize;
-    for seed in 0..seeds {
+    // Each seeded run is independent; fan out and aggregate the counters
+    // afterwards (sums are order-insensitive, so the table is unchanged).
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let per_seed = par_seeds(&seed_list, |seed| {
         let weak: WeakVsMachine<Value> =
             WeakVsMachine::new(ProcId::range(n), ProcId::range(n));
         // Adversary that coins view identifiers in arbitrary order —
@@ -69,7 +68,6 @@ pub fn run(quick: bool) -> Vec<Table> {
         let mut runner = Runner::new(weak, env, seed);
         let exec = runner.run(steps).expect("no invariants installed");
         let actions = exec.actions().to_vec();
-        total_actions += actions.len();
         let creates: Vec<ViewId> = actions
             .iter()
             .filter_map(|a| match a {
@@ -77,25 +75,24 @@ pub fn run(quick: bool) -> Vec<Table> {
                 _ => None,
             })
             .collect();
-        total_creates += creates.len();
-        if creates.windows(2).any(|w| w[0] > w[1]) {
-            out_of_order += 1;
-        }
+        let ooo = creates.windows(2).any(|w| w[0] > w[1]);
         let strong: VsMachine<Value> = VsMachine::new(ProcId::range(n), ProcId::range(n));
         let reordered = reorder_createviews(&actions);
-        if replay(&strong, &reordered).is_ok() {
-            replay_ok += 1;
-        }
+        let ok = replay(&strong, &reordered).is_ok();
         let ext = |acts: &[VsAction<Value>]| -> Vec<VsAction<Value>> {
             acts.iter()
                 .filter(|a| strong.kind(a).is_external())
                 .cloned()
                 .collect()
         };
-        if ext(&actions) == ext(&reordered) {
-            trace_eq += 1;
-        }
-    }
+        let eq = ext(&actions) == ext(&reordered);
+        (actions.len(), creates.len(), ooo, ok, eq)
+    });
+    let total_actions: usize = per_seed.iter().map(|r| r.0).sum();
+    let total_creates: usize = per_seed.iter().map(|r| r.1).sum();
+    let out_of_order = per_seed.iter().filter(|r| r.2).count();
+    let replay_ok = per_seed.iter().filter(|r| r.3).count();
+    let trace_eq = per_seed.iter().filter(|r| r.4).count();
     t.row(row![seeds, total_actions, total_creates, out_of_order, replay_ok, trace_eq]);
     t.note(
         "'strong replay ok' and 'traces equal' must equal 'seeds'; \

@@ -10,6 +10,7 @@
 //! VS contract itself* (safe indications precede delivery at other
 //! members), which is exactly why the paper separates the two events.
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_core::cause::check_trace;
 use gcs_core::to_trace::check_to_trace;
@@ -93,9 +94,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     let n = 3u32;
     let msgs = if quick { 6 } else { 25 };
-    for (name, sd) in [("VS (deliver then safe)", false), ("safe delivery", true)] {
+    let modes = [("VS (deliver then safe)", false), ("safe delivery", true)];
+    let idx: Vec<u64> = (0..modes.len() as u64).collect();
+    for cells in par_seeds(&idx, |i| {
+        let (name, sd) = modes[i as usize];
         let m = measure(sd, n, msgs, 90);
-        t.row(row![
+        row![
             name,
             n,
             msgs,
@@ -104,7 +108,10 @@ pub fn run(quick: bool) -> Vec<Table> {
             m.delivered,
             m.vs_violations,
             m.to_violations
-        ]);
+        ]
+        .to_vec()
+    }) {
+        t.row(&cells);
     }
     t.note(
         "Expected shape: safe delivery inflates gprcv latency by roughly one \

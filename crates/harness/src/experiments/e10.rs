@@ -8,6 +8,7 @@
 //! ("a different implementation could use the one-round protocol …
 //! however, this would stabilize less quickly").
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_model::failure::FailureScript;
 use gcs_model::{ProcId, Time};
@@ -70,11 +71,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     for (name, mode) in
         [("3-round", MembershipMode::ThreeRound), ("1-round", MembershipMode::OneRound)]
     {
+        let seed_list: Vec<u64> = (0..seeds).collect();
+        let outcomes = par_seeds(&seed_list, |seed| run_merge(mode, n, 300 + seed));
         let mut times = Vec::new();
         let mut converged = 0usize;
         let mut views = 0usize;
-        for seed in 0..seeds {
-            let o = run_merge(mode, n, 300 + seed);
+        for o in &outcomes {
             if let Some(t) = o.converge_time {
                 converged += 1;
                 times.push(t);

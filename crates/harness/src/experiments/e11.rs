@@ -9,6 +9,7 @@
 //! weighted system lets a 2-processor side containing the heavy processor
 //! confirm messages where majority cannot.
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_model::failure::FailureScript;
 use gcs_model::{Majority, ProcId, QuorumSystem, Weighted};
@@ -82,7 +83,10 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["quorum system", "left side primary", "left deliveries", "right deliveries"],
     );
     let msgs = if quick { 4 } else { 12 };
-    for (name, q) in &systems {
+    // The two quorum systems simulate independently: fan the live runs out.
+    let idx: Vec<u64> = (0..systems.len() as u64).collect();
+    for cells in par_seeds(&idx, |i| {
+        let (name, q) = &systems[i as usize];
         let mut cfg = StackConfig::standard(n, 5, 901);
         cfg.quorums = q.clone();
         let pi = cfg.pi;
@@ -100,7 +104,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         let left_primary = q.is_quorum(&left);
         let ld = stack.delivered(ProcId(0)).len();
         let rd = stack.delivered(ProcId(2)).len();
-        live.row(row![name, left_primary, ld, rd]);
+        row![name, left_primary, ld, rd].to_vec()
+    }) {
+        live.row(&cells);
     }
     live.note(
         "Expected shape: under majority the 2-member side confirms nothing; \

@@ -9,6 +9,7 @@
 //! system's lifetime — the scalability issue that the state-transfer
 //! optimizations the paper cites in footnote 4 (\[1\]) address.
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_core::msg::AppMsg;
 use gcs_model::failure::FailureScript;
@@ -29,7 +30,8 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     let n = 3u32;
     let sizes: &[usize] = if quick { &[5, 20] } else { &[5, 20, 80, 320] };
-    for &msgs in sizes {
+    let rows = par_seeds(&sizes.iter().map(|&m| m as u64).collect::<Vec<_>>(), |m64| {
+        let msgs = m64 as usize;
         let mut stack = Stack::new(StackConfig::standard(n, 5, 77));
         let pi = stack.config().pi;
         let start = 4 * pi;
@@ -62,7 +64,10 @@ pub fn run(quick: bool) -> Vec<Table> {
                 _ => {}
             }
         }
-        t.row(row![msgs, views, max_con, max_ord, total]);
+        row![msgs, views, max_con, max_ord, total].to_vec()
+    });
+    for cells in rows {
+        t.row(&cells);
     }
     t.note(
         "Shape: summary size tracks the total history (the algorithm never \

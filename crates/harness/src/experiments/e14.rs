@@ -9,6 +9,7 @@
 //! the last column — under a sequencer crash the baseline delivers
 //! nothing, while the paper's stack reforms and continues.
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_model::failure::FailureScript;
 use gcs_model::{ProcId, Time, Value};
@@ -91,27 +92,37 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     let msgs = if quick { 10 } else { 40 };
     let sizes: &[u32] = if quick { &[3] } else { &[3, 5, 9] };
-    for &n in sizes {
+    // Each group size yields two rows (stack, baseline); compute both in
+    // one parallel task per size and append the pairs in size order.
+    let row_pairs = par_seeds(&sizes.iter().map(|&n| n as u64).collect::<Vec<_>>(), |n64| {
+        let n = n64 as u32;
         let tr = token_ring_cost(n, msgs, false, 140 + n as u64);
         let tr_crash = token_ring_cost(n, 6, true, 150 + n as u64);
-        t.row(row![
+        let ring = row![
             "token ring (this paper)",
             n,
             msgs,
             format!("{:.1}", tr.mean_latency),
             format!("{:.1}", tr.packets_per_value),
             if tr_crash.survives_leader_crash { "✓ (reforms)" } else { "✗" }
-        ]);
+        ]
+        .to_vec();
         let sq = sequencer_cost(n, msgs, false, 160 + n as u64);
         let sq_crash = sequencer_cost(n, 6, true, 170 + n as u64);
-        t.row(row![
+        let seq = row![
             "fixed sequencer",
             n,
             msgs,
             format!("{:.1}", sq.mean_latency),
             format!("{:.1}", sq.packets_per_value),
             if sq_crash.survives_leader_crash { "✓" } else { "✗ (stalls)" }
-        ]);
+        ]
+        .to_vec();
+        [ring, seq]
+    });
+    for [ring, seq] in row_pairs {
+        t.row(&ring);
+        t.row(&seq);
     }
     t.note(
         "Expected shape: the sequencer wins raw stable-network latency (~2δ \

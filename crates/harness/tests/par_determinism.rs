@@ -5,8 +5,9 @@
 //! sequentially or sharded across any number of workers.
 
 use gcs_core::adversary::SystemAdversary;
-use gcs_harness::experiments::{e05, e06};
+use gcs_harness::experiments::{e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e13, e14};
 use gcs_harness::par_seeds_with;
+use gcs_harness::Table;
 use gcs_model::{Majority, QuorumSystem};
 use std::sync::Arc;
 
@@ -33,5 +34,32 @@ fn e6_invariant_counts_identical_across_worker_counts() {
     assert!(sequential.iter().all(|counts| counts.iter().all(|&(checked, _)| checked > 0)));
     for workers in [2, 5, 16] {
         assert_eq!(par_seeds_with(&seeds, workers, f), sequential, "{workers} workers");
+    }
+}
+
+/// Every experiment whose row computation now fans out through
+/// `par_seeds` must produce the same table on every run: parallelism may
+/// change scheduling but never content or row order.
+#[test]
+fn parallel_experiment_tables_are_stable_across_runs() {
+    let runs: &[(&str, fn(bool) -> Vec<Table>)] = &[
+        ("e02", e02::run),
+        ("e03", e03::run),
+        ("e04", e04::run),
+        ("e07", e07::run),
+        ("e08", e08::run),
+        ("e09", e09::run),
+        ("e10", e10::run),
+        ("e11", e11::run),
+        ("e13", e13::run),
+        ("e14", e14::run),
+    ];
+    for (name, run) in runs {
+        let first = run(true);
+        let second = run(true);
+        assert_eq!(first.len(), second.len(), "{name}: table count changed");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.rows(), b.rows(), "{name}: rows differ between runs");
+        }
     }
 }

@@ -187,7 +187,7 @@ impl<A: Automaton, E: Environment<A>> Runner<A, E> {
         let idx = match &self.weight {
             None => self.rng.gen_range(0..candidates.len()),
             Some(weight) => {
-                let weights: Vec<u32> = candidates.iter().map(|a| weight(a)).collect();
+                let weights: Vec<u32> = candidates.iter().map(weight).collect();
                 let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
                 if total == 0 {
                     self.rng.gen_range(0..candidates.len())

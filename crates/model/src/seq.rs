@@ -69,8 +69,8 @@ pub fn lub<T: PartialEq + Clone>(seqs: &[Vec<T>]) -> Option<Vec<T>> {
 /// assert_eq!(applyall(f, &[1, 2, 3]), Some(vec![2, 4, 6]));
 /// assert_eq!(applyall(f, &[1, 99]), None);
 /// ```
-pub fn applyall<T, U>(mut f: impl FnMut(&T) -> Option<U>, s: &[T]) -> Option<Vec<U>> {
-    s.iter().map(|x| f(x)).collect()
+pub fn applyall<T, U>(f: impl FnMut(&T) -> Option<U>, s: &[T]) -> Option<Vec<U>> {
+    s.iter().map(f).collect()
 }
 
 /// The longest common prefix of two sequences.

@@ -1,0 +1,120 @@
+//! `gcs-node`: one VS/TO node over TCP.
+//!
+//! ```text
+//! gcs-node --id 0 --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 [--delta 20]
+//! ```
+//!
+//! `--peers` lists every node's address in id order; the node binds the
+//! address at position `--id` and connects outward to the rest. `--delta`
+//! is the protocol δ in milliseconds (π = 2nδ, μ = 4nδ). The node runs
+//! until killed, printing a status line every two seconds; clients
+//! connect to the same port with the client protocol (see `gcs-client`).
+
+use gcs_model::{ProcId, Time};
+use gcs_net::runtime::{Clock, NetNode};
+use gcs_net::transport::TransportConfig;
+use gcs_vsimpl::ProtoConfig;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gcs-node --id <i> --peers <addr0,addr1,...> [--delta <ms>]\n\
+         \n\
+         --id      this node's index into the peer list\n\
+         --peers   comma-separated listen addresses for every node, in id order\n\
+         --delta   protocol delta in milliseconds (default 20)"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut id: Option<u32> = None;
+    let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut delta: Time = 20;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--id" => {
+                id = args.next().and_then(|s| s.parse().ok());
+                if id.is_none() {
+                    usage();
+                }
+            }
+            "--peers" => {
+                let Some(list) = args.next() else { usage() };
+                for part in list.split(',') {
+                    match part.trim().parse() {
+                        Ok(a) => peers.push(a),
+                        Err(_) => {
+                            eprintln!("gcs-node: bad address {part:?}");
+                            usage();
+                        }
+                    }
+                }
+            }
+            "--delta" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else { usage() };
+                delta = v;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("gcs-node: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let Some(id) = id else { usage() };
+    if peers.is_empty() || (id as usize) >= peers.len() {
+        eprintln!("gcs-node: --id must index into --peers");
+        usage();
+    }
+
+    let me = ProcId(id);
+    let n = peers.len() as u32;
+    let addrs: BTreeMap<ProcId, SocketAddr> =
+        peers.iter().enumerate().map(|(i, &a)| (ProcId(i as u32), a)).collect();
+    let listener = match TcpListener::bind(addrs[&me]) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gcs-node: cannot bind {}: {e}", addrs[&me]);
+            exit(1);
+        }
+    };
+
+    let proto = ProtoConfig::standard(n, delta);
+    let node = match NetNode::start(
+        me,
+        proto,
+        listener,
+        &addrs,
+        TransportConfig::default(),
+        Clock::new(),
+    ) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("gcs-node: start failed: {e}");
+            exit(1);
+        }
+    };
+
+    println!("gcs-node {me}: listening on {}, {} peers, delta {delta} ms", addrs[&me], n - 1);
+    loop {
+        std::thread::sleep(Duration::from_secs(2));
+        let view = node
+            .views()
+            .last()
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "<none>".into());
+        println!(
+            "gcs-node {me}: delivered {} | view {view} | dropped {} rejected {}",
+            node.delivered().len(),
+            node.transport().frames_dropped(),
+            node.transport().frames_rejected(),
+        );
+    }
+}

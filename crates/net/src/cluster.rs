@@ -1,0 +1,181 @@
+//! A loopback cluster harness for integration tests: boots `n` nodes on
+//! ephemeral localhost ports, drives client traffic, severs and
+//! re-establishes TCP links to emulate partitions and merges, and hands
+//! the merged recorded trace to the existing VS/TO safety checkers.
+
+use crate::runtime::{merge_recordings, Clock, NetNode, Recorded};
+use crate::transport::TransportConfig;
+use gcs_ioa::TimedTrace;
+use gcs_model::{ProcId, Time, Value, View};
+use gcs_netsim::TraceEvent;
+use gcs_vsimpl::{ImplEvent, ProtoConfig};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// Cluster parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub n: u32,
+    /// The protocol δ in milliseconds. Over loopback the physical delay is
+    /// microseconds, so δ here sets the protocol's *patience* (timer
+    /// periods π = 2nδ, μ = 4nδ), not an injected latency.
+    pub delta_ms: Time,
+    /// Transport knobs.
+    pub transport: TransportConfig,
+}
+
+impl ClusterConfig {
+    /// A patient configuration for CI machines: δ = 20 ms, so a 5-node
+    /// ring has π = 200 ms and a token timeout well above scheduling
+    /// jitter.
+    pub fn patient(n: u32) -> Self {
+        ClusterConfig { n, delta_ms: 20, transport: TransportConfig::default() }
+    }
+}
+
+/// A running loopback cluster.
+pub struct LoopbackCluster {
+    nodes: Vec<NetNode>,
+    addrs: BTreeMap<ProcId, SocketAddr>,
+    clock: std::sync::Arc<Clock>,
+}
+
+impl LoopbackCluster {
+    /// Binds `n` ephemeral listeners, then boots every node with the full
+    /// address map.
+    pub fn start(config: ClusterConfig) -> io::Result<LoopbackCluster> {
+        let n = config.n;
+        let mut listeners = Vec::new();
+        let mut addrs = BTreeMap::new();
+        for i in 0..n {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.insert(ProcId(i), l.local_addr()?);
+            listeners.push(l);
+        }
+        let clock = Clock::new();
+        let proto = ProtoConfig::standard(n, config.delta_ms);
+        let mut nodes = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            nodes.push(NetNode::start(
+                ProcId(i as u32),
+                proto.clone(),
+                listener,
+                &addrs,
+                config.transport.clone(),
+                clock.clone(),
+            )?);
+        }
+        Ok(LoopbackCluster { nodes, addrs, clock })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// The bound address of node `p` (for external TCP clients).
+    pub fn addr(&self, p: ProcId) -> SocketAddr {
+        self.addrs[&p]
+    }
+
+    /// The node handle for `p`.
+    pub fn node(&self, p: ProcId) -> &NetNode {
+        &self.nodes[p.index()]
+    }
+
+    /// Milliseconds since the cluster clock's epoch.
+    pub fn uptime_ms(&self) -> Time {
+        self.clock.now_ms()
+    }
+
+    /// Submits a value at node `p` through its local event path.
+    pub fn submit(&self, p: ProcId, a: Value) {
+        self.nodes[p.index()].submit(a);
+    }
+
+    /// What each node has delivered so far, in its local order.
+    pub fn delivered(&self) -> Vec<Vec<(ProcId, Value)>> {
+        self.nodes.iter().map(|n| n.delivered()).collect()
+    }
+
+    /// The views each node has installed so far.
+    pub fn views(&self) -> Vec<Vec<View>> {
+        self.nodes.iter().map(|n| n.views()).collect()
+    }
+
+    /// Blocks until every node has delivered at least `count` values or
+    /// the deadline passes; returns whether the goal was reached.
+    pub fn await_deliveries(&self, count: usize, deadline: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if self.nodes.iter().all(|n| n.delivered().len() >= count) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    /// Emulates a full partition of `p` from the rest: every link to and
+    /// from `p` is severed at both endpoints.
+    pub fn isolate(&self, p: ProcId) {
+        for q in 0..self.n() {
+            let q = ProcId(q);
+            if q == p {
+                continue;
+            }
+            self.nodes[p.index()].transport().sever(q);
+            self.nodes[q.index()].transport().sever(p);
+        }
+    }
+
+    /// Ends the emulated partition of `p`.
+    pub fn rejoin(&self, p: ProcId) {
+        for q in 0..self.n() {
+            let q = ProcId(q);
+            if q == p {
+                continue;
+            }
+            self.nodes[p.index()].transport().heal(q);
+            self.nodes[q.index()].transport().heal(p);
+        }
+    }
+
+    /// Severs the single link pair between `p` and `q` (both directions).
+    pub fn sever_pair(&self, p: ProcId, q: ProcId) {
+        self.nodes[p.index()].transport().sever(q);
+        self.nodes[q.index()].transport().sever(p);
+    }
+
+    /// Heals the single link pair between `p` and `q`.
+    pub fn heal_pair(&self, p: ProcId, q: ProcId) {
+        self.nodes[p.index()].transport().heal(q);
+        self.nodes[q.index()].transport().heal(p);
+    }
+
+    /// Kills the live TCP connections between `p` and `q` without
+    /// blocking them: both sides lose in-flight frames and reconnect with
+    /// backoff under fresh connection generations.
+    pub fn kick_pair(&self, p: ProcId, q: ProcId) {
+        self.nodes[p.index()].transport().kick(q);
+        self.nodes[q.index()].transport().kick(p);
+    }
+
+    /// A snapshot of the merged cluster trace (global sequence order,
+    /// times clamped nondecreasing).
+    pub fn merged_trace(&self) -> TimedTrace<TraceEvent<ImplEvent>> {
+        let per_node: Vec<Vec<Recorded>> =
+            self.nodes.iter().map(|n| n.recorded()).collect();
+        merge_recordings(&per_node)
+    }
+
+    /// Stops every node and returns the final merged trace.
+    pub fn stop(self) -> TimedTrace<TraceEvent<ImplEvent>> {
+        let per_node: Vec<Vec<Recorded>> =
+            self.nodes.iter().map(|n| n.stop()).collect();
+        merge_recordings(&per_node)
+    }
+}

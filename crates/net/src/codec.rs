@@ -1,0 +1,651 @@
+//! The binary wire codec: length-prefixed frames, LEB128 varints, and
+//! explicit enum tags for every message the TCP transport carries.
+//!
+//! The encoding is hand-rolled and dependency-free so the crate builds in
+//! the offline vendored-stub workspace. The layout is specified normatively
+//! in `docs/PROTOCOL.md` (appendix "Wire encoding"); the summary:
+//!
+//! ```text
+//! frame   := len:u32be payload              len = |payload|, ≤ MAX_FRAME
+//! payload := version:u8 tag:u8 body         version = WIRE_VERSION
+//! ```
+//!
+//! Integers are unsigned LEB128 varints; sequences are a varint count
+//! followed by the elements; options are a presence byte (0/1) followed by
+//! the value. Decoding is total: any truncated, oversized, or corrupted
+//! input yields a [`CodecError`], never a panic, and every frame must
+//! consume its payload exactly (trailing bytes are an error).
+
+use gcs_core::msg::AppMsg;
+use gcs_model::{Label, ProcId, Summary, Value, View, ViewId};
+use gcs_vsimpl::{Token, TokenMsg, Wire};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The wire format version carried in every frame's first payload byte.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Maximum accepted frame payload (64 MiB): large enough for a token or
+/// state-exchange summary carrying a long view history, small enough that
+/// a corrupted length prefix cannot trigger an absurd allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A decoding failure. Every variant is a clean error — the decoder never
+/// panics on hostile input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// The frame announced a payload longer than [`MAX_FRAME`].
+    Oversized(usize),
+    /// The version byte did not match [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// An enum tag byte was not one of the defined values.
+    BadTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A varint ran longer than ten bytes (it cannot fit in a `u64`).
+    VarintOverflow,
+    /// A structurally invalid value (e.g. a zero label seqno).
+    Invalid(&'static str),
+    /// The frame decoded successfully but left unconsumed bytes.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated input"),
+            CodecError::Oversized(n) => write!(f, "frame of {n} bytes exceeds MAX_FRAME"),
+            CodecError::BadVersion(v) => write!(f, "unknown wire version {v}"),
+            CodecError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            CodecError::VarintOverflow => write!(f, "varint does not fit in u64"),
+            CodecError::Invalid(what) => write!(f, "invalid value: {what}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for decoding.
+pub type DecodeResult<T> = Result<T, CodecError>;
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+/// Who a connection belongs to, announced in the first frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HelloKind {
+    /// A node-to-node link; subsequent frames are [`Frame::Peer`].
+    Peer,
+    /// A client connection; it submits values and receives deliveries.
+    Client,
+}
+
+/// A transport frame: everything that crosses a socket.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Frame {
+    /// Connection preamble: the sender's identity, its connection
+    /// generation (monotonically increasing per reconnect, so receivers
+    /// can discard frames from stale sockets), and the connection kind.
+    Hello {
+        /// The sending node (for peers) or a client-chosen id squeezed
+        /// into a `ProcId`-shaped integer (for clients).
+        node: ProcId,
+        /// Connection generation number.
+        generation: u64,
+        /// Peer link or client session.
+        kind: HelloKind,
+    },
+    /// A protocol packet from the peer named in the preceding `Hello`.
+    Peer(Wire),
+    /// A client submits a value for totally ordered broadcast.
+    Submit(Value),
+    /// The node reports a delivery (`brcv`) to a subscribed client.
+    Deliver {
+        /// The originating node.
+        src: ProcId,
+        /// The delivered value.
+        a: Value,
+    },
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_PEER: u8 = 1;
+const TAG_SUBMIT: u8 = 2;
+const TAG_DELIVER: u8 = 3;
+
+const WIRE_PROBE: u8 = 0;
+const WIRE_CALL: u8 = 1;
+const WIRE_ACCEPT: u8 = 2;
+const WIRE_JOIN: u8 = 3;
+const WIRE_TOKEN: u8 = 4;
+
+const APP_VAL: u8 = 0;
+const APP_SUMMARY: u8 = 1;
+
+// ---------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn put_proc(out: &mut Vec<u8>, p: ProcId) {
+    put_varint(out, p.0 as u64);
+}
+
+fn put_viewid(out: &mut Vec<u8>, g: ViewId) {
+    put_varint(out, g.epoch);
+    put_proc(out, g.origin);
+}
+
+fn put_view(out: &mut Vec<u8>, v: &View) {
+    put_viewid(out, v.id);
+    put_varint(out, v.set.len() as u64);
+    for &p in &v.set {
+        put_proc(out, p);
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, a: &Value) {
+    put_bytes(out, a.as_bytes());
+}
+
+fn put_label(out: &mut Vec<u8>, l: &Label) {
+    put_viewid(out, l.view);
+    put_varint(out, l.seqno);
+    put_proc(out, l.origin);
+}
+
+fn put_summary(out: &mut Vec<u8>, x: &Summary) {
+    put_varint(out, x.con.len() as u64);
+    for (l, a) in &x.con {
+        put_label(out, l);
+        put_value(out, a);
+    }
+    put_varint(out, x.ord.len() as u64);
+    for l in &x.ord {
+        put_label(out, l);
+    }
+    put_varint(out, x.next);
+    match x.high {
+        None => out.push(0),
+        Some(g) => {
+            out.push(1);
+            put_viewid(out, g);
+        }
+    }
+}
+
+fn put_appmsg(out: &mut Vec<u8>, m: &AppMsg) {
+    match m {
+        AppMsg::Val(l, a) => {
+            out.push(APP_VAL);
+            put_label(out, l);
+            put_value(out, a);
+        }
+        AppMsg::Summary(x) => {
+            out.push(APP_SUMMARY);
+            put_summary(out, x);
+        }
+    }
+}
+
+fn put_token_msg(out: &mut Vec<u8>, tm: &TokenMsg) {
+    put_proc(out, tm.src);
+    put_varint(out, tm.mid);
+    put_appmsg(out, &tm.msg);
+}
+
+fn put_token(out: &mut Vec<u8>, t: &Token) {
+    put_viewid(out, t.view);
+    put_varint(out, t.round);
+    put_varint(out, t.msgs.len() as u64);
+    for tm in &t.msgs {
+        put_token_msg(out, tm);
+    }
+    put_varint(out, t.delivered.len() as u64);
+    for (&p, &c) in &t.delivered {
+        put_proc(out, p);
+        put_varint(out, c);
+    }
+    put_varint(out, t.clean_rounds as u64);
+}
+
+fn put_wire(out: &mut Vec<u8>, w: &Wire) {
+    match w {
+        Wire::Probe => out.push(WIRE_PROBE),
+        Wire::Call { viewid } => {
+            out.push(WIRE_CALL);
+            put_viewid(out, *viewid);
+        }
+        Wire::Accept { viewid } => {
+            out.push(WIRE_ACCEPT);
+            put_viewid(out, *viewid);
+        }
+        Wire::Join { view } => {
+            out.push(WIRE_JOIN);
+            put_view(out, view);
+        }
+        Wire::Token(t) => {
+            out.push(WIRE_TOKEN);
+            put_token(out, t);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive readers
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> DecodeResult<u8> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> DecodeResult<u64> {
+        let mut x = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let chunk = (b & 0x7f) as u64;
+            // The 10th byte may only contribute the single remaining bit.
+            if shift == 63 && chunk > 1 {
+                return Err(CodecError::VarintOverflow);
+            }
+            x |= chunk << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+        }
+        Err(CodecError::VarintOverflow)
+    }
+
+    fn len(&mut self, what: &'static str) -> DecodeResult<usize> {
+        let n = self.varint()?;
+        let n = usize::try_from(n).map_err(|_| CodecError::Oversized(usize::MAX))?;
+        // A collection cannot have more elements than remaining bytes
+        // (every element is at least one byte); checking up front keeps a
+        // corrupted count from provoking a huge pre-allocation.
+        if n > self.remaining() {
+            return Err(CodecError::Invalid(what));
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self) -> DecodeResult<&'a [u8]> {
+        let n = self.len("byte string length")?;
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn proc(&mut self) -> DecodeResult<ProcId> {
+        let x = self.varint()?;
+        u32::try_from(x)
+            .map(ProcId)
+            .map_err(|_| CodecError::Invalid("processor id exceeds u32"))
+    }
+
+    fn viewid(&mut self) -> DecodeResult<ViewId> {
+        let epoch = self.varint()?;
+        let origin = self.proc()?;
+        Ok(ViewId { epoch, origin })
+    }
+
+    fn view(&mut self) -> DecodeResult<View> {
+        let id = self.viewid()?;
+        let n = self.len("view member count")?;
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert(self.proc()?);
+        }
+        if set.len() != n {
+            return Err(CodecError::Invalid("duplicate view member"));
+        }
+        Ok(View { id, set })
+    }
+
+    fn value(&mut self) -> DecodeResult<Value> {
+        Ok(Value::from(self.bytes()?.to_vec()))
+    }
+
+    fn label(&mut self) -> DecodeResult<Label> {
+        let view = self.viewid()?;
+        let seqno = self.varint()?;
+        let origin = self.proc()?;
+        if seqno == 0 {
+            return Err(CodecError::Invalid("label seqno must be positive"));
+        }
+        Ok(Label { view, seqno, origin })
+    }
+
+    fn summary(&mut self) -> DecodeResult<Summary> {
+        let ncon = self.len("summary con count")?;
+        let mut con = BTreeMap::new();
+        for _ in 0..ncon {
+            let l = self.label()?;
+            let a = self.value()?;
+            con.insert(l, a);
+        }
+        if con.len() != ncon {
+            return Err(CodecError::Invalid("duplicate summary con label"));
+        }
+        let nord = self.len("summary ord count")?;
+        let mut ord = Vec::with_capacity(nord);
+        for _ in 0..nord {
+            ord.push(self.label()?);
+        }
+        let next = self.varint()?;
+        if next == 0 {
+            return Err(CodecError::Invalid("summary next must be positive"));
+        }
+        let high = match self.u8()? {
+            0 => None,
+            1 => Some(self.viewid()?),
+            tag => return Err(CodecError::BadTag { what: "summary high option", tag }),
+        };
+        Ok(Summary { con, ord, next, high })
+    }
+
+    fn appmsg(&mut self) -> DecodeResult<AppMsg> {
+        match self.u8()? {
+            APP_VAL => {
+                let l = self.label()?;
+                let a = self.value()?;
+                Ok(AppMsg::Val(l, a))
+            }
+            APP_SUMMARY => Ok(AppMsg::Summary(self.summary()?)),
+            tag => Err(CodecError::BadTag { what: "app message", tag }),
+        }
+    }
+
+    fn token_msg(&mut self) -> DecodeResult<TokenMsg> {
+        let src = self.proc()?;
+        let mid = self.varint()?;
+        let msg = self.appmsg()?;
+        Ok(TokenMsg { src, mid, msg })
+    }
+
+    fn token(&mut self) -> DecodeResult<Token> {
+        let view = self.viewid()?;
+        let round = self.varint()?;
+        let nmsgs = self.len("token message count")?;
+        let mut msgs = Vec::with_capacity(nmsgs);
+        for _ in 0..nmsgs {
+            msgs.push(self.token_msg()?);
+        }
+        let ndel = self.len("token delivered count")?;
+        let mut delivered = BTreeMap::new();
+        for _ in 0..ndel {
+            let p = self.proc()?;
+            let c = self.varint()?;
+            delivered.insert(p, c);
+        }
+        if delivered.len() != ndel {
+            return Err(CodecError::Invalid("duplicate token delivered entry"));
+        }
+        let clean = self.varint()?;
+        let clean_rounds = u32::try_from(clean)
+            .map_err(|_| CodecError::Invalid("token clean_rounds exceeds u32"))?;
+        Ok(Token { view, round, msgs, delivered, clean_rounds })
+    }
+
+    fn wire(&mut self) -> DecodeResult<Wire> {
+        match self.u8()? {
+            WIRE_PROBE => Ok(Wire::Probe),
+            WIRE_CALL => Ok(Wire::Call { viewid: self.viewid()? }),
+            WIRE_ACCEPT => Ok(Wire::Accept { viewid: self.viewid()? }),
+            WIRE_JOIN => Ok(Wire::Join { view: self.view()? }),
+            WIRE_TOKEN => Ok(Wire::Token(Box::new(self.token()?))),
+            tag => Err(CodecError::BadTag { what: "wire packet", tag }),
+        }
+    }
+
+    fn frame(&mut self) -> DecodeResult<Frame> {
+        let version = self.u8()?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        match self.u8()? {
+            TAG_HELLO => {
+                let node = self.proc()?;
+                let generation = self.varint()?;
+                let kind = match self.u8()? {
+                    0 => HelloKind::Peer,
+                    1 => HelloKind::Client,
+                    tag => return Err(CodecError::BadTag { what: "hello kind", tag }),
+                };
+                Ok(Frame::Hello { node, generation, kind })
+            }
+            TAG_PEER => Ok(Frame::Peer(self.wire()?)),
+            TAG_SUBMIT => Ok(Frame::Submit(self.value()?)),
+            TAG_DELIVER => {
+                let src = self.proc()?;
+                let a = self.value()?;
+                Ok(Frame::Deliver { src, a })
+            }
+            tag => Err(CodecError::BadTag { what: "frame", tag }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Encodes a frame payload (version byte + tag + body, without the length
+/// prefix).
+pub fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.push(WIRE_VERSION);
+    match frame {
+        Frame::Hello { node, generation, kind } => {
+            out.push(TAG_HELLO);
+            put_proc(&mut out, *node);
+            put_varint(&mut out, *generation);
+            out.push(match kind {
+                HelloKind::Peer => 0,
+                HelloKind::Client => 1,
+            });
+        }
+        Frame::Peer(w) => {
+            out.push(TAG_PEER);
+            put_wire(&mut out, w);
+        }
+        Frame::Submit(a) => {
+            out.push(TAG_SUBMIT);
+            put_value(&mut out, a);
+        }
+        Frame::Deliver { src, a } => {
+            out.push(TAG_DELIVER);
+            put_proc(&mut out, *src);
+            put_value(&mut out, a);
+        }
+    }
+    out
+}
+
+/// Decodes a frame payload produced by [`encode_payload`]. The payload
+/// must be consumed exactly.
+pub fn decode_payload(buf: &[u8]) -> DecodeResult<Frame> {
+    let mut c = Cursor::new(buf);
+    let frame = c.frame()?;
+    if c.remaining() != 0 {
+        return Err(CodecError::TrailingBytes(c.remaining()));
+    }
+    Ok(frame)
+}
+
+/// Encodes a full frame: 4-byte big-endian length prefix plus payload.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; decoding failures and mid-frame EOFs are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            CodecError::Oversized(len),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    decode_payload(&payload).map(Some).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) {
+        let bytes = encode_payload(f);
+        assert_eq!(&decode_payload(&bytes).expect("decodes"), f);
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        for x in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, x);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.varint().unwrap(), x);
+            assert_eq!(c.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn simple_frames_roundtrip() {
+        roundtrip(&Frame::Hello { node: ProcId(3), generation: 9, kind: HelloKind::Peer });
+        roundtrip(&Frame::Hello { node: ProcId(0), generation: 0, kind: HelloKind::Client });
+        roundtrip(&Frame::Peer(Wire::Probe));
+        roundtrip(&Frame::Peer(Wire::Call { viewid: ViewId::new(4, ProcId(2)) }));
+        roundtrip(&Frame::Submit(Value::from_u64(17)));
+        roundtrip(&Frame::Deliver { src: ProcId(1), a: Value::from("hello") });
+    }
+
+    #[test]
+    fn token_frame_roundtrips() {
+        let v = View::new(ViewId::new(2, ProcId(0)), ProcId::range(3));
+        let mut t = Token::new(&v);
+        t.round = 7;
+        t.clean_rounds = 1;
+        let l = Label::new(v.id, 1, ProcId(1));
+        t.msgs.push(TokenMsg { src: ProcId(1), mid: 42, msg: AppMsg::Val(l, Value::from_u64(5)) });
+        t.delivered.insert(ProcId(1), 1);
+        roundtrip(&Frame::Peer(Wire::Token(Box::new(t))));
+    }
+
+    #[test]
+    fn stream_roundtrip_and_clean_eof() {
+        let frames = vec![
+            Frame::Peer(Wire::Probe),
+            Frame::Submit(Value::from_u64(1)),
+            Frame::Peer(Wire::Join {
+                view: View::new(ViewId::new(1, ProcId(0)), ProcId::range(2)),
+            }),
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap().unwrap(), f);
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_version_and_tags_error_cleanly() {
+        assert_eq!(decode_payload(&[9, 0]), Err(CodecError::BadVersion(9)));
+        assert_eq!(
+            decode_payload(&[WIRE_VERSION, 200]),
+            Err(CodecError::BadTag { what: "frame", tag: 200 })
+        );
+        assert!(decode_payload(&[]).is_err());
+    }
+
+    #[test]
+    fn truncation_errors_never_panic() {
+        let full = encode_payload(&Frame::Peer(Wire::Join {
+            view: View::new(ViewId::new(3, ProcId(1)), ProcId::range(4)),
+        }));
+        for cut in 0..full.len() {
+            assert!(decode_payload(&full[..cut]).is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_collection_count_rejected_without_allocation() {
+        // A Submit frame whose value claims u64::MAX bytes.
+        let mut buf = vec![WIRE_VERSION, TAG_SUBMIT];
+        put_varint(&mut buf, u64::MAX);
+        assert!(decode_payload(&buf).is_err());
+    }
+}

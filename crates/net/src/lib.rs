@@ -1,0 +1,53 @@
+//! `gcs-net`: the Section 8 stack over a real TCP transport.
+//!
+//! The paper's implementation sketch assumes a timed asynchronous
+//! network: messages may be lost or delayed, and good channels deliver
+//! within δ. Elsewhere in this repository that network is the
+//! deterministic simulator (`gcs-netsim`) or an in-process channel
+//! runtime (`vsimpl::threaded`). This crate supplies the third — and
+//! deployable — event source: `std::net` TCP sockets on a real host,
+//! with nothing swapped but the transport, exactly the layering the
+//! paper's Section 1 anticipates ("mapping of the abstract algorithm to
+//! the target platform").
+//!
+//! The pieces:
+//!
+//! - [`codec`] — a hand-rolled, dependency-free binary encoding of the
+//!   full [`gcs_vsimpl::Wire`] message set plus client frames:
+//!   length-prefixed framing, a version byte, explicit enum tags, LEB128
+//!   varints. Decoding is *total*: any byte string produces `Ok` or a
+//!   [`codec::CodecError`], never a panic.
+//! - [`transport`] — per-node TCP endpoint: one accept loop, per-peer
+//!   reconnecting writer threads with bounded queues and capped
+//!   exponential backoff, connection-generation numbering so a stale
+//!   socket can never deliver into a newer incarnation of a link, and
+//!   link severing/healing to emulate partitions over real sockets.
+//! - [`runtime`] — hosts the unchanged `VsNode<TimedVsToTo>` protocol
+//!   state machine behind the socket event source and records its
+//!   emitted trace with cluster-mergeable (time, sequence) stamps.
+//! - [`cluster`] — a loopback harness that boots n nodes on ephemeral
+//!   localhost ports; integration tests drive traffic, cut links, and
+//!   feed the merged trace to the VS/TO safety checkers of `gcs-core`.
+//! - [`load`] — an open/closed-loop load-generating client speaking the
+//!   client protocol over TCP, with latency/throughput histograms.
+//!
+//! The `gcs-node` and `gcs-client` binaries wrap [`runtime`] and
+//! [`load`] for running a cluster by hand across terminals (or hosts).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod load;
+pub mod runtime;
+pub mod transport;
+
+pub use cluster::{ClusterConfig, LoopbackCluster};
+pub use codec::{
+    decode_payload, encode_frame, encode_payload, read_frame, write_frame, CodecError,
+    Frame, HelloKind, MAX_FRAME, WIRE_VERSION,
+};
+pub use load::{run_load, Histogram, LoadConfig, LoadMode, LoadReport};
+pub use runtime::{merge_recordings, Clock, NetNode, Recorded};
+pub use transport::{Incoming, Transport, TransportConfig};

@@ -1,0 +1,278 @@
+//! A load-generating TCP client: submits values over the client protocol
+//! (`Hello{kind: Client}` + `Submit` frames), watches the `Deliver` push
+//! stream, and reports latency/throughput histograms.
+//!
+//! Two driving disciplines:
+//!
+//! - **closed-loop**: keep a fixed window of operations outstanding;
+//!   submit the next one only when one of ours is delivered back. This
+//!   measures per-operation latency under a bounded offered load.
+//! - **open-loop**: submit at a fixed rate regardless of deliveries.
+//!   This measures how the ring behaves when the offered load is
+//!   independent of its progress.
+
+use crate::codec::{read_frame, write_frame, Frame, HelloKind};
+use gcs_model::{ProcId, Value};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// A latency histogram over recorded microsecond samples.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample (microseconds).
+    pub fn record(&mut self, us: u64) {
+        self.samples.push(us);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean, in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        (sum / self.samples.len() as u128) as u64
+    }
+
+    /// The `p`-th percentile (0.0–100.0), in microseconds (0 when empty).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// The largest sample (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Driving discipline for the load generator.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadMode {
+    /// Keep `window` operations outstanding.
+    Closed {
+        /// Outstanding-operation window.
+        window: usize,
+    },
+    /// Submit at `rate` operations per second, regardless of deliveries.
+    Open {
+        /// Offered rate, operations per second.
+        rate: u64,
+    },
+}
+
+/// What one load run produced.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Operations submitted.
+    pub submitted: u64,
+    /// Of those, operations seen delivered back on the watched node.
+    pub delivered: u64,
+    /// Wall time from first submit to last delivery (or timeout).
+    pub elapsed: Duration,
+    /// Submit→deliver latency per completed operation.
+    pub latency_us: Histogram,
+}
+
+impl LoadReport {
+    /// Completed operations per second.
+    pub fn throughput_ops(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delivered as f64 / secs
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Total operations to submit.
+    pub ops: u64,
+    /// Values are `value_base .. value_base + ops`; distinct generators
+    /// against one cluster must use disjoint ranges.
+    pub value_base: u64,
+    /// Driving discipline.
+    pub mode: LoadMode,
+    /// Give up waiting for deliveries after this long with no progress.
+    pub idle_timeout: Duration,
+}
+
+/// Runs one load generation session against the node at `addr`.
+///
+/// The generator submits `Value::from_u64(value_base + i)` for each
+/// operation and measures the time until the watched node pushes the
+/// matching `Deliver` frame back — i.e. full submit→total-order→deliver
+/// latency through the ring, as observed at that node.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(
+        &mut stream,
+        &Frame::Hello { node: ProcId(u32::MAX), generation: 0, kind: HelloKind::Client },
+    )?;
+
+    // Reader thread: forward every delivered u64 value with its arrival
+    // instant; exits on EOF/error.
+    let (tx, rx) = mpsc::channel::<(u64, Instant)>();
+    let mut read_half = stream.try_clone()?;
+    let reader = std::thread::spawn(move || loop {
+        match read_frame(&mut read_half) {
+            Ok(Some(Frame::Deliver { a, .. })) => {
+                if let Some(x) = a.as_u64() {
+                    if tx.send((x, Instant::now())).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => return,
+        }
+    });
+
+    let lo = cfg.value_base;
+    let hi = cfg.value_base + cfg.ops;
+    let mut pending: BTreeMap<u64, Instant> = BTreeMap::new();
+    let mut next = lo;
+    let mut latency = Histogram::new();
+    let started = Instant::now();
+    let mut last_progress = Instant::now();
+    let mut submitted = 0u64;
+    let mut finished_at = started;
+
+    let submit_one = |stream: &mut TcpStream,
+                          pending: &mut BTreeMap<u64, Instant>,
+                          next: &mut u64,
+                          submitted: &mut u64|
+     -> io::Result<()> {
+        let x = *next;
+        *next += 1;
+        pending.insert(x, Instant::now());
+        *submitted += 1;
+        write_frame(stream, &Frame::Submit(Value::from_u64(x)))
+    };
+
+    match cfg.mode {
+        LoadMode::Closed { window } => {
+            let window = window.max(1);
+            while next < hi && pending.len() < window {
+                submit_one(&mut stream, &mut pending, &mut next, &mut submitted)?;
+            }
+            while !pending.is_empty() {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok((x, at)) => {
+                        if let Some(t0) = pending.remove(&x) {
+                            latency.record(at.duration_since(t0).as_micros() as u64);
+                            finished_at = at;
+                            last_progress = Instant::now();
+                            if next < hi {
+                                submit_one(
+                                    &mut stream,
+                                    &mut pending,
+                                    &mut next,
+                                    &mut submitted,
+                                )?;
+                            }
+                        } else if (lo..hi).contains(&x) {
+                            // A duplicate push for a value we already
+                            // counted — ignore.
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if last_progress.elapsed() > cfg.idle_timeout {
+                            break;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        LoadMode::Open { rate } => {
+            let rate = rate.max(1);
+            let gap = Duration::from_nanos(1_000_000_000 / rate);
+            let mut due = Instant::now();
+            while next < hi || !pending.is_empty() {
+                if next < hi && Instant::now() >= due {
+                    submit_one(&mut stream, &mut pending, &mut next, &mut submitted)?;
+                    due += gap;
+                }
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok((x, at)) => {
+                        if let Some(t0) = pending.remove(&x) {
+                            latency.record(at.duration_since(t0).as_micros() as u64);
+                            finished_at = at;
+                            last_progress = Instant::now();
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if next >= hi && last_progress.elapsed() > cfg.idle_timeout {
+                            break;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+    }
+
+    let delivered = latency.count() as u64;
+    let elapsed = if delivered > 0 {
+        finished_at.duration_since(started)
+    } else {
+        started.elapsed()
+    };
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = reader.join();
+    Ok(LoadReport { submitted, delivered, elapsed, latency_us: latency })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.mean_us(), 50);
+        assert_eq!(h.percentile_us(0.0), 1);
+        assert_eq!(h.percentile_us(100.0), 100);
+        assert_eq!(h.max_us(), 100);
+        let p50 = h.percentile_us(50.0);
+        assert!((50..=51).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.percentile_us(99.0), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+}

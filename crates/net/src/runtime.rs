@@ -1,0 +1,251 @@
+//! The node runtime: hosts the same [`VsNode`]`<`[`TimedVsToTo`]`>` state
+//! machine as the simulator and the threaded runtime, with the TCP
+//! [`Transport`] as the event source.
+//!
+//! This is the third event source for the one protocol implementation —
+//! the "mapping of the abstract algorithm to the target platform" the
+//! paper anticipates. The node loop is the same shape as
+//! `vsimpl::threaded`: flush collected effects, then block on the next
+//! transport event or local timer. Emitted events are recorded with a
+//! (time, sequence) stamp from a [`Clock`] shared across a cluster, so
+//! per-node traces can be merged into one nondecreasing timed trace for
+//! the safety checkers.
+
+use crate::transport::{Incoming, Transport, TransportConfig};
+use gcs_ioa::TimedTrace;
+use gcs_model::{Majority, ProcId, Time, Value, View};
+use gcs_netsim::{CollectedEffects, Process, TraceEvent};
+use gcs_vsimpl::{ImplEvent, ProtoConfig, TimedVsToTo, VsNode, Wire};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A shared time base: milliseconds since an epoch plus a global event
+/// sequence, so traces recorded on different nodes (different threads,
+/// even different processes on one host would need an external merge) can
+/// be ordered consistently.
+pub struct Clock {
+    epoch: Instant,
+    seq: AtomicU64,
+}
+
+impl Clock {
+    /// A fresh clock with the epoch at "now".
+    pub fn new() -> Arc<Clock> {
+        Arc::new(Clock { epoch: Instant::now(), seq: AtomicU64::new(0) })
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn now_ms(&self) -> Time {
+        self.epoch.elapsed().as_millis() as Time
+    }
+
+    /// The next global event sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// One recorded trace event with its merge stamp.
+#[derive(Clone, Debug)]
+pub struct Recorded {
+    /// Milliseconds since the cluster clock's epoch.
+    pub time: Time,
+    /// Global sequence number (total order across the cluster).
+    pub seq: u64,
+    /// The event itself.
+    pub event: TraceEvent<ImplEvent>,
+}
+
+/// Merges per-node recordings into one timed trace ordered by the global
+/// sequence, with times clamped nondecreasing (threads race, so a later
+/// sequence number can carry an earlier millisecond reading).
+pub fn merge_recordings(per_node: &[Vec<Recorded>]) -> TimedTrace<TraceEvent<ImplEvent>> {
+    let mut all: Vec<Recorded> = per_node.iter().flatten().cloned().collect();
+    all.sort_by_key(|r| r.seq);
+    let mut trace = TimedTrace::new();
+    for r in all {
+        let at = r.time.max(trace.last_time());
+        trace.push(at, r.event);
+    }
+    trace
+}
+
+/// A running VS/TO node behind a TCP endpoint.
+pub struct NetNode {
+    id: ProcId,
+    transport: Arc<Transport>,
+    events_tx: Sender<Incoming>,
+    clock: Arc<Clock>,
+    recorded: Arc<Mutex<Vec<Recorded>>>,
+    delivered: Arc<Mutex<Vec<(ProcId, Value)>>>,
+    views: Arc<Mutex<Vec<View>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetNode {
+    /// Boots node `id`: binds nothing itself — the caller provides the
+    /// already-bound `listener` (so ephemeral ports can be collected
+    /// before any node starts) and the full peer address map.
+    pub fn start(
+        id: ProcId,
+        proto: ProtoConfig,
+        listener: TcpListener,
+        peers: &BTreeMap<ProcId, SocketAddr>,
+        transport_cfg: TransportConfig,
+        clock: Arc<Clock>,
+    ) -> io::Result<NetNode> {
+        let (events_tx, events_rx) = mpsc::channel::<Incoming>();
+        let transport =
+            Transport::start(id, listener, peers, transport_cfg, events_tx.clone())?;
+        let recorded = Arc::new(Mutex::new(Vec::new()));
+        let delivered = Arc::new(Mutex::new(Vec::new()));
+        // Members of P₀ start with v₀ already installed (no NewView event
+        // is emitted for it), so seed the view history accordingly.
+        let initial = proto
+            .p0
+            .contains(&id)
+            .then(|| View::initial(proto.p0.clone()));
+        let views = Arc::new(Mutex::new(initial.into_iter().collect::<Vec<_>>()));
+
+        let handle = {
+            let transport = transport.clone();
+            let clock = clock.clone();
+            let recorded = recorded.clone();
+            let delivered = delivered.clone();
+            let views = views.clone();
+            let n = proto.procs.len();
+            let p0 = proto.p0.clone();
+            std::thread::spawn(move || {
+                let quorums = Arc::new(Majority::new(n));
+                let mut node = VsNode::new(id, proto, TimedVsToTo::new(id, &p0, quorums));
+                let mut fx: CollectedEffects<Wire, ImplEvent> = CollectedEffects::new(0);
+                let mut timers: Vec<(Time, u64)> = Vec::new();
+                fx.set_now(clock.now_ms());
+                node.on_start(&mut fx.ctx());
+                loop {
+                    // Flush effects. Emits are recorded *before* sends go
+                    // out so that, in the merged global order, this node's
+                    // gpsnd precedes any peer's gprcv of the same message.
+                    for e in std::mem::take(&mut fx.emits) {
+                        if let ImplEvent::Brcv { src, a, .. } = &e {
+                            delivered.lock().expect("no panicking holder").push((*src, a.clone()));
+                            transport.push_delivery(*src, a);
+                        }
+                        if let ImplEvent::NewView { v, .. } = &e {
+                            views.lock().expect("no panicking holder").push(v.clone());
+                        }
+                        let stamp = Recorded {
+                            time: clock.now_ms(),
+                            seq: clock.next_seq(),
+                            event: TraceEvent::App(e),
+                        };
+                        recorded.lock().expect("no panicking holder").push(stamp);
+                    }
+                    for (to, wire) in fx.take_sends() {
+                        transport.send(to, wire);
+                    }
+                    for (delay, kind) in std::mem::take(&mut fx.timers) {
+                        timers.push((clock.now_ms() + delay, kind));
+                    }
+                    // Wait for the next event or timer.
+                    timers.sort_unstable();
+                    let timeout = timers
+                        .first()
+                        .map(|(due, _)| {
+                            Duration::from_millis(due.saturating_sub(clock.now_ms()))
+                        })
+                        .unwrap_or(Duration::from_millis(20));
+                    match events_rx.recv_timeout(timeout) {
+                        Ok(Incoming::Stop) => return,
+                        Ok(Incoming::Wire { from, wire }) => {
+                            fx.set_now(clock.now_ms());
+                            node.on_message(from, wire, &mut fx.ctx());
+                        }
+                        Ok(Incoming::Submit { a }) => {
+                            fx.set_now(clock.now_ms());
+                            node.on_input(a, &mut fx.ctx());
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            let now = clock.now_ms();
+                            fx.set_now(now);
+                            let due: Vec<u64> = timers
+                                .iter()
+                                .filter(|(d, _)| *d <= now)
+                                .map(|(_, k)| *k)
+                                .collect();
+                            timers.retain(|(d, _)| *d > now);
+                            for kind in due {
+                                node.on_timer(kind, &mut fx.ctx());
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            })
+        };
+
+        Ok(NetNode {
+            id,
+            transport,
+            events_tx,
+            clock,
+            recorded,
+            delivered,
+            views,
+            handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The transport endpoint (for severing links, counters, the bound
+    /// address).
+    pub fn transport(&self) -> &Arc<Transport> {
+        &self.transport
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Submits a client value locally (same path a TCP client's `Submit`
+    /// frame takes).
+    pub fn submit(&self, a: Value) {
+        let _ = self.events_tx.send(Incoming::Submit { a });
+    }
+
+    /// What this node has delivered to its client so far.
+    pub fn delivered(&self) -> Vec<(ProcId, Value)> {
+        self.delivered.lock().expect("no panicking holder").clone()
+    }
+
+    /// Every view this node has installed, in order.
+    pub fn views(&self) -> Vec<View> {
+        self.views.lock().expect("no panicking holder").clone()
+    }
+
+    /// A snapshot of this node's recorded (stamped) trace events.
+    pub fn recorded(&self) -> Vec<Recorded> {
+        self.recorded.lock().expect("no panicking holder").clone()
+    }
+
+    /// Stops the node loop and the transport; returns the final recording.
+    pub fn stop(&self) -> Vec<Recorded> {
+        let _ = self.events_tx.send(Incoming::Stop);
+        if let Some(h) = self.handle.lock().expect("no panicking holder").take() {
+            let _ = h.join();
+        }
+        self.transport.stop();
+        self.recorded.lock().expect("no panicking holder").clone()
+    }
+}

@@ -1,0 +1,481 @@
+//! The TCP peer transport: one accept loop per node, one reconnecting
+//! writer thread per peer, bounded send queues, and connection-generation
+//! numbering so frames from a stale socket can never be delivered into a
+//! newer incarnation of a link.
+//!
+//! The transport deliberately provides the *timed asynchronous* service
+//! the paper assumes and nothing more: frames can be lost (bounded queues
+//! drop on overflow, reconnects lose whatever was in flight) and the
+//! protocol layer above recovers through its own timeouts. There are no
+//! acknowledgements and no retransmissions here.
+//!
+//! Partitions are emulated at this layer: [`Transport::sever`] closes the
+//! live sockets to a peer and drops every subsequent frame in both
+//! directions until [`Transport::heal`]; [`Transport::kick`] closes the
+//! sockets *without* blocking the peer, which exercises the reconnect
+//! path (capped exponential backoff) while the membership layer rides out
+//! the loss.
+
+use crate::codec::{read_frame, write_frame, Frame, HelloKind};
+use gcs_model::{ProcId, Value};
+use gcs_vsimpl::Wire;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Transport tuning knobs.
+#[derive(Clone, Debug)]
+pub struct TransportConfig {
+    /// Per-peer outbound queue depth; frames beyond it are dropped (the
+    /// protocol recovers via its token-loss and probe timers).
+    pub send_queue: usize,
+    /// First reconnect delay.
+    pub backoff_min: Duration,
+    /// Reconnect delay cap (exponential doubling stops here).
+    pub backoff_max: Duration,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            send_queue: 1024,
+            backoff_min: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What the transport hands up to the node runtime.
+#[derive(Debug)]
+pub enum Incoming {
+    /// A protocol packet from a peer link.
+    Wire {
+        /// The sending node (from the connection's `Hello`).
+        from: ProcId,
+        /// The packet.
+        wire: Wire,
+    },
+    /// A client submitted a value over a client connection (or the local
+    /// harness injected one).
+    Submit {
+        /// The value to broadcast.
+        a: Value,
+    },
+    /// Shut the node down.
+    Stop,
+}
+
+/// Counters for one peer link.
+#[derive(Default)]
+struct LinkStats {
+    /// Connection attempts (successful or not).
+    attempts: AtomicU64,
+    /// Current connection generation (bumped on every established
+    /// connection).
+    generation: AtomicU64,
+    /// Whether the outbound side is currently connected.
+    connected: AtomicBool,
+}
+
+struct PeerLink {
+    tx: SyncSender<Wire>,
+    stats: Arc<LinkStats>,
+    /// The live outbound socket, kept so `sever`/`kick` can close it out
+    /// from under the writer thread.
+    current: Arc<Mutex<Option<TcpStream>>>,
+}
+
+/// Shared state the reader/acceptor threads need.
+struct Shared {
+    me: ProcId,
+    shutdown: AtomicBool,
+    /// Peers whose traffic is dropped in both directions (emulated
+    /// partition).
+    blocked: Mutex<BTreeSet<ProcId>>,
+    /// Highest hello generation seen per peer; readers on stale
+    /// connections stop delivering as soon as a newer one appears.
+    latest_gen: Mutex<BTreeMap<ProcId, u64>>,
+    /// Live inbound peer sockets, for severing.
+    inbound: Mutex<Vec<(ProcId, TcpStream)>>,
+    /// Live client connections, for delivery push.
+    subscribers: Mutex<Vec<TcpStream>>,
+    /// Frames dropped at the send side (blocked peer or full queue).
+    dropped: AtomicU64,
+    /// Frames dropped at the receive side (blocked or stale connection).
+    rejected: AtomicU64,
+}
+
+impl Shared {
+    fn is_blocked(&self, p: ProcId) -> bool {
+        self.blocked.lock().expect("no panicking holder").contains(&p)
+    }
+}
+
+/// A node's TCP endpoint: an accept loop, per-peer reconnecting writers,
+/// and an event channel consumed by the node runtime.
+pub struct Transport {
+    shared: Arc<Shared>,
+    links: BTreeMap<ProcId, PeerLink>,
+    local_addr: SocketAddr,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Transport {
+    /// Starts the endpoint for node `me`: `listener` accepts inbound
+    /// connections, `peers` maps every *other* node to its address, and
+    /// decoded traffic is delivered into `events`.
+    pub fn start(
+        me: ProcId,
+        listener: TcpListener,
+        peers: &BTreeMap<ProcId, SocketAddr>,
+        config: TransportConfig,
+        events: Sender<Incoming>,
+    ) -> io::Result<Arc<Transport>> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            me,
+            shutdown: AtomicBool::new(false),
+            blocked: Mutex::new(BTreeSet::new()),
+            latest_gen: Mutex::new(BTreeMap::new()),
+            inbound: Mutex::new(Vec::new()),
+            subscribers: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let mut handles = Vec::new();
+
+        // Accept loop.
+        {
+            let shared = shared.clone();
+            let events = events.clone();
+            handles.push(std::thread::spawn(move || {
+                accept_loop(listener, shared, events);
+            }));
+        }
+
+        // One writer per peer.
+        let mut links = BTreeMap::new();
+        for (&p, &addr) in peers {
+            if p == me {
+                continue;
+            }
+            let (tx, rx) = mpsc::sync_channel::<Wire>(config.send_queue);
+            let stats = Arc::new(LinkStats::default());
+            let current = Arc::new(Mutex::new(None));
+            {
+                let shared = shared.clone();
+                let stats = stats.clone();
+                let current = current.clone();
+                let config = config.clone();
+                handles.push(std::thread::spawn(move || {
+                    writer_loop(p, addr, rx, shared, stats, current, config);
+                }));
+            }
+            links.insert(p, PeerLink { tx, stats, current });
+        }
+
+        Ok(Arc::new(Transport {
+            shared,
+            links,
+            local_addr,
+            handles: Mutex::new(handles),
+        }))
+    }
+
+    /// The address the listener actually bound (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Enqueues a packet for `to`. Frames to blocked peers, unknown peers,
+    /// or over a full queue are silently dropped (and counted).
+    pub fn send(&self, to: ProcId, wire: Wire) {
+        if self.shared.is_blocked(to) {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match self.links.get(&to) {
+            None => {
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(link) => match link.tx.try_send(wire) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        }
+    }
+
+    /// Pushes a delivery notification to every connected client.
+    pub fn push_delivery(&self, src: ProcId, a: &Value) {
+        let frame = Frame::Deliver { src, a: a.clone() };
+        let mut subs = self.shared.subscribers.lock().expect("no panicking holder");
+        subs.retain_mut(|stream| write_frame(stream, &frame).is_ok());
+    }
+
+    /// Emulates a network partition from this node to `p`: closes the live
+    /// sockets and drops all traffic in both directions until
+    /// [`Transport::heal`].
+    pub fn sever(&self, p: ProcId) {
+        self.shared.blocked.lock().expect("no panicking holder").insert(p);
+        self.close_sockets(p);
+    }
+
+    /// Ends an emulated partition; the writer thread reconnects on its
+    /// next backoff tick.
+    pub fn heal(&self, p: ProcId) {
+        self.shared.blocked.lock().expect("no panicking holder").remove(&p);
+    }
+
+    /// Kills the live TCP connections to `p` without blocking the peer:
+    /// in-flight frames are lost and the writer reconnects with backoff
+    /// under a fresh connection generation.
+    pub fn kick(&self, p: ProcId) {
+        self.close_sockets(p);
+    }
+
+    fn close_sockets(&self, p: ProcId) {
+        if let Some(link) = self.links.get(&p) {
+            if let Some(stream) = link.current.lock().expect("no panicking holder").take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        let mut inbound = self.shared.inbound.lock().expect("no panicking holder");
+        inbound.retain(|(q, stream)| {
+            if *q == p {
+                let _ = stream.shutdown(Shutdown::Both);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Whether the outbound link to `p` is currently established.
+    pub fn connected(&self, p: ProcId) -> bool {
+        self.links
+            .get(&p)
+            .is_some_and(|l| l.stats.connected.load(Ordering::Relaxed))
+    }
+
+    /// Connection attempts made toward `p` (reconnect/backoff activity).
+    pub fn connect_attempts(&self, p: ProcId) -> u64 {
+        self.links
+            .get(&p)
+            .map_or(0, |l| l.stats.attempts.load(Ordering::Relaxed))
+    }
+
+    /// The current outbound connection generation toward `p`.
+    pub fn generation(&self, p: ProcId) -> u64 {
+        self.links
+            .get(&p)
+            .map_or(0, |l| l.stats.generation.load(Ordering::Relaxed))
+    }
+
+    /// Outbound frames dropped (blocked peer or full queue).
+    pub fn frames_dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Inbound frames rejected (blocked peer or stale generation).
+    pub fn frames_rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stops every thread and closes every socket.
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for link in self.links.values() {
+            if let Some(stream) = link.current.lock().expect("no panicking holder").take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        for (_, stream) in self.shared.inbound.lock().expect("no panicking holder").drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for stream in self.shared.subscribers.lock().expect("no panicking holder").drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.handles.lock().expect("no panicking holder"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incoming>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let shared = shared.clone();
+                let events = events.clone();
+                // Readers exit on socket close/EOF; they are detached and
+                // the sockets they own are closed by `stop`/`sever`.
+                std::thread::spawn(move || reader_loop(stream, shared, events));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incoming>) {
+    // The first frame must identify the connection.
+    let hello = match read_frame(&mut stream) {
+        Ok(Some(Frame::Hello { node, generation, kind })) => (node, generation, kind),
+        _ => return,
+    };
+    let (node, generation, kind) = hello;
+    match kind {
+        HelloKind::Peer => {
+            {
+                let mut latest = shared.latest_gen.lock().expect("no panicking holder");
+                let e = latest.entry(node).or_insert(0);
+                if generation < *e {
+                    // A stale socket racing a newer incarnation: refuse it.
+                    return;
+                }
+                *e = generation;
+            }
+            let Ok(clone) = stream.try_clone() else { return };
+            shared.inbound.lock().expect("no panicking holder").push((node, clone));
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(Some(Frame::Peer(wire))) => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let stale = {
+                            let latest =
+                                shared.latest_gen.lock().expect("no panicking holder");
+                            latest.get(&node).copied().unwrap_or(0) > generation
+                        };
+                        if stale || shared.is_blocked(node) {
+                            shared.rejected.fetch_add(1, Ordering::Relaxed);
+                            if stale {
+                                return;
+                            }
+                            continue;
+                        }
+                        if events.send(Incoming::Wire { from: node, wire }).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Some(_)) | Ok(None) | Err(_) => return,
+                }
+            }
+        }
+        HelloKind::Client => {
+            if let Ok(clone) = stream.try_clone() {
+                shared.subscribers.lock().expect("no panicking holder").push(clone);
+            }
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(Some(Frame::Submit(a))) => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        if events.send(Incoming::Submit { a }).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Some(_)) | Ok(None) | Err(_) => return,
+                }
+            }
+        }
+    }
+}
+
+fn writer_loop(
+    peer: ProcId,
+    addr: SocketAddr,
+    rx: Receiver<Wire>,
+    shared: Arc<Shared>,
+    stats: Arc<LinkStats>,
+    current: Arc<Mutex<Option<TcpStream>>>,
+    config: TransportConfig,
+) {
+    let mut backoff = config.backoff_min;
+    'reconnect: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // While blocked, keep the queue draining so the sender never sees
+        // ancient frames flushed after a heal.
+        if shared.is_blocked(peer) {
+            while rx.try_recv().is_ok() {}
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        stats.attempts.fetch_add(1, Ordering::Relaxed);
+        let stream = match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Ok(s) => s,
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(config.backoff_max);
+                continue;
+            }
+        };
+        backoff = config.backoff_min;
+        let _ = stream.set_nodelay(true);
+        let generation = stats.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut write_half = stream;
+        if write_frame(
+            &mut write_half,
+            &Frame::Hello { node: shared.me, generation, kind: HelloKind::Peer },
+        )
+        .is_err()
+        {
+            std::thread::sleep(backoff);
+            continue;
+        }
+        if let Ok(clone) = write_half.try_clone() {
+            *current.lock().expect("no panicking holder") = Some(clone);
+        }
+        stats.connected.store(true, Ordering::Relaxed);
+        loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(wire) => {
+                    if shared.is_blocked(peer) {
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    if write_frame(&mut write_half, &Frame::Peer(wire)).is_err() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        stats.connected.store(false, Ordering::Relaxed);
+                        return;
+                    }
+                    if shared.is_blocked(peer)
+                        || current.lock().expect("no panicking holder").is_none()
+                    {
+                        // Severed or kicked out from under us.
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    stats.connected.store(false, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        stats.connected.store(false, Ordering::Relaxed);
+        let _ = write_half.shutdown(Shutdown::Both);
+        *current.lock().expect("no panicking holder") = None;
+        continue 'reconnect;
+    }
+}

@@ -267,12 +267,15 @@ impl<M, I> Ord for QueuedEvent<M, I> {
     }
 }
 
+/// Events parked for an unreachable destination, per processor.
+type Stash<M, I> = BTreeMap<ProcId, Vec<QueuedEvent<M, I>>>;
+
 /// The deterministic discrete-event engine.
 pub struct Engine<P: Process> {
     procs: BTreeMap<ProcId, P>,
     heap: BinaryHeap<Reverse<QueuedEvent<P::Msg, P::Input>>>,
     fail_heap: Vec<gcs_model::FailureEvent>, // sorted descending, popped from back
-    stash: BTreeMap<ProcId, Vec<QueuedEvent<P::Msg, P::Input>>>,
+    stash: Stash<P::Msg, P::Input>,
     now: Time,
     seq: u64,
     failures: FailureMap,

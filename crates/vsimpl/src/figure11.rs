@@ -158,13 +158,12 @@ pub fn check_figure11(
             TraceEvent::App(ImplEvent::NewView { p, v }) => {
                 current.insert(*p, Some(v.clone()));
             }
-            TraceEvent::App(ImplEvent::GpSnd { p, mid, .. }) => {
+            TraceEvent::App(ImplEvent::GpSnd { p, mid, .. })
                 if params.q.contains(p)
                     && current.get(p).cloned().flatten().as_ref() == Some(&final_view)
-                {
+                => {
                     in_view_sends.push((*mid, ev.time));
                 }
-            }
             TraceEvent::App(ImplEvent::Safe { dst, mid, .. }) => {
                 safes.entry(*mid).or_default().entry(*dst).or_insert(ev.time);
             }
@@ -178,10 +177,9 @@ pub fn check_figure11(
             .iter()
             .copied()
             .filter(|r| {
-                !safes
+                safes
                     .get(mid)
-                    .and_then(|m| m.get(r))
-                    .is_some_and(|&ts| ts <= deadline)
+                    .and_then(|m| m.get(r)).is_none_or(|&ts| ts > deadline)
             })
             .collect();
         if !missing.is_empty() && deadline <= horizon {

@@ -407,10 +407,9 @@ impl<C: VsClient> Process for VsNode<C> {
     fn on_start(&mut self, ctx: &mut Context<'_, Wire, ImplEvent>) {
         // Stagger probes per id to avoid synchronized storms.
         ctx.set_timer(self.cfg.mu + self.id.0 as Time, timer_kind(TAG_PROBE, 0));
-        if self.view.is_some() {
+        if let Some(view) = &self.view {
             if self.is_leader() {
-                self.holding =
-                    Some(Box::new(Token::new(self.view.as_ref().expect("just checked"))));
+                self.holding = Some(Box::new(Token::new(view)));
                 ctx.set_timer(self.cfg.pi, timer_kind(TAG_LAUNCH, self.gen));
             }
             ctx.set_timer(self.token_timeout(), timer_kind(TAG_TOKEN, self.gen));

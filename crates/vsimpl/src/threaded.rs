@@ -90,6 +90,10 @@ impl ThreadedConfig {
     }
 }
 
+/// Per-node delivery logs shared between the node threads and the stack
+/// handle.
+type DeliveredLog = Arc<Mutex<Vec<Vec<(ProcId, Value)>>>>;
+
 /// A running threaded stack: `n` protocol nodes on their own threads, a
 /// router thread applying link delays and failure statuses, and a shared
 /// recorded trace.
@@ -98,7 +102,7 @@ pub struct ThreadedStack {
     router_tx: Sender<Option<RouterPacket>>,
     failures: Arc<RwLock<FailureMap>>,
     trace: Arc<Mutex<TimedTrace<TraceEvent<ImplEvent>>>>,
-    delivered: Arc<Mutex<Vec<Vec<(ProcId, Value)>>>>,
+    delivered: DeliveredLog,
     handles: Vec<JoinHandle<()>>,
     epoch: Instant,
     seq: Arc<Mutex<u64>>,

@@ -8,7 +8,7 @@ use std::fmt;
 
 /// One group-multicast message riding the token: the sender, a globally
 /// unique message identifier, and the payload.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TokenMsg {
     /// The original sender (`gpsnd` location).
     pub src: ProcId,
@@ -21,7 +21,7 @@ pub struct TokenMsg {
 /// The circulating token of Section 8: it carries the per-view message
 /// sequence and, per member, how many of those messages that member had
 /// delivered when the token last left it.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Token {
     /// The view this token belongs to.
     pub view: ViewId,
@@ -59,7 +59,7 @@ impl Token {
 }
 
 /// A protocol packet.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Wire {
     /// Periodic contact attempt to processors outside the sender's view.
     Probe,
@@ -86,7 +86,7 @@ pub enum Wire {
 /// events carry both the unique message identifier (for the timed
 /// property checkers) and the payload (for the Lemma 4.2 cause checker);
 /// `Bcast`/`Brcv` are the `TO` client interface.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, PartialEq, Eq)]
 pub enum ImplEvent {
     /// `newview(v)_p`.
     NewView {

@@ -8,3 +8,6 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo bench -p gcs-bench --bench micro -- --quick "$@"
+# Loopback TCP cluster throughput (gcs-net): boots real sockets on
+# 127.0.0.1 and measures delivery of 100-op batches through the ring.
+cargo bench -p gcs-bench --bench loopback -- --quick "$@"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The full CI gate: release build (binaries included), the complete test
+# suite, and clippy with warnings promoted to errors. Everything runs
+# offline against the vendored dependency set; a clean exit here is the
+# merge bar.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> ci.sh: all green"

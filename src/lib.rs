@@ -19,6 +19,9 @@
 //!   `VStoTO`, invariants, the simulation relation, property checkers;
 //! - [`netsim`] — the discrete-event network simulator;
 //! - [`vsimpl`] — the VS service implementation and the full TO stack;
+//! - [`net`] — the same stack over real TCP sockets: wire codec,
+//!   reconnecting peer transport, node daemon, load client, loopback
+//!   cluster harness;
 //! - [`apps`] — replicated state machines and memories over TO;
 //! - [`harness`] — the experiments (E1–E14).
 //!
@@ -49,5 +52,6 @@ pub use gcs_core as spec;
 pub use gcs_harness as harness;
 pub use gcs_ioa as ioa;
 pub use gcs_model as model;
+pub use gcs_net as net;
 pub use gcs_netsim as netsim;
 pub use gcs_vsimpl as vsimpl;

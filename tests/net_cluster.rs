@@ -1,0 +1,50 @@
+//! Smoke test for the TCP stack through the façade crate: a small
+//! loopback cluster forms its initial view, delivers a burst of client
+//! operations in one total order, and its merged trace satisfies the
+//! specification checkers — the same contract the simulator is held to.
+
+use pgcs::model::{ProcId, Value};
+use pgcs::net::cluster::{ClusterConfig, LoopbackCluster};
+use pgcs::spec::cause::check_trace;
+use pgcs::spec::to_trace::check_to_trace;
+use pgcs::vsimpl::convert::{to_obs, vs_actions};
+use std::time::{Duration, Instant};
+
+#[test]
+fn loopback_cluster_smoke() {
+    let n = 3u32;
+    let cluster = LoopbackCluster::start(ClusterConfig::patient(n)).expect("bind loopback");
+
+    // Initial view over the full group at every node.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while Instant::now() < deadline {
+        let formed = cluster
+            .views()
+            .iter()
+            .all(|vs| vs.last().is_some_and(|v| v.size() == n as usize));
+        if formed {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    for i in 0..24u64 {
+        cluster.submit(ProcId((i % n as u64) as u32), Value::from_u64(i + 1));
+    }
+    assert!(
+        cluster.await_deliveries(24, Duration::from_secs(30)),
+        "deliveries timed out: {:?}",
+        cluster.delivered().iter().map(|d| d.len()).collect::<Vec<_>>()
+    );
+
+    let delivered = cluster.delivered();
+    for d in &delivered {
+        assert_eq!(&delivered[0][..24], &d[..24], "total orders diverge");
+    }
+
+    let trace = cluster.stop();
+    let to = check_to_trace(&to_obs(&trace).untimed());
+    assert!(to.ok(), "TO checker failed: {:?}", to.violations.first());
+    let cause = check_trace(&vs_actions(&trace), &ProcId::range(n));
+    assert!(cause.ok(), "cause checker failed: {:?}", cause.violations.first());
+}
