@@ -93,10 +93,7 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn view(ids: &[u32]) -> View {
-        View::new(
-            ViewId::new(1, ProcId(ids[0])),
-            ids.iter().map(|&i| ProcId(i)).collect(),
-        )
+        View::new(ViewId::new(1, ProcId(ids[0])), ids.iter().map(|&i| ProcId(i)).collect())
     }
 
     #[test]
@@ -118,10 +115,7 @@ mod tests {
         let v = view(&[0, 1, 2, 3]);
         let shares = part.shares(&v, 2_000);
         for (p, c) in &shares {
-            assert!(
-                (300..=700).contains(c),
-                "{p} owns {c}/2000 — rendezvous hash badly skewed"
-            );
+            assert!((300..=700).contains(c), "{p} owns {c}/2000 — rendezvous hash badly skewed");
         }
     }
 

@@ -200,23 +200,13 @@ mod tests {
 
     #[test]
     fn replicas_agree_on_grants() {
-        let ops = vec![
-            acq("m", 0, 1),
-            acq("m", 1, 2),
-            rel("m", 0),
-            acq("n", 2, 3),
-            rel("m", 1),
-        ];
-        let replicas =
-            replay_and_check(LockTable::default(), &[ops.clone(), ops[..3].to_vec()])
-                .expect("consistent");
+        let ops = vec![acq("m", 0, 1), acq("m", 1, 2), rel("m", 0), acq("n", 2, 3), rel("m", 1)];
+        let replicas = replay_and_check(LockTable::default(), &[ops.clone(), ops[..3].to_vec()])
+            .expect("consistent");
         assert_eq!(replicas[0].state().grants().len(), 3);
         assert_eq!(replicas[1].state().grants().len(), 2);
         // Common prefix of grants agrees.
-        assert_eq!(
-            &replicas[0].state().grants()[..2],
-            replicas[1].state().grants()
-        );
+        assert_eq!(&replicas[0].state().grants()[..2], replicas[1].state().grants());
     }
 
     /// Over the real stack: acquires from all three processors; the

@@ -60,10 +60,7 @@ impl<S: StateMachine> Replica<S> {
 /// have equal states.
 ///
 /// Returns the replicas on success, or a description of the divergence.
-pub fn replay_and_check<S>(
-    initial: S,
-    streams: &[Vec<Value>],
-) -> Result<Vec<Replica<S>>, String>
+pub fn replay_and_check<S>(initial: S, streams: &[Vec<Value>]) -> Result<Vec<Replica<S>>, String>
 where
     S: StateMachine + PartialEq,
 {
@@ -145,8 +142,7 @@ mod tests {
     fn replay_accepts_consistent_prefixes() {
         let long = vec![Value::from_u64(1), Value::from_u64(2), Value::from_u64(3)];
         let short = long[..1].to_vec();
-        let replicas =
-            replay_and_check(Counter::default(), &[long, short]).expect("consistent");
+        let replicas = replay_and_check(Counter::default(), &[long, short]).expect("consistent");
         assert_eq!(replicas[0].state().total, 6);
         assert_eq!(replicas[1].state().total, 1);
     }

@@ -109,12 +109,7 @@ mod tests {
 
     #[test]
     fn roundtrip_mixed_fields() {
-        let buf = WireWriter::new(*b"ZZ", 7)
-            .str("hello")
-            .i64(-42)
-            .u64(9)
-            .u32(3)
-            .finish();
+        let buf = WireWriter::new(*b"ZZ", 7).str("hello").i64(-42).u64(9).u32(3).finish();
         let (op, mut r) = WireReader::open(&buf, *b"ZZ").unwrap();
         assert_eq!(op, 7);
         assert_eq!(r.str().unwrap(), "hello");

@@ -38,20 +38,7 @@ exp_bench!(bench_e13, e13, "e13_exchange_cost");
 exp_bench!(bench_e14, e14, "e14_baseline");
 
 criterion_group!(
-    benches,
-    bench_e1,
-    bench_e2,
-    bench_e3,
-    bench_e4,
-    bench_e5,
-    bench_e6,
-    bench_e7,
-    bench_e8,
-    bench_e9,
-    bench_e10,
-    bench_e11,
-    bench_e12,
-    bench_e13,
-    bench_e14
+    benches, bench_e1, bench_e2, bench_e3, bench_e4, bench_e5, bench_e6, bench_e7, bench_e8,
+    bench_e9, bench_e10, bench_e11, bench_e12, bench_e13, bench_e14
 );
 criterion_main!(benches);

@@ -108,6 +108,51 @@ fn bench_netsim_events(c: &mut Criterion) {
     });
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    use gcs_obs::{EventKind, Obs};
+    let obs = Obs::new();
+    // Pre-resolved handles, as the transport hot paths hold them.
+    let counter = obs.registry.counter_labeled("bench_frames_total", &[("node", "0")]);
+    let hist = obs.registry.histogram("bench_latency_us");
+    let mut g = c.benchmark_group("obs_overhead");
+    // Registry off: the bare hot-path work (frame bookkeeping stand-in).
+    let mut x = 0u64;
+    g.bench_function("frame_path_bare", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            criterion::black_box(x)
+        })
+    });
+    // Registry on: what one instrumented frame costs — a counter bump
+    // plus a structured trace event.
+    g.bench_function("frame_path_instrumented", |b| {
+        b.iter(|| {
+            counter.inc();
+            obs.trace.record(EventKind::Send { from: 0, to: 1 });
+        })
+    });
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    g.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            hist.record(v >> 40);
+        })
+    });
+    g.bench_function("trace_record", |b| {
+        b.iter(|| obs.trace.record(EventKind::Recv { node: 0, from: 1 }))
+    });
+    // Cold-path lookup cost (label resolution through the shard map).
+    g.bench_function("counter_labeled_lookup", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                obs.registry.counter_labeled("bench_frames_total", &[("node", "0")]).get(),
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_abstract_steps,
@@ -115,6 +160,7 @@ criterion_group!(
     bench_invariant_suite,
     bench_derived_state,
     bench_checkers,
-    bench_netsim_events
+    bench_netsim_events,
+    bench_obs_overhead
 );
 criterion_main!(benches);

@@ -16,13 +16,9 @@ use gcs_model::{ProcId, Value, View, ViewId};
 use rand::{Rng, RngCore};
 use std::collections::BTreeSet;
 
-fn random_membership(
-    procs: &[ProcId],
-    rng: &mut dyn RngCore,
-) -> BTreeSet<ProcId> {
+fn random_membership(procs: &[ProcId], rng: &mut dyn RngCore) -> BTreeSet<ProcId> {
     loop {
-        let set: BTreeSet<ProcId> =
-            procs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+        let set: BTreeSet<ProcId> = procs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
         if !set.is_empty() {
             return set;
         }
@@ -90,12 +86,7 @@ impl SystemAdversary {
 }
 
 impl Environment<VsToToSystem> for SystemAdversary {
-    fn propose(
-        &mut self,
-        s: &SysState,
-        step: usize,
-        rng: &mut dyn RngCore,
-    ) -> Vec<SysAction> {
+    fn propose(&mut self, s: &SysState, step: usize, rng: &mut dyn RngCore) -> Vec<SysAction> {
         let procs: Vec<ProcId> = s.procs.keys().copied().collect();
         let mut out = Vec::new();
         if step < self.bcast_until && rng.gen_bool(self.bcast_prob) {
@@ -209,19 +200,13 @@ pub fn drive_system(system: &VsToToSystem, seed: u64, steps: usize) -> usize {
     use gcs_ioa::Runner;
     let mut runner = Runner::new(system.clone(), SystemAdversary::default(), seed);
     let exec = runner.run(steps).expect("no invariants installed");
-    exec.actions()
-        .iter()
-        .filter(|a| matches!(a, SysAction::Brcv { .. }))
-        .count()
+    exec.actions().iter().filter(|a| matches!(a, SysAction::Brcv { .. })).count()
 }
 
 /// Convenience: the count of ordinary-message `GpRcv` deliveries in an
 /// action slice (used in tests).
 pub fn count_ordinary_deliveries(actions: &[SysAction]) -> usize {
-    actions
-        .iter()
-        .filter(|a| matches!(a, SysAction::GpRcv { m: AppMsg::Val(..), .. }))
-        .count()
+    actions.iter().filter(|a| matches!(a, SysAction::GpRcv { m: AppMsg::Val(..), .. })).count()
 }
 
 #[cfg(test)]
@@ -247,10 +232,8 @@ mod tests {
         let adv = SystemAdversary::quiescing(100, usize::MAX);
         let mut runner = gcs_ioa::Runner::new(sys, adv, 3);
         let exec = runner.run(800).unwrap();
-        let last_create = exec
-            .actions()
-            .iter()
-            .rposition(|a| matches!(a, SysAction::CreateView(_)));
+        let last_create =
+            exec.actions().iter().rposition(|a| matches!(a, SysAction::CreateView(_)));
         if let Some(idx) = last_create {
             assert!(idx <= 100, "createview proposed after churn deadline");
         }

@@ -127,9 +127,9 @@ pub fn check_trace<M: Clone + PartialEq + fmt::Debug>(
             VsAction::GpRcv { src, dst, m } => {
                 report.gprcv_checked += 1;
                 let Some(Some(view)) = current.get(dst).cloned() else {
-                    report.violations.push(format!(
-                        "event {idx}: gprcv({m:?})_{src},{dst} while {dst} is at ⊥"
-                    ));
+                    report
+                        .violations
+                        .push(format!("event {idx}: gprcv({m:?})_{src},{dst} while {dst} is at ⊥"));
                     continue;
                 };
                 let g = view.id;
@@ -154,9 +154,9 @@ pub fn check_trace<M: Clone + PartialEq + fmt::Debug>(
             VsAction::Safe { src, dst, m } => {
                 report.safe_checked += 1;
                 let Some(Some(view)) = current.get(dst).cloned() else {
-                    report.violations.push(format!(
-                        "event {idx}: safe({m:?})_{src},{dst} while {dst} is at ⊥"
-                    ));
+                    report
+                        .violations
+                        .push(format!("event {idx}: safe({m:?})_{src},{dst} while {dst} is at ⊥"));
                     continue;
                 };
                 let g = view.id;
@@ -209,11 +209,8 @@ pub fn check_trace<M: Clone + PartialEq + fmt::Debug>(
     }
     report.views_seen = memberships.len();
     for g in views {
-        let seqs: Vec<(&ProcId, &Vec<(ProcId, M)>)> = rcv_seq
-            .iter()
-            .filter(|((_, gg), _)| *gg == g)
-            .map(|((q, _), s)| (q, s))
-            .collect();
+        let seqs: Vec<(&ProcId, &Vec<(ProcId, M)>)> =
+            rcv_seq.iter().filter(|((_, gg), _)| *gg == g).map(|((q, _), s)| (q, s)).collect();
         for (i, (q1, s1)) in seqs.iter().enumerate() {
             for (q2, s2) in &seqs[i + 1..] {
                 let pfx = gcs_model::seq::is_prefix(s1, s2) || gcs_model::seq::is_prefix(s2, s1);
@@ -251,8 +248,7 @@ mod tests {
 
     #[test]
     fn clean_trace_passes() {
-        let trace =
-            vec![snd(0, 1), rcv(0, 0, 1), rcv(0, 1, 1), safe(0, 0, 1), safe(0, 1, 1)];
+        let trace = vec![snd(0, 1), rcv(0, 0, 1), rcv(0, 1, 1), safe(0, 0, 1), safe(0, 1, 1)];
         let r = check_trace(&trace, &p0());
         assert!(r.ok(), "{:?}", r.violations);
         assert_eq!(r.gprcv_checked, 2);
@@ -295,11 +291,7 @@ mod tests {
     fn cross_view_delivery_is_caught() {
         // Message sent in g0, delivered after the receiver moved to g1.
         let v1 = View::new(ViewId::new(1, ProcId(0)), p0());
-        let trace = vec![
-            snd(0, 1),
-            VsAction::NewView { p: ProcId(1), v: v1 },
-            rcv(0, 1, 1),
-        ];
+        let trace = vec![snd(0, 1), VsAction::NewView { p: ProcId(1), v: v1 }, rcv(0, 1, 1)];
         let r = check_trace(&trace, &p0());
         assert!(!r.ok(), "sending-view delivery must be enforced");
     }
@@ -319,14 +311,8 @@ mod tests {
     #[test]
     fn divergent_receive_sequences_are_caught() {
         // Two senders; receivers see them in different orders.
-        let trace = vec![
-            snd(0, 1),
-            snd(1, 2),
-            rcv(0, 0, 1),
-            rcv(1, 0, 2),
-            rcv(1, 1, 2),
-            rcv(0, 1, 1),
-        ];
+        let trace =
+            vec![snd(0, 1), snd(1, 2), rcv(0, 0, 1), rcv(1, 0, 2), rcv(1, 1, 2), rcv(0, 1, 1)];
         let r = check_trace(&trace, &p0());
         assert!(!r.ok());
         assert!(r.violations.iter().any(|v| v.contains("not prefix-related")));

@@ -43,9 +43,9 @@ where
     let mut state: VsState<M> = machine.initial();
     let mut full: Vec<VsAction<M>> = Vec::new();
     let perform = |state: &mut VsState<M>,
-                       full: &mut Vec<VsAction<M>>,
-                       idx: usize,
-                       a: VsAction<M>|
+                   full: &mut Vec<VsAction<M>>,
+                   idx: usize,
+                   a: VsAction<M>|
      -> Result<(), (usize, String)> {
         if !machine.is_enabled(state, &a) {
             return Err((idx, format!("{a:?} not enabled in the specification")));
@@ -61,20 +61,10 @@ where
                 if !state.created.contains(v) {
                     perform(&mut state, &mut full, idx, VsAction::CreateView(v.clone()))?;
                 }
-                perform(
-                    &mut state,
-                    &mut full,
-                    idx,
-                    VsAction::NewView { p: *p, v: v.clone() },
-                )?;
+                perform(&mut state, &mut full, idx, VsAction::NewView { p: *p, v: v.clone() })?;
             }
             VsAction::GpSnd { p, m } => {
-                perform(
-                    &mut state,
-                    &mut full,
-                    idx,
-                    VsAction::GpSnd { p: *p, m: m.clone() },
-                )?;
+                perform(&mut state, &mut full, idx, VsAction::GpSnd { p: *p, m: m.clone() })?;
             }
             VsAction::GpRcv { src, dst, m } => {
                 // Ensure the queue reaches dst's next position with (m, src).
@@ -157,11 +147,8 @@ mod tests {
 
     #[test]
     fn phantom_delivery_fails() {
-        let external: Vec<A> = vec![VsAction::GpRcv {
-            src: ProcId(0),
-            dst: ProcId(1),
-            m: Value::from_u64(9),
-        }];
+        let external: Vec<A> =
+            vec![VsAction::GpRcv { src: ProcId(0), dst: ProcId(1), m: Value::from_u64(9) }];
         let err = complete_and_replay(&external, p0(), p0()).unwrap_err();
         assert_eq!(err.0, 0);
     }
@@ -202,9 +189,7 @@ mod tests {
             let external: Vec<A> = exec
                 .actions()
                 .iter()
-                .filter(|a| {
-                    !matches!(a, VsAction::CreateView(_) | VsAction::VsOrder { .. })
-                })
+                .filter(|a| !matches!(a, VsAction::CreateView(_) | VsAction::VsOrder { .. }))
                 .cloned()
                 .collect();
             complete_and_replay(&external, ProcId::range(3), ProcId::range(3))

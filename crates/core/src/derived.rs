@@ -45,12 +45,7 @@ impl<'a> SummaryRef<'a> {
     /// materializing it (the borrowed equivalent of
     /// [`crate::vstoto::VsToToProc::summary`]).
     pub fn of_proc(p: &'a crate::vstoto::VsToToProc) -> Self {
-        SummaryRef {
-            con: &p.content,
-            ord: &p.order,
-            next: p.nextconfirm,
-            high: p.highprimary,
-        }
+        SummaryRef { con: &p.content, ord: &p.order, next: p.nextconfirm, high: p.highprimary }
     }
 
     /// The confirmed prefix *x.confirm* as a borrowed slice: the prefix
@@ -62,12 +57,7 @@ impl<'a> SummaryRef<'a> {
 
     /// Clones into an owned [`Summary`].
     pub fn to_summary(&self) -> Summary {
-        Summary {
-            con: self.con.clone(),
-            ord: self.ord.to_vec(),
-            next: self.next,
-            high: self.high,
-        }
+        Summary { con: self.con.clone(), ord: self.ord.to_vec(), next: self.next, high: self.high }
     }
 }
 
@@ -170,9 +160,7 @@ impl<'a> DerivedState<'a> {
 
         let created_ids = s.vs.created_viewids();
         let quorum_views = match s.procs.values().next() {
-            Some(any) => {
-                s.vs.created.iter().filter(|v| any.quorums.is_quorum(&v.set)).collect()
-            }
+            Some(any) => s.vs.created.iter().filter(|v| any.quorums.is_quorum(&v.set)).collect(),
             None => Vec::new(),
         };
 
@@ -185,8 +173,7 @@ impl<'a> DerivedState<'a> {
     /// run located by binary search.
     pub fn for_pg(&self, p: ProcId, g: ViewId) -> &[(ProcId, ViewId, SummaryRef<'a>)] {
         let start = self.entries.partition_point(|&(ep, eg, _)| (ep, eg) < (p, g));
-        let end = start
-            + self.entries[start..].partition_point(|&(ep, eg, _)| (ep, eg) == (p, g));
+        let end = start + self.entries[start..].partition_point(|&(ep, eg, _)| (ep, eg) == (p, g));
         &self.entries[start..end]
     }
 }
@@ -204,11 +191,7 @@ pub fn allstate_pg(s: &SysState, p: ProcId, g: ViewId) -> Vec<Summary> {
 /// All `(p, g, summary)` entries of `allstate` (each summary tagged with
 /// the processor and view it is attributed to).
 pub fn allstate_entries(s: &SysState) -> Vec<(ProcId, ViewId, Summary)> {
-    DerivedState::new(s)
-        .entries
-        .iter()
-        .map(|&(p, g, x)| (p, g, x.to_summary()))
-        .collect()
+    DerivedState::new(s).entries.iter().map(|&(p, g, x)| (p, g, x.to_summary())).collect()
 }
 
 /// `allcontent`: the union of `x.con` over all of `allstate` — everything
@@ -217,9 +200,7 @@ pub fn allstate_entries(s: &SysState) -> Vec<(ProcId, ViewId, Summary)> {
 /// Returns `Err` with the offending label if the union is not a function
 /// (that would violate Lemma 6.5).
 pub fn allcontent(s: &SysState) -> Result<BTreeMap<Label, Value>, Label> {
-    DerivedState::new(s)
-        .allcontent
-        .map(|m| m.into_iter().map(|(l, a)| (l, a.clone())).collect())
+    DerivedState::new(s).allcontent.map(|m| m.into_iter().map(|(l, a)| (l, a.clone())).collect())
 }
 
 /// `allconfirm`: the least upper bound of `x.confirm` over `allstate`.
@@ -327,8 +308,7 @@ mod tests {
                 let group = d.for_pg(p, g);
                 assert!(!group.is_empty());
                 assert!(group.iter().all(|&(ep, eg, _)| ep == p && eg == g));
-                let expected =
-                    owned.iter().filter(|(ep, eg, _)| (*ep, *eg) == (p, g)).count();
+                let expected = owned.iter().filter(|(ep, eg, _)| (*ep, *eg) == (p, g)).count();
                 assert_eq!(group.len(), expected);
             }
         }

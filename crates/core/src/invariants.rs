@@ -33,8 +33,7 @@ use gcs_model::{Label, ProcId, ViewId};
 
 /// A named invariant over the composed system state plus its derived-state
 /// snapshot.
-pub type Invariant =
-    (&'static str, fn(&SysState, &DerivedState<'_>) -> Result<(), String>);
+pub type Invariant = (&'static str, fn(&SysState, &DerivedState<'_>) -> Result<(), String>);
 
 /// Every invariant in this module, in paper order.
 pub fn all_invariants() -> Vec<Invariant> {
@@ -104,10 +103,7 @@ fn lemma_4_1_1(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
     let mut seen = std::collections::BTreeMap::new();
     for v in &s.vs.created {
         if let Some(other) = seen.insert(v.id, &v.set) {
-            return fail(format!(
-                "view id {} created with sets {:?} and {:?}",
-                v.id, other, v.set
-            ));
+            return fail(format!("view id {} created with sets {:?} and {:?}", v.id, other, v.set));
         }
     }
     Ok(())
@@ -138,9 +134,7 @@ fn lemma_4_1_4_6(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
         match s.vs.current_viewid(*p) {
             None => return fail(format!("pending[{p},{g}] nonempty but current-viewid = ⊥")),
             Some(cur) if *g > cur => {
-                return fail(format!(
-                    "pending[{p},{g}] nonempty but current-viewid = {cur} < {g}"
-                ))
+                return fail(format!("pending[{p},{g}] nonempty but current-viewid = {cur} < {g}"))
             }
             _ => {}
         }
@@ -160,9 +154,7 @@ fn lemma_4_1_7_9(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
             match s.vs.current_viewid(*p) {
                 None => return fail(format!("⟨m,{p}⟩ in queue[{g}] but current-viewid = ⊥")),
                 Some(cur) if *g > cur => {
-                    return fail(format!(
-                        "⟨m,{p}⟩ in queue[{g}] but current-viewid = {cur} < {g}"
-                    ))
+                    return fail(format!("⟨m,{p}⟩ in queue[{g}] but current-viewid = {cur} < {g}"))
                 }
                 _ => {}
             }
@@ -283,10 +275,7 @@ fn lemma_6_3(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
 }
 
 fn lemma_6_4(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
-    let ac = d
-        .allcontent
-        .as_ref()
-        .map_err(|l| format!("allcontent not a function at {l}"))?;
+    let ac = d.allcontent.as_ref().map_err(|l| format!("allcontent not a function at {l}"))?;
     for l in ac.keys() {
         let proc = &s.procs[&l.origin];
         match proc.current_id() {
@@ -305,10 +294,7 @@ fn lemma_6_4(s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
 }
 
 fn lemma_6_5(_s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
-    d.allcontent
-        .as_ref()
-        .map(|_| ())
-        .map_err(|l| format!("two values for label {l}"))
+    d.allcontent.as_ref().map(|_| ()).map_err(|l| format!("two values for label {l}"))
 }
 
 fn lemma_6_6(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
@@ -682,10 +668,7 @@ fn lemma_6_20(s: &SysState, _d: &DerivedState<'_>) -> Result<(), String> {
 }
 
 fn lemma_6_21(_s: &SysState, d: &DerivedState<'_>) -> Result<(), String> {
-    let ac = d
-        .allcontent
-        .as_ref()
-        .map_err(|l| format!("allcontent not a function at {l}"))?;
+    let ac = d.allcontent.as_ref().map_err(|l| format!("allcontent not a function at {l}"))?;
     let labels: Vec<Label> = ac.keys().copied().collect();
     for &(p, g, x) in &d.entries {
         let pos: std::collections::BTreeMap<Label, usize> =

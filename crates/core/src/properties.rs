@@ -202,12 +202,8 @@ fn resolve(
     let mut l_prime: Time = extra_l_prime;
     let mut pending: Vec<(Obligation, Time)> = Vec::new(); // (obligation, T_v)
     for ob in obligations {
-        let missing: Vec<ProcId> = ob
-            .done
-            .iter()
-            .filter(|(_, t)| t.is_none())
-            .map(|(p, _)| *p)
-            .collect();
+        let missing: Vec<ProcId> =
+            ob.done.iter().filter(|(_, t)| t.is_none()).map(|(p, _)| *p).collect();
         if missing.is_empty() {
             let t_v = ob.done.values().map(|t| t.unwrap()).max().unwrap_or(ob.trigger_time);
             if t_v > ob.trigger_time + params.d {
@@ -307,16 +303,11 @@ pub fn check_to_property(trace: &TimedTrace<ToObs>, params: &PropertyParams) -> 
     }
     // Condition (c): values delivered to any member of Q must reach all of Q.
     for (a, at) in &delivered {
-        let Some(first_q) = at
-            .iter()
-            .filter(|(r, _)| params.q.contains(r))
-            .map(|(_, &t)| t)
-            .min()
+        let Some(first_q) = at.iter().filter(|(r, _)| params.q.contains(r)).map(|(_, &t)| t).min()
         else {
             continue;
         };
-        let done =
-            params.q.iter().map(|&r| (r, at.get(&r).copied())).collect();
+        let done = params.q.iter().map(|&r| (r, at.get(&r).copied())).collect();
         obligations.push(Obligation {
             what: format!("value {a:?} delivered within Q"),
             trigger_time: first_q,
@@ -409,10 +400,11 @@ pub fn check_vs_property(trace: &TimedTrace<VsObs>, params: &PropertyParams) -> 
                         }
                         VsObs::GpSnd { p, mid }
                             if params.q.contains(p)
-                                && current.get(p).cloned().flatten().as_ref() == final_view.as_ref()
-                            => {
-                                sends.push((*mid, *p, ev.time));
-                            }
+                                && current.get(p).cloned().flatten().as_ref()
+                                    == final_view.as_ref() =>
+                        {
+                            sends.push((*mid, *p, ev.time));
+                        }
                         VsObs::Safe { dst, mid, .. } => {
                             safes.entry(*mid).or_default().entry(*dst).or_insert(ev.time);
                         }

@@ -43,14 +43,8 @@ pub fn abstraction(s: &SysState) -> ToState {
 /// snapshot — `allstate` is walked once instead of once per derived
 /// variable.
 pub fn abstraction_with(s: &SysState, d: &DerivedState<'_>) -> ToState {
-    let content = d
-        .allcontent
-        .as_ref()
-        .expect("allcontent is a function (Lemma 6.5)");
-    let confirm = d
-        .allconfirm
-        .as_ref()
-        .expect("allconfirm is defined (Corollary 6.24)");
+    let content = d.allcontent.as_ref().expect("allcontent is a function (Lemma 6.5)");
+    let confirm = d.allconfirm.as_ref().expect("allconfirm is defined (Corollary 6.24)");
     let confirmed: BTreeSet<Label> = confirm.iter().copied().collect();
     let queue = confirm
         .iter()
@@ -139,9 +133,7 @@ pub fn simulation_checker(
 /// Installs the simulation check as a step observer on a runner for the
 /// composed system. Returns a shared list of violation descriptions
 /// (empty after the run ⇔ the execution's trace is a `TO-machine` trace).
-pub fn install_simulation_check<E>(
-    runner: &mut Runner<VsToToSystem, E>,
-) -> Rc<RefCell<Vec<String>>>
+pub fn install_simulation_check<E>(runner: &mut Runner<VsToToSystem, E>) -> Rc<RefCell<Vec<String>>>
 where
     E: gcs_ioa::Environment<VsToToSystem>,
 {
@@ -214,11 +206,8 @@ mod tests {
         let violations = install_simulation_check(&mut runner);
         let exec = runner.run(1500).unwrap();
         assert!(violations.borrow().is_empty());
-        let delivered: Vec<&SysAction> = exec
-            .actions()
-            .iter()
-            .filter(|a| matches!(a, SysAction::Brcv { .. }))
-            .collect();
+        let delivered: Vec<&SysAction> =
+            exec.actions().iter().filter(|a| matches!(a, SysAction::Brcv { .. })).collect();
         let y = abstraction(exec.final_state());
         for a in &delivered {
             if let SysAction::Brcv { src, a: val, .. } = a {

@@ -184,12 +184,7 @@ impl Automaton for VsToToSystem {
             .map(|&p| (p, VsToToProc::initial(p, &self.p0, self.quorums.clone())))
             .collect();
         let established = self.p0.iter().map(|&p| (p, ViewId::initial())).collect();
-        SysState {
-            vs: self.vs.initial(),
-            procs,
-            established,
-            buildorder: BTreeMap::new(),
-        }
+        SysState { vs: self.vs.initial(), procs, established, buildorder: BTreeMap::new() }
     }
 
     fn enabled(&self, s: &SysState) -> Vec<SysAction> {
@@ -229,19 +224,16 @@ impl Automaton for VsToToSystem {
     fn is_enabled(&self, s: &SysState, action: &SysAction) -> bool {
         match action {
             SysAction::Bcast { p, .. } => self.procs.contains(p),
-            SysAction::Brcv { src, dst, a } => s
-                .procs
-                .get(dst)
-                .is_some_and(|proc| proc.brcv_ready_ref() == Some((*src, a))),
+            SysAction::Brcv { src, dst, a } => {
+                s.procs.get(dst).is_some_and(|proc| proc.brcv_ready_ref() == Some((*src, a)))
+            }
             SysAction::Label { p } => {
                 s.procs.get(p).is_some_and(|proc| proc.label_ready().is_some())
             }
             SysAction::Confirm { p } => s.procs.get(p).is_some_and(|proc| proc.confirm_ready()),
             SysAction::CreateView(v) => self.vs.createview_enabled(&s.vs, v),
             SysAction::NewView { p, v } => self.vs.newview_enabled(&s.vs, *p, v),
-            SysAction::GpSnd { p, m } => {
-                s.procs.get(p).is_some_and(|proc| proc.gpsnd_matches(m))
-            }
+            SysAction::GpSnd { p, m } => s.procs.get(p).is_some_and(|proc| proc.gpsnd_matches(m)),
             SysAction::VsOrder { p, g, m } => self.vs.vsorder_enabled(&s.vs, *p, *g, m),
             SysAction::GpRcv { src, dst, m } => self.vs.gprcv_enabled(&s.vs, *src, *dst, m),
             SysAction::Safe { src, dst, m } => self.vs.safe_enabled(&s.vs, *src, *dst, m),
@@ -274,18 +266,11 @@ impl Automaton for VsToToSystem {
                 self.vs.apply(&mut s.vs, &VsAction::GpSnd { p: *p, m: m.clone() });
             }
             SysAction::VsOrder { p, g, m } => {
-                self.vs.apply(
-                    &mut s.vs,
-                    &VsAction::VsOrder { p: *p, g: *g, m: m.clone() },
-                );
+                self.vs.apply(&mut s.vs, &VsAction::VsOrder { p: *p, g: *g, m: m.clone() });
             }
             SysAction::GpRcv { src, dst, m } => {
-                self.vs.apply(
-                    &mut s.vs,
-                    &VsAction::GpRcv { src: *src, dst: *dst, m: m.clone() },
-                );
-                let outcome =
-                    s.procs.get_mut(dst).expect("unknown processor").gprcv(*src, m);
+                self.vs.apply(&mut s.vs, &VsAction::GpRcv { src: *src, dst: *dst, m: m.clone() });
+                let outcome = s.procs.get_mut(dst).expect("unknown processor").gprcv(*src, m);
                 // History variables: order may have been assigned (ordinary
                 // message in a primary, or establishment).
                 VsToToSystem::record_buildorder(s, *dst);
@@ -295,10 +280,7 @@ impl Automaton for VsToToSystem {
                 }
             }
             SysAction::Safe { src, dst, m } => {
-                self.vs.apply(
-                    &mut s.vs,
-                    &VsAction::Safe { src: *src, dst: *dst, m: m.clone() },
-                );
+                self.vs.apply(&mut s.vs, &VsAction::Safe { src: *src, dst: *dst, m: m.clone() });
                 s.procs.get_mut(dst).expect("unknown processor").safe(*src, m);
             }
         }
@@ -345,16 +327,10 @@ mod tests {
         let g0 = ViewId::initial();
         sys.apply(&mut s, &SysAction::VsOrder { p: ProcId(0), g: g0, m: m.clone() });
         for q in 0..3 {
-            sys.apply(
-                &mut s,
-                &SysAction::GpRcv { src: ProcId(0), dst: ProcId(q), m: m.clone() },
-            );
+            sys.apply(&mut s, &SysAction::GpRcv { src: ProcId(0), dst: ProcId(q), m: m.clone() });
         }
         for q in 0..3 {
-            sys.apply(
-                &mut s,
-                &SysAction::Safe { src: ProcId(0), dst: ProcId(q), m: m.clone() },
-            );
+            sys.apply(&mut s, &SysAction::Safe { src: ProcId(0), dst: ProcId(q), m: m.clone() });
         }
         for q in 0..3 {
             assert!(sys.is_enabled(&s, &SysAction::Confirm { p: ProcId(q) }), "confirm p{q}");

@@ -116,9 +116,7 @@ impl Automaton for ToMachine {
     fn is_enabled(&self, s: &ToState, action: &ToAction) -> bool {
         match action {
             ToAction::Bcast { p, .. } => self.procs.contains(p),
-            ToAction::ToOrder { p, a } => {
-                s.pending.get(p).and_then(|q| q.front()) == Some(a)
-            }
+            ToAction::ToOrder { p, a } => s.pending.get(p).and_then(|q| q.front()) == Some(a),
             ToAction::Brcv { src, dst, a } => {
                 let Some(&next) = s.next.get(dst) else { return false };
                 s.queue.get(next as usize - 1) == Some(&(a.clone(), *src))

@@ -88,9 +88,9 @@ pub fn check_to_trace(events: &[ToObs]) -> ToTraceReport {
                 }
                 let seq = seqs.entry(*dst).or_default();
                 if seq.iter().any(|(_, b)| b == a) {
-                    report.violations.push(format!(
-                        "event {idx}: {dst} delivered {a:?} twice (no-duplication)"
-                    ));
+                    report
+                        .violations
+                        .push(format!("event {idx}: {dst} delivered {a:?} twice (no-duplication)"));
                 }
                 seq.push((*src, a.clone()));
             }
@@ -195,13 +195,7 @@ mod tests {
     #[test]
     fn prefix_deliveries_are_fine() {
         // One receiver far ahead; another has only a prefix.
-        let r = check_to_trace(&[
-            bc(0, 1),
-            bc(0, 2),
-            rv(0, 0, 1),
-            rv(0, 0, 2),
-            rv(0, 1, 1),
-        ]);
+        let r = check_to_trace(&[bc(0, 1), bc(0, 2), rv(0, 0, 1), rv(0, 0, 2), rv(0, 1, 1)]);
         assert!(r.ok(), "{:?}", r.violations);
     }
 
@@ -214,8 +208,7 @@ mod tests {
         use std::sync::Arc;
         for seed in 0..3 {
             let procs = ProcId::range(3);
-            let sys =
-                VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(3)));
+            let sys = VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(3)));
             let mut runner = Runner::new(sys, SystemAdversary::default(), seed);
             let exec = runner.run(900).unwrap();
             let events: Vec<ToObs> = exec

@@ -190,9 +190,7 @@ impl<M> VsMachine<M> {
     /// Checks the `createview` precondition: every created view has a
     /// smaller identifier (in-order creation).
     pub fn createview_enabled(&self, s: &VsState<M>, v: &View) -> bool {
-        !v.set.is_empty()
-            && v.set.is_subset(&self.procs)
-            && s.created.iter().all(|w| v.id > w.id)
+        !v.set.is_empty() && v.set.is_subset(&self.procs) && s.created.iter().all(|w| v.id > w.id)
     }
 
     /// Checks the `newview(v)_p` precondition against a borrowed view.
@@ -218,9 +216,7 @@ impl<M: PartialEq> VsMachine<M> {
     /// Checks the `gprcv(m)_{src,dst}` precondition.
     pub fn gprcv_enabled(&self, s: &VsState<M>, src: ProcId, dst: ProcId, m: &M) -> bool {
         let Some(g) = s.current_viewid(dst) else { return false };
-        s.queue_of(g)
-            .get(s.next(dst, g) as usize - 1)
-            .is_some_and(|(qm, qp)| qm == m && *qp == src)
+        s.queue_of(g).get(s.next(dst, g) as usize - 1).is_some_and(|(qm, qp)| qm == m && *qp == src)
     }
 
     /// Checks the `safe(m)_{src,dst}` precondition.
@@ -228,9 +224,7 @@ impl<M: PartialEq> VsMachine<M> {
         let Some(g) = s.current_viewid(dst) else { return false };
         let Some(view) = s.created_view(g) else { return false };
         let ns = s.next_safe(dst, g);
-        s.queue_of(g)
-            .get(ns as usize - 1)
-            .is_some_and(|(qm, qp)| qm == m && *qp == src)
+        s.queue_of(g).get(ns as usize - 1).is_some_and(|(qm, qp)| qm == m && *qp == src)
             && view.set.iter().all(|&r| s.next(r, g) > ns)
     }
 }
@@ -405,10 +399,9 @@ mod tests {
         m.apply(&mut s, &ord);
         assert_eq!(s.queue_of(g0).len(), 1);
         // Safe not enabled before everyone received.
-        assert!(!m.is_enabled(
-            &s,
-            &VsAction::Safe { src: ProcId(0), dst: ProcId(0), m: val.clone() }
-        ));
+        assert!(
+            !m.is_enabled(&s, &VsAction::Safe { src: ProcId(0), dst: ProcId(0), m: val.clone() })
+        );
         for q in 0..3 {
             let rcv = VsAction::GpRcv { src: ProcId(0), dst: ProcId(q), m: val.clone() };
             assert!(m.is_enabled(&s, &rcv));
@@ -435,10 +428,9 @@ mod tests {
         let v1 = v(1, &[0, 1, 2]);
         m.apply(&mut s, &VsAction::CreateView(v1.clone()));
         m.apply(&mut s, &VsAction::NewView { p: ProcId(1), v: v1 });
-        assert!(!m.is_enabled(
-            &s,
-            &VsAction::GpRcv { src: ProcId(0), dst: ProcId(1), m: val.clone() }
-        ));
+        assert!(
+            !m.is_enabled(&s, &VsAction::GpRcv { src: ProcId(0), dst: ProcId(1), m: val.clone() })
+        );
         // p0 is still in g0 and can receive it.
         assert!(m.is_enabled(&s, &VsAction::GpRcv { src: ProcId(0), dst: ProcId(0), m: val }));
     }
@@ -453,10 +445,9 @@ mod tests {
         m.apply(&mut s, &VsAction::GpSnd { p: ProcId(1), m: val.clone() });
         m.apply(&mut s, &VsAction::VsOrder { p: ProcId(1), g: g0, m: val.clone() });
         m.apply(&mut s, &VsAction::GpRcv { src: ProcId(1), dst: ProcId(0), m: val.clone() });
-        assert!(!m.is_enabled(
-            &s,
-            &VsAction::Safe { src: ProcId(1), dst: ProcId(0), m: val.clone() }
-        ));
+        assert!(
+            !m.is_enabled(&s, &VsAction::Safe { src: ProcId(1), dst: ProcId(0), m: val.clone() })
+        );
         m.apply(&mut s, &VsAction::GpRcv { src: ProcId(1), dst: ProcId(1), m: val.clone() });
         assert!(m.is_enabled(&s, &VsAction::Safe { src: ProcId(1), dst: ProcId(0), m: val }));
     }

@@ -135,11 +135,7 @@ pub struct GprcvOutcome {
 impl VsToToProc {
     /// The start state for processor `p`: members of `P₀` begin in the
     /// initial view with `highprimary = g₀`; everyone else at ⊥.
-    pub fn initial(
-        id: ProcId,
-        p0: &BTreeSet<ProcId>,
-        quorums: Arc<dyn QuorumSystem>,
-    ) -> Self {
+    pub fn initial(id: ProcId, p0: &BTreeSet<ProcId>, quorums: Arc<dyn QuorumSystem>) -> Self {
         let in_p0 = p0.contains(&id);
         // Figure 9 initializes highprimary to g₀ for members of P₀ — which
         // presumes the initial view is primary. When P₀ does not contain a
@@ -438,11 +434,7 @@ mod tests {
         let inside = proc(0, 3);
         assert!(inside.current.is_some());
         assert_eq!(inside.highprimary, Some(ViewId::initial()));
-        let outside = VsToToProc::initial(
-            ProcId(9),
-            &ProcId::range(3),
-            Arc::new(Majority::new(3)),
-        );
+        let outside = VsToToProc::initial(ProcId(9), &ProcId::range(3), Arc::new(Majority::new(3)));
         assert!(outside.current.is_none());
         assert!(outside.highprimary.is_none());
         assert!(outside.label_ready().is_none());
@@ -568,7 +560,7 @@ mod tests {
         p.newview(v);
         p.bcast(Value::from_u64(1));
         p.do_label(); // labelling is allowed during recovery
-        // status = Send: the only send allowed is the summary.
+                      // status = Send: the only send allowed is the summary.
         assert!(matches!(p.gpsnd_ready(), Some(AppMsg::Summary(_))));
         let x = p.gpsnd_ready().unwrap();
         p.do_gpsnd(&x);

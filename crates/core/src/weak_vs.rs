@@ -208,12 +208,9 @@ mod tests {
         let pos = |acts: &[VsAction<M>], pred: &dyn Fn(&VsAction<M>) -> bool| {
             acts.iter().position(|a| pred(a)).unwrap()
         };
-        let c2 = pos(&reordered, &|a| {
-            matches!(a, VsAction::CreateView(w) if w.id.epoch == 2)
-        });
-        let n2 = pos(&reordered, &|a| {
-            matches!(a, VsAction::NewView { v: w, .. } if w.id.epoch == 2)
-        });
+        let c2 = pos(&reordered, &|a| matches!(a, VsAction::CreateView(w) if w.id.epoch == 2));
+        let n2 =
+            pos(&reordered, &|a| matches!(a, VsAction::NewView { v: w, .. } if w.id.epoch == 2));
         assert!(c2 < n2);
     }
 }

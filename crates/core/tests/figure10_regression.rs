@@ -104,10 +104,7 @@ fn value_labelled_during_recovery_is_delivered_exactly_once() {
             ),
             "duplicate delivery enabled at {p}"
         );
-        assert!(
-            !runner.state().proc(p).confirm_ready(),
-            "second confirm enabled at {p}"
-        );
+        assert!(!runner.state().proc(p).confirm_ready(), "second confirm enabled at {p}");
     }
     assert!(
         violations.borrow().is_empty(),

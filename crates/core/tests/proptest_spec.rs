@@ -20,20 +20,11 @@ fn arb_label() -> impl Strategy<Value = Label> {
 }
 
 fn arb_summary() -> impl Strategy<Value = Summary> {
-    (
-        prop::collection::btree_set(arb_label(), 0..6),
-        1u64..6,
-        prop::option::of((0u64..4, 0u32..3)),
-    )
+    (prop::collection::btree_set(arb_label(), 0..6), 1u64..6, prop::option::of((0u64..4, 0u32..3)))
         .prop_map(|(labels, next, high)| {
             let ord: Vec<Label> = labels.iter().copied().collect();
             let con = labels.iter().map(|l| (*l, Value::from_u64(l.seqno))).collect();
-            Summary {
-                con,
-                ord,
-                next,
-                high: high.map(|(e, o)| ViewId::new(e, ProcId(o))),
-            }
+            Summary { con, ord, next, high: high.map(|(e, o)| ViewId::new(e, ProcId(o))) }
         })
 }
 

@@ -1,7 +1,36 @@
-//! Runs every experiment in sequence (pass --quick for reduced sizes).
+//! Runs every experiment in sequence.
+//!
+//! ```text
+//! exp_all [--quick] [--metrics <addr>]
+//! ```
+//!
+//! `--quick` shrinks experiment sizes; `--metrics` serves the harness's
+//! live counters (per-experiment wall times, parallel fan-out activity)
+//! as Prometheus-style text on `addr` while the experiments run, and
+//! prints the final rendering when they finish.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let metrics_addr = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .map(|addr| addr.parse().unwrap_or_else(|_| panic!("bad --metrics address {addr:?}")));
+
+    let server = metrics_addr.map(|addr: std::net::SocketAddr| {
+        let listener = std::net::TcpListener::bind(addr).expect("bind metrics address");
+        let server = gcs_obs::serve(listener, gcs_harness::obs().registry.clone())
+            .expect("start metrics server");
+        eprintln!("exp_all: metrics on http://{}", server.addr());
+        server
+    });
+
     for table in gcs_harness::experiments::run_all(quick) {
         println!("{table}");
+    }
+
+    if let Some(server) = server {
+        println!("{}", gcs_harness::obs().registry.render_text());
+        server.stop();
     }
 }

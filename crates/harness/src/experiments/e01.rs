@@ -29,19 +29,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         let seed_list: Vec<u64> = (0..seeds).collect();
         let per_seed = par_seeds(&seed_list, |seed| {
             let procs = ProcId::range(n);
-            let sys = VsToToSystem::new(
-                procs.clone(),
-                procs,
-                Arc::new(Majority::new(n as usize)),
-            );
+            let sys = VsToToSystem::new(procs.clone(), procs, Arc::new(Majority::new(n as usize)));
             let mut runner = Runner::new(sys, SystemAdversary::default(), seed);
             let v = install_simulation_check(&mut runner);
             let exec = runner.run(steps).expect("no invariants installed");
-            let brcvs = exec
-                .actions()
-                .iter()
-                .filter(|a| matches!(a, SysAction::Brcv { .. }))
-                .count();
+            let brcvs =
+                exec.actions().iter().filter(|a| matches!(a, SysAction::Brcv { .. })).count();
             let violations = v.borrow().len();
             (brcvs, violations)
         });

@@ -22,12 +22,7 @@ fn check(sc: &Scenario) -> Vec<String> {
     let stack = sc.run();
     let r = check_to_property(
         &stack.to_obs(),
-        &PropertyParams {
-            b: b + d,
-            d,
-            q: sc.q.clone(),
-            ambient: ProcId::range(cfg.n),
-        },
+        &PropertyParams { b: b + d, d, q: sc.q.clone(), ambient: ProcId::range(cfg.n) },
     );
     row![
         sc.name,
@@ -51,8 +46,18 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E2 — TO-property(b+d, d, Q) on the implementation stack (Thm 7.1/7.2)",
         &[
-            "scenario", "n", "|Q|", "δ", "π", "bound b+d", "measured l'", "bound d",
-            "measured d", "resolved", "censored", "holds",
+            "scenario",
+            "n",
+            "|Q|",
+            "δ",
+            "π",
+            "bound b+d",
+            "measured l'",
+            "bound d",
+            "measured d",
+            "resolved",
+            "censored",
+            "holds",
         ],
     );
     let msgs = if quick { 6 } else { 20 };

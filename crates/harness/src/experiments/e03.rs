@@ -21,9 +21,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let seeds = if quick { 1 } else { 3 };
     // Building the batteries is cheap plain data; flatten the seed × battery
     // nest so every scenario runs in parallel, rows appended in loop order.
-    let scs: Vec<_> = (0..seeds)
-        .flat_map(|s| scenarios::battery(200 + s * 31))
-        .collect();
+    let scs: Vec<_> = (0..seeds).flat_map(|s| scenarios::battery(200 + s * 31)).collect();
     let idx: Vec<u64> = (0..scs.len() as u64).collect();
     let rows = par_seeds(&idx, |i| {
         let sc = &scs[i as usize];

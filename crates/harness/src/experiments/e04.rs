@@ -44,15 +44,22 @@ fn series_row(n: u32, left: u32, delta: u64, msgs: usize, seed: u64) -> Vec<Stri
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
     let headers = [
-        "n", "|Q|", "δ", "π", "μ", "bound b", "measured l'", "bound d", "measured d",
-        "safe msgs", "holds",
+        "n",
+        "|Q|",
+        "δ",
+        "π",
+        "μ",
+        "bound b",
+        "measured l'",
+        "bound d",
+        "measured d",
+        "safe msgs",
+        "holds",
     ];
     let msgs = if quick { 5 } else { 15 };
 
-    let mut by_n = Table::new(
-        "E4a — VS-property vs Section 8 bounds, varying group size (δ = 5)",
-        &headers,
-    );
+    let mut by_n =
+        Table::new("E4a — VS-property vs Section 8 bounds, varying group size (δ = 5)", &headers);
     let sizes: &[(u32, u32)] =
         if quick { &[(3, 2), (5, 3)] } else { &[(3, 2), (5, 3), (7, 4), (9, 5)] };
     let idx: Vec<u64> = (0..sizes.len() as u64).collect();

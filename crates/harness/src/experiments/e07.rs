@@ -9,11 +9,11 @@
 use crate::par::par_seeds;
 use crate::scenarios;
 use crate::{row, Table};
-use gcs_vsimpl::{check_figure11, Figure11Params};
 use gcs_core::msg::AppMsg;
 use gcs_model::Time;
-use gcs_vsimpl::ImplEvent;
 use gcs_netsim::TraceEvent;
+use gcs_vsimpl::ImplEvent;
+use gcs_vsimpl::{check_figure11, Figure11Params};
 
 struct Phases {
     views_done: Option<Time>,
@@ -35,9 +35,10 @@ fn phases_after(stack: &gcs_vsimpl::Stack, t0: Time) -> Phases {
                 exchange_safe = Some(ev.time)
             }
             TraceEvent::App(ImplEvent::Brcv { .. })
-                if first_delivery.is_none() && exchange_safe.is_some() => {
-                    first_delivery = Some(ev.time);
-                }
+                if first_delivery.is_none() && exchange_safe.is_some() =>
+            {
+                first_delivery = Some(ev.time);
+            }
             _ => {}
         }
     }
@@ -49,8 +50,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E7 — recovery decomposition after a partition heals (merge scenario)",
         &[
-            "n", "δ", "π", "heal→views settled", "→state exchange safe",
-            "→first reconciled brcv", "total", "Fig11 α‴ ≤ d",
+            "n",
+            "δ",
+            "π",
+            "heal→views settled",
+            "→state exchange safe",
+            "→first reconciled brcv",
+            "total",
+            "Fig11 α‴ ≤ d",
         ],
     );
     let sizes: &[u32] = if quick { &[4] } else { &[4, 6, 8] };
@@ -67,11 +74,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let d = gcs_vsimpl::bounds::d(sc.q.len(), sc.config.delta, sc.config.pi);
         let f11 = check_figure11(
             stack.trace(),
-            &Figure11Params {
-                d,
-                q: sc.q.clone(),
-                ambient: gcs_model::ProcId::range(sc.config.n),
-            },
+            &Figure11Params { d, q: sc.q.clone(), ambient: gcs_model::ProcId::range(sc.config.n) },
         );
         row![
             n,
@@ -81,9 +84,12 @@ pub fn run(quick: bool) -> Vec<Table> {
             fmt(exch.zip(views).map(|(e, v)| e.saturating_sub(v))),
             fmt(deliver.zip(exch).map(|(d, e)| d.saturating_sub(e))),
             fmt(deliver),
-            format!("{} ({} ≤ {})",
+            format!(
+                "{} ({} ≤ {})",
                 if f11.premises_hold && f11.holds { "✓" } else { "✗" },
-                f11.measured_alpha3, d)
+                f11.measured_alpha3,
+                d
+            )
         ]
         .to_vec()
     });

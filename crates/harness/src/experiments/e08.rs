@@ -19,7 +19,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E8 — WeakVS-machine ≡ VS-machine on finite traces (createview reordering)",
         &[
-            "seeds", "actions", "createviews", "out-of-order runs", "strong replay ok",
+            "seeds",
+            "actions",
+            "createviews",
+            "out-of-order runs",
+            "strong replay ok",
             "traces equal",
         ],
     );
@@ -30,8 +34,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     // afterwards (sums are order-insensitive, so the table is unchanged).
     let seed_list: Vec<u64> = (0..seeds).collect();
     let per_seed = par_seeds(&seed_list, |seed| {
-        let weak: WeakVsMachine<Value> =
-            WeakVsMachine::new(ProcId::range(n), ProcId::range(n));
+        let weak: WeakVsMachine<Value> = WeakVsMachine::new(ProcId::range(n), ProcId::range(n));
         // Adversary that coins view identifiers in arbitrary order —
         // allowed by the weak machine, not by the strong one.
         let mut counter = 0u64;
@@ -48,19 +51,12 @@ pub fn run(quick: bool) -> Vec<Table> {
                     });
                 }
                 if rng.gen_bool(0.15) {
-                    let max_epoch =
-                        s.created.iter().map(|v| v.id.epoch).max().unwrap_or(0);
+                    let max_epoch = s.created.iter().map(|v| v.id.epoch).max().unwrap_or(0);
                     let epoch = rng.gen_range(1..=max_epoch + 2);
                     let origin = ProcId(rng.gen_range(0..n));
-                    let members = (0..n)
-                        .filter(|_| rng.gen_bool(0.6))
-                        .map(ProcId)
-                        .chain([origin])
-                        .collect();
-                    out.push(VsAction::CreateView(View::new(
-                        ViewId::new(epoch, origin),
-                        members,
-                    )));
+                    let members =
+                        (0..n).filter(|_| rng.gen_bool(0.6)).map(ProcId).chain([origin]).collect();
+                    out.push(VsAction::CreateView(View::new(ViewId::new(epoch, origin), members)));
                 }
                 out
             },
@@ -80,10 +76,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let reordered = reorder_createviews(&actions);
         let ok = replay(&strong, &reordered).is_ok();
         let ext = |acts: &[VsAction<Value>]| -> Vec<VsAction<Value>> {
-            acts.iter()
-                .filter(|a| strong.kind(a).is_external())
-                .cloned()
-                .collect()
+            acts.iter().filter(|a| strong.kind(a).is_external()).cloned().collect()
         };
         let eq = ext(&actions) == ext(&reordered);
         (actions.len(), creates.len(), ooo, ok, eq)

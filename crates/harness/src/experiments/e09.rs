@@ -88,8 +88,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E9 — early delivery + safe indication (VS) vs Totem-style safe delivery",
         &[
-            "mode", "n", "msgs", "mean gprcv latency", "mean brcv latency",
-            "brcv events", "VS-contract violations", "TO violations",
+            "mode",
+            "n",
+            "msgs",
+            "mean gprcv latency",
+            "mean brcv latency",
+            "brcv events",
+            "VS-contract violations",
+            "TO violations",
         ],
     );
     let n = 3u32;

@@ -38,9 +38,7 @@ fn run_merge(mode: MembershipMode, n: u32, seed: u64) -> Outcome {
     stack.run_until(t_heal + 400 * pi);
     // Converged when every processor's *final* view is the full group;
     // the convergence time is the last newview event.
-    let converged = ambient
-        .iter()
-        .all(|&p| stack.view_of(p).is_some_and(|v| v.set == ambient));
+    let converged = ambient.iter().all(|&p| stack.view_of(p).is_some_and(|v| v.set == ambient));
     let mut last_nv = None;
     let mut newviews = 0usize;
     for ev in stack.trace().events() {
@@ -51,10 +49,7 @@ fn run_merge(mode: MembershipMode, n: u32, seed: u64) -> Outcome {
             }
         }
     }
-    Outcome {
-        converge_time: converged.then(|| last_nv.map(|t| t - t_heal)).flatten(),
-        newviews,
-    }
+    Outcome { converge_time: converged.then(|| last_nv.map(|t| t - t_heal)).flatten(), newviews }
 }
 
 /// Runs the experiment.
@@ -62,7 +57,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E10 — membership ablation: 3-round (call/accept/join) vs 1-round (footnote 7)",
         &[
-            "protocol", "n", "seeds", "converged", "mean heal→stable", "max heal→stable",
+            "protocol",
+            "n",
+            "seeds",
+            "converged",
+            "mean heal→stable",
+            "max heal→stable",
             "mean newviews after heal",
         ],
     );
@@ -83,11 +83,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             }
             views += o.newviews;
         }
-        let mean = if times.is_empty() {
-            0
-        } else {
-            times.iter().sum::<Time>() / times.len() as Time
-        };
+        let mean =
+            if times.is_empty() { 0 } else { times.iter().sum::<Time>() / times.len() as Time };
         let max = times.iter().max().copied().unwrap_or(0);
         t.row(row![
             name,

@@ -41,9 +41,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         ("majority", Arc::new(Majority::new(n as usize))),
         (
             "weighted (p0 has 3 votes)",
-            Arc::new(Weighted::new(
-                (0..n).map(|i| (ProcId(i), if i == 0 { 3 } else { 1 })),
-            )),
+            Arc::new(Weighted::new((0..n).map(|i| (ProcId(i), if i == 0 { 3 } else { 1 })))),
         ),
     ];
 

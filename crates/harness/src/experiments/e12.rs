@@ -8,7 +8,13 @@
 //! sequentially consistent memory with the atomic variant, where reads
 //! are serialized through the broadcast and pay the full delivery
 //! latency.
+//!
+//! The two variants are independent simulations with their own seeds and
+//! their own [`StackConfig`]s (each derives π from its own config rather
+//! than borrowing the other block's), so they fan out through
+//! [`par_seeds`] like every other experiment.
 
+use crate::par::par_seeds;
 use crate::{row, Table};
 use gcs_apps::seqmem::{check_sequential_consistency, SeqMemory};
 use gcs_apps::{AtomicMemory, KvOp};
@@ -16,14 +22,22 @@ use gcs_model::{ProcId, Time, Value};
 use gcs_vsimpl::{Stack, StackConfig};
 use std::collections::BTreeMap;
 
-/// Runs the experiment.
-pub fn run(quick: bool) -> Vec<Table> {
+fn mean(v: &[Time]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<Time>() as f64 / v.len() as f64
+    }
+}
+
+/// The sequentially consistent variant: writes through TO, local reads.
+fn seqmem_row(quick: bool) -> Vec<String> {
     let n = 3u32;
     let writes = if quick { 8 } else { 30 };
     let keys = ["x", "y", "z"];
 
-    // --- sequentially consistent memory ---
-    let mut stack = Stack::new(StackConfig::standard(n, 5, 1201));
+    let config = StackConfig::standard(n, 5, 1201);
+    let mut stack = Stack::new(config);
     let pi = stack.config().pi;
     let start = 4 * pi;
     let mut write_time: BTreeMap<Value, Time> = BTreeMap::new();
@@ -54,45 +68,39 @@ pub fn run(quick: bool) -> Vec<Table> {
     let sc_ok = check_sequential_consistency(&replicas, &longest);
     let reads_checked: usize = replicas.iter().map(|r| r.reads().len()).sum();
 
-    // Write latency: bcast → brcv at the origin (when the writer's own
-    // replica applies it).
+    // Write latency: bcast → first brcv anywhere (commit visibility).
     let mut write_lats: Vec<Time> = Vec::new();
     for ev in stack.to_obs().events() {
-        if let gcs_core::properties::ToObs::Brcv { dst, a, .. } = &ev.action {
+        if let gcs_core::properties::ToObs::Brcv { a, .. } = &ev.action {
             if let Some(&t0) = write_time.get(a) {
-                // Count the first delivery anywhere as commit visibility.
-                let _ = dst;
                 write_lats.push(ev.time - t0);
                 write_time.remove(a);
             }
         }
     }
-    let mean = |v: &[Time]| {
-        if v.is_empty() {
-            0.0
-        } else {
-            v.iter().sum::<Time>() as f64 / v.len() as f64
-        }
-    };
 
-    let mut t = Table::new(
-        "E12 — replicated memory over TO (footnote 3)",
-        &["variant", "ops", "reads checked", "consistency", "read latency", "write/commit latency"],
-    );
-    t.row(row![
+    row![
         "sequentially consistent",
         writes,
         reads_checked,
         if sc_ok.is_ok() { "✓" } else { "✗" },
         "0 (local)",
         format!("{:.0}", mean(&write_lats))
-    ]);
+    ]
+    .to_vec()
+}
 
-    // --- atomic memory: reads also go through TO ---
-    let mut stack = Stack::new(StackConfig::standard(n, 5, 1301));
+/// The atomic variant: reads are serialized through TO as well.
+fn atomic_row(quick: bool) -> Vec<String> {
+    let n = 3u32;
+    let ops = if quick { 8 } else { 30 };
+    let keys = ["x", "y", "z"];
+
+    let config = StackConfig::standard(n, 5, 1301);
+    let mut stack = Stack::new(config);
+    let pi = stack.config().pi;
     let start = 4 * pi;
     let mut read_time: BTreeMap<Value, Time> = BTreeMap::new();
-    let ops = writes;
     for i in 0..ops {
         let t = start + i as Time * 15;
         if i % 2 == 0 {
@@ -102,9 +110,8 @@ pub fn run(quick: bool) -> Vec<Table> {
                 KvOp::Put { key: keys[i % keys.len()].into(), value: i as i64 }.encode(),
             );
         } else {
-            // Make each read payload unique via a tagged key suffix-free
-            // Get op wrapped with a Nop tag trick: encode Get with unique key
-            // ordering is by payload, so add uniqueness through the key index.
+            // Reads must be distinct payloads so their latencies can be
+            // matched up; uniqueness comes through the key index.
             let payload = KvOp::Get { key: format!("{}#{}", keys[i % keys.len()], i) }.encode();
             read_time.insert(payload.clone(), t);
             stack.schedule_value(t, ProcId(i as u32 % n), payload);
@@ -133,14 +140,41 @@ pub fn run(quick: bool) -> Vec<Table> {
         let min = w[0].len().min(w[1].len());
         w[0][..min] == w[1][..min]
     });
-    t.row(row![
+
+    row![
         "atomic",
         ops,
         outputs.iter().map(|o| o.len()).sum::<usize>(),
         if atomic_ok { "✓" } else { "✗" },
         format!("{:.0}", mean(&read_lats)),
         format!("{:.0}", mean(&read_lats))
-    ]);
+    ]
+    .to_vec()
+}
+
+/// One variant's table row: `which` 0 is the sequentially consistent
+/// memory, anything else the atomic one. Exposed (like `e05::seed_counts`)
+/// so the determinism regression can compare worker counts directly.
+pub fn variant_row(which: u64, quick: bool) -> Vec<String> {
+    if which == 0 {
+        seqmem_row(quick)
+    } else {
+        atomic_row(quick)
+    }
+}
+
+/// Runs the experiment: both variants fan out in parallel, rows are
+/// aggregated in variant order.
+pub fn run(quick: bool) -> Vec<Table> {
+    let rows = par_seeds(&[0, 1], |which| variant_row(which, quick));
+
+    let mut t = Table::new(
+        "E12 — replicated memory over TO (footnote 3)",
+        &["variant", "ops", "reads checked", "consistency", "read latency", "write/commit latency"],
+    );
+    for cells in rows {
+        t.row(&cells);
+    }
     t.note(
         "Expected shape: sequentially consistent reads are free (local); \
          atomic reads pay the totally-ordered-broadcast latency (≈ the write \

@@ -24,8 +24,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E13 — state-exchange summary growth with history (extension)",
         &[
-            "values sent before reconfig", "view changes", "max summary |con|",
-            "max summary |ord|", "total exchange payload (labels)",
+            "values sent before reconfig",
+            "view changes",
+            "max summary |con|",
+            "max summary |ord|",
+            "total exchange payload (labels)",
         ],
     );
     let n = 3u32;
@@ -86,9 +89,6 @@ mod tests {
         let rows = tables[0].rows();
         let small: usize = rows[0][2].parse().unwrap();
         let large: usize = rows[1][2].parse().unwrap();
-        assert!(
-            large >= small + 10,
-            "summary size must track history ({small} vs {large})"
-        );
+        assert!(large >= small + 10, "summary size must track history ({small} vs {large})");
     }
 }

@@ -61,14 +61,19 @@ fn token_ring_cost(n: u32, msgs: usize, crash_leader: bool, seed: u64) -> Cost {
 fn sequencer_cost(n: u32, msgs: usize, crash_leader: bool, seed: u64) -> Cost {
     let procs = ProcId::range(n);
     let nodes = procs.iter().map(|&p| SequencerNode::new(p, procs.clone()));
-    let mut engine = Engine::new(nodes, NetConfig { delta_min: 1, delta: 5, ..NetConfig::default() }, seed);
+    let mut engine =
+        Engine::new(nodes, NetConfig { delta_min: 1, delta: 5, ..NetConfig::default() }, seed);
     if crash_leader {
         let mut script = FailureScript::new();
         script.crash(5, ProcId(0));
         engine.load_failures(&script);
     }
     for i in 0..msgs {
-        engine.schedule_input(10 + i as Time * 10, ProcId(1 + (i as u32 % (n - 1))), Value::from_u64(i as u64 + 1));
+        engine.schedule_input(
+            10 + i as Time * 10,
+            ProcId(1 + (i as u32 % (n - 1))),
+            Value::from_u64(i as u64 + 1),
+        );
     }
     engine.run_until(10_000);
     let stats = TraceStats::from_trace(engine.trace(), n);
@@ -86,8 +91,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E14 — cost of partitionability: token-ring stack vs fixed-sequencer baseline \
          (stable network, δ = 5)",
         &[
-            "system", "n", "values", "mean first-delivery latency",
-            "packets per value", "survives leader crash",
+            "system",
+            "n",
+            "values",
+            "mean first-delivery latency",
+            "packets per value",
+            "survives leader crash",
         ],
     );
     let msgs = if quick { 10 } else { 40 };

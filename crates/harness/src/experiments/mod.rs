@@ -17,22 +17,36 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 
-/// Runs every experiment (used by the `exp_all` binary).
+/// One experiment entry point: `run(quick) -> tables`.
+type ExperimentFn = fn(bool) -> Vec<crate::Table>;
+
+/// Runs every experiment (used by the `exp_all` binary), timing each one
+/// into the process-wide registry (`harness_experiment_ms{experiment=..}`).
 pub fn run_all(quick: bool) -> Vec<crate::Table> {
+    let experiments: [(&str, ExperimentFn); 14] = [
+        ("e01", e01::run),
+        ("e02", e02::run),
+        ("e03", e03::run),
+        ("e04", e04::run),
+        ("e05", e05::run),
+        ("e06", e06::run),
+        ("e07", e07::run),
+        ("e08", e08::run),
+        ("e09", e09::run),
+        ("e10", e10::run),
+        ("e11", e11::run),
+        ("e12", e12::run),
+        ("e13", e13::run),
+        ("e14", e14::run),
+    ];
+    let reg = &crate::obs().registry;
     let mut out = Vec::new();
-    out.extend(e01::run(quick));
-    out.extend(e02::run(quick));
-    out.extend(e03::run(quick));
-    out.extend(e04::run(quick));
-    out.extend(e05::run(quick));
-    out.extend(e06::run(quick));
-    out.extend(e07::run(quick));
-    out.extend(e08::run(quick));
-    out.extend(e09::run(quick));
-    out.extend(e10::run(quick));
-    out.extend(e11::run(quick));
-    out.extend(e12::run(quick));
-    out.extend(e13::run(quick));
-    out.extend(e14::run(quick));
+    for (name, run) in experiments {
+        let t0 = std::time::Instant::now();
+        out.extend(run(quick));
+        reg.histogram_labeled("harness_experiment_ms", &[("experiment", name)])
+            .record(t0.elapsed().as_millis() as u64);
+        reg.counter_labeled("harness_experiments_total", &[("experiment", name)]).inc();
+    }
     out
 }

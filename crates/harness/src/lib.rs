@@ -33,3 +33,12 @@ pub mod table;
 
 pub use par::{par_seeds, par_seeds_with};
 pub use table::Table;
+
+/// The process-wide observability sink for harness runs. The fan-out
+/// machinery and `run_all` record into it unconditionally (relaxed
+/// atomics; negligible next to any experiment); `exp_all --metrics`
+/// serves it over HTTP while the experiments run.
+pub fn obs() -> &'static gcs_obs::Obs {
+    static OBS: std::sync::OnceLock<gcs_obs::Obs> = std::sync::OnceLock::new();
+    OBS.get_or_init(gcs_obs::Obs::new)
+}

@@ -36,8 +36,19 @@ where
     F: Fn(u64) -> T + Sync,
 {
     let workers = workers.min(seeds.len());
+    let reg = &crate::obs().registry;
+    let jobs = reg.counter("harness_par_jobs_total");
+    let job_us = reg.histogram("harness_par_job_us");
+    reg.gauge("harness_par_workers").set(workers.max(1) as i64);
+    let timed = |seed: u64| {
+        let t0 = std::time::Instant::now();
+        let out = f(seed);
+        jobs.inc();
+        job_us.record(t0.elapsed().as_micros() as u64);
+        out
+    };
     if workers <= 1 {
-        return seeds.iter().map(|&s| f(s)).collect();
+        return seeds.iter().map(|&s| timed(s)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..seeds.len()).map(|_| None).collect());
@@ -46,7 +57,7 @@ where
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&seed) = seeds.get(i) else { break };
-                let out = f(seed);
+                let out = timed(seed);
                 slots.lock().expect("no panicking holder")[i] = Some(out);
             });
         }

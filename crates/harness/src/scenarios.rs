@@ -69,14 +69,7 @@ pub fn partition(n: u32, left: u32, delta: Time, msgs: usize, seed: u64) -> Scen
     let start = t_part + 1;
     let mut workload = Workload::uniform(left, msgs, start, config.pi / 2);
     workload.seed = seed;
-    Scenario {
-        name: "partition",
-        horizon: t_part + 200 * config.pi,
-        workload,
-        script,
-        q,
-        config,
-    }
+    Scenario { name: "partition", horizon: t_part + 200 * config.pi, workload, script, q, config }
 }
 
 /// Partition at `t_part`, heal at `t_heal`; traffic from both sides
@@ -120,14 +113,7 @@ pub fn crash(n: u32, delta: Time, msgs: usize, seed: u64) -> Scenario {
     script.partition(t_crash, &[q.clone(), BTreeSet::new()], &ambient);
     let mut workload = Workload::uniform(n - 1, msgs, t_crash + 1, config.pi / 2);
     workload.seed = seed;
-    Scenario {
-        name: "crash",
-        horizon: t_crash + 200 * config.pi,
-        workload,
-        script,
-        q,
-        config,
-    }
+    Scenario { name: "crash", horizon: t_crash + 200 * config.pi, workload, script, q, config }
 }
 
 /// Repeated partition churn (three reconfigurations), then stabilization
@@ -149,14 +135,7 @@ pub fn cascade(n: u32, delta: Time, msgs: usize, seed: u64) -> Scenario {
     script.heal(100 * p, &ambient);
     let mut workload = Workload::uniform(n, msgs, 8 * p + 1, p / 2);
     workload.seed = seed;
-    Scenario {
-        name: "cascade",
-        horizon: 100 * p + 300 * p,
-        workload,
-        script,
-        q: ambient,
-        config,
-    }
+    Scenario { name: "cascade", horizon: 100 * p + 300 * p, workload, script, q: ambient, config }
 }
 
 /// The standard scenario battery used by the conformance experiments.

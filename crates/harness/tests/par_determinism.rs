@@ -5,7 +5,7 @@
 //! sequentially or sharded across any number of workers.
 
 use gcs_core::adversary::SystemAdversary;
-use gcs_harness::experiments::{e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e13, e14};
+use gcs_harness::experiments::{e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14};
 use gcs_harness::par_seeds_with;
 use gcs_harness::Table;
 use gcs_model::{Majority, QuorumSystem};
@@ -37,6 +37,22 @@ fn e6_invariant_counts_identical_across_worker_counts() {
     }
 }
 
+/// E12's two variants (independent stacks with per-variant configs) must
+/// produce byte-identical rows whether they run sequentially or sharded
+/// across workers.
+#[test]
+fn e12_variant_rows_identical_across_worker_counts() {
+    let which: Vec<u64> = vec![0, 1];
+    let f = |w: u64| e12::variant_row(w, true);
+    let sequential = par_seeds_with(&which, 1, f);
+    assert_eq!(sequential.len(), 2);
+    assert_eq!(sequential[0][3], "✓");
+    assert_eq!(sequential[1][3], "✓");
+    for workers in [2, 8] {
+        assert_eq!(par_seeds_with(&which, workers, f), sequential, "{workers} workers");
+    }
+}
+
 /// Every experiment whose row computation now fans out through
 /// `par_seeds` must produce the same table on every run: parallelism may
 /// change scheduling but never content or row order.
@@ -51,6 +67,7 @@ fn parallel_experiment_tables_are_stable_across_runs() {
         ("e09", e09::run),
         ("e10", e10::run),
         ("e11", e11::run),
+        ("e12", e12::run),
         ("e13", e13::run),
         ("e14", e14::run),
     ];

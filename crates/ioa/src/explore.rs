@@ -42,8 +42,7 @@ pub struct ExploreStats {
 
 /// The result of an exploration: statistics, or the first failure with a
 /// witness action path from the start state.
-pub type ExploreResult<A> =
-    Result<ExploreStats, (Vec<<A as Automaton>::Action>, String)>;
+pub type ExploreResult<A> = Result<ExploreStats, (Vec<<A as Automaton>::Action>, String)>;
 
 /// Explores all states reachable from the start state via the automaton's
 /// enabled actions plus the actions proposed by `extra` (an adversary with
@@ -69,21 +68,14 @@ pub fn explore<A: Automaton>(
     seen.insert(format!("{initial:?}"));
     let mut queue: VecDeque<(A::State, usize, Vec<A::Action>)> = VecDeque::new();
     queue.push_back((initial, 0, Vec::new()));
-    let mut stats = ExploreStats {
-        states: 1,
-        transitions: 0,
-        depth_reached: 0,
-        truncated: false,
-    };
+    let mut stats = ExploreStats { states: 1, transitions: 0, depth_reached: 0, truncated: false };
     while let Some((state, depth, path)) = queue.pop_front() {
         stats.depth_reached = stats.depth_reached.max(depth);
         if depth >= limits.max_depth {
             continue;
         }
         let mut actions = automaton.enabled(&state);
-        actions.extend(
-            extra(&state).into_iter().filter(|a| automaton.is_enabled(&state, a)),
-        );
+        actions.extend(extra(&state).into_iter().filter(|a| automaton.is_enabled(&state, a)));
         for action in actions {
             stats.transitions += 1;
             let next = automaton.step(&state, &action);
@@ -137,13 +129,8 @@ mod tests {
 
     #[test]
     fn explores_exactly_the_reachable_states() {
-        let stats = explore(
-            &ModK(5),
-            |_| Vec::new(),
-            |_| Ok(()),
-            ExploreLimits::default(),
-        )
-        .expect("no violation");
+        let stats = explore(&ModK(5), |_| Vec::new(), |_| Ok(()), ExploreLimits::default())
+            .expect("no violation");
         assert_eq!(stats.states, 5);
         assert!(!stats.truncated);
     }

@@ -36,11 +36,7 @@ impl<A: Automaton> Execution<A> {
 
     /// The trace: the subsequence of external actions.
     pub fn trace(&self, automaton: &A) -> Vec<A::Action> {
-        self.actions
-            .iter()
-            .filter(|a| automaton.kind(a).is_external())
-            .cloned()
-            .collect()
+        self.actions.iter().filter(|a| automaton.kind(a).is_external()).cloned().collect()
     }
 }
 
@@ -76,7 +72,8 @@ impl<A: Automaton> fmt::Display for InvariantViolation<A> {
 
 type InvariantFn<S> = Box<dyn FnMut(&S) -> Result<(), String>>;
 type WeightFn<A> = Box<dyn Fn(&A) -> u32>;
-type StepObserver<A> = Box<dyn FnMut(&<A as Automaton>::State, &<A as Automaton>::Action, &<A as Automaton>::State)>;
+type StepObserver<A> =
+    Box<dyn FnMut(&<A as Automaton>::State, &<A as Automaton>::Action, &<A as Automaton>::State)>;
 
 /// A seeded random scheduler for an automaton under an environment.
 ///
@@ -178,9 +175,8 @@ impl<A: Automaton, E: Environment<A>> Runner<A, E> {
     pub fn step_once(&mut self) -> Result<bool, InvariantViolation<A>> {
         let mut candidates = self.automaton.enabled(&self.state);
         let proposed = self.environment.propose(&self.state, self.actions.len(), &mut self.rng);
-        candidates.extend(
-            proposed.into_iter().filter(|a| self.automaton.is_enabled(&self.state, a)),
-        );
+        candidates
+            .extend(proposed.into_iter().filter(|a| self.automaton.is_enabled(&self.state, a)));
         if candidates.is_empty() {
             return Ok(false);
         }
@@ -307,7 +303,8 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible_per_seed() {
-        let run = |seed| Runner::new(Counter, NullEnvironment, seed).run(50).unwrap().actions().to_vec();
+        let run =
+            |seed| Runner::new(Counter, NullEnvironment, seed).run(50).unwrap().actions().to_vec();
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8)); // overwhelmingly likely
     }
@@ -323,13 +320,15 @@ mod tests {
 
     #[test]
     fn environment_inputs_are_applied() {
-        let env = FnEnvironment(|_: &u32, step: usize, _: &mut dyn rand::RngCore| {
-            if step == 0 {
-                vec![Act::Set(100)]
-            } else {
-                vec![]
-            }
-        });
+        let env = FnEnvironment(
+            |_: &u32, step: usize, _: &mut dyn rand::RngCore| {
+                if step == 0 {
+                    vec![Act::Set(100)]
+                } else {
+                    vec![]
+                }
+            },
+        );
         let mut runner = Runner::new(Counter, env, 3);
         let exec = runner.run(40).unwrap();
         // Eventually Set(100) is either picked at step 0 or never proposed again.

@@ -3,9 +3,7 @@
 //! algebra, and view/label ordering laws.
 
 use gcs_model::failure::FailureScript;
-use gcs_model::{
-    FailureMap, Label, Majority, ProcId, QuorumSystem, View, ViewId, Weighted,
-};
+use gcs_model::{FailureMap, Label, Majority, ProcId, QuorumSystem, View, ViewId, Weighted};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 

@@ -69,12 +69,8 @@ fn main() {
         Some(r) => LoadMode::Open { rate: r },
         None => LoadMode::Closed { window },
     };
-    let cfg = LoadConfig {
-        ops,
-        value_base: base,
-        mode,
-        idle_timeout: Duration::from_secs(idle_secs),
-    };
+    let cfg =
+        LoadConfig { ops, value_base: base, mode, idle_timeout: Duration::from_secs(idle_secs) };
 
     println!("gcs-client: {addr}, {ops} ops, {mode:?}");
     let report = match run_load(addr, &cfg) {
@@ -95,11 +91,11 @@ fn main() {
     );
     println!(
         "latency us: mean {} | p50 {} | p95 {} | p99 {} | max {}",
-        h.mean_us(),
-        h.percentile_us(50.0),
-        h.percentile_us(95.0),
-        h.percentile_us(99.0),
-        h.max_us(),
+        h.mean(),
+        h.percentile(50.0),
+        h.percentile(95.0),
+        h.percentile(99.0),
+        h.max(),
     );
     if report.delivered < report.submitted {
         eprintln!(

@@ -8,6 +8,7 @@ use crate::transport::TransportConfig;
 use gcs_ioa::TimedTrace;
 use gcs_model::{ProcId, Time, Value, View};
 use gcs_netsim::TraceEvent;
+use gcs_obs::Obs;
 use gcs_vsimpl::{ImplEvent, ProtoConfig};
 use std::collections::BTreeMap;
 use std::io;
@@ -41,12 +42,21 @@ pub struct LoopbackCluster {
     nodes: Vec<NetNode>,
     addrs: BTreeMap<ProcId, SocketAddr>,
     clock: std::sync::Arc<Clock>,
+    obs: Obs,
+    config: ClusterConfig,
 }
 
 impl LoopbackCluster {
     /// Binds `n` ephemeral listeners, then boots every node with the full
-    /// address map.
+    /// address map. All nodes share one fresh [`Obs`] sink.
     pub fn start(config: ClusterConfig) -> io::Result<LoopbackCluster> {
+        LoopbackCluster::start_with_obs(config, Obs::new())
+    }
+
+    /// Like [`LoopbackCluster::start`] with a caller-provided [`Obs`] —
+    /// e.g. one with a trace capacity large enough that a test can rely
+    /// on the complete event record (`obs.trace.evicted() == 0`).
+    pub fn start_with_obs(config: ClusterConfig, obs: Obs) -> io::Result<LoopbackCluster> {
         let n = config.n;
         let mut listeners = Vec::new();
         let mut addrs = BTreeMap::new();
@@ -59,16 +69,28 @@ impl LoopbackCluster {
         let proto = ProtoConfig::standard(n, config.delta_ms);
         let mut nodes = Vec::new();
         for (i, listener) in listeners.into_iter().enumerate() {
-            nodes.push(NetNode::start(
+            nodes.push(NetNode::start_with_obs(
                 ProcId(i as u32),
                 proto.clone(),
                 listener,
                 &addrs,
                 config.transport.clone(),
                 clock.clone(),
+                obs.clone(),
             )?);
         }
-        Ok(LoopbackCluster { nodes, addrs, clock })
+        Ok(LoopbackCluster { nodes, addrs, clock, obs, config })
+    }
+
+    /// The shared observability sink (one registry + one trace stream
+    /// across all nodes).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The configuration this cluster was started with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
     }
 
     /// Number of nodes.
@@ -167,15 +189,13 @@ impl LoopbackCluster {
     /// A snapshot of the merged cluster trace (global sequence order,
     /// times clamped nondecreasing).
     pub fn merged_trace(&self) -> TimedTrace<TraceEvent<ImplEvent>> {
-        let per_node: Vec<Vec<Recorded>> =
-            self.nodes.iter().map(|n| n.recorded()).collect();
+        let per_node: Vec<Vec<Recorded>> = self.nodes.iter().map(|n| n.recorded()).collect();
         merge_recordings(&per_node)
     }
 
     /// Stops every node and returns the final merged trace.
     pub fn stop(self) -> TimedTrace<TraceEvent<ImplEvent>> {
-        let per_node: Vec<Vec<Recorded>> =
-            self.nodes.iter().map(|n| n.stop()).collect();
+        let per_node: Vec<Vec<Recorded>> = self.nodes.iter().map(|n| n.stop()).collect();
         merge_recordings(&per_node)
     }
 }

@@ -318,9 +318,7 @@ impl<'a> Cursor<'a> {
 
     fn proc(&mut self) -> DecodeResult<ProcId> {
         let x = self.varint()?;
-        u32::try_from(x)
-            .map(ProcId)
-            .map_err(|_| CodecError::Invalid("processor id exceeds u32"))
+        u32::try_from(x).map(ProcId).map_err(|_| CodecError::Invalid("processor id exceeds u32"))
     }
 
     fn viewid(&mut self) -> DecodeResult<ViewId> {
@@ -538,16 +536,11 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     }
     let len = u32::from_be_bytes(len) as usize;
     if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            CodecError::Oversized(len),
-        ));
+        return Err(io::Error::new(io::ErrorKind::InvalidData, CodecError::Oversized(len)));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    decode_payload(&payload).map(Some).map_err(|e| {
-        io::Error::new(io::ErrorKind::InvalidData, e)
-    })
+    decode_payload(&payload).map(Some).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

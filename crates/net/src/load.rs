@@ -19,53 +19,14 @@ use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-/// A latency histogram over recorded microsecond samples.
-#[derive(Clone, Debug, Default)]
-pub struct Histogram {
-    samples: Vec<u64>,
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram::default()
-    }
-
-    /// Records one sample (microseconds).
-    pub fn record(&mut self, us: u64) {
-        self.samples.push(us);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Mean, in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
-        (sum / self.samples.len() as u128) as u64
-    }
-
-    /// The `p`-th percentile (0.0–100.0), in microseconds (0 when empty).
-    pub fn percentile_us(&self, p: f64) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
-    }
-
-    /// The largest sample (0 when empty).
-    pub fn max_us(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
-    }
-}
+/// The shared log-scale latency histogram (samples are microseconds
+/// here). This used to be a private sample-vector type duplicated
+/// between the load generator and `gcs-client`; both now record into
+/// the `gcs-obs` implementation, whose percentile estimate is clamped
+/// to the observed min/max (so a top-bucket query can never report a
+/// value above anything actually measured) and which can be registered
+/// and exposed like any other metric.
+pub use gcs_obs::Histogram;
 
 /// Driving discipline for the load generator.
 #[derive(Clone, Copy, Debug)]
@@ -156,16 +117,16 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
     let hi = cfg.value_base + cfg.ops;
     let mut pending: BTreeMap<u64, Instant> = BTreeMap::new();
     let mut next = lo;
-    let mut latency = Histogram::new();
+    let latency = Histogram::new();
     let started = Instant::now();
     let mut last_progress = Instant::now();
     let mut submitted = 0u64;
     let mut finished_at = started;
 
     let submit_one = |stream: &mut TcpStream,
-                          pending: &mut BTreeMap<u64, Instant>,
-                          next: &mut u64,
-                          submitted: &mut u64|
+                      pending: &mut BTreeMap<u64, Instant>,
+                      next: &mut u64,
+                      submitted: &mut u64|
      -> io::Result<()> {
         let x = *next;
         *next += 1;
@@ -188,12 +149,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
                             finished_at = at;
                             last_progress = Instant::now();
                             if next < hi {
-                                submit_one(
-                                    &mut stream,
-                                    &mut pending,
-                                    &mut next,
-                                    &mut submitted,
-                                )?;
+                                submit_one(&mut stream, &mut pending, &mut next, &mut submitted)?;
                             }
                         } else if (lo..hi).contains(&x) {
                             // A duplicate push for a value we already
@@ -237,12 +193,9 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
         }
     }
 
-    let delivered = latency.count() as u64;
-    let elapsed = if delivered > 0 {
-        finished_at.duration_since(started)
-    } else {
-        started.elapsed()
-    };
+    let delivered = latency.count();
+    let elapsed =
+        if delivered > 0 { finished_at.duration_since(started) } else { started.elapsed() };
     let _ = stream.shutdown(Shutdown::Both);
     let _ = reader.join();
     Ok(LoadReport { submitted, delivered, elapsed, latency_us: latency })
@@ -254,25 +207,28 @@ mod tests {
 
     #[test]
     fn histogram_percentiles() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         for i in 1..=100 {
             h.record(i);
         }
         assert_eq!(h.count(), 100);
-        assert_eq!(h.mean_us(), 50);
-        assert_eq!(h.percentile_us(0.0), 1);
-        assert_eq!(h.percentile_us(100.0), 100);
-        assert_eq!(h.max_us(), 100);
-        let p50 = h.percentile_us(50.0);
-        assert!((50..=51).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.mean(), 50);
+        // The shared histogram clamps percentile edges to the observed
+        // extremes, so the ends are exact; interior percentiles are
+        // bucketed (≤ 12.5% relative error at this resolution).
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.max(), 100);
+        let p50 = h.percentile(50.0);
+        assert!((44..=57).contains(&p50), "p50 = {p50}");
     }
 
     #[test]
     fn empty_histogram_is_all_zero() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_us(), 0);
-        assert_eq!(h.percentile_us(99.0), 0);
-        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.max(), 0);
     }
 }

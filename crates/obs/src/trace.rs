@@ -1,0 +1,344 @@
+//! A bounded, lock-light structured event-tracing ring buffer.
+//!
+//! Writers are expected to be long-lived threads (transport writer and
+//! reader loops, node runtimes). Each thread is pinned to one of a small
+//! fixed set of ring shards, so its shard mutex is effectively
+//! uncontended — the only cross-thread traffic on the record path is a
+//! single relaxed fetch-add for the global sequence number. When a shard
+//! overflows, its oldest event is evicted and counted; the eviction
+//! counter lets a consumer distinguish "complete record" from "window
+//! onto a longer run".
+//!
+//! Events carry a `(t_ms, seq)` stamp from the buffer's own epoch, so a
+//! snapshot merged across shards is one globally ordered stream — the
+//! shape the [`crate::monitor`] bound monitors consume.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const N_SHARDS: usize = 8;
+
+/// Why an outbound frame was dropped at the transport.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The peer is administratively blocked (emulated partition).
+    Blocked,
+    /// The bounded per-peer send queue was full.
+    QueueFull,
+    /// No link exists to the destination.
+    NoLink,
+    /// The socket write failed mid-frame (frame lost on reconnect).
+    WriteError,
+}
+
+/// Which fault-injection operation was applied to a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Traffic blocked in both directions (partition).
+    Sever,
+    /// Partition ended.
+    Heal,
+    /// Live sockets killed without blocking (reconnect exercise).
+    Kick,
+}
+
+/// A typed observability event. Node/processor identifiers are plain
+/// `u32`s so this crate stays dependency-free.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A node installed a view.
+    ViewChange {
+        /// The installing node.
+        node: u32,
+        /// The view identifier's epoch component.
+        epoch: u64,
+        /// Number of members in the view.
+        size: u32,
+    },
+    /// A client value was submitted at a node (`bcast`).
+    Bcast {
+        /// The submitting node.
+        node: u32,
+        /// The value (as u64, 0 if unrepresentable).
+        value: u64,
+    },
+    /// A node delivered a value to its client (`brcv`).
+    Brcv {
+        /// The delivering node.
+        node: u32,
+        /// The value's original sender.
+        src: u32,
+        /// The value.
+        value: u64,
+    },
+    /// A protocol frame was written to a peer socket.
+    Send {
+        /// The sending node.
+        from: u32,
+        /// The destination node.
+        to: u32,
+    },
+    /// A protocol frame was received and handed to the node runtime.
+    Recv {
+        /// The receiving node.
+        node: u32,
+        /// The sending node.
+        from: u32,
+    },
+    /// An outbound frame was dropped before reaching the wire.
+    Drop {
+        /// The would-be sender.
+        node: u32,
+        /// The destination.
+        to: u32,
+        /// Why.
+        reason: DropReason,
+    },
+    /// An inbound frame was rejected (blocked peer or stale connection
+    /// generation).
+    Reject {
+        /// The rejecting node.
+        node: u32,
+        /// The frame's sender.
+        from: u32,
+    },
+    /// An outbound link was (re-)established.
+    LinkUp {
+        /// The connecting node.
+        node: u32,
+        /// The peer.
+        peer: u32,
+        /// The new connection generation.
+        generation: u64,
+    },
+    /// An outbound link went down (socket closed or write failed).
+    LinkDown {
+        /// The node that lost the link.
+        node: u32,
+        /// The peer.
+        peer: u32,
+    },
+    /// A fault-injection operation was applied.
+    Fault {
+        /// The node the operation was applied at.
+        node: u32,
+        /// The affected peer.
+        peer: u32,
+        /// The operation.
+        kind: FaultKind,
+    },
+}
+
+/// One recorded event with its stamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsEvent {
+    /// Milliseconds since the trace buffer's epoch.
+    pub t_ms: u64,
+    /// Global sequence number (total order across shards).
+    pub seq: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+struct TraceInner {
+    epoch: Instant,
+    seq: AtomicU64,
+    shards: Vec<Mutex<VecDeque<ObsEvent>>>,
+    cap_per_shard: usize,
+    evicted: AtomicU64,
+}
+
+/// The bounded tracing ring. Cloning shares the buffer.
+#[derive(Clone)]
+pub struct TraceBuf {
+    inner: Arc<TraceInner>,
+}
+
+impl std::fmt::Debug for TraceBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuf")
+            .field("len", &self.len())
+            .field("evicted", &self.evicted())
+            .finish()
+    }
+}
+
+impl Default for TraceBuf {
+    fn default() -> Self {
+        TraceBuf::new()
+    }
+}
+
+// Threads are assigned shards round-robin on first record; the counter
+// is global so the assignment also balances across multiple TraceBufs.
+static NEXT_WRITER: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static MY_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn my_shard() -> usize {
+    MY_SHARD.with(|c| match c.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT_WRITER.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+            c.set(Some(i));
+            i
+        }
+    })
+}
+
+impl TraceBuf {
+    /// A ring with the default capacity (65536 events).
+    pub fn new() -> Self {
+        TraceBuf::with_capacity(1 << 16)
+    }
+
+    /// A ring holding up to `capacity` events in total (split evenly
+    /// across the internal shards; at least one event per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap_per_shard = (capacity / N_SHARDS).max(1);
+        TraceBuf {
+            inner: Arc::new(TraceInner {
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                shards: (0..N_SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+                cap_per_shard,
+                evicted: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Milliseconds since this buffer's epoch (the stamp `record` uses).
+    pub fn now_ms(&self) -> u64 {
+        self.inner.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Records an event, stamped with the current time and the next
+    /// global sequence number. Evicts the oldest event in this thread's
+    /// shard when full.
+    pub fn record(&self, kind: EventKind) {
+        let t_ms = self.now_ms();
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.inner.shards[my_shard()].lock().expect("no panicking holder");
+        if shard.len() >= self.inner.cap_per_shard {
+            shard.pop_front();
+            self.inner.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.push_back(ObsEvent { t_ms, seq, kind });
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().expect("no panicking holder").len()).sum()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted by ring overflow. Zero means the
+    /// snapshot is a complete record of everything ever recorded.
+    pub fn evicted(&self) -> u64 {
+        self.inner.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Total events ever recorded (buffered + evicted).
+    pub fn recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// A merged snapshot of every shard, ordered by sequence number.
+    pub fn snapshot(&self) -> Vec<ObsEvent> {
+        let mut all: Vec<ObsEvent> = Vec::with_capacity(self.len());
+        for s in &self.inner.shards {
+            all.extend(s.lock().expect("no panicking holder").iter().cloned());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Like [`TraceBuf::snapshot`], but only events with `seq > after`;
+    /// for incremental online consumption.
+    pub fn snapshot_since(&self, after: u64) -> Vec<ObsEvent> {
+        let mut all: Vec<ObsEvent> = Vec::new();
+        for s in &self.inner.shards {
+            all.extend(
+                s.lock().expect("no panicking holder").iter().filter(|e| e.seq > after).cloned(),
+            );
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_back_in_sequence_order() {
+        let t = TraceBuf::new();
+        for i in 0..100 {
+            t.record(EventKind::Bcast { node: 0, value: i });
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 100);
+        for w in snap.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        assert_eq!(t.evicted(), 0);
+        assert_eq!(t.recorded(), 100);
+    }
+
+    #[test]
+    fn overflow_evicts_and_counts() {
+        let t = TraceBuf::with_capacity(8); // 1 slot per shard
+        for i in 0..100 {
+            t.record(EventKind::Bcast { node: 0, value: i });
+        }
+        assert!(t.len() <= 8);
+        assert_eq!(t.evicted() + t.len() as u64, 100);
+        assert_eq!(t.recorded(), 100);
+    }
+
+    #[test]
+    fn snapshot_since_is_incremental() {
+        let t = TraceBuf::new();
+        for i in 0..10 {
+            t.record(EventKind::Bcast { node: 0, value: i });
+        }
+        let first = t.snapshot();
+        let last_seq = first.last().unwrap().seq;
+        for i in 10..15 {
+            t.record(EventKind::Bcast { node: 0, value: i });
+        }
+        let rest = t.snapshot_since(last_seq);
+        assert_eq!(rest.len(), 5);
+        assert!(rest.iter().all(|e| e.seq > last_seq));
+    }
+
+    #[test]
+    fn concurrent_writers_interleave_consistently() {
+        let t = TraceBuf::new();
+        std::thread::scope(|s| {
+            for n in 0..4u32 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        t.record(EventKind::Send { from: n, to: i % 5 });
+                    }
+                });
+            }
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 4000);
+        // Sequence numbers are unique and sorted.
+        for w in snap.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

@@ -69,9 +69,7 @@ pub fn to_obs(trace: &TimedTrace<TraceEvent<ImplEvent>>) -> TimedTrace<ToObs> {
         .iter()
         .filter_map(|ev| {
             let obs = match &ev.action {
-                TraceEvent::App(ImplEvent::Bcast { p, a }) => {
-                    ToObs::Bcast { p: *p, a: a.clone() }
-                }
+                TraceEvent::App(ImplEvent::Bcast { p, a }) => ToObs::Bcast { p: *p, a: a.clone() },
                 TraceEvent::App(ImplEvent::Brcv { src, dst, a }) => {
                     ToObs::Brcv { src: *src, dst: *dst, a: a.clone() }
                 }

@@ -85,9 +85,7 @@ pub fn check_figure11(
             fm.set(*subject, *status);
             let touches = match subject {
                 gcs_model::Subject::Loc(p) => params.q.contains(p),
-                gcs_model::Subject::Link(p, r) => {
-                    params.q.contains(p) || params.q.contains(r)
-                }
+                gcs_model::Subject::Link(p, r) => params.q.contains(p) || params.q.contains(r),
             };
             if touches {
                 last_fail_q = ev.time;
@@ -126,8 +124,7 @@ pub fn check_figure11(
                 match &final_view {
                     None => final_view = Some(v.clone()),
                     Some(w) if w != v => {
-                        report.premise_failure =
-                            Some(format!("final views diverge: {w} vs {v}"));
+                        report.premise_failure = Some(format!("final views diverge: {w} vs {v}"));
                         return report;
                     }
                     _ => {}
@@ -137,8 +134,7 @@ pub fn check_figure11(
     }
     let final_view = final_view.expect("Q nonempty");
     if final_view.set != params.q {
-        report.premise_failure =
-            Some(format!("final membership {:?} ≠ Q", final_view.set));
+        report.premise_failure = Some(format!("final membership {:?} ≠ Q", final_view.set));
         return report;
     }
     let alpha_prime = last_fail_q.max(last_nv);
@@ -146,11 +142,8 @@ pub fn check_figure11(
 
     // Premise 3: every message sent from Q in the final view becomes safe
     // at all of Q within max(t, alpha_prime) + d (with horizon censoring).
-    let mut current: BTreeMap<ProcId, Option<View>> = params
-        .ambient
-        .iter()
-        .map(|&p| (p, Some(View::initial(params.ambient.clone()))))
-        .collect();
+    let mut current: BTreeMap<ProcId, Option<View>> =
+        params.ambient.iter().map(|&p| (p, Some(View::initial(params.ambient.clone())))).collect();
     let mut safes: BTreeMap<u64, BTreeMap<ProcId, Time>> = BTreeMap::new();
     let mut in_view_sends: Vec<(u64, Time)> = Vec::new();
     for ev in trace.events() {
@@ -160,10 +153,10 @@ pub fn check_figure11(
             }
             TraceEvent::App(ImplEvent::GpSnd { p, mid, .. })
                 if params.q.contains(p)
-                    && current.get(p).cloned().flatten().as_ref() == Some(&final_view)
-                => {
-                    in_view_sends.push((*mid, ev.time));
-                }
+                    && current.get(p).cloned().flatten().as_ref() == Some(&final_view) =>
+            {
+                in_view_sends.push((*mid, ev.time));
+            }
             TraceEvent::App(ImplEvent::Safe { dst, mid, .. }) => {
                 safes.entry(*mid).or_default().entry(*dst).or_insert(ev.time);
             }
@@ -176,11 +169,7 @@ pub fn check_figure11(
             .q
             .iter()
             .copied()
-            .filter(|r| {
-                safes
-                    .get(mid)
-                    .and_then(|m| m.get(r)).is_none_or(|&ts| ts > deadline)
-            })
+            .filter(|r| safes.get(mid).and_then(|m| m.get(r)).is_none_or(|&ts| ts > deadline))
             .collect();
         if !missing.is_empty() && deadline <= horizon {
             report.premise_failure = Some(format!(
@@ -211,19 +200,10 @@ pub fn check_figure11(
     let mut alpha3: Time = 0;
     let mut check_value = |what: &str, trigger: Time, a: &Value, report: &mut Figure11Report| {
         let at = delivered.get(a);
-        let missing: Vec<ProcId> = params
-            .q
-            .iter()
-            .copied()
-            .filter(|r| !at.is_some_and(|m| m.contains_key(r)))
-            .collect();
+        let missing: Vec<ProcId> =
+            params.q.iter().copied().filter(|r| !at.is_some_and(|m| m.contains_key(r))).collect();
         if missing.is_empty() {
-            let t_v = at
-                .expect("delivered everywhere")
-                .values()
-                .copied()
-                .max()
-                .expect("nonempty");
+            let t_v = at.expect("delivered everywhere").values().copied().max().expect("nonempty");
             if t_v > trigger.max(alpha_prime) + params.d {
                 // Needs slack: alpha_prime + alpha3 ≥ t_v − d.
                 alpha3 = alpha3.max((t_v - params.d).saturating_sub(alpha_prime));
@@ -246,11 +226,8 @@ pub fn check_figure11(
         }
     }
     for (a, at) in &delivered.clone() {
-        if let Some(first_q) = at
-            .iter()
-            .filter(|(r, _)| params.q.contains(r))
-            .map(|(_, &t)| t)
-            .min()
+        if let Some(first_q) =
+            at.iter().filter(|(r, _)| params.q.contains(r)).map(|(_, &t)| t).min()
         {
             check_value("value delivered within Q", first_q, a, &mut report);
         }

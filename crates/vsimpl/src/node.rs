@@ -106,10 +106,7 @@ impl<C: VsClient> VsNode<C> {
     /// Creates the node for processor `id` hosting `client`.
     pub fn new(id: ProcId, cfg: ProtoConfig, client: C) -> Self {
         assert!(cfg.procs.contains(&id), "{id} not in the ambient set");
-        assert!(
-            cfg.pi > cfg.procs.len() as Time * cfg.delta,
-            "token period π must exceed n·δ"
-        );
+        assert!(cfg.pi > cfg.procs.len() as Time * cfg.delta, "token period π must exceed n·δ");
         let in_p0 = cfg.p0.contains(&id);
         let view = in_p0.then(|| View::initial(cfg.p0.clone()));
         VsNode {
@@ -177,11 +174,7 @@ impl<C: VsClient> VsNode<C> {
         ((self.id.0 as u64) << 40) | self.mid_counter
     }
 
-    fn queue_effects(
-        &mut self,
-        effects: ClientEffects,
-        ctx: &mut Context<'_, Wire, ImplEvent>,
-    ) {
+    fn queue_effects(&mut self, effects: ClientEffects, ctx: &mut Context<'_, Wire, ImplEvent>) {
         for m in effects.gpsnd {
             // A send while no view is installed is ignored, matching
             // VS-machine's treatment of gpsnd at ⊥ — but the event is
@@ -203,10 +196,8 @@ impl<C: VsClient> VsNode<C> {
 
     fn trigger_formation(&mut self, ctx: &mut Context<'_, Wire, ImplEvent>) {
         self.last_form = Some(ctx.now());
-        let base = self
-            .max_seen
-            .max(self.accepted)
-            .max(self.current_id().unwrap_or_else(ViewId::initial));
+        let base =
+            self.max_seen.max(self.accepted).max(self.current_id().unwrap_or_else(ViewId::initial));
         let vid = base.successor(self.id);
         self.max_seen = vid;
         match self.cfg.mode {
@@ -231,10 +222,7 @@ impl<C: VsClient> VsNode<C> {
                     .procs
                     .iter()
                     .copied()
-                    .filter(|&q| {
-                        q == self.id
-                            || self.heard.get(&q).is_some_and(|&t| t >= horizon)
-                    })
+                    .filter(|&q| q == self.id || self.heard.get(&q).is_some_and(|&t| t >= horizon))
                     .collect();
                 self.accepted = vid;
                 self.install_and_announce(View::new(vid, members), ctx);

@@ -77,11 +77,7 @@ impl Stack {
             safe_delivery: config.safe_delivery,
         };
         let nodes = procs.iter().map(|&p| {
-            VsNode::new(
-                p,
-                proto.clone(),
-                TimedVsToTo::new(p, &config.p0, config.quorums.clone()),
-            )
+            VsNode::new(p, proto.clone(), TimedVsToTo::new(p, &config.p0, config.quorums.clone()))
         });
         let net = NetConfig { delta_min: 1, delta: config.delta, ..NetConfig::default() };
         let engine = Engine::new(nodes, net, config.seed);
@@ -179,9 +175,7 @@ pub struct RunOutcome {
 impl Stack {
     /// Consumes the stack and packages its traces.
     pub fn into_outcome(self) -> RunOutcome {
-        let total_delivered = (0..self.config.n)
-            .map(|i| self.delivered(ProcId(i)).len())
-            .sum();
+        let total_delivered = (0..self.config.n).map(|i| self.delivered(ProcId(i)).len()).sum();
         RunOutcome {
             to_obs: self.to_obs(),
             vs_obs: self.vs_obs(),
@@ -305,8 +299,11 @@ mod tests {
         // TO service above is still correct, but the VS contract is not met.
         let r = check_trace(&stack.vs_actions(), &ProcId::range(3));
         assert!(!r.ok(), "safe-delivery mode unexpectedly satisfied VS semantics");
-        assert!(r.violations.iter().all(|v| v.contains("before delivery")),
-            "only safe-coverage violations expected: {:?}", r.violations.first());
+        assert!(
+            r.violations.iter().all(|v| v.contains("before delivery")),
+            "only safe-coverage violations expected: {:?}",
+            r.violations.first()
+        );
     }
 
     #[test]

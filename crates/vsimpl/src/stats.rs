@@ -4,9 +4,9 @@
 use crate::wire::ImplEvent;
 use gcs_core::msg::AppMsg;
 use gcs_ioa::TimedTrace;
-use gcs_model::{Time, Value};
 #[cfg(test)]
 use gcs_model::ProcId;
+use gcs_model::{Time, Value};
 use gcs_netsim::TraceEvent;
 use std::collections::BTreeMap;
 

@@ -197,8 +197,7 @@ impl ThreadedStack {
             let seq = seq.clone();
             let quorums = Arc::new(Majority::new(n as usize));
             handles.push(std::thread::spawn(move || {
-                let mut node =
-                    VsNode::new(id, proto, TimedVsToTo::new(id, &p0, quorums));
+                let mut node = VsNode::new(id, proto, TimedVsToTo::new(id, &p0, quorums));
                 let mut fx: CollectedEffects<Wire, ImplEvent> = CollectedEffects::new(0);
                 let mut timers: Vec<(Time, u64)> = Vec::new();
                 let now_ms = || epoch.elapsed().as_millis() as Time;
@@ -253,11 +252,8 @@ impl ThreadedStack {
                         Err(RecvTimeoutError::Timeout) => {
                             let now = now_ms();
                             fx.set_now(now);
-                            let due: Vec<u64> = timers
-                                .iter()
-                                .filter(|(d, _)| *d <= now)
-                                .map(|(_, k)| *k)
-                                .collect();
+                            let due: Vec<u64> =
+                                timers.iter().filter(|(d, _)| *d <= now).map(|(_, k)| *k).collect();
                             timers.retain(|(d, _)| *d > now);
                             for kind in due {
                                 node.on_timer(kind, &mut fx.ctx());
@@ -316,12 +312,7 @@ impl ThreadedStack {
     pub fn await_deliveries(&self, count: usize, deadline: Duration) -> bool {
         let start = Instant::now();
         while start.elapsed() < deadline {
-            if self
-                .delivered
-                .lock()
-                .iter()
-                .all(|d| d.len() >= count)
-            {
+            if self.delivered.lock().iter().all(|d| d.len() >= count) {
                 return true;
             }
             std::thread::sleep(Duration::from_millis(5));
@@ -353,9 +344,7 @@ impl ThreadedStack {
         for h in self.handles {
             let _ = h.join();
         }
-        Arc::try_unwrap(self.trace)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone())
+        Arc::try_unwrap(self.trace).map(|m| m.into_inner()).unwrap_or_else(|arc| arc.lock().clone())
     }
 }
 

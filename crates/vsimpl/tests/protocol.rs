@@ -5,8 +5,8 @@
 use gcs_model::{ProcId, View, ViewId};
 use gcs_netsim::{CollectedEffects, Process};
 use gcs_vsimpl::timed_vstoto::EchoClient;
-use gcs_vsimpl::{ImplEvent, ProtoConfig, Token, Wire};
 use gcs_vsimpl::VsNode;
+use gcs_vsimpl::{ImplEvent, ProtoConfig, Token, Wire};
 
 type Fx = CollectedEffects<Wire, ImplEvent>;
 
@@ -21,10 +21,8 @@ fn make_node(id: u32) -> (VsNode<EchoClient>, Fx) {
 }
 
 fn join(node: &mut VsNode<EchoClient>, fx: &mut Fx, epoch: u64, origin: u32, members: &[u32]) {
-    let v = View::new(
-        ViewId::new(epoch, ProcId(origin)),
-        members.iter().map(|&i| ProcId(i)).collect(),
-    );
+    let v =
+        View::new(ViewId::new(epoch, ProcId(origin)), members.iter().map(|&i| ProcId(i)).collect());
     node.on_message(ProcId(origin), Wire::Join { view: v }, &mut fx.ctx());
 }
 
@@ -53,10 +51,7 @@ fn early_token_waits_for_join_then_processes() {
     // The join arrives; the held token is processed and forwarded to the
     // ring successor (p0, wrapping around from p2).
     join(&mut node, &mut fx, 1, 0, &[0, 1, 2]);
-    let forwarded = fx
-        .sends
-        .iter()
-        .any(|(to, m)| *to == ProcId(0) && matches!(m, Wire::Token(_)));
+    let forwarded = fx.sends.iter().any(|(to, m)| *to == ProcId(0) && matches!(m, Wire::Token(_)));
     assert!(forwarded, "held token must be processed on install: {:?}", fx.sends);
 }
 
@@ -64,11 +59,7 @@ fn early_token_waits_for_join_then_processes() {
 fn join_below_accepted_is_refused() {
     let (mut node, mut fx) = make_node(1);
     // Accept a call for epoch 5.
-    node.on_message(
-        ProcId(0),
-        Wire::Call { viewid: ViewId::new(5, ProcId(0)) },
-        &mut fx.ctx(),
-    );
+    node.on_message(ProcId(0), Wire::Call { viewid: ViewId::new(5, ProcId(0)) }, &mut fx.ctx());
     assert!(
         fx.sends.iter().any(|(to, m)| *to == ProcId(0) && matches!(m, Wire::Accept { .. })),
         "call must be accepted: {:?}",
@@ -86,11 +77,7 @@ fn join_below_accepted_is_refused() {
 #[test]
 fn stale_calls_are_ignored() {
     let (mut node, mut fx) = make_node(1);
-    node.on_message(
-        ProcId(0),
-        Wire::Call { viewid: ViewId::new(5, ProcId(0)) },
-        &mut fx.ctx(),
-    );
+    node.on_message(ProcId(0), Wire::Call { viewid: ViewId::new(5, ProcId(0)) }, &mut fx.ctx());
     fx.sends.clear();
     // Same and lower viewids draw no accept.
     for viewid in [ViewId::new(5, ProcId(0)), ViewId::new(2, ProcId(2))] {
@@ -119,12 +106,8 @@ fn probe_from_stranger_triggers_three_round_formation() {
     fx.sends.clear();
     fx.set_now(100);
     node.on_message(ProcId(0), Wire::Probe, &mut fx.ctx());
-    let calls: Vec<&ProcId> = fx
-        .sends
-        .iter()
-        .filter(|(_, m)| matches!(m, Wire::Call { .. }))
-        .map(|(to, _)| to)
-        .collect();
+    let calls: Vec<&ProcId> =
+        fx.sends.iter().filter(|(_, m)| matches!(m, Wire::Call { .. })).map(|(to, _)| to).collect();
     assert_eq!(calls.len(), 2, "call must go to every other processor: {:?}", fx.sends);
     // A deadline is scheduled (2δ + 1 = 11).
     assert!(fx.timers.iter().any(|(d, _)| *d == 11), "formation deadline: {:?}", fx.timers);

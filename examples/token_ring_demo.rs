@@ -71,9 +71,8 @@ fn main() {
     println!("\ntoken_ring_demo OK: {report}");
 
     // After the heal, all nodes share one view.
-    let views: BTreeSet<_> = (0..n)
-        .map(|i| engine.process(ProcId(i)).current_view().expect("view").clone())
-        .collect();
+    let views: BTreeSet<_> =
+        (0..n).map(|i| engine.process(ProcId(i)).current_view().expect("view").clone()).collect();
     assert_eq!(views.len(), 1, "views must converge after the heal");
     println!("final converged view: {}", views.iter().next().expect("nonempty"));
 }

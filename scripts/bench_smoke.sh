@@ -8,6 +8,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo bench -p gcs-bench --bench micro -- --quick "$@"
+# Metrics overhead (registry on vs off): obs_overhead/frame_path_bare is
+# the uninstrumented hot path, obs_overhead/frame_path_instrumented adds
+# the gcs-obs counter bump + trace-ring event a real frame pays; the
+# delta is the per-frame observability cost (expect low tens of ns).
+cargo bench -p gcs-bench --bench micro -- --quick obs_overhead
 # Loopback TCP cluster throughput (gcs-net): boots real sockets on
 # 127.0.0.1 and measures delivery of 100-op batches through the ring.
 cargo bench -p gcs-bench --bench loopback -- --quick "$@"

@@ -39,9 +39,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--n" => args.n = val("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
             "--delta" => {

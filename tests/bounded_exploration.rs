@@ -69,9 +69,7 @@ fn every_reachable_transition_respects_the_simulation() {
             actions.extend(proposals(s).into_iter().filter(|a| sys2.is_enabled(s, a)));
             for a in actions {
                 let post = sys2.step(s, &a);
-                checker
-                    .check_step(s, &a, &post)
-                    .map_err(|e| format!("simulating {a:?}: {e}"))?;
+                checker.check_step(s, &a, &post).map_err(|e| format!("simulating {a:?}: {e}"))?;
             }
             Ok(())
         },

@@ -37,10 +37,7 @@ fn battery_passes_all_specification_checkers() {
 #[test]
 fn battery_is_deterministic_per_seed() {
     let run_digest = |seed: u64| -> Vec<usize> {
-        scenarios::battery(seed)
-            .iter()
-            .map(|sc| sc.run().to_obs().len())
-            .collect()
+        scenarios::battery(seed).iter().map(|sc| sc.run().to_obs().len()).collect()
     };
     assert_eq!(run_digest(42), run_digest(42));
 }
@@ -51,13 +48,11 @@ fn battery_is_deterministic_per_seed() {
 fn delivered_sequences_are_pairwise_prefixes() {
     for sc in scenarios::battery(77) {
         let stack = sc.run();
-        let seqs: Vec<Vec<_>> = (0..sc.config.n)
-            .map(|i| stack.delivered(ProcId(i)).to_vec())
-            .collect();
+        let seqs: Vec<Vec<_>> =
+            (0..sc.config.n).map(|i| stack.delivered(ProcId(i)).to_vec()).collect();
         for (i, a) in seqs.iter().enumerate() {
             for b in &seqs[i + 1..] {
-                let ok = pgcs::model::seq::is_prefix(a, b)
-                    || pgcs::model::seq::is_prefix(b, a);
+                let ok = pgcs::model::seq::is_prefix(a, b) || pgcs::model::seq::is_prefix(b, a);
                 assert!(ok, "{}: delivered sequences diverge", sc.name);
             }
         }

@@ -41,11 +41,7 @@ fn outsider_joins_and_catches_up() {
     let v3 = stack.view_of(ProcId(3)).expect("p3 must install a view");
     assert_eq!(v3.set, ProcId::range(4), "p3 must end in the full group: {v3}");
     // …and received the entire pre-join history.
-    assert_eq!(
-        stack.delivered(ProcId(3)).len(),
-        5,
-        "late joiner must catch up on all history"
-    );
+    assert_eq!(stack.delivered(ProcId(3)).len(), 5, "late joiner must catch up on all history");
     let d0 = stack.delivered(ProcId(0)).to_vec();
     assert_eq!(stack.delivered(ProcId(3)), &d0[..]);
     // Full safety checks with the reduced P₀.
@@ -90,18 +86,10 @@ fn spec_system_with_partial_p0_refines() {
     let p0: BTreeSet<ProcId> = ProcId::range(2);
     for seed in 0..4 {
         let sys = VsToToSystem::new(procs.clone(), p0.clone(), Arc::new(Majority::new(4)));
-        let mut runner = Runner::new(
-            sys,
-            SystemAdversary::default().with_view_prob(0.1),
-            seed,
-        );
+        let mut runner = Runner::new(sys, SystemAdversary::default().with_view_prob(0.1), seed);
         install_invariants(&mut runner);
         let violations = install_simulation_check(&mut runner);
         runner.run(900).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        assert!(
-            violations.borrow().is_empty(),
-            "seed {seed}: {:?}",
-            violations.borrow().first()
-        );
+        assert!(violations.borrow().is_empty(), "seed {seed}: {:?}", violations.borrow().first());
     }
 }

@@ -18,10 +18,8 @@ fn loopback_cluster_smoke() {
     // Initial view over the full group at every node.
     let deadline = Instant::now() + Duration::from_secs(20);
     while Instant::now() < deadline {
-        let formed = cluster
-            .views()
-            .iter()
-            .all(|vs| vs.last().is_some_and(|v| v.size() == n as usize));
+        let formed =
+            cluster.views().iter().all(|vs| vs.last().is_some_and(|v| v.size() == n as usize));
         if formed {
             break;
         }

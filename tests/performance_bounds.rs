@@ -77,10 +77,7 @@ fn cascade_scenario_meets_bounds_after_final_heal() {
 #[test]
 fn figure12_composition_on_one_trace() {
     use pgcs::vsimpl::{check_figure11, Figure11Params};
-    for sc in [
-        scenarios::partition(5, 3, 5, 12, 811),
-        scenarios::merge(4, 3, 5, 12, 812),
-    ] {
+    for sc in [scenarios::partition(5, 3, 5, 12, 811), scenarios::merge(4, 3, 5, 12, 812)] {
         let nq = sc.q.len();
         let cfg = &sc.config;
         let b = bounds::b(nq, cfg.delta, cfg.pi, cfg.mu);

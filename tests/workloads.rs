@@ -46,11 +46,7 @@ fn burst_traffic_rides_one_token_pass() {
     let (_, stats) = run_workload(WorkloadKind::Bursty { burst: 10 }, 20, 9);
     let p100 = TraceStats::percentile(&stats.delivery_latencies, 100.0);
     let pi = 2 * 3 * 5; // standard π for n=3, δ=5
-    assert!(
-        p100 <= 4 * pi as u64,
-        "worst-case burst latency {p100} exceeds 4π = {}",
-        4 * pi
-    );
+    assert!(p100 <= 4 * pi as u64, "worst-case burst latency {p100} exceeds 4π = {}", 4 * pi);
 }
 
 #[test]

@@ -100,16 +100,12 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId {
-            id: format!("{}/{}", name.into(), parameter),
-        }
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
     }
 
     /// Just the parameter (the group name supplies the prefix).
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId {
-            id: parameter.to_string(),
-        }
+        BenchmarkId { id: parameter.to_string() }
     }
 }
 
@@ -121,10 +117,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            mode: Mode::Full,
-            filter: None,
-        }
+        Criterion { mode: Mode::Full, filter: None }
     }
 }
 
@@ -156,17 +149,10 @@ impl Criterion {
                 return;
             }
         }
-        let mut b = Bencher {
-            mode: self.mode,
-            ns_per_iter: 0.0,
-            total_iters: 0,
-        };
+        let mut b = Bencher { mode: self.mode, ns_per_iter: 0.0, total_iters: 0 };
         f(&mut b);
         let (value, unit) = humanize_ns(b.ns_per_iter);
-        println!(
-            "{id:<50} time: {value:>10.2} {unit}/iter  ({} iters)",
-            b.total_iters
-        );
+        println!("{id:<50} time: {value:>10.2} {unit}/iter  ({} iters)", b.total_iters);
     }
 
     /// Runs a single named benchmark.
@@ -177,10 +163,7 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-        }
+        BenchmarkGroup { criterion: self, name: name.into() }
     }
 }
 
@@ -263,11 +246,7 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher {
-            mode: Mode::Quick,
-            ns_per_iter: 0.0,
-            total_iters: 0,
-        };
+        let mut b = Bencher { mode: Mode::Quick, ns_per_iter: 0.0, total_iters: 0 };
         b.iter(|| black_box(3u64).wrapping_mul(7));
         assert!(b.ns_per_iter > 0.0);
         assert!(b.total_iters > 0);
@@ -275,26 +254,18 @@ mod tests {
 
     #[test]
     fn group_and_function_apis_compose() {
-        let mut c = Criterion {
-            mode: Mode::Test,
-            filter: None,
-        };
+        let mut c = Criterion { mode: Mode::Test, filter: None };
         c.bench_function("plain", |b| b.iter(|| 1 + 1));
         let mut g = c.benchmark_group("grp");
         g.sample_size(10);
-        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| b.iter(|| n * 2));
         g.bench_with_input(BenchmarkId::new("sub", 4), &4, |b, &n| b.iter(|| n * 2));
         g.finish();
     }
 
     #[test]
     fn filter_skips_non_matching() {
-        let mut c = Criterion {
-            mode: Mode::Test,
-            filter: Some("match_me".into()),
-        };
+        let mut c = Criterion { mode: Mode::Test, filter: Some("match_me".into()) };
         let mut ran = false;
         c.bench_function("other", |b| {
             ran = true;

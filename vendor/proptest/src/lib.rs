@@ -79,14 +79,9 @@ pub struct ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         // PROPTEST_CASES mirrors upstream's env override.
-        let cases = std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(256);
-        ProptestConfig {
-            cases,
-            max_global_rejects: 4096,
-        }
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        ProptestConfig { cases, max_global_rejects: 4096 }
     }
 }
 
@@ -319,19 +314,13 @@ impl SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange {
-            lo: r.start,
-            hi: r.end - 1,
-        }
+        SizeRange { lo: r.start, hi: r.end - 1 }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange {
-            lo: *r.start(),
-            hi: *r.end(),
-        }
+        SizeRange { lo: *r.start(), hi: *r.end() }
     }
 }
 
@@ -362,10 +351,7 @@ pub mod collection {
 
     /// A `Vec` of `size` elements drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy {
-            element,
-            size: size.into(),
-        }
+        VecStrategy { element, size: size.into() }
     }
 
     /// See [`btree_set`].
@@ -400,10 +386,7 @@ pub mod collection {
     where
         S::Value: Ord,
     {
-        BTreeSetStrategy {
-            element,
-            size: size.into(),
-        }
+        BTreeSetStrategy { element, size: size.into() }
     }
 
     /// See [`btree_map`].
@@ -440,11 +423,7 @@ pub mod collection {
     where
         K::Value: Ord,
     {
-        BTreeMapStrategy {
-            keys,
-            values,
-            size: size.into(),
-        }
+        BTreeMapStrategy { keys, values, size: size.into() }
     }
 }
 
@@ -604,8 +583,7 @@ mod tests {
             assert!((2..5).contains(&v.len()));
             let s = prop::collection::btree_set(0u32..1000, 1..8).generate(&mut rng);
             assert!(!s.is_empty() && s.len() < 8);
-            let m =
-                prop::collection::btree_map(0u32..1000, 0u64..5, 1..5).generate(&mut rng);
+            let m = prop::collection::btree_map(0u32..1000, 0u64..5, 1..5).generate(&mut rng);
             assert!(!m.is_empty() && m.len() < 5);
         }
     }

@@ -86,12 +86,7 @@ impl SeedableRng for ChaCha8Rng {
         for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
             *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        ChaCha8Rng {
-            key,
-            counter: 0,
-            buf: [0; 16],
-            idx: 16,
-        }
+        ChaCha8Rng { key, counter: 0, buf: [0; 16], idx: 16 }
     }
 }
 
