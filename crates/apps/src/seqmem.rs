@@ -229,7 +229,7 @@ mod tests {
         // Corrupt the log: claim the read happened before the delivery.
         let mut bad = r.clone();
         bad.reads = vec![("x".into(), Some(1), 0)];
-        assert!(check_sequential_consistency(&[bad], &[w1.clone()]).is_err());
+        assert!(check_sequential_consistency(&[bad], std::slice::from_ref(&w1)).is_err());
         check_sequential_consistency(&[r], &[w1]).unwrap();
     }
 

@@ -52,6 +52,7 @@
 pub mod adversary;
 pub mod cause;
 pub mod completion;
+pub mod conformance;
 pub mod derived;
 pub mod invariants;
 pub mod msg;
@@ -64,6 +65,7 @@ pub mod vs_machine;
 pub mod vstoto;
 pub mod weak_vs;
 
+pub use conformance::{check_conformance, ConformanceReport};
 pub use msg::AppMsg;
 pub use system::{SysAction, SysState, VsToToSystem};
 pub use to_machine::{ToAction, ToMachine, ToState};

@@ -206,7 +206,7 @@ mod tests {
         replay(&strong(), &reordered).expect("strong replay");
         // Dependencies still respected even if exact positions shift.
         let pos = |acts: &[VsAction<M>], pred: &dyn Fn(&VsAction<M>) -> bool| {
-            acts.iter().position(|a| pred(a)).unwrap()
+            acts.iter().position(pred).unwrap()
         };
         let c2 = pos(&reordered, &|a| matches!(a, VsAction::CreateView(w) if w.id.epoch == 2));
         let n2 =

@@ -58,7 +58,8 @@ fn e12_variant_rows_identical_across_worker_counts() {
 /// change scheduling but never content or row order.
 #[test]
 fn parallel_experiment_tables_are_stable_across_runs() {
-    let runs: &[(&str, fn(bool) -> Vec<Table>)] = &[
+    type TableRun = fn(bool) -> Vec<Table>;
+    let runs: &[(&str, TableRun)] = &[
         ("e02", e02::run),
         ("e03", e03::run),
         ("e04", e04::run),

@@ -279,6 +279,7 @@ mod tests {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn checker() -> ForwardSimulation<
         ByHalves,
         ByOnes,

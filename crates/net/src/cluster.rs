@@ -1,15 +1,17 @@
 //! A loopback cluster harness for integration tests: boots `n` nodes on
 //! ephemeral localhost ports, drives client traffic, severs and
-//! re-establishes TCP links to emulate partitions and merges, and hands
-//! the merged recorded trace to the existing VS/TO safety checkers.
+//! re-establishes TCP links to emulate partitions and merges, crashes and
+//! restarts whole nodes (stable-storage recovery), and hands the merged
+//! recorded trace — across every incarnation — to the existing VS/TO
+//! safety checkers.
 
 use crate::runtime::{merge_recordings, Clock, NetNode, Recorded};
-use crate::transport::TransportConfig;
+use crate::transport::{ShutdownReport, TransportConfig};
 use gcs_ioa::TimedTrace;
 use gcs_model::{ProcId, Time, Value, View};
 use gcs_netsim::TraceEvent;
-use gcs_obs::Obs;
-use gcs_vsimpl::{ImplEvent, ProtoConfig};
+use gcs_obs::{EventKind, FaultKind, Obs};
+use gcs_vsimpl::{ImplEvent, ProtoConfig, StableState, TimedVsToTo};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -37,13 +39,57 @@ impl ClusterConfig {
     }
 }
 
+/// One node slot: the live node (if not crashed), the listener clone kept
+/// for restarts (the OS socket stays open across a crash, so the port
+/// survives and no TIME_WAIT rebind race exists), and everything the
+/// crashed incarnations left behind.
+struct Slot {
+    node: Option<NetNode>,
+    listener: TcpListener,
+    incarnation: u64,
+    stable: Option<StableState<TimedVsToTo>>,
+    past_recorded: Vec<Vec<Recorded>>,
+    past_delivered: Vec<Vec<(ProcId, Value)>>,
+    past_views: Vec<Vec<View>>,
+}
+
+impl Slot {
+    /// Deliveries across every incarnation, in order: the `VStoTO` client
+    /// layer survives a crash on stable storage, so the concatenation is
+    /// the client-visible delivery sequence of this location.
+    fn delivered(&self) -> Vec<(ProcId, Value)> {
+        let mut all: Vec<(ProcId, Value)> = self.past_delivered.iter().flatten().cloned().collect();
+        if let Some(node) = &self.node {
+            all.extend(node.delivered());
+        }
+        all
+    }
+
+    fn views(&self) -> Vec<View> {
+        let mut all: Vec<View> = self.past_views.iter().flatten().cloned().collect();
+        if let Some(node) = &self.node {
+            all.extend(node.views());
+        }
+        all
+    }
+
+    fn recorded(&self) -> Vec<Recorded> {
+        let mut all: Vec<Recorded> = self.past_recorded.iter().flatten().cloned().collect();
+        if let Some(node) = &self.node {
+            all.extend(node.recorded());
+        }
+        all
+    }
+}
+
 /// A running loopback cluster.
 pub struct LoopbackCluster {
-    nodes: Vec<NetNode>,
+    slots: Vec<Slot>,
     addrs: BTreeMap<ProcId, SocketAddr>,
     clock: std::sync::Arc<Clock>,
     obs: Obs,
     config: ClusterConfig,
+    proto: ProtoConfig,
 }
 
 impl LoopbackCluster {
@@ -67,9 +113,10 @@ impl LoopbackCluster {
         }
         let clock = Clock::new();
         let proto = ProtoConfig::standard(n, config.delta_ms);
-        let mut nodes = Vec::new();
+        let mut slots = Vec::new();
         for (i, listener) in listeners.into_iter().enumerate() {
-            nodes.push(NetNode::start_with_obs(
+            let keep = listener.try_clone()?;
+            let node = NetNode::start_with_obs(
                 ProcId(i as u32),
                 proto.clone(),
                 listener,
@@ -77,9 +124,18 @@ impl LoopbackCluster {
                 config.transport.clone(),
                 clock.clone(),
                 obs.clone(),
-            )?);
+            )?;
+            slots.push(Slot {
+                node: Some(node),
+                listener: keep,
+                incarnation: 0,
+                stable: None,
+                past_recorded: Vec::new(),
+                past_delivered: Vec::new(),
+                past_views: Vec::new(),
+            });
         }
-        Ok(LoopbackCluster { nodes, addrs, clock, obs, config })
+        Ok(LoopbackCluster { slots, addrs, clock, obs, config, proto })
     }
 
     /// The shared observability sink (one registry + one trace stream
@@ -95,7 +151,7 @@ impl LoopbackCluster {
 
     /// Number of nodes.
     pub fn n(&self) -> u32 {
-        self.nodes.len() as u32
+        self.slots.len() as u32
     }
 
     /// The bound address of node `p` (for external TCP clients).
@@ -104,8 +160,17 @@ impl LoopbackCluster {
     }
 
     /// The node handle for `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is currently crashed.
     pub fn node(&self, p: ProcId) -> &NetNode {
-        &self.nodes[p.index()]
+        self.slots[p.index()].node.as_ref().expect("node is crashed")
+    }
+
+    /// Whether `p` is currently running (not crashed).
+    pub fn is_up(&self, p: ProcId) -> bool {
+        self.slots[p.index()].node.is_some()
     }
 
     /// Milliseconds since the cluster clock's epoch.
@@ -115,25 +180,32 @@ impl LoopbackCluster {
 
     /// Submits a value at node `p` through its local event path.
     pub fn submit(&self, p: ProcId, a: Value) {
-        self.nodes[p.index()].submit(a);
+        self.node(p).submit(a);
     }
 
-    /// What each node has delivered so far, in its local order.
+    /// What each node has delivered so far, in its local order, including
+    /// deliveries made by crashed prior incarnations.
     pub fn delivered(&self) -> Vec<Vec<(ProcId, Value)>> {
-        self.nodes.iter().map(|n| n.delivered()).collect()
+        self.slots.iter().map(|s| s.delivered()).collect()
     }
 
-    /// The views each node has installed so far.
+    /// The views each node has installed so far (across incarnations).
     pub fn views(&self) -> Vec<Vec<View>> {
-        self.nodes.iter().map(|n| n.views()).collect()
+        self.slots.iter().map(|s| s.views()).collect()
     }
 
-    /// Blocks until every node has delivered at least `count` values or
-    /// the deadline passes; returns whether the goal was reached.
+    /// Blocks until every *live* node has delivered at least `count`
+    /// values or the deadline passes; returns whether the goal was
+    /// reached.
     pub fn await_deliveries(&self, count: usize, deadline: Duration) -> bool {
         let start = Instant::now();
         while start.elapsed() < deadline {
-            if self.nodes.iter().all(|n| n.delivered().len() >= count) {
+            let ok = self
+                .slots
+                .iter()
+                .filter(|s| s.node.is_some())
+                .all(|s| s.delivered().len() >= count);
+            if ok {
                 return true;
             }
             std::thread::sleep(Duration::from_millis(10));
@@ -149,8 +221,8 @@ impl LoopbackCluster {
             if q == p {
                 continue;
             }
-            self.nodes[p.index()].transport().sever(q);
-            self.nodes[q.index()].transport().sever(p);
+            self.node(p).transport().sever(q);
+            self.node(q).transport().sever(p);
         }
     }
 
@@ -161,41 +233,112 @@ impl LoopbackCluster {
             if q == p {
                 continue;
             }
-            self.nodes[p.index()].transport().heal(q);
-            self.nodes[q.index()].transport().heal(p);
+            self.node(p).transport().heal(q);
+            self.node(q).transport().heal(p);
         }
     }
 
     /// Severs the single link pair between `p` and `q` (both directions).
     pub fn sever_pair(&self, p: ProcId, q: ProcId) {
-        self.nodes[p.index()].transport().sever(q);
-        self.nodes[q.index()].transport().sever(p);
+        self.node(p).transport().sever(q);
+        self.node(q).transport().sever(p);
     }
 
     /// Heals the single link pair between `p` and `q`.
     pub fn heal_pair(&self, p: ProcId, q: ProcId) {
-        self.nodes[p.index()].transport().heal(q);
-        self.nodes[q.index()].transport().heal(p);
+        self.node(p).transport().heal(q);
+        self.node(q).transport().heal(p);
     }
 
     /// Kills the live TCP connections between `p` and `q` without
     /// blocking them: both sides lose in-flight frames and reconnect with
     /// backoff under fresh connection generations.
     pub fn kick_pair(&self, p: ProcId, q: ProcId) {
-        self.nodes[p.index()].transport().kick(q);
-        self.nodes[q.index()].transport().kick(p);
+        self.node(p).transport().kick(q);
+        self.node(q).transport().kick(p);
+    }
+
+    /// Crashes node `p`: the incarnation stops abruptly (its installed
+    /// view, token, and buffers are lost), its stable-storage snapshot is
+    /// kept for [`LoopbackCluster::restart`], and the crash is recorded
+    /// as a fault event for the bound monitors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is already crashed.
+    pub fn crash(&mut self, p: ProcId) {
+        let slot = &mut self.slots[p.index()];
+        let node = slot.node.take().expect("node already crashed");
+        self.obs.trace.record(EventKind::Fault { node: p.0, peer: p.0, kind: FaultKind::Crash });
+        let (stable, recorded) = node.crash();
+        slot.past_recorded.push(recorded);
+        slot.past_delivered.push(node.delivered());
+        slot.past_views.push(node.views());
+        slot.stable = Some(stable);
+    }
+
+    /// Restarts a crashed node `p` from its stable-storage snapshot. The
+    /// fresh incarnation binds the *same* port (the cluster keeps the
+    /// listener socket open across the crash) and uses an outbound
+    /// connection-generation base of `incarnation << 32`, so peers accept
+    /// its new connections instead of refusing them as stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not crashed.
+    pub fn restart(&mut self, p: ProcId) -> io::Result<()> {
+        let slot = &mut self.slots[p.index()];
+        assert!(slot.node.is_none(), "node {p} is not crashed");
+        let stable = slot.stable.take().expect("crash() stored stable state");
+        slot.incarnation += 1;
+        let transport_cfg = TransportConfig {
+            generation_base: slot.incarnation << 32,
+            ..self.config.transport.clone()
+        };
+        self.obs.trace.record(EventKind::Fault { node: p.0, peer: p.0, kind: FaultKind::Restart });
+        let node = NetNode::start_recovered(
+            p,
+            self.proto.clone(),
+            slot.listener.try_clone()?,
+            &self.addrs,
+            transport_cfg,
+            self.clock.clone(),
+            self.obs.clone(),
+            stable,
+        )?;
+        slot.node = Some(node);
+        Ok(())
     }
 
     /// A snapshot of the merged cluster trace (global sequence order,
-    /// times clamped nondecreasing).
+    /// times clamped nondecreasing), spanning every incarnation of every
+    /// node.
     pub fn merged_trace(&self) -> TimedTrace<TraceEvent<ImplEvent>> {
-        let per_node: Vec<Vec<Recorded>> = self.nodes.iter().map(|n| n.recorded()).collect();
+        let per_node: Vec<Vec<Recorded>> = self.slots.iter().map(|s| s.recorded()).collect();
         merge_recordings(&per_node)
     }
 
     /// Stops every node and returns the final merged trace.
     pub fn stop(self) -> TimedTrace<TraceEvent<ImplEvent>> {
-        let per_node: Vec<Vec<Recorded>> = self.nodes.iter().map(|n| n.stop()).collect();
-        merge_recordings(&per_node)
+        self.stop_report().0
+    }
+
+    /// Like [`LoopbackCluster::stop`], but also aggregates the transport
+    /// shutdown reports: `report.clean()` asserts that not a single
+    /// spawned thread outlived its bounded join deadline.
+    pub fn stop_report(self) -> (TimedTrace<TraceEvent<ImplEvent>>, ShutdownReport) {
+        let mut report = ShutdownReport::default();
+        let mut per_node = Vec::new();
+        for slot in &self.slots {
+            let mut recordings: Vec<Recorded> =
+                slot.past_recorded.iter().flatten().cloned().collect();
+            if let Some(node) = &slot.node {
+                let (rec, r) = node.stop_report();
+                recordings.extend(rec);
+                report.absorb(r);
+            }
+            per_node.push(recordings);
+        }
+        (merge_recordings(&per_node), report)
     }
 }

@@ -17,17 +17,22 @@
 //!   length-prefixed framing, a version byte, explicit enum tags, LEB128
 //!   varints. Decoding is *total*: any byte string produces `Ok` or a
 //!   [`codec::CodecError`], never a panic.
-//! - [`transport`] — per-node TCP endpoint: one accept loop, per-peer
-//!   reconnecting writer threads with bounded queues and capped
+//! - [`transport`] — the [`transport::Transport`] trait (the seam the
+//!   deterministic simulator plugs into) and its deployable
+//!   implementation [`transport::TcpTransport`]: one accept loop,
+//!   per-peer reconnecting writer threads with bounded queues and capped
 //!   exponential backoff, connection-generation numbering so a stale
 //!   socket can never deliver into a newer incarnation of a link, and
 //!   link severing/healing to emulate partitions over real sockets.
-//! - [`runtime`] — hosts the unchanged `VsNode<TimedVsToTo>` protocol
-//!   state machine behind the socket event source and records its
-//!   emitted trace with cluster-mergeable (time, sequence) stamps.
+//! - [`runtime`] — [`runtime::NodeCore`], the thread-free protocol half
+//!   hosting the unchanged `VsNode<TimedVsToTo>` state machine over any
+//!   transport (with stable-storage crash/recovery), and
+//!   [`runtime::NetNode`], the threaded TCP wrapper recording emitted
+//!   traces with cluster-mergeable (time, sequence) stamps.
 //! - [`cluster`] — a loopback harness that boots n nodes on ephemeral
-//!   localhost ports; integration tests drive traffic, cut links, and
-//!   feed the merged trace to the VS/TO safety checkers of `gcs-core`.
+//!   localhost ports; integration tests drive traffic, cut links, crash
+//!   and restart nodes, and feed the merged trace to the VS/TO safety
+//!   checkers of `gcs-core`.
 //! - [`load`] — an open/closed-loop load-generating client speaking the
 //!   client protocol over TCP, with latency/throughput histograms.
 //!
@@ -49,5 +54,5 @@ pub use codec::{
     HelloKind, MAX_FRAME, WIRE_VERSION,
 };
 pub use load::{run_load, Histogram, LoadConfig, LoadMode, LoadReport};
-pub use runtime::{merge_recordings, Clock, NetNode, Recorded};
-pub use transport::{Incoming, Transport, TransportConfig};
+pub use runtime::{merge_recordings, Clock, NetNode, NodeCore, Recorded};
+pub use transport::{Incoming, ShutdownReport, TcpTransport, Transport, TransportConfig};

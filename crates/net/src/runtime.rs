@@ -1,22 +1,33 @@
 //! The node runtime: hosts the same [`VsNode`]`<`[`TimedVsToTo`]`>` state
-//! machine as the simulator and the threaded runtime, with the TCP
-//! [`Transport`] as the event source.
+//! machine as the simulator and the threaded runtime, with any
+//! [`Transport`] implementation as the event sink.
 //!
 //! This is the third event source for the one protocol implementation —
 //! the "mapping of the abstract algorithm to the target platform" the
-//! paper anticipates. The node loop is the same shape as
-//! `vsimpl::threaded`: flush collected effects, then block on the next
-//! transport event or local timer. Emitted events are recorded with a
+//! paper anticipates. The protocol-facing half lives in [`NodeCore`]: a
+//! plain state machine (flush effects, handle one [`Incoming`], fire due
+//! timers) with **no threads and no sockets**, so the deterministic
+//! simulation harness (`gcs-sim`) can drive the exact code the TCP
+//! deployment runs. [`NetNode`] wraps a `NodeCore` in a thread fed by a
+//! [`TcpTransport`] event channel. Emitted events are recorded with a
 //! (time, sequence) stamp from a [`Clock`] shared across a cluster, so
 //! per-node traces can be merged into one nondecreasing timed trace for
 //! the safety checkers.
+//!
+//! Crash/recovery: [`NodeCore::stable_state`] snapshots the state assumed
+//! to survive on stable storage ([`StableState`]) and
+//! [`NodeCore::recover`]/[`NetNode::start_recovered`] rebuild a fresh
+//! incarnation from it — no installed view, volatile token/buffers gone,
+//! but view-identifier watermarks, the message-id counter, and the
+//! `VStoTO` client layer intact, which is exactly what the VS/TO safety
+//! specs need across a restart.
 
-use crate::transport::{Incoming, Transport, TransportConfig};
+use crate::transport::{Incoming, ShutdownReport, TcpTransport, Transport, TransportConfig};
 use gcs_ioa::TimedTrace;
 use gcs_model::{Majority, ProcId, Time, Value, View};
 use gcs_netsim::{CollectedEffects, Process, TraceEvent};
-use gcs_obs::{EventKind, Obs};
-use gcs_vsimpl::{ImplEvent, ProtoConfig, TimedVsToTo, VsNode, Wire};
+use gcs_obs::{trace::TraceBuf, Counter, EventKind, Obs};
+use gcs_vsimpl::{ImplEvent, ProtoConfig, StableState, TimedVsToTo, VsNode, Wire};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -30,20 +41,53 @@ use std::time::{Duration, Instant};
 /// sequence, so traces recorded on different nodes (different threads,
 /// even different processes on one host would need an external merge) can
 /// be ordered consistently.
+///
+/// A clock is either *wall* (epoch at construction, reads the OS) or
+/// *manual* (starts at 0, advanced explicitly) — the manual mode is what
+/// makes the simulation harness deterministic: the same nodes stamp their
+/// recordings with virtual time instead.
 pub struct Clock {
     epoch: Instant,
     seq: AtomicU64,
+    manual_ms: Option<AtomicU64>,
 }
 
 impl Clock {
-    /// A fresh clock with the epoch at "now".
+    /// A fresh wall clock with the epoch at "now".
     pub fn new() -> Arc<Clock> {
-        Arc::new(Clock { epoch: Instant::now(), seq: AtomicU64::new(0) })
+        Arc::new(Clock { epoch: Instant::now(), seq: AtomicU64::new(0), manual_ms: None })
     }
 
-    /// Milliseconds since the epoch.
+    /// A manual (virtual) clock starting at 0 ms; advance it with
+    /// [`Clock::advance_to`].
+    pub fn manual() -> Arc<Clock> {
+        Arc::new(Clock {
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            manual_ms: Some(AtomicU64::new(0)),
+        })
+    }
+
+    /// Milliseconds since the epoch (wall) or the current virtual time
+    /// (manual).
     pub fn now_ms(&self) -> Time {
-        self.epoch.elapsed().as_millis() as Time
+        match &self.manual_ms {
+            Some(m) => m.load(Ordering::Relaxed) as Time,
+            None => self.epoch.elapsed().as_millis() as Time,
+        }
+    }
+
+    /// Advances a manual clock to `t_ms` (monotone: earlier values are
+    /// ignored). No-op on a wall clock.
+    pub fn advance_to(&self, t_ms: Time) {
+        if let Some(m) = &self.manual_ms {
+            m.fetch_max(t_ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this is a manual (virtual-time) clock.
+    pub fn is_manual(&self) -> bool {
+        self.manual_ms.is_some()
     }
 
     /// The next global event sequence number.
@@ -77,16 +121,230 @@ pub fn merge_recordings(per_node: &[Vec<Recorded>]) -> TimedTrace<TraceEvent<Imp
     trace
 }
 
+/// The protocol half of a node, decoupled from threads and sockets: the
+/// `VsNode<TimedVsToTo>` state machine plus its pending timers, effect
+/// collector, and recording sinks. Drive it by calling [`NodeCore::boot`]
+/// once, then [`NodeCore::handle`] per incoming event and
+/// [`NodeCore::tick`] whenever [`NodeCore::next_timer_due`] falls due —
+/// the threaded [`NetNode`] and the deterministic `gcs-sim` world both do
+/// exactly this.
+pub struct NodeCore {
+    id: ProcId,
+    node: VsNode<TimedVsToTo>,
+    fx: CollectedEffects<Wire, ImplEvent>,
+    timers: Vec<(Time, u64)>,
+    clock: Arc<Clock>,
+    recorded: Arc<Mutex<Vec<Recorded>>>,
+    delivered: Arc<Mutex<Vec<(ProcId, Value)>>>,
+    views: Arc<Mutex<Vec<View>>>,
+    views_ctr: Counter,
+    deliveries_ctr: Counter,
+    submits_ctr: Counter,
+    trace: TraceBuf,
+}
+
+impl NodeCore {
+    /// A fresh node for processor `id`, recording into `obs` and stamping
+    /// with `clock`.
+    pub fn new(id: ProcId, proto: ProtoConfig, clock: Arc<Clock>, obs: &Obs) -> NodeCore {
+        let n = proto.procs.len();
+        let p0 = proto.p0.clone();
+        // Members of P₀ start with v₀ already installed (no NewView event
+        // is emitted for it), so seed the view history accordingly.
+        let initial = proto.p0.contains(&id).then(|| View::initial(proto.p0.clone()));
+        let quorums = Arc::new(Majority::new(n));
+        let node = VsNode::new(id, proto, TimedVsToTo::new(id, &p0, quorums));
+        NodeCore::assemble(id, node, initial, clock, obs)
+    }
+
+    /// A recovered incarnation of processor `id`, rebuilt from the
+    /// [`StableState`] its previous incarnation persisted. It starts with
+    /// no installed view and rejoins through the normal membership path.
+    pub fn recover(
+        id: ProcId,
+        proto: ProtoConfig,
+        clock: Arc<Clock>,
+        obs: &Obs,
+        stable: StableState<TimedVsToTo>,
+    ) -> NodeCore {
+        let node = VsNode::recover(id, proto, stable);
+        NodeCore::assemble(id, node, None, clock, obs)
+    }
+
+    fn assemble(
+        id: ProcId,
+        node: VsNode<TimedVsToTo>,
+        initial: Option<View>,
+        clock: Arc<Clock>,
+        obs: &Obs,
+    ) -> NodeCore {
+        let node_label = id.0.to_string();
+        let l = [("node", node_label.as_str())];
+        NodeCore {
+            id,
+            node,
+            fx: CollectedEffects::new(0),
+            timers: Vec::new(),
+            clock,
+            recorded: Arc::new(Mutex::new(Vec::new())),
+            delivered: Arc::new(Mutex::new(Vec::new())),
+            views: Arc::new(Mutex::new(initial.into_iter().collect())),
+            views_ctr: obs.registry.counter_labeled("node_views_installed_total", &l),
+            deliveries_ctr: obs.registry.counter_labeled("node_deliveries_total", &l),
+            submits_ctr: obs.registry.counter_labeled("node_submits_total", &l),
+            trace: obs.trace.clone(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Runs the protocol's `on_start` and flushes its effects.
+    pub fn boot(&mut self, transport: &dyn Transport) {
+        self.fx.set_now(self.clock.now_ms());
+        self.node.on_start(&mut self.fx.ctx());
+        self.flush(transport);
+    }
+
+    /// Handles one incoming event; returns `false` on [`Incoming::Stop`].
+    pub fn handle(&mut self, ev: Incoming, transport: &dyn Transport) -> bool {
+        match ev {
+            Incoming::Stop => return false,
+            Incoming::Wire { from, wire } => {
+                self.fx.set_now(self.clock.now_ms());
+                self.node.on_message(from, wire, &mut self.fx.ctx());
+            }
+            Incoming::Submit { a } => {
+                self.fx.set_now(self.clock.now_ms());
+                self.node.on_input(a, &mut self.fx.ctx());
+            }
+        }
+        self.flush(transport);
+        true
+    }
+
+    /// Fires every timer due at the clock's current time.
+    pub fn tick(&mut self, transport: &dyn Transport) {
+        let now = self.clock.now_ms();
+        self.fx.set_now(now);
+        let due: Vec<u64> =
+            self.timers.iter().filter(|(d, _)| *d <= now).map(|(_, k)| *k).collect();
+        self.timers.retain(|(d, _)| *d > now);
+        for kind in due {
+            self.node.on_timer(kind, &mut self.fx.ctx());
+        }
+        self.flush(transport);
+    }
+
+    /// The earliest pending timer deadline, in clock milliseconds.
+    pub fn next_timer_due(&self) -> Option<Time> {
+        self.timers.iter().map(|(d, _)| *d).min()
+    }
+
+    /// Records emitted events, hands sends to the transport, and absorbs
+    /// freshly set timers. Emits are recorded *before* sends go out so
+    /// that, in the merged global order, this node's gpsnd precedes any
+    /// peer's gprcv of the same message.
+    fn flush(&mut self, transport: &dyn Transport) {
+        for e in std::mem::take(&mut self.fx.emits) {
+            match &e {
+                ImplEvent::Brcv { src, a, .. } => {
+                    self.delivered.lock().expect("no panicking holder").push((*src, a.clone()));
+                    transport.push_delivery(*src, a);
+                    self.deliveries_ctr.inc();
+                    self.trace.record(EventKind::Brcv {
+                        node: self.id.0,
+                        src: src.0,
+                        value: a.as_u64().unwrap_or(0),
+                    });
+                }
+                ImplEvent::NewView { v, .. } => {
+                    self.views.lock().expect("no panicking holder").push(v.clone());
+                    self.views_ctr.inc();
+                    self.trace.record(EventKind::ViewChange {
+                        node: self.id.0,
+                        epoch: v.id.epoch,
+                        size: v.set.len() as u32,
+                    });
+                }
+                ImplEvent::Bcast { a, .. } => {
+                    self.submits_ctr.inc();
+                    self.trace.record(EventKind::Bcast {
+                        node: self.id.0,
+                        value: a.as_u64().unwrap_or(0),
+                    });
+                }
+                _ => {}
+            }
+            let stamp = Recorded {
+                time: self.clock.now_ms(),
+                seq: self.clock.next_seq(),
+                event: TraceEvent::App(e),
+            };
+            self.recorded.lock().expect("no panicking holder").push(stamp);
+        }
+        for (to, wire) in self.fx.take_sends() {
+            transport.send(to, wire);
+        }
+        for (delay, kind) in std::mem::take(&mut self.fx.timers) {
+            self.timers.push((self.clock.now_ms() + delay, kind));
+        }
+    }
+
+    /// Snapshots the stable-storage state (for crash/recovery modeling).
+    pub fn stable_state(&self) -> StableState<TimedVsToTo> {
+        self.node.stable_state()
+    }
+
+    /// The currently installed view, if any.
+    pub fn current_view(&self) -> Option<View> {
+        self.node.current_view().cloned()
+    }
+
+    /// Shared handle to the recorded (stamped) trace events.
+    pub fn recorded_handle(&self) -> Arc<Mutex<Vec<Recorded>>> {
+        self.recorded.clone()
+    }
+
+    /// Shared handle to the client deliveries.
+    pub fn delivered_handle(&self) -> Arc<Mutex<Vec<(ProcId, Value)>>> {
+        self.delivered.clone()
+    }
+
+    /// Shared handle to the installed-view history.
+    pub fn views_handle(&self) -> Arc<Mutex<Vec<View>>> {
+        self.views.clone()
+    }
+
+    /// What this node has delivered to its client so far.
+    pub fn delivered(&self) -> Vec<(ProcId, Value)> {
+        self.delivered.lock().expect("no panicking holder").clone()
+    }
+
+    /// Every view this node has installed, in order.
+    pub fn views(&self) -> Vec<View> {
+        self.views.lock().expect("no panicking holder").clone()
+    }
+
+    /// A snapshot of this node's recorded (stamped) trace events.
+    pub fn recorded(&self) -> Vec<Recorded> {
+        self.recorded.lock().expect("no panicking holder").clone()
+    }
+}
+
 /// A running VS/TO node behind a TCP endpoint.
 pub struct NetNode {
     id: ProcId,
-    transport: Arc<Transport>,
+    transport: Arc<TcpTransport>,
     events_tx: Sender<Incoming>,
     clock: Arc<Clock>,
     recorded: Arc<Mutex<Vec<Recorded>>>,
     delivered: Arc<Mutex<Vec<(ProcId, Value)>>>,
     views: Arc<Mutex<Vec<View>>>,
-    handle: Mutex<Option<JoinHandle<()>>>,
+    handle: Mutex<Option<JoinHandle<NodeCore>>>,
+    final_core: Mutex<Option<NodeCore>>,
 }
 
 impl NetNode {
@@ -117,8 +375,41 @@ impl NetNode {
         clock: Arc<Clock>,
         obs: Obs,
     ) -> io::Result<NetNode> {
+        let core = NodeCore::new(id, proto, clock.clone(), &obs);
+        NetNode::launch(core, listener, peers, transport_cfg, clock, obs)
+    }
+
+    /// Boots a *recovered* incarnation of node `id` from the
+    /// [`StableState`] its previous incarnation persisted. Pass a
+    /// `transport_cfg` whose `generation_base` exceeds every generation
+    /// the old incarnation used (e.g. `incarnation << 32`), or peers will
+    /// refuse the new connections as stale.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_recovered(
+        id: ProcId,
+        proto: ProtoConfig,
+        listener: TcpListener,
+        peers: &BTreeMap<ProcId, SocketAddr>,
+        transport_cfg: TransportConfig,
+        clock: Arc<Clock>,
+        obs: Obs,
+        stable: StableState<TimedVsToTo>,
+    ) -> io::Result<NetNode> {
+        let core = NodeCore::recover(id, proto, clock.clone(), &obs, stable);
+        NetNode::launch(core, listener, peers, transport_cfg, clock, obs)
+    }
+
+    fn launch(
+        mut core: NodeCore,
+        listener: TcpListener,
+        peers: &BTreeMap<ProcId, SocketAddr>,
+        transport_cfg: TransportConfig,
+        clock: Arc<Clock>,
+        obs: Obs,
+    ) -> io::Result<NetNode> {
+        let id = core.id();
         let (events_tx, events_rx) = mpsc::channel::<Incoming>();
-        let transport = Transport::start_with_obs(
+        let transport = TcpTransport::start_with_obs(
             id,
             listener,
             peers,
@@ -126,114 +417,29 @@ impl NetNode {
             events_tx.clone(),
             obs.clone(),
         )?;
-        let recorded = Arc::new(Mutex::new(Vec::new()));
-        let delivered = Arc::new(Mutex::new(Vec::new()));
-        // Members of P₀ start with v₀ already installed (no NewView event
-        // is emitted for it), so seed the view history accordingly.
-        let initial = proto.p0.contains(&id).then(|| View::initial(proto.p0.clone()));
-        let views = Arc::new(Mutex::new(initial.into_iter().collect::<Vec<_>>()));
+        let recorded = core.recorded_handle();
+        let delivered = core.delivered_handle();
+        let views = core.views_handle();
 
         let handle = {
             let transport = transport.clone();
             let clock = clock.clone();
-            let recorded = recorded.clone();
-            let delivered = delivered.clone();
-            let views = views.clone();
-            let n = proto.procs.len();
-            let p0 = proto.p0.clone();
-            let node_label = id.0.to_string();
-            let views_ctr = obs
-                .registry
-                .counter_labeled("node_views_installed_total", &[("node", &node_label)]);
-            let deliveries_ctr =
-                obs.registry.counter_labeled("node_deliveries_total", &[("node", &node_label)]);
-            let submits_ctr =
-                obs.registry.counter_labeled("node_submits_total", &[("node", &node_label)]);
-            let trace = obs.trace.clone();
             std::thread::spawn(move || {
-                let quorums = Arc::new(Majority::new(n));
-                let mut node = VsNode::new(id, proto, TimedVsToTo::new(id, &p0, quorums));
-                let mut fx: CollectedEffects<Wire, ImplEvent> = CollectedEffects::new(0);
-                let mut timers: Vec<(Time, u64)> = Vec::new();
-                fx.set_now(clock.now_ms());
-                node.on_start(&mut fx.ctx());
+                core.boot(&*transport);
                 loop {
-                    // Flush effects. Emits are recorded *before* sends go
-                    // out so that, in the merged global order, this node's
-                    // gpsnd precedes any peer's gprcv of the same message.
-                    for e in std::mem::take(&mut fx.emits) {
-                        match &e {
-                            ImplEvent::Brcv { src, a, .. } => {
-                                delivered
-                                    .lock()
-                                    .expect("no panicking holder")
-                                    .push((*src, a.clone()));
-                                transport.push_delivery(*src, a);
-                                deliveries_ctr.inc();
-                                trace.record(EventKind::Brcv {
-                                    node: id.0,
-                                    src: src.0,
-                                    value: a.as_u64().unwrap_or(0),
-                                });
-                            }
-                            ImplEvent::NewView { v, .. } => {
-                                views.lock().expect("no panicking holder").push(v.clone());
-                                views_ctr.inc();
-                                trace.record(EventKind::ViewChange {
-                                    node: id.0,
-                                    epoch: v.id.epoch,
-                                    size: v.set.len() as u32,
-                                });
-                            }
-                            ImplEvent::Bcast { a, .. } => {
-                                submits_ctr.inc();
-                                trace.record(EventKind::Bcast {
-                                    node: id.0,
-                                    value: a.as_u64().unwrap_or(0),
-                                });
-                            }
-                            _ => {}
-                        }
-                        let stamp = Recorded {
-                            time: clock.now_ms(),
-                            seq: clock.next_seq(),
-                            event: TraceEvent::App(e),
-                        };
-                        recorded.lock().expect("no panicking holder").push(stamp);
-                    }
-                    for (to, wire) in fx.take_sends() {
-                        transport.send(to, wire);
-                    }
-                    for (delay, kind) in std::mem::take(&mut fx.timers) {
-                        timers.push((clock.now_ms() + delay, kind));
-                    }
                     // Wait for the next event or timer.
-                    timers.sort_unstable();
-                    let timeout = timers
-                        .first()
-                        .map(|(due, _)| Duration::from_millis(due.saturating_sub(clock.now_ms())))
+                    let timeout = core
+                        .next_timer_due()
+                        .map(|due| Duration::from_millis(due.saturating_sub(clock.now_ms())))
                         .unwrap_or(Duration::from_millis(20));
                     match events_rx.recv_timeout(timeout) {
-                        Ok(Incoming::Stop) => return,
-                        Ok(Incoming::Wire { from, wire }) => {
-                            fx.set_now(clock.now_ms());
-                            node.on_message(from, wire, &mut fx.ctx());
-                        }
-                        Ok(Incoming::Submit { a }) => {
-                            fx.set_now(clock.now_ms());
-                            node.on_input(a, &mut fx.ctx());
-                        }
-                        Err(RecvTimeoutError::Timeout) => {
-                            let now = clock.now_ms();
-                            fx.set_now(now);
-                            let due: Vec<u64> =
-                                timers.iter().filter(|(d, _)| *d <= now).map(|(_, k)| *k).collect();
-                            timers.retain(|(d, _)| *d > now);
-                            for kind in due {
-                                node.on_timer(kind, &mut fx.ctx());
+                        Ok(ev) => {
+                            if !core.handle(ev, &*transport) {
+                                return core;
                             }
                         }
-                        Err(RecvTimeoutError::Disconnected) => return,
+                        Err(RecvTimeoutError::Timeout) => core.tick(&*transport),
+                        Err(RecvTimeoutError::Disconnected) => return core,
                     }
                 }
             })
@@ -248,6 +454,7 @@ impl NetNode {
             delivered,
             views,
             handle: Mutex::new(Some(handle)),
+            final_core: Mutex::new(None),
         })
     }
 
@@ -258,7 +465,7 @@ impl NetNode {
 
     /// The transport endpoint (for severing links, counters, the bound
     /// address).
-    pub fn transport(&self) -> &Arc<Transport> {
+    pub fn transport(&self) -> &Arc<TcpTransport> {
         &self.transport
     }
 
@@ -290,11 +497,35 @@ impl NetNode {
 
     /// Stops the node loop and the transport; returns the final recording.
     pub fn stop(&self) -> Vec<Recorded> {
+        self.stop_report().0
+    }
+
+    /// Like [`NetNode::stop`], but also reports whether every transport
+    /// thread was joined within the shutdown deadline.
+    pub fn stop_report(&self) -> (Vec<Recorded>, ShutdownReport) {
         let _ = self.events_tx.send(Incoming::Stop);
         if let Some(h) = self.handle.lock().expect("no panicking holder").take() {
-            let _ = h.join();
+            if let Ok(core) = h.join() {
+                *self.final_core.lock().expect("no panicking holder") = Some(core);
+            }
         }
-        self.transport.stop();
-        self.recorded.lock().expect("no panicking holder").clone()
+        let report = self.transport.stop();
+        (self.recorded.lock().expect("no panicking holder").clone(), report)
+    }
+
+    /// Models a crash: stops this incarnation (volatile state — installed
+    /// view, token, buffers — is discarded with it) and returns the
+    /// [`StableState`] snapshot a restart recovers from, plus the final
+    /// recording. Restart with [`NetNode::start_recovered`].
+    pub fn crash(&self) -> (StableState<TimedVsToTo>, Vec<Recorded>) {
+        let (recorded, _) = self.stop_report();
+        let stable = self
+            .final_core
+            .lock()
+            .expect("no panicking holder")
+            .take()
+            .expect("node loop exited cleanly")
+            .stable_state();
+        (stable, recorded)
     }
 }

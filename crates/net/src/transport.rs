@@ -9,12 +9,17 @@
 //! protocol layer above recovers through its own timeouts. There are no
 //! acknowledgements and no retransmissions here.
 //!
-//! Partitions are emulated at this layer: [`Transport::sever`] closes the
-//! live sockets to a peer and drops every subsequent frame in both
-//! directions until [`Transport::heal`]; [`Transport::kick`] closes the
-//! sockets *without* blocking the peer, which exercises the reconnect
+//! Partitions are emulated at this layer: [`TcpTransport::sever`] closes
+//! the live sockets to a peer and drops every subsequent frame in both
+//! directions until [`TcpTransport::heal`]; [`TcpTransport::kick`] closes
+//! the sockets *without* blocking the peer, which exercises the reconnect
 //! path (capped exponential backoff) while the membership layer rides out
 //! the loss.
+//!
+//! The node runtime itself only needs the tiny [`Transport`] trait —
+//! enqueue a packet, push a client delivery — so the same
+//! `NodeCore` runs unchanged over this TCP endpoint or over the
+//! deterministic in-process transport of `gcs-sim`.
 
 use crate::codec::{read_frame, write_frame, Frame, HelloKind};
 use gcs_model::{ProcId, Value};
@@ -27,7 +32,51 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// What the node runtime needs from a transport — the seam between the
+/// protocol stack and the wire. [`TcpTransport`] is the deployable
+/// implementation; the deterministic simulator (`gcs-sim`) provides an
+/// in-process one, so the exact same node code runs under both.
+///
+/// The contract mirrors the timed asynchronous model: `send` is
+/// fire-and-forget (frames may be dropped, the protocol recovers via its
+/// timers), and per-link delivery is FIFO with no duplication — the
+/// guarantees a TCP connection stream gives, which the stale-generation
+/// filter extends across reconnects.
+pub trait Transport {
+    /// Enqueues a protocol packet for `to`. May silently drop (bounded
+    /// queues, severed links, no route); never blocks the caller.
+    fn send(&self, to: ProcId, wire: Wire);
+    /// Pushes a delivery notification to connected clients, if any.
+    fn push_delivery(&self, src: ProcId, a: &Value);
+}
+
+/// What [`TcpTransport::stop`] observed while tearing the endpoint down:
+/// every spawned thread (accept loop, per-peer writers, per-connection
+/// readers) is joined with a bounded deadline, so a test that leaks a
+/// wedged thread finds out *in that test* rather than as cross-test
+/// flakiness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShutdownReport {
+    /// Threads joined within the deadline.
+    pub joined: usize,
+    /// Threads still running at the deadline (detached, leaked).
+    pub leaked: usize,
+}
+
+impl ShutdownReport {
+    /// Whether every thread was joined.
+    pub fn clean(&self) -> bool {
+        self.leaked == 0
+    }
+
+    /// Accumulates another report.
+    pub fn absorb(&mut self, other: ShutdownReport) {
+        self.joined += other.joined;
+        self.leaked += other.leaked;
+    }
+}
 
 /// Transport tuning knobs.
 #[derive(Clone, Debug)]
@@ -44,6 +93,12 @@ pub struct TransportConfig {
     /// assumptions *covertly* — no fault event is recorded — which is
     /// exactly what the online bound monitors are supposed to catch.
     pub inject_send_delay: Option<Duration>,
+    /// Added to every outbound connection generation. A restarted node
+    /// passes `incarnation << 32` here: peers remember the highest
+    /// generation they ever saw from us (`latest_gen`), so a fresh
+    /// incarnation restarting its counter at 1 would be refused forever.
+    /// The base keeps generations monotone across process lifetimes.
+    pub generation_base: u64,
 }
 
 impl Default for TransportConfig {
@@ -53,6 +108,7 @@ impl Default for TransportConfig {
             backoff_min: Duration::from_millis(10),
             backoff_max: Duration::from_millis(500),
             inject_send_delay: None,
+            generation_base: 0,
         }
     }
 }
@@ -198,6 +254,12 @@ struct Shared {
     inbound: Mutex<Vec<(ProcId, TcpStream)>>,
     /// Live client connections, for delivery push.
     subscribers: Mutex<Vec<TcpStream>>,
+    /// Every accepted socket, append-only. A reader that never delivers
+    /// its `Hello` is registered nowhere else, so `stop` closes these to
+    /// guarantee every reader unblocks (deterministic shutdown).
+    accepted: Mutex<Vec<TcpStream>>,
+    /// Per-connection reader threads, joined (bounded) at `stop`.
+    readers: Mutex<Vec<JoinHandle<()>>>,
     /// Observability sink: counters plus the structured event trace.
     netobs: NetObs,
 }
@@ -210,24 +272,24 @@ impl Shared {
 
 /// A node's TCP endpoint: an accept loop, per-peer reconnecting writers,
 /// and an event channel consumed by the node runtime.
-pub struct Transport {
+pub struct TcpTransport {
     shared: Arc<Shared>,
     links: BTreeMap<ProcId, PeerLink>,
     local_addr: SocketAddr,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
-impl Transport {
+impl TcpTransport {
     /// Starts the endpoint for node `me` with its own private
-    /// observability sink; see [`Transport::start_with_obs`].
+    /// observability sink; see [`TcpTransport::start_with_obs`].
     pub fn start(
         me: ProcId,
         listener: TcpListener,
         peers: &BTreeMap<ProcId, SocketAddr>,
         config: TransportConfig,
         events: Sender<Incoming>,
-    ) -> io::Result<Arc<Transport>> {
-        Transport::start_with_obs(me, listener, peers, config, events, Obs::new())
+    ) -> io::Result<Arc<TcpTransport>> {
+        TcpTransport::start_with_obs(me, listener, peers, config, events, Obs::new())
     }
 
     /// Starts the endpoint for node `me`: `listener` accepts inbound
@@ -243,7 +305,7 @@ impl Transport {
         config: TransportConfig,
         events: Sender<Incoming>,
         obs: Obs,
-    ) -> io::Result<Arc<Transport>> {
+    ) -> io::Result<Arc<TcpTransport>> {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
@@ -253,6 +315,8 @@ impl Transport {
             latest_gen: Mutex::new(BTreeMap::new()),
             inbound: Mutex::new(Vec::new()),
             subscribers: Mutex::new(Vec::new()),
+            accepted: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
             netobs: NetObs::new(obs, me),
         });
         let mut handles = Vec::new();
@@ -287,7 +351,7 @@ impl Transport {
             links.insert(p, PeerLink { tx, stats, current });
         }
 
-        Ok(Arc::new(Transport { shared, links, local_addr, handles: Mutex::new(handles) }))
+        Ok(Arc::new(TcpTransport { shared, links, local_addr, handles: Mutex::new(handles) }))
     }
 
     /// The address the listener actually bound (useful with port 0).
@@ -324,7 +388,7 @@ impl Transport {
 
     /// Emulates a network partition from this node to `p`: closes the live
     /// sockets and drops all traffic in both directions until
-    /// [`Transport::heal`].
+    /// [`TcpTransport::heal`].
     pub fn sever(&self, p: ProcId) {
         self.shared.netobs.on_fault(p, FaultKind::Sever);
         self.shared.blocked.lock().expect("no panicking holder").insert(p);
@@ -393,6 +457,13 @@ impl Transport {
         self.shared.netobs.rejected.get()
     }
 
+    /// Outbound frames dropped specifically to a full send queue. Clean
+    /// tests assert this stays 0 so slow-consumer losses cannot leak
+    /// silently from one test case into another's assertions.
+    pub fn queue_full_drops(&self) -> u64 {
+        self.shared.netobs.drop_queue_full.get()
+    }
+
     /// Outbound frames actually written to a peer socket.
     pub fn frames_sent(&self) -> u64 {
         self.shared.netobs.sent.get()
@@ -408,8 +479,12 @@ impl Transport {
         self.shared.netobs.obs()
     }
 
-    /// Stops every thread and closes every socket.
-    pub fn stop(&self) {
+    /// Stops every thread and closes every socket. Every spawned thread —
+    /// the accept loop, the per-peer writers, and the per-connection
+    /// readers — is joined with a bounded deadline; a thread that fails
+    /// to exit in time is counted as leaked in the report rather than
+    /// blocking shutdown forever.
+    pub fn stop(&self) -> ShutdownReport {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for link in self.links.values() {
             if let Some(stream) = link.current.lock().expect("no panicking holder").take() {
@@ -422,11 +497,46 @@ impl Transport {
         for stream in self.shared.subscribers.lock().expect("no panicking holder").drain(..) {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        let handles: Vec<_> =
-            std::mem::take(&mut *self.handles.lock().expect("no panicking holder"));
-        for h in handles {
-            let _ = h.join();
+        // Close *every* socket ever accepted: a reader still waiting for
+        // its `Hello` holds a socket registered nowhere else, and it must
+        // see EOF now or it would outlive this test.
+        for stream in self.shared.accepted.lock().expect("no panicking holder").drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
         }
+        let mut pending: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.handles.lock().expect("no panicking holder"));
+        pending
+            .extend(std::mem::take(&mut *self.shared.readers.lock().expect("no panicking holder")));
+        // Worst legitimate exit latency: a writer inside connect_timeout
+        // (500 ms) or a backoff sleep (≤ backoff_max); readers unblock at
+        // socket close. 5 s is comfortably past all of it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut report = ShutdownReport::default();
+        for h in pending {
+            loop {
+                if h.is_finished() {
+                    let _ = h.join();
+                    report.joined += 1;
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    report.leaked += 1;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        report
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, to: ProcId, wire: Wire) {
+        TcpTransport::send(self, to, wire);
+    }
+
+    fn push_delivery(&self, src: ProcId, a: &Value) {
+        TcpTransport::push_delivery(self, src, a);
     }
 }
 
@@ -435,11 +545,17 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incomi
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
-                let shared = shared.clone();
+                // Keep a closable clone of every accepted socket and the
+                // reader's handle: `stop` closes the sockets (so readers
+                // see EOF even before their `Hello`) and then joins the
+                // threads with a bounded deadline.
+                if let Ok(clone) = stream.try_clone() {
+                    shared.accepted.lock().expect("no panicking holder").push(clone);
+                }
+                let reader_shared = shared.clone();
                 let events = events.clone();
-                // Readers exit on socket close/EOF; they are detached and
-                // the sockets they own are closed by `stop`/`sever`.
-                std::thread::spawn(move || reader_loop(stream, shared, events));
+                let handle = std::thread::spawn(move || reader_loop(stream, reader_shared, events));
+                shared.readers.lock().expect("no panicking holder").push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -550,7 +666,8 @@ fn writer_loop(
         };
         backoff = config.backoff_min;
         let _ = stream.set_nodelay(true);
-        let generation = stats.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let generation =
+            config.generation_base + stats.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let mut write_half = stream;
         if write_frame(
             &mut write_half,

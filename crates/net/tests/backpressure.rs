@@ -10,7 +10,7 @@ use gcs_core::cause::check_trace;
 use gcs_core::to_trace::check_to_trace;
 use gcs_model::{ProcId, Value, View, ViewId};
 use gcs_net::cluster::{ClusterConfig, LoopbackCluster};
-use gcs_net::transport::{Incoming, Transport, TransportConfig};
+use gcs_net::transport::{Incoming, TcpTransport, TransportConfig};
 use gcs_obs::{DropReason, EventKind, Obs};
 use gcs_vsimpl::convert::{to_obs, vs_actions};
 use gcs_vsimpl::Wire;
@@ -61,7 +61,7 @@ fn slow_consumer_fills_queue_and_drops_are_counted() {
     peers.insert(peer, sink_addr);
     let (events_tx, _events_rx) = mpsc::channel::<Incoming>();
     let obs = Obs::new();
-    let transport = Transport::start_with_obs(
+    let transport = TcpTransport::start_with_obs(
         me,
         listener,
         &peers,

@@ -12,6 +12,33 @@ use gcs_net::codec::{decode_payload, encode_frame, encode_payload, Frame, HelloK
 use gcs_vsimpl::{Token, TokenMsg, Wire};
 use proptest::prelude::*;
 use proptest::{collection, option, BoxedStrategy};
+use std::io::Write as _;
+
+/// The vendored proptest has no failure persistence, so we provide our
+/// own: any input that breaks a property is appended to the regression
+/// corpus, which `corpus_replay.rs` replays as a plain test on every
+/// run from then on. `tag` is the corpus entry kind (`ok` for payloads
+/// that must decode canonically, `raw` for must-not-panic bytes).
+fn persist_failure(tag: &str, bytes: &[u8]) {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("regressions.hex");
+    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    if let Ok(mut f) = std::fs::OpenOptions::new().append(true).create(true).open(&path) {
+        let _ = writeln!(f, "{tag} {hex}");
+        eprintln!("persisted failing input to {}", path.display());
+    }
+}
+
+/// Runs the decoder under `catch_unwind` so a panicking input can be
+/// persisted before the property fails.
+fn decode_guarded(bytes: &[u8]) -> Result<(), ()> {
+    std::panic::catch_unwind(|| {
+        let _ = decode_payload(bytes);
+    })
+    .map_err(|_| ())
+}
 
 fn proc_strategy() -> impl Strategy<Value = ProcId> {
     (0u32..1000).prop_map(ProcId)
@@ -135,6 +162,9 @@ proptest! {
     fn frame_roundtrips(frame in frame_strategy()) {
         let bytes = encode_payload(&frame);
         let back = decode_payload(&bytes);
+        if back.as_ref().ok() != Some(&frame) {
+            persist_failure("ok", &bytes);
+        }
         prop_assert!(back.is_ok(), "decode failed: {:?}", back);
         prop_assert_eq!(back.unwrap(), frame);
     }
@@ -190,12 +220,20 @@ proptest! {
         let mut bytes = encode_payload(&frame);
         let i = (pos % bytes.len() as u64) as usize;
         bytes[i] ^= flip;
-        let _ = decode_payload(&bytes); // must return, not panic
+        let returned = decode_guarded(&bytes);
+        if returned.is_err() {
+            persist_failure("raw", &bytes);
+        }
+        prop_assert!(returned.is_ok(), "decoder panicked on single-byte corruption");
     }
 
     /// Garbage of any shape never panics the decoder.
     #[test]
     fn random_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..256)) {
-        let _ = decode_payload(&bytes);
+        let returned = decode_guarded(&bytes);
+        if returned.is_err() {
+            persist_failure("raw", &bytes);
+        }
+        prop_assert!(returned.is_ok(), "decoder panicked on random bytes");
     }
 }

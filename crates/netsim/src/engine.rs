@@ -789,7 +789,7 @@ mod tests {
             .filter(|ev| matches!(&ev.action, TraceEvent::App(_)))
             .map(|ev| ev.time)
             .collect();
-        assert!(times.iter().any(|&t| t == 50), "WAN hop receipt at t=50: {times:?}");
+        assert!(times.contains(&50), "WAN hop receipt at t=50: {times:?}");
         assert!(times.iter().any(|&t| t < 20), "LAN receipts stay fast: {times:?}");
         let _ = t_p1;
     }

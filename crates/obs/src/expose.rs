@@ -110,8 +110,9 @@ mod tests {
         assert!(body.contains("obs_test_requests_total 8"), "{body}");
 
         server.stop();
-        // After stop, connections are refused or unanswered — either way
-        // no fresh 200 body arrives.
-        assert!(TcpStream::connect(addr).map(|_| ()).is_err() || fetch_text(addr).is_err() || true);
+        // After stop, connections are refused or unanswered — exercising
+        // the path must not hang or panic, whichever way it fails.
+        let _ = TcpStream::connect(addr);
+        let _ = fetch_text(addr);
     }
 }

@@ -55,6 +55,14 @@ impl Obs {
     pub fn with_trace_capacity(capacity: usize) -> Self {
         Obs { registry: Registry::default(), trace: TraceBuf::with_capacity(capacity) }
     }
+
+    /// An `Obs` whose trace ring runs on a manual (virtual) clock —
+    /// the deterministic simulation harness advances it with
+    /// [`TraceBuf::set_now_ms`] so the bound monitors consume
+    /// virtual-time stamps.
+    pub fn with_manual_clock(capacity: usize) -> Self {
+        Obs { registry: Registry::default(), trace: TraceBuf::with_manual_clock(capacity) }
+    }
 }
 
 #[cfg(test)]

@@ -315,7 +315,8 @@ mod tests {
     #[test]
     fn bounds_match_the_paper_formulas() {
         let p = params();
-        assert_eq!(p.b_ms(), 9 * 20 + (120 + 6 * 20).max(240));
+        let (delta, pi, mu) = (20, 120, 240);
+        assert_eq!(p.b_ms(), 9 * delta + (pi + 6 * delta).max(mu));
         assert_eq!(p.d_ms(), 2 * 120 + 3 * 20);
     }
 

@@ -34,7 +34,7 @@ pub enum DropReason {
     WriteError,
 }
 
-/// Which fault-injection operation was applied to a link.
+/// Which fault-injection operation was applied to a link or node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
     /// Traffic blocked in both directions (partition).
@@ -43,6 +43,14 @@ pub enum FaultKind {
     Heal,
     /// Live sockets killed without blocking (reconnect exercise).
     Kick,
+    /// A node crashed (volatile state lost; stable storage survives).
+    Crash,
+    /// A crashed node restarted from stable storage.
+    Restart,
+    /// A node stopped processing events (slow-consumer pause).
+    Stall,
+    /// A stalled node resumed processing.
+    Resume,
 }
 
 /// A typed observability event. Node/processor identifiers are plain
@@ -145,6 +153,11 @@ pub struct ObsEvent {
 
 struct TraceInner {
     epoch: Instant,
+    /// When present, the buffer is on a *manual* (virtual) clock:
+    /// `record` stamps events from this register instead of the wall
+    /// clock, so a deterministic simulation can feed the monitors
+    /// virtual-time streams. Advanced via [`TraceBuf::set_now_ms`].
+    manual_ms: Option<AtomicU64>,
     seq: AtomicU64,
     shards: Vec<Mutex<VecDeque<ObsEvent>>>,
     cap_per_shard: usize,
@@ -199,10 +212,23 @@ impl TraceBuf {
     /// A ring holding up to `capacity` events in total (split evenly
     /// across the internal shards; at least one event per shard).
     pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuf::build(capacity, false)
+    }
+
+    /// A ring on a *manual* clock: events are stamped from a virtual-time
+    /// register (starting at 0) advanced with [`TraceBuf::set_now_ms`],
+    /// instead of the wall clock. Deterministic simulations use this so
+    /// the [`crate::monitor`] bound monitors see virtual milliseconds.
+    pub fn with_manual_clock(capacity: usize) -> Self {
+        TraceBuf::build(capacity, true)
+    }
+
+    fn build(capacity: usize, manual: bool) -> Self {
         let cap_per_shard = (capacity / N_SHARDS).max(1);
         TraceBuf {
             inner: Arc::new(TraceInner {
                 epoch: Instant::now(),
+                manual_ms: manual.then(|| AtomicU64::new(0)),
                 seq: AtomicU64::new(0),
                 shards: (0..N_SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
                 cap_per_shard,
@@ -211,9 +237,22 @@ impl TraceBuf {
         }
     }
 
-    /// Milliseconds since this buffer's epoch (the stamp `record` uses).
+    /// Milliseconds since this buffer's epoch (the stamp `record` uses):
+    /// wall-clock elapsed time, or the manual register for a buffer
+    /// created with [`TraceBuf::with_manual_clock`].
     pub fn now_ms(&self) -> u64 {
-        self.inner.epoch.elapsed().as_millis() as u64
+        match &self.inner.manual_ms {
+            Some(m) => m.load(Ordering::Relaxed),
+            None => self.inner.epoch.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Advances the manual clock to `t_ms` (no-op on a wall-clock
+    /// buffer). The register is monotone: moving backwards is ignored.
+    pub fn set_now_ms(&self, t_ms: u64) {
+        if let Some(m) = &self.inner.manual_ms {
+            m.fetch_max(t_ms, Ordering::Relaxed);
+        }
     }
 
     /// Records an event, stamped with the current time and the next
@@ -292,6 +331,19 @@ mod tests {
         }
         assert_eq!(t.evicted(), 0);
         assert_eq!(t.recorded(), 100);
+    }
+
+    #[test]
+    fn manual_clock_stamps_virtual_time() {
+        let t = TraceBuf::with_manual_clock(64);
+        t.record(EventKind::Bcast { node: 0, value: 1 });
+        t.set_now_ms(250);
+        t.record(EventKind::Brcv { node: 1, src: 0, value: 1 });
+        t.set_now_ms(100); // backwards: ignored
+        t.record(EventKind::Bcast { node: 0, value: 2 });
+        let snap = t.snapshot();
+        assert_eq!(snap.iter().map(|e| e.t_ms).collect::<Vec<_>>(), vec![0, 250, 250]);
+        assert_eq!(t.now_ms(), 250);
     }
 
     #[test]

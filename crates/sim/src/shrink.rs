@@ -1,0 +1,94 @@
+//! Automatic schedule minimization: given a failing scenario, find a
+//! smallest-reproducing fault schedule by replay.
+//!
+//! Because every [`crate::scenario::FaultOp`] is self-compensating
+//! (each carries its own heal/restart/resume), *any* subsequence of a
+//! valid fault schedule is itself a valid schedule — so shrinking is
+//! plain subsequence search over deterministic replays:
+//!
+//! 1. **Prefix bisection** — find the shortest failing prefix of the
+//!    fault list (a failing run usually stops needing everything after
+//!    the operation that triggered the bug).
+//! 2. **Greedy removal to fixpoint** — drop one operation at a time,
+//!    keeping the removal whenever the shrunk scenario still fails,
+//!    until no single removal preserves the failure (a 1-minimal
+//!    schedule).
+//!
+//! The submission schedule is left untouched: it is the workload under
+//! which the fault schedule fails, not part of the fault schedule.
+
+use crate::scenario::Scenario;
+use crate::world::{run, RunReport};
+
+/// The outcome of a shrink.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized scenario (still failing).
+    pub scenario: Scenario,
+    /// The report of the minimized scenario's run.
+    pub report: RunReport,
+    /// Fault operations in the original scenario.
+    pub original_ops: usize,
+    /// Replays spent shrinking.
+    pub replays: usize,
+}
+
+fn with_faults(sc: &Scenario, keep: impl Fn(usize) -> bool) -> Scenario {
+    let faults =
+        sc.faults.iter().enumerate().filter(|(i, _)| keep(*i)).map(|(_, f)| f.clone()).collect();
+    Scenario { config: sc.config.clone(), submits: sc.submits.clone(), faults }
+}
+
+/// Minimizes `scenario`'s fault schedule while it keeps failing.
+/// Returns `None` if the scenario does not fail in the first place.
+pub fn shrink(scenario: &Scenario) -> Option<ShrinkResult> {
+    let mut replays = 1;
+    let mut best_report = run(scenario);
+    if best_report.ok() {
+        return None;
+    }
+    let original_ops = scenario.faults.len();
+    let mut best = scenario.clone();
+
+    // Phase 1: shortest failing prefix, by bisection. Failure is not
+    // monotone in the prefix length, so this is a heuristic cut — the
+    // greedy phase below restores 1-minimality regardless.
+    let mut lo = 0usize;
+    let mut hi = best.faults.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let candidate = with_faults(&best, |i| i < mid);
+        replays += 1;
+        let report = run(&candidate);
+        if report.ok() {
+            lo = mid + 1;
+        } else {
+            best = candidate;
+            best_report = report;
+            hi = mid;
+        }
+    }
+
+    // Phase 2: greedy single-op removal until a fixpoint.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < best.faults.len() {
+            let candidate = with_faults(&best, |j| j != i);
+            replays += 1;
+            let report = run(&candidate);
+            if report.ok() {
+                i += 1;
+            } else {
+                best = candidate;
+                best_report = report;
+                removed_any = true;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    Some(ShrinkResult { scenario: best, report: best_report, original_ops, replays })
+}

@@ -1,0 +1,807 @@
+//! The deterministic simulation world: the *real* `gcs-net` node runtime
+//! ([`NodeCore`], hosting the unchanged `VsNode<TimedVsToTo>` protocol
+//! stack) driven over an in-process transport with a virtual clock.
+//!
+//! One run is one single-threaded discrete-event loop. Every frame a
+//! node sends is round-tripped through the real wire codec, assigned a
+//! seeded delay of at most δ (so the paper's good-channel timing
+//! assumption holds by construction), and delivered in per-link FIFO
+//! order — the contract TCP gives the deployed transport. The fault
+//! scheduler perturbs everything *around* that contract: component
+//! partitions, short symmetric and asymmetric link mutes, killed
+//! in-flight frames, node crash/restart with volatile-state loss, and
+//! slow-consumer stalls that push back through the bounded link queues.
+//!
+//! After the horizon, the merged recording is fed to the `gcs-core`
+//! VS/TO safety checkers ([`gcs_core::check_conformance`]) and the
+//! shared observability stream to the `gcs-obs` b/d bound monitors; a
+//! convergence check asserts every submitted value was delivered in one
+//! agreed order once the schedule's disturbances are compensated.
+//!
+//! Determinism: one run = one thread, one manual [`Clock`], one seeded
+//! [`ChaCha8Rng`]; the event heap breaks time ties by insertion
+//! sequence; all shared state lives in ordered containers. The same
+//! scenario therefore produces bit-identical reports on any machine and
+//! under any `par_seeds` worker count.
+
+use crate::scenario::{FaultOp, Scenario, SimConfig};
+use gcs_core::check_conformance;
+use gcs_model::{ProcId, Time, Value};
+use gcs_net::{
+    decode_payload, encode_payload, Clock, Frame, Incoming, NodeCore, Recorded, Transport,
+};
+use gcs_obs::{
+    BoundParams, DropReason, EventKind, FaultKind, Obs, StabilizationMonitor, TokenRoundMonitor,
+};
+use gcs_vsimpl::convert::{to_obs, vs_actions};
+use gcs_vsimpl::{ProtoConfig, StableState, TimedVsToTo, Wire};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// Runaway guard: a run that processes this many events without reaching
+/// its horizon is reported as a violation instead of spinning forever.
+const MAX_STEPS: u64 = 5_000_000;
+
+/// How long the world keeps running after the last scheduled activity
+/// (submission or fault compensation): enough for a full membership
+/// stabilization, a merge probe period, and two token-round bounds, so
+/// every conforming run converges before its horizon.
+pub fn settle_ms(cfg: &SimConfig) -> Time {
+    let bp = BoundParams::standard(cfg.n, cfg.delta_ms);
+    2 * bp.b_ms() + 2 * bp.d_ms() + bp.mu_ms
+}
+
+#[cfg(feature = "bug-hook")]
+fn bug_active(cfg: &SimConfig) -> bool {
+    cfg.bug_dup_token
+}
+#[cfg(not(feature = "bug-hook"))]
+fn bug_active(_: &SimConfig) -> bool {
+    false
+}
+
+/// The injected safety bug (`bug-hook` feature): the duplicated token
+/// copy claims every member has received the whole message list — a
+/// retransmission path that fabricates acknowledgments. The receiver's
+/// safe prefix jumps past what slower members actually hold, so it
+/// issues `safe` indications the VS specification does not enable.
+#[cfg(feature = "bug-hook")]
+fn corrupt_token_acks(bytes: &[u8]) -> Option<Vec<u8>> {
+    match decode_payload(bytes) {
+        Ok(Frame::Peer(Wire::Token(mut tok))) => {
+            let full = tok.msgs.len() as u64;
+            for count in tok.delivered.values_mut() {
+                *count = full;
+            }
+            Some(encode_payload(&Frame::Peer(Wire::Token(tok))))
+        }
+        _ => None,
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The scenario seed.
+    pub seed: u64,
+    /// Every violation found: checker findings, monitor findings, codec
+    /// failures, and convergence failures, each prefixed with its source.
+    pub violations: Vec<String>,
+    /// FNV-1a digest of the merged trace and the per-node delivery
+    /// sequences — bit-identical across replays of the same scenario.
+    pub digest: u64,
+    /// Virtual length of the run.
+    pub horizon_ms: Time,
+    /// Merged recorded protocol events.
+    pub events: usize,
+    /// Frames accepted onto a link.
+    pub frames_sent: u64,
+    /// Frames dropped (blocked link, full queue, lost in flight).
+    pub frames_dropped: u64,
+    /// Duplicate frames injected by `Dup` operations.
+    pub dups_injected: u64,
+    /// Fault operations applied.
+    pub faults_applied: usize,
+    /// Views installed across all nodes (beyond the initial view).
+    pub views_installed: usize,
+    /// Client values delivered per node (minimum across nodes).
+    pub delivered: usize,
+}
+
+impl RunReport {
+    /// Whether the run was violation-free.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// What the heap schedules.
+enum Ev {
+    /// A frame arriving at `to`. `dup` copies never touch the in-flight
+    /// accounting; `stale` copies model a stale-connection frame and
+    /// must be rejected.
+    Deliver {
+        from: ProcId,
+        to: ProcId,
+        bytes: Vec<u8>,
+        epoch: u64,
+        stale: bool,
+        dup: bool,
+    },
+    Submit {
+        p: ProcId,
+        value: u64,
+    },
+    Timer {
+        p: ProcId,
+    },
+    Fault {
+        idx: usize,
+    },
+    Heal {
+        win: usize,
+    },
+    Restart {
+        p: ProcId,
+    },
+    Resume {
+        p: ProcId,
+    },
+}
+
+struct Scheduled {
+    t: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reversed (time, insertion seq) so `BinaryHeap` pops earliest first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.t.cmp(&self.t).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The [`Transport`] implementation the cores talk to: sends go to a
+/// shared outbox the world drains after every core interaction.
+struct SimEndpoint {
+    id: ProcId,
+    outbox: Rc<RefCell<Vec<(ProcId, ProcId, Wire)>>>,
+}
+
+impl Transport for SimEndpoint {
+    fn send(&self, to: ProcId, wire: Wire) {
+        self.outbox.borrow_mut().push((self.id, to, wire));
+    }
+    fn push_delivery(&self, _src: ProcId, _a: &Value) {}
+}
+
+/// One directed link's state.
+#[derive(Default)]
+struct Link {
+    /// Frames currently on the wire (bounded by `send_queue`).
+    inflight: usize,
+    /// FIFO floor: no frame may be delivered before the previous one.
+    next_fifo: Time,
+    /// Bumped by kicks and crashes; in-flight frames with an older epoch
+    /// are lost.
+    epoch: u64,
+    /// Duplicate the next frame as a stale copy (rejected on arrival).
+    dup_armed: bool,
+    /// Bug hook: duplicate the next Token frame as a *live* copy.
+    dup_token_armed: bool,
+}
+
+/// A shared handle to one incarnation's accumulated output (the node
+/// core keeps writing through its own clone).
+type Handle<T> = Arc<Mutex<Vec<T>>>;
+
+/// The directed pairs a fault window blocks, plus the representative
+/// pair recorded with the heal event.
+type BlockedWindow = (Vec<(u32, u32)>, (u32, u32));
+
+/// One node slot across incarnations.
+struct SimSlot {
+    core: Option<NodeCore>,
+    stable: Option<StableState<TimedVsToTo>>,
+    next_wake: Option<Time>,
+    stalled_until: Time,
+    recorded: Vec<Handle<Recorded>>,
+    delivered: Vec<Handle<(ProcId, Value)>>,
+    views: Vec<Handle<gcs_model::View>>,
+}
+
+impl SimSlot {
+    fn keep_handles(&mut self, core: &NodeCore) {
+        self.recorded.push(core.recorded_handle());
+        self.delivered.push(core.delivered_handle());
+        self.views.push(core.views_handle());
+    }
+
+    fn all_delivered(&self) -> Vec<(ProcId, Value)> {
+        self.delivered.iter().flat_map(|h| h.lock().expect("no panicking holder").clone()).collect()
+    }
+
+    fn all_views(&self) -> Vec<gcs_model::View> {
+        self.views.iter().flat_map(|h| h.lock().expect("no panicking holder").clone()).collect()
+    }
+
+    fn all_recorded(&self) -> Vec<Recorded> {
+        self.recorded.iter().flat_map(|h| h.lock().expect("no panicking holder").clone()).collect()
+    }
+}
+
+struct World<'a> {
+    sc: &'a Scenario,
+    proto: ProtoConfig,
+    clock: Arc<Clock>,
+    obs: Obs,
+    rng: ChaCha8Rng,
+    heap: BinaryHeap<Scheduled>,
+    hseq: u64,
+    now: Time,
+    horizon: Time,
+    slots: Vec<SimSlot>,
+    endpoints: Vec<Rc<SimEndpoint>>,
+    outbox: Rc<RefCell<Vec<(ProcId, ProcId, Wire)>>>,
+    links: Vec<Link>,
+    /// Active blocked-pair windows (directed pairs), plus a
+    /// representative pair for the heal event's fault record.
+    windows: Vec<Option<BlockedWindow>>,
+    violations: Vec<String>,
+    frames_sent: u64,
+    frames_dropped: u64,
+    dups_injected: u64,
+    faults_applied: usize,
+}
+
+/// Runs one scenario to completion and reports.
+pub fn run(sc: &Scenario) -> RunReport {
+    run_traced(sc).0
+}
+
+/// Like [`run`], but also returns the full observability event stream
+/// (faults, view changes, sends/drops/rejects, client interface events)
+/// for timeline debugging of a failing seed.
+pub fn run_traced(sc: &Scenario) -> (RunReport, Vec<gcs_obs::ObsEvent>) {
+    World::new(sc).run()
+}
+
+impl<'a> World<'a> {
+    fn new(sc: &'a Scenario) -> World<'a> {
+        let cfg = &sc.config;
+        let n = cfg.n as usize;
+        let outbox: Rc<RefCell<Vec<(ProcId, ProcId, Wire)>>> = Rc::new(RefCell::new(Vec::new()));
+        let endpoints = (0..n)
+            .map(|i| Rc::new(SimEndpoint { id: ProcId(i as u32), outbox: outbox.clone() }))
+            .collect();
+        World {
+            sc,
+            proto: ProtoConfig::standard(cfg.n, cfg.delta_ms),
+            clock: Clock::manual(),
+            obs: Obs::with_manual_clock(1 << 20),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0dd5_eed0_f00d_cafe),
+            heap: BinaryHeap::new(),
+            hseq: 0,
+            now: 0,
+            horizon: sc.horizon_ms(),
+            slots: (0..n)
+                .map(|_| SimSlot {
+                    core: None,
+                    stable: None,
+                    next_wake: None,
+                    stalled_until: 0,
+                    recorded: Vec::new(),
+                    delivered: Vec::new(),
+                    views: Vec::new(),
+                })
+                .collect(),
+            endpoints,
+            outbox,
+            links: (0..n * n).map(|_| Link::default()).collect(),
+            windows: Vec::new(),
+            violations: Vec::new(),
+            frames_sent: 0,
+            frames_dropped: 0,
+            dups_injected: 0,
+            faults_applied: 0,
+        }
+    }
+
+    fn push(&mut self, t: Time, ev: Ev) {
+        let seq = self.hseq;
+        self.hseq += 1;
+        self.heap.push(Scheduled { t, seq, ev });
+    }
+
+    fn link_idx(&self, from: ProcId, to: ProcId) -> usize {
+        from.index() * self.sc.config.n as usize + to.index()
+    }
+
+    fn blocked(&self, from: ProcId, to: ProcId) -> bool {
+        let pair = (from.0, to.0);
+        self.windows.iter().flatten().any(|(pairs, _)| pairs.contains(&pair))
+    }
+
+    fn stalled(&self, p: ProcId) -> bool {
+        self.now < self.slots[p.index()].stalled_until
+    }
+
+    /// Drains the shared outbox: codec round-trip, link admission, delay
+    /// assignment, duplicate injection.
+    fn drain_sends(&mut self) {
+        loop {
+            let batch: Vec<(ProcId, ProcId, Wire)> = std::mem::take(&mut *self.outbox.borrow_mut());
+            if batch.is_empty() {
+                return;
+            }
+            for (from, to, wire) in batch {
+                let delta = self.sc.config.delta_ms.max(1);
+                if self.blocked(from, to) {
+                    // A severed link manifests to the sender as its
+                    // connection dying, exactly as the TCP transport
+                    // records it — so the partition window counts as
+                    // continuously disturbed until its heal.
+                    self.obs.trace.record(EventKind::LinkDown { node: from.0, peer: to.0 });
+                    self.drop_frame(from, to, DropReason::Blocked);
+                    continue;
+                }
+                let li = self.link_idx(from, to);
+                if self.links[li].inflight >= self.sc.config.send_queue {
+                    self.drop_frame(from, to, DropReason::QueueFull);
+                    continue;
+                }
+                let dup_live = bug_active(&self.sc.config)
+                    && self.links[li].dup_token_armed
+                    && matches!(wire, Wire::Token(_));
+                let dup_stale = !dup_live && self.links[li].dup_armed;
+                if std::env::var_os("SIM_TRACE").is_some() {
+                    eprintln!("t={:>6}  send {}->{}  {:?}", self.now, from.0, to.0, wire);
+                }
+                let bytes = encode_payload(&Frame::Peer(wire));
+                let delay =
+                    if self.sc.config.fixed_delay { delta } else { self.rng.gen_range(1..=delta) };
+                let t_del = (self.now + delay).max(self.links[li].next_fifo);
+                let link = &mut self.links[li];
+                link.next_fifo = t_del;
+                link.inflight += 1;
+                let epoch = link.epoch;
+                self.frames_sent += 1;
+                self.obs.trace.record(EventKind::Send { from: from.0, to: to.0 });
+                if dup_live || dup_stale {
+                    let link = &mut self.links[li];
+                    link.dup_armed = false;
+                    if dup_live {
+                        link.dup_token_armed = false;
+                    }
+                    self.dups_injected += 1;
+                    let extra = if self.sc.config.fixed_delay {
+                        delta
+                    } else {
+                        self.rng.gen_range(1..=delta)
+                    };
+                    #[cfg(feature = "bug-hook")]
+                    let dup_bytes = if dup_live {
+                        corrupt_token_acks(&bytes).unwrap_or_else(|| bytes.clone())
+                    } else {
+                        bytes.clone()
+                    };
+                    #[cfg(not(feature = "bug-hook"))]
+                    let dup_bytes = bytes.clone();
+                    self.push(
+                        t_del + extra,
+                        Ev::Deliver {
+                            from,
+                            to,
+                            bytes: dup_bytes,
+                            epoch,
+                            stale: dup_stale,
+                            dup: true,
+                        },
+                    );
+                }
+                self.push(t_del, Ev::Deliver { from, to, bytes, epoch, stale: false, dup: false });
+            }
+        }
+    }
+
+    fn drop_frame(&mut self, from: ProcId, to: ProcId, reason: DropReason) {
+        self.frames_dropped += 1;
+        self.obs.trace.record(EventKind::Drop { node: from.0, to: to.0, reason });
+    }
+
+    /// Re-arms `p`'s single pending wake-up event if its earliest timer
+    /// deadline moved earlier than what is already scheduled.
+    fn arm_timer(&mut self, p: ProcId) {
+        let slot = &self.slots[p.index()];
+        let Some(core) = &slot.core else { return };
+        let Some(due) = core.next_timer_due() else { return };
+        let due = due.max(self.now);
+        if slot.next_wake.is_none_or(|w| due < w) {
+            self.slots[p.index()].next_wake = Some(due);
+            self.push(due, Ev::Timer { p });
+        }
+    }
+
+    /// After any core interaction: route its sends, re-arm its timers.
+    fn post(&mut self, p: ProcId) {
+        self.drain_sends();
+        self.arm_timer(p);
+    }
+
+    fn record_fault(&self, node: u32, peer: u32, kind: FaultKind) {
+        self.obs.trace.record(EventKind::Fault { node, peer, kind });
+    }
+
+    /// Opens a blocked-pairs window and schedules its heal.
+    fn open_window(&mut self, pairs: Vec<(u32, u32)>, rep: (u32, u32), dur: Time) {
+        self.record_fault(rep.0, rep.1, FaultKind::Sever);
+        let win = self.windows.len();
+        self.windows.push(Some((pairs, rep)));
+        self.push(self.now + dur.max(1), Ev::Heal { win });
+    }
+
+    /// Kills in-flight frames between `p` and `q` (both directions).
+    fn cut_links(&mut self, p: ProcId, q: ProcId) {
+        for (a, b) in [(p, q), (q, p)] {
+            let li = self.link_idx(a, b);
+            self.links[li].epoch += 1;
+            self.links[li].inflight = 0;
+        }
+    }
+
+    fn apply_fault(&mut self, op: &FaultOp) {
+        self.faults_applied += 1;
+        match op {
+            FaultOp::Split { groups, dur_ms } => {
+                let mut pairs = Vec::new();
+                for (i, g) in groups.iter().enumerate() {
+                    for h in groups.iter().skip(i + 1) {
+                        for &a in g {
+                            for &b in h {
+                                pairs.push((a, b));
+                                pairs.push((b, a));
+                            }
+                        }
+                    }
+                }
+                let rep = (
+                    groups.first().and_then(|g| g.first().copied()).unwrap_or(0),
+                    groups.get(1).and_then(|g| g.first().copied()).unwrap_or(0),
+                );
+                self.open_window(pairs, rep, *dur_ms);
+            }
+            FaultOp::SeverPair { p, q, dur_ms } => {
+                self.open_window(vec![(*p, *q), (*q, *p)], (*p, *q), *dur_ms);
+            }
+            FaultOp::SeverOneWay { p, q, dur_ms } => {
+                self.open_window(vec![(*p, *q)], (*p, *q), *dur_ms);
+            }
+            FaultOp::Kick { p, q } => {
+                self.record_fault(*p, *q, FaultKind::Kick);
+                self.cut_links(ProcId(*p), ProcId(*q));
+            }
+            FaultOp::Crash { p, down_ms } => {
+                let pid = ProcId(*p);
+                let Some(core) = self.slots[pid.index()].core.take() else { return };
+                self.record_fault(*p, *p, FaultKind::Crash);
+                let slot = &mut self.slots[pid.index()];
+                slot.stable = Some(core.stable_state());
+                slot.next_wake = None;
+                slot.stalled_until = 0;
+                for q in 0..self.sc.config.n {
+                    if q != *p {
+                        self.cut_links(pid, ProcId(q));
+                    }
+                }
+                self.push(self.now + (*down_ms).max(1), Ev::Restart { p: pid });
+            }
+            FaultOp::Stall { p, dur_ms } => {
+                self.record_fault(*p, *p, FaultKind::Stall);
+                let until = self.now + (*dur_ms).max(1);
+                self.slots[ProcId(*p).index()].stalled_until = until;
+                self.push(until, Ev::Resume { p: ProcId(*p) });
+            }
+            FaultOp::Dup { p, q } => {
+                let li = self.link_idx(ProcId(*p), ProcId(*q));
+                if bug_active(&self.sc.config) {
+                    self.links[li].dup_token_armed = true;
+                } else {
+                    self.links[li].dup_armed = true;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Deliver { from, to, bytes, epoch, stale, dup } => {
+                if self.stalled(to) {
+                    let until = self.slots[to.index()].stalled_until;
+                    self.push(until, Ev::Deliver { from, to, bytes, epoch, stale, dup });
+                    return;
+                }
+                let li = self.link_idx(from, to);
+                let live_epoch = epoch == self.links[li].epoch;
+                if !dup && live_epoch {
+                    self.links[li].inflight = self.links[li].inflight.saturating_sub(1);
+                }
+                if !live_epoch {
+                    // Lost with its connection (kick or crash cut the
+                    // link while the frame was in flight).
+                    self.drop_frame(from, to, DropReason::WriteError);
+                    return;
+                }
+                if self.slots[to.index()].core.is_none() {
+                    // Arrived at a crashed node. The sender's link is
+                    // observably down right now — record it as such, so
+                    // the bound monitors treat the whole down window as
+                    // disturbed (a dead member *is* an ongoing network
+                    // disturbance; the paper's b budget covers
+                    // stabilization after disturbances end, and this
+                    // one ends at the restart).
+                    self.obs.trace.record(EventKind::LinkDown { node: from.0, peer: to.0 });
+                    self.drop_frame(from, to, DropReason::WriteError);
+                    return;
+                }
+                if self.blocked(from, to) {
+                    // Severed while in flight: same observable link
+                    // death as the send-side case above.
+                    self.obs.trace.record(EventKind::LinkDown { node: from.0, peer: to.0 });
+                    self.drop_frame(from, to, DropReason::Blocked);
+                    return;
+                }
+                if stale {
+                    // A stale-connection duplicate: the receiver's
+                    // generation filter refuses it.
+                    self.obs.trace.record(EventKind::Reject { node: to.0, from: from.0 });
+                    return;
+                }
+                let wire = match decode_payload(&bytes) {
+                    Ok(Frame::Peer(wire)) => wire,
+                    Ok(other) => {
+                        self.violations.push(format!("codec: peer frame decoded as {other:?}"));
+                        return;
+                    }
+                    Err(e) => {
+                        self.violations.push(format!("codec: decode failed: {e}"));
+                        return;
+                    }
+                };
+                if std::env::var_os("SIM_TRACE").is_some() {
+                    eprintln!("t={:>6}  {}->{}  {:?}", self.now, from.0, to.0, wire);
+                }
+                self.obs.trace.record(EventKind::Recv { node: to.0, from: from.0 });
+                let ep = self.endpoints[to.index()].clone();
+                let core = self.slots[to.index()].core.as_mut().expect("checked above");
+                core.handle(Incoming::Wire { from, wire }, &*ep);
+                self.post(to);
+            }
+            Ev::Submit { p, value } => {
+                if self.stalled(p) {
+                    let until = self.slots[p.index()].stalled_until;
+                    self.push(until, Ev::Submit { p, value });
+                    return;
+                }
+                let ep = self.endpoints[p.index()].clone();
+                let Some(core) = self.slots[p.index()].core.as_mut() else {
+                    self.violations
+                        .push(format!("schedule: submit of {value} aimed at crashed node {p}"));
+                    return;
+                };
+                core.handle(Incoming::Submit { a: Value::from_u64(value) }, &*ep);
+                self.post(p);
+            }
+            Ev::Timer { p } => {
+                if self.stalled(p) {
+                    let until = self.slots[p.index()].stalled_until;
+                    self.push(until, Ev::Timer { p });
+                    return;
+                }
+                self.slots[p.index()].next_wake = None;
+                let ep = self.endpoints[p.index()].clone();
+                let Some(core) = self.slots[p.index()].core.as_mut() else { return };
+                core.tick(&*ep);
+                self.post(p);
+            }
+            Ev::Fault { idx } => {
+                let op = self.sc.faults[idx].op.clone();
+                self.apply_fault(&op);
+            }
+            Ev::Heal { win } => {
+                if let Some((_, rep)) = self.windows[win].take() {
+                    self.record_fault(rep.0, rep.1, FaultKind::Heal);
+                }
+            }
+            Ev::Restart { p } => {
+                let slot = &mut self.slots[p.index()];
+                let Some(stable) = slot.stable.take() else { return };
+                self.record_fault(p.0, p.0, FaultKind::Restart);
+                let mut core =
+                    NodeCore::recover(p, self.proto.clone(), self.clock.clone(), &self.obs, stable);
+                self.slots[p.index()].keep_handles(&core);
+                let ep = self.endpoints[p.index()].clone();
+                core.boot(&*ep);
+                self.slots[p.index()].core = Some(core);
+                self.post(p);
+            }
+            Ev::Resume { p } => {
+                self.slots[p.index()].stalled_until = 0;
+                self.record_fault(p.0, p.0, FaultKind::Resume);
+            }
+        }
+    }
+
+    fn run(mut self) -> (RunReport, Vec<gcs_obs::ObsEvent>) {
+        // Boot every node at t = 0.
+        for i in 0..self.sc.config.n as usize {
+            let p = ProcId(i as u32);
+            let mut core = NodeCore::new(p, self.proto.clone(), self.clock.clone(), &self.obs);
+            self.slots[i].keep_handles(&core);
+            let ep = self.endpoints[i].clone();
+            core.boot(&*ep);
+            self.slots[i].core = Some(core);
+            self.post(p);
+        }
+        // Schedule the client and fault workload.
+        for s in &self.sc.submits {
+            let (t, p, v) = (s.at, ProcId(s.node), s.value);
+            self.push(t, Ev::Submit { p, value: v });
+        }
+        for (idx, f) in self.sc.faults.iter().enumerate() {
+            self.push(f.at, Ev::Fault { idx });
+        }
+
+        // The discrete-event loop.
+        let mut steps: u64 = 0;
+        while let Some(Scheduled { t, ev, .. }) = self.heap.pop() {
+            if t > self.horizon {
+                break;
+            }
+            steps += 1;
+            if steps > MAX_STEPS {
+                self.violations.push(format!("runaway: {MAX_STEPS} events before the horizon"));
+                break;
+            }
+            self.now = self.now.max(t);
+            self.clock.advance_to(self.now);
+            self.obs.trace.set_now_ms(self.now);
+            self.dispatch(ev);
+        }
+
+        self.finish()
+    }
+
+    fn finish(mut self) -> (RunReport, Vec<gcs_obs::ObsEvent>) {
+        let cfg = &self.sc.config;
+        let n = cfg.n;
+        let p0 = ProcId::range(n);
+
+        // Safety: the merged trace against both VS/TO runtime specs.
+        let per_node: Vec<Vec<Recorded>> = self.slots.iter().map(|s| s.all_recorded()).collect();
+        let merged = gcs_net::merge_recordings(&per_node);
+        let conf = check_conformance(&vs_actions(&merged), &to_obs(&merged).untimed(), &p0);
+        self.violations.extend(conf.violations());
+
+        // Timing: the b/d bound monitors over the observability stream.
+        if self.obs.trace.evicted() > 0 {
+            self.violations.push(format!(
+                "obs: trace ring evicted {} events (capacity too small for the run)",
+                self.obs.trace.evicted()
+            ));
+        }
+        let events = self.obs.trace.snapshot();
+        let bp = BoundParams::standard(n, cfg.delta_ms);
+        let mut stab = StabilizationMonitor::new(bp);
+        stab.feed_all(&events);
+        let mut token = TokenRoundMonitor::new(bp);
+        token.feed_all(&events);
+        let views_installed =
+            events.iter().filter(|e| matches!(e.kind, EventKind::ViewChange { .. })).count();
+        for report in [stab.finish(), token.finish(self.horizon)] {
+            for v in &report.violations {
+                self.violations.push(format!("monitor {}: {v}", report.name));
+            }
+        }
+
+        // Convergence: after every fault is compensated and the settle
+        // phase has passed, all nodes must have delivered all submitted
+        // values in one agreed order and share a final full view.
+        let delivered: Vec<Vec<(ProcId, Value)>> =
+            self.slots.iter().map(|s| s.all_delivered()).collect();
+        let want = self.sc.submits.len();
+        for (i, d) in delivered.iter().enumerate() {
+            if d.len() != want {
+                self.violations.push(format!(
+                    "convergence: node {i} delivered {} of {want} values by the horizon",
+                    d.len()
+                ));
+            } else if *d != delivered[0] {
+                self.violations
+                    .push(format!("convergence: node {i} delivery order differs from node 0"));
+            }
+        }
+        let finals: Vec<Option<gcs_model::View>> =
+            self.slots.iter().map(|s| s.all_views().last().cloned()).collect();
+        for (i, v) in finals.iter().enumerate() {
+            match v {
+                Some(v) if v.set.len() == n as usize && finals[0].as_ref() == Some(v) => {}
+                Some(v) => self.violations.push(format!(
+                    "convergence: node {i} final view {:?} (size {}) is not the shared full view",
+                    v.id,
+                    v.set.len()
+                )),
+                None => {
+                    self.violations.push(format!("convergence: node {i} never installed a view"))
+                }
+            }
+        }
+
+        // Determinism digest over the merged protocol trace and the
+        // delivery sequences.
+        let mut digest = Fnv::new();
+        for (t, e) in merged.iter() {
+            digest.write_u64(*t);
+            digest.write_str(&format!("{e:?}"));
+        }
+        for d in &delivered {
+            for (src, v) in d {
+                digest.write_u64(src.0 as u64);
+                digest.write_u64(v.as_u64().unwrap_or(0));
+            }
+        }
+
+        let report = RunReport {
+            seed: cfg.seed,
+            violations: self.violations,
+            digest: digest.finish(),
+            horizon_ms: self.horizon,
+            events: merged.len(),
+            frames_sent: self.frames_sent,
+            frames_dropped: self.frames_dropped,
+            dups_injected: self.dups_injected,
+            faults_applied: self.faults_applied,
+            views_installed,
+            delivered: delivered.iter().map(|d| d.len()).min().unwrap_or(0),
+        };
+        (report, events)
+    }
+}
+
+/// Minimal FNV-1a, so the digest needs no hasher dependencies and is
+/// identical on every platform.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    fn write_str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}

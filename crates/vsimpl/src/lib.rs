@@ -48,7 +48,7 @@ pub mod timed_vstoto;
 pub mod wire;
 
 pub use figure11::{check_figure11, Figure11Params, Figure11Report};
-pub use node::{MembershipMode, ProtoConfig, VsNode};
+pub use node::{MembershipMode, ProtoConfig, StableState, VsNode};
 pub use sequencer::{SeqWire, SequencerNode};
 pub use service::{RunOutcome, Stack, StackConfig};
 pub use stats::{stack_stats, TraceStats};

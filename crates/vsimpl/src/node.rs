@@ -60,7 +60,8 @@ impl ProtoConfig {
     }
 }
 
-// Timer kinds: low 3 bits tag, rest the generation.
+// Timer kinds: low 3 bits tag, rest the install generation (the
+// formation deadline timer carries the formation attempt instead).
 const TAG_PROBE: u64 = 0;
 const TAG_TOKEN: u64 = 1;
 const TAG_LAUNCH: u64 = 2;
@@ -88,6 +89,14 @@ pub struct VsNode<C> {
     accepted: ViewId,
     /// In-progress formation: proposed id and responders so far.
     forming: Option<(ViewId, BTreeSet<ProcId>)>,
+    /// Bumped at every formation attempt; the formation deadline timer
+    /// carries the attempt it was set for. The view generation is not
+    /// enough: a superseded attempt leaves its timer pending, and if a
+    /// fresh attempt starts before it fires (no install in between, so
+    /// `gen` is unchanged), the stale timer would close the new
+    /// attempt's accept window after ~1 ms and install a spurious
+    /// near-singleton view.
+    form_seq: u64,
     last_form: Option<Time>,
     /// Last time each processor was heard from (any packet).
     heard: BTreeMap<ProcId, Time>,
@@ -100,6 +109,30 @@ pub struct VsNode<C> {
     pending_token: Option<Box<Token>>,
     last_token: Time,
     mid_counter: u64,
+}
+
+/// The part of a node's state assumed to live on stable storage, for
+/// crash/recovery: the highest view identifiers ever seen or agreed to
+/// (so a recovered node never proposes or installs below something its
+/// previous incarnation committed to — which would violate view
+/// monotonicity), the message-identifier counter (so recovered `gpsnd`s
+/// never reuse a mid), and the client layer itself (the `VStoTO` state
+/// holding everything the TO client has been shown — re-delivering it
+/// after a restart would violate TO's no-duplication).
+///
+/// Everything else — the installed view, the token, in-progress
+/// formations, out-buffered messages, who was heard from when — is
+/// volatile and lost in a crash; the membership protocol rebuilds it.
+#[derive(Clone, Debug)]
+pub struct StableState<C> {
+    /// Highest view identifier ever seen anywhere.
+    pub max_seen: ViewId,
+    /// Highest view identifier accepted (replied to, or installed).
+    pub accepted: ViewId,
+    /// The message-identifier counter.
+    pub mid_counter: u64,
+    /// The hosted client layer (e.g. [`crate::TimedVsToTo`]).
+    pub client: C,
 }
 
 impl<C: VsClient> VsNode<C> {
@@ -118,6 +151,7 @@ impl<C: VsClient> VsNode<C> {
             max_seen: ViewId::initial(),
             accepted: ViewId::initial(),
             forming: None,
+            form_seq: 0,
             last_form: None,
             heard: BTreeMap::new(),
             out_buf: Vec::new(),
@@ -128,6 +162,53 @@ impl<C: VsClient> VsNode<C> {
             pending_token: None,
             last_token: 0,
             mid_counter: 0,
+        }
+    }
+
+    /// Snapshots the stable-storage portion of the state (see
+    /// [`StableState`]). A crash may be modeled by dropping the node and
+    /// later passing this snapshot to [`VsNode::recover`].
+    pub fn stable_state(&self) -> StableState<C>
+    where
+        C: Clone,
+    {
+        StableState {
+            max_seen: self.max_seen,
+            accepted: self.accepted,
+            mid_counter: self.mid_counter,
+            client: self.client.clone(),
+        }
+    }
+
+    /// Reconstructs a node from stable storage after a crash. The
+    /// recovered node starts with **no installed view** (its previous
+    /// view's volatile state — token, buffers, formation — is gone); it
+    /// rejoins via the normal probe/call/join path, and because
+    /// `max_seen`/`accepted` survived, every view it subsequently
+    /// installs is above anything its previous incarnation committed to.
+    pub fn recover(id: ProcId, cfg: ProtoConfig, stable: StableState<C>) -> Self {
+        assert!(cfg.procs.contains(&id), "{id} not in the ambient set");
+        assert!(cfg.pi > cfg.procs.len() as Time * cfg.delta, "token period π must exceed n·δ");
+        VsNode {
+            id,
+            cfg,
+            client: stable.client,
+            view: None,
+            gen: 0,
+            max_seen: stable.max_seen,
+            accepted: stable.accepted,
+            forming: None,
+            form_seq: 0,
+            last_form: None,
+            heard: BTreeMap::new(),
+            out_buf: Vec::new(),
+            delivered_count: 0,
+            received_count: 0,
+            safe_count: 0,
+            holding: None,
+            pending_token: None,
+            last_token: 0,
+            mid_counter: stable.mid_counter,
         }
     }
 
@@ -204,6 +285,7 @@ impl<C: VsClient> VsNode<C> {
             MembershipMode::ThreeRound => {
                 self.accepted = vid;
                 self.forming = Some((vid, [self.id].into()));
+                self.form_seq += 1;
                 for &q in &self.cfg.procs.clone() {
                     if q != self.id {
                         ctx.send(q, Wire::Call { viewid: vid });
@@ -212,8 +294,10 @@ impl<C: VsClient> VsNode<C> {
                 // Strictly more than the 2δ round trip: with the
                 // deterministic simulator a call + accept can take exactly
                 // 2δ, and the deadline must not tie with (and beat) the
-                // last accept's delivery.
-                ctx.set_timer(2 * self.cfg.delta + 1, timer_kind(TAG_FORM, self.gen));
+                // last accept's delivery. Keyed by the attempt, not the
+                // view generation: a timer left over from a superseded
+                // attempt must not close this attempt's accept window.
+                ctx.set_timer(2 * self.cfg.delta + 1, timer_kind(TAG_FORM, self.form_seq));
             }
             MembershipMode::OneRound => {
                 let horizon = ctx.now().saturating_sub(2 * self.cfg.mu);
@@ -517,7 +601,7 @@ impl<C: VsClient> Process for VsNode<C> {
                 ctx.set_timer(self.cfg.pi, timer_kind(TAG_LAUNCH, self.gen));
             }
             TAG_FORM => {
-                if gen != self.gen {
+                if gen != self.form_seq {
                     return;
                 }
                 if let Some((vid, responders)) = self.forming.take() {

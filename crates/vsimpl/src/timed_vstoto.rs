@@ -37,7 +37,10 @@ pub struct ClientEffects {
 /// `confirm`, `brcv`) performed immediately whenever enabled — the "good
 /// processor" discipline of Section 7. Processor crashes need no special
 /// handling here: the network simulator freezes the whole node, which
-/// models a `bad` status, and replays its events on recovery.
+/// models a `bad` status, and replays its events on recovery. The layer
+/// is `Clone` so crash/recovery harnesses can persist it as part of a
+/// node's [`crate::StableState`].
+#[derive(Clone)]
 pub struct TimedVsToTo {
     proc: VsToToProc,
     delivered: Vec<(ProcId, Value)>,

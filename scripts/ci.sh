@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # The full CI gate: release build (binaries included), the complete test
-# suite, and clippy with warnings promoted to errors. Everything runs
-# offline against the vendored dependency set; a clean exit here is the
-# merge bar.
+# suite, a deterministic-simulation smoke sweep, and clippy with
+# warnings promoted to errors. Everything runs offline against the
+# vendored dependency set; a clean exit here is the merge bar.
+#
+# NIGHTLY=1 adds the long stages: a 200-seed simulation sweep and the
+# injected-bug end-to-end check (the harness must catch and shrink a
+# deliberately broken token path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,7 +19,18 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> gcs-sim run --seeds 10 (smoke)"
+./target/release/gcs-sim run --seeds 10
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+if [[ "${NIGHTLY:-0}" == "1" ]]; then
+  echo "==> [nightly] gcs-sim run --seeds 200"
+  ./target/release/gcs-sim run --seeds 200
+
+  echo "==> [nightly] injected-bug catch + shrink (bug-hook feature)"
+  cargo test -p gcs-sim --features bug-hook --test bug_catch -q
+fi
 
 echo "==> ci.sh: all green"

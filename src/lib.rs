@@ -54,4 +54,5 @@ pub use gcs_ioa as ioa;
 pub use gcs_model as model;
 pub use gcs_net as net;
 pub use gcs_netsim as netsim;
+pub use gcs_sim as sim;
 pub use gcs_vsimpl as vsimpl;
