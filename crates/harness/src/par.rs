@@ -55,6 +55,10 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // ordering: Relaxed — work-stealing ticket counter; each
+                // worker only needs a distinct index, which fetch_add's
+                // single modification order guarantees. Results are
+                // published through the slots mutex, not this counter.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&seed) = seeds.get(i) else { break };
                 let out = timed(seed);

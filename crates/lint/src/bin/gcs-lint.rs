@@ -1,0 +1,69 @@
+//! The `gcs-lint` CLI: scan the workspace, print findings, exit nonzero
+//! if any survive.
+//!
+//! ```text
+//! gcs-lint [--root <dir>] [--json]
+//!
+//!   --root <dir>   workspace root to scan (default: current directory)
+//!   --json         one JSON object per finding on stdout (machine-readable)
+//! ```
+//!
+//! Human output is `file:line:col: deny(<lint>): message`, one finding
+//! per line, with a trailing summary on stderr. Exit status: 0 clean,
+//! 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("gcs-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: gcs-lint [--root <dir>] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gcs-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match gcs_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gcs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        if json {
+            println!("{}", f.to_json());
+        } else {
+            println!("{f}");
+        }
+    }
+    if report.findings.is_empty() {
+        eprintln!("gcs-lint: clean ({} files scanned)", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "gcs-lint: {} finding(s) in {} files scanned",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::from(1)
+    }
+}

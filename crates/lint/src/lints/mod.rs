@@ -1,0 +1,8 @@
+//! The four project lints. Each module exposes `check(&SourceFile)`
+//! (or `check_workspace` for the cross-file one) returning raw findings;
+//! suppression resolution happens in [`crate::apply_allows`].
+
+pub mod atomics;
+pub mod determinism;
+pub mod panic_path;
+pub mod spec_cov;

@@ -1,0 +1,103 @@
+//! `panic_path` — forbid panicking constructs in the long-running
+//! daemon paths of `crates/net`.
+//!
+//! The transport's accept loop, per-peer writer threads, connection
+//! readers, and the node runtime's event loop are the threads a deployed
+//! node lives on. A panic there doesn't fail a request — it silently
+//! kills a daemon thread and degrades the node (a dead writer looks
+//! exactly like a partition). Flagged constructs: `.unwrap()`,
+//! `.expect(…)`, `panic!`/`unreachable!`/`todo!`/`unimplemented!`, and
+//! slice/collection indexing (`x[i]` panics out of bounds; prefer
+//! `.get()`).
+//!
+//! Harness-facing APIs with a documented `# Panics` contract keep the
+//! panic and carry an `allow(panic_path, reason = "…")` annotation
+//! instead. Test modules are exempt.
+
+use crate::scan::{find_word, SourceFile};
+use crate::Finding;
+
+/// The daemon-path files of `crates/net` this lint guards.
+const DAEMON_FILES: &[&str] =
+    &["crates/net/src/transport.rs", "crates/net/src/runtime.rs", "crates/net/src/cluster.rs"];
+
+const FORBIDDEN: &[(&str, &str)] = &[
+    (".unwrap()", "propagate the error or log-and-drop; a daemon thread must not die"),
+    (".expect(", "propagate the error or log-and-drop; a daemon thread must not die"),
+    ("panic!", "a daemon thread must not die; return an error or drop the event"),
+    ("unreachable!", "a daemon thread must not die; return an error or drop the event"),
+    ("todo!", "unfinished code must not ship on a daemon path"),
+    ("unimplemented!", "unfinished code must not ship on a daemon path"),
+];
+
+/// Whether the lint applies to this workspace-relative path.
+pub fn applies(path: &str) -> bool {
+    DAEMON_FILES.contains(&path)
+}
+
+/// Flags panicking constructs and indexing outside test modules.
+pub fn check(src: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (needle, why) in FORBIDDEN {
+            for col in find_word(&line.code, needle) {
+                out.push(Finding::new(
+                    crate::PANIC_PATH,
+                    src,
+                    i,
+                    col,
+                    format!("`{}` on a daemon path: {why}", needle.trim_end_matches('(')),
+                ));
+            }
+        }
+        for col in index_sites(&line.code) {
+            out.push(Finding::new(
+                crate::PANIC_PATH,
+                src,
+                i,
+                col,
+                "indexing can panic out of bounds on a daemon path; use .get() \
+                 or annotate the bound"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Byte columns of indexing expressions: a `[` directly following an
+/// identifier character, `)`, or `]`. Array types/literals (`[u8; 4]`),
+/// attributes (`#[…]`), and macros (`vec![…]`) are preceded by other
+/// characters and never match.
+fn index_sites(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let p = bytes[i - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' || p == b')' || p == b']' {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_heuristic_hits_and_misses() {
+        assert_eq!(index_sites("self.slots[p.index()]"), vec![10]);
+        assert_eq!(index_sites("f()[0] and m[&p]"), vec![3, 12]);
+        assert!(index_sites("let a = [0u8; 4];").is_empty());
+        assert!(index_sites("#[cfg(test)]").is_empty());
+        assert!(index_sites("vec![1, 2]").is_empty());
+        assert!(index_sites("fn f(x: &[u8]) {}").is_empty());
+    }
+}

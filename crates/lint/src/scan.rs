@@ -1,0 +1,562 @@
+//! Line-aware lexical scanning of Rust source.
+//!
+//! The linter deliberately does **not** parse Rust (no `syn` — the
+//! workspace builds offline against vendored stubs, and the lints only
+//! need token-level facts). Instead, each file is split into lines with
+//! three synchronized views:
+//!
+//! - `code`: the line with comments removed and the *interiors* of
+//!   string/char literals masked to spaces (delimiters kept), so a
+//!   pattern like `.unwrap()` inside a log message can never fire and
+//!   byte columns still line up with the raw text;
+//! - `comment`: the concatenated comment text of the line (doc and
+//!   plain, line and block), where suppression directives and
+//!   `ordering:` justifications live;
+//! - `in_test`: whether the line sits inside a `#[cfg(test)] mod`
+//!   block — test code is exempt from the daemon- and
+//!   determinism-oriented lints.
+//!
+//! The lexer handles nested block comments, raw strings (`r"…"`,
+//! `r#"…"#`, byte variants), multi-line strings, and the char-literal
+//! vs. lifetime ambiguity (`'a'` vs. `<'a>`).
+
+/// One source line in its three synchronized views.
+#[derive(Debug)]
+pub struct Line {
+    /// The raw text (without the trailing newline).
+    pub raw: String,
+    /// Code view: comments stripped, literal interiors masked to spaces.
+    pub code: String,
+    /// Comment view: the text of every comment on this line.
+    pub comment: String,
+    /// Whether the comment text came from a doc comment (`///`, `//!`).
+    /// Suppression directives in documentation (syntax examples) are
+    /// not live directives.
+    pub doc: bool,
+    /// Whether this line is inside a `#[cfg(test)] mod … { … }` block.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in findings (workspace-relative when produced by
+    /// the workspace walker).
+    pub path: String,
+    /// The lexed lines, in order.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    /// Inside `/* … */`; the payload is the nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string (escapes honored; may span lines).
+    Str,
+    /// Inside a raw string with this many `#`s in its delimiter.
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Lexes `content` into lines. `path` is only carried for reporting.
+    pub fn parse(path: &str, content: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut state = State::Normal;
+        for raw in content.split('\n') {
+            let (code, comment, doc, next) = lex_line(raw, state);
+            state = next;
+            lines.push(Line { raw: raw.to_string(), code, comment, doc, in_test: false });
+        }
+        // Drop the phantom line after a trailing newline.
+        if lines.last().is_some_and(|l| l.raw.is_empty()) && content.ends_with('\n') {
+            lines.pop();
+        }
+        let mut f = SourceFile { path: path.to_string(), lines };
+        f.mark_test_blocks();
+        f
+    }
+
+    /// Marks every line inside a `#[cfg(test)] mod … { … }` block.
+    fn mark_test_blocks(&mut self) {
+        let mut i = 0;
+        while i < self.lines.len() {
+            if !self.lines[i].code.contains("#[cfg(test)]") {
+                i += 1;
+                continue;
+            }
+            // Find the `mod` item the attribute decorates (attributes and
+            // blank lines may intervene), then brace-count its block.
+            let mut j = i;
+            let open = loop {
+                if j >= self.lines.len() {
+                    break None;
+                }
+                let code = &self.lines[j].code;
+                if is_mod_item(code) {
+                    match code.find('{') {
+                        Some(pos) => break Some((j, pos)),
+                        None => break None, // `mod tests;` — external file
+                    }
+                }
+                j += 1;
+                if j > i + 4 {
+                    break None; // attribute decorates something else
+                }
+            };
+            let Some((start, pos)) = open else {
+                i += 1;
+                continue;
+            };
+            let mut depth = 0i32;
+            let mut line = start;
+            let mut col = pos;
+            'outer: while line < self.lines.len() {
+                let code: Vec<char> = self.lines[line].code.chars().collect();
+                while col < code.len() {
+                    match code[col] {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                    col += 1;
+                }
+                self.lines[line].in_test = true;
+                line += 1;
+                col = 0;
+            }
+            let last = line.min(self.lines.len() - 1);
+            for l in &mut self.lines[i..=last] {
+                l.in_test = true;
+            }
+            i = line + 1;
+        }
+    }
+}
+
+fn is_mod_item(code: &str) -> bool {
+    let t = code.trim_start();
+    t.starts_with("mod ") || t.starts_with("pub mod ") || t.starts_with("pub(crate) mod ")
+}
+
+/// Lexes one line starting in `state`; returns
+/// (code, comment, comment-is-doc, next state).
+fn lex_line(raw: &str, mut state: State) -> (String, String, bool, State) {
+    let b: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut doc = false;
+    let mut i = 0;
+    while i < b.len() {
+        match state {
+            State::Block(depth) => {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    state = if depth == 1 { State::Normal } else { State::Block(depth - 1) };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    comment.push(b[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == '\\' {
+                    code.push(' ');
+                    if i + 1 < b.len() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if b[i] == '"' {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == '"' && closes_raw(&b, i + 1, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Normal => {
+                let c = b[i];
+                if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+                    // Line comment (incl. doc comments) to end of line.
+                    if i + 2 < b.len() && (b[i + 2] == '/' || b[i + 2] == '!') {
+                        doc = true;
+                    }
+                    comment.push_str(&raw_tail(&b, i + 2));
+                    break;
+                }
+                if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    state = State::Block(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte strings: r"…", r#"…"#, br"…", b"…".
+                if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
+                    if let Some((hashes, consumed)) = raw_open(&b, i) {
+                        for k in 0..consumed {
+                            code.push(b[i + k]);
+                        }
+                        i += consumed;
+                        state = if hashes == u32::MAX { State::Str } else { State::RawStr(hashes) };
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime.
+                    if i + 1 < b.len() && b[i + 1] == '\\' {
+                        // Escaped char literal: mask to the closing quote.
+                        code.push('\'');
+                        let mut j = i + 2;
+                        code.push(' ');
+                        while j < b.len() && b[j] != '\'' {
+                            code.push(' ');
+                            j += 1;
+                        }
+                        if j < b.len() {
+                            code.push('\'');
+                            j += 1;
+                        }
+                        i = j;
+                        continue;
+                    }
+                    if i + 2 < b.len() && b[i + 2] == '\'' {
+                        // 'x' — plain char literal.
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += 3;
+                        continue;
+                    }
+                    // Lifetime (or label): keep as code.
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if state == State::Str {
+        // A string continued across a newline keeps its state.
+    }
+    (code, comment, doc, state)
+}
+
+fn raw_tail(b: &[char], from: usize) -> String {
+    b[from.min(b.len())..].iter().collect()
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// If position `i` opens a raw or byte string, returns
+/// `(hash count, delimiter length)`; `hash count == u32::MAX` encodes a
+/// plain `b"…"` byte string (same lexing as a normal string).
+fn raw_open(b: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() {
+            return None;
+        }
+        if b[j] == '"' {
+            return Some((u32::MAX, j - i + 1));
+        }
+    }
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+        let mut hashes = 0u32;
+        while j < b.len() && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == '"' {
+            return Some((hashes, j - i + 1));
+        }
+    }
+    None
+}
+
+fn closes_raw(b: &[char], from: usize, hashes: u32) -> bool {
+    let n = hashes as usize;
+    if from + n > b.len() {
+        return false;
+    }
+    b[from..from + n].iter().all(|&c| c == '#')
+}
+
+// ---------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------
+
+/// What an `allow` directive applies to.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AllowTarget {
+    /// The next line carrying code (or the directive's own line, when it
+    /// trails code).
+    Line(usize),
+    /// The whole file (`allow-file`).
+    File,
+    /// No code line follows the directive (dangling at end of file).
+    Dangling,
+}
+
+/// A parsed `gcs-lint: allow(…)` suppression.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The lint identifier being suppressed.
+    pub lint: String,
+    /// The mandatory justification; `None` is itself reported.
+    pub reason: Option<String>,
+    /// 0-based line the directive appears on.
+    pub line: usize,
+    /// What the directive suppresses.
+    pub target: AllowTarget,
+}
+
+/// Extracts every suppression directive in the file.
+///
+/// Syntax, inside any comment:
+///
+/// ```text
+/// // gcs-lint: allow(<lint-id>, reason = "<why>")
+/// // gcs-lint: allow-file(<lint-id>, reason = "<why>")
+/// ```
+///
+/// A trailing directive suppresses its own line; a directive on a
+/// comment-only line suppresses the next line carrying code. Doc
+/// comments (`///`, `//!`) are documentation, not directives — syntax
+/// examples in rustdoc never suppress anything.
+pub fn collect_allows(src: &SourceFile) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines.iter().enumerate() {
+        if line.doc {
+            continue;
+        }
+        let mut rest = line.comment.as_str();
+        while let Some(pos) = rest.find("gcs-lint:") {
+            rest = &rest[pos + "gcs-lint:".len()..];
+            let trimmed = rest.trim_start();
+            let file_scope = trimmed.starts_with("allow-file");
+            let keyword = if file_scope { "allow-file" } else { "allow" };
+            if !trimmed.starts_with(keyword) {
+                continue;
+            }
+            let body = trimmed[keyword.len()..].trim_start();
+            // The lint id ends at the first `,` or `)`; the reason is a
+            // quoted string and may itself contain parentheses, so it is
+            // delimited by its quotes, not by the directive's `)`.
+            let parsed = body.strip_prefix('(').and_then(|b| {
+                let id_end = b.find([',', ')'])?;
+                let id = b[..id_end].trim().to_string();
+                let reason = if b.as_bytes()[id_end] == b',' {
+                    parse_reason(&b[id_end + 1..])
+                } else {
+                    None
+                };
+                Some((id, reason))
+            });
+            let Some((id, reason)) = parsed else {
+                // Malformed: record as reasonless so the driver reports it.
+                out.push(Allow {
+                    lint: "<malformed>".into(),
+                    reason: None,
+                    line: i,
+                    target: AllowTarget::Line(i),
+                });
+                continue;
+            };
+            let target = if file_scope {
+                AllowTarget::File
+            } else if !line.code.trim().is_empty() {
+                AllowTarget::Line(i)
+            } else {
+                src.lines[i + 1..]
+                    .iter()
+                    .position(|l| !l.code.trim().is_empty())
+                    .map(|off| AllowTarget::Line(i + 1 + off))
+                    .unwrap_or(AllowTarget::Dangling)
+            };
+            out.push(Allow { lint: id, reason, line: i, target });
+        }
+    }
+    out
+}
+
+fn parse_reason(r: &str) -> Option<String> {
+    let r = r.trim_start();
+    let r = r.strip_prefix("reason")?.trim_start();
+    let r = r.strip_prefix('=')?.trim_start();
+    let r = r.strip_prefix('"')?;
+    let end = r.find('"')?;
+    let reason = r[..end].trim();
+    if reason.is_empty() {
+        None
+    } else {
+        Some(reason.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pattern helpers shared by the lints
+// ---------------------------------------------------------------------
+
+/// Byte columns (0-based) of every word-bounded occurrence of `needle`
+/// in `code`. "Word-bounded" means the characters immediately before and
+/// after the match are not identifier characters, so `HashMap` does not
+/// fire inside `MyHashMapLike`.
+pub fn find_word(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        // Boundaries are only required on the sides where the needle
+        // itself is an ident char: `.unwrap()` starts and ends with
+        // punctuation and is self-delimiting on both sides.
+        let needs_before = needle.starts_with(|c: char| c.is_alphanumeric() || c == '_');
+        let needs_after = needle.ends_with(|c: char| c.is_alphanumeric() || c == '_');
+        if (!needs_before || before_ok) && (!needs_after || after_ok) {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let src = SourceFile::parse(
+            "t.rs",
+            "let x = \"HashMap .unwrap()\"; // HashMap here\nlet c = 'a'; let s: &'static str = r#\"Instant::now\"#;\n",
+        );
+        assert_eq!(src.lines.len(), 2);
+        assert!(!src.lines[0].code.contains("HashMap"));
+        assert!(src.lines[0].comment.contains("HashMap here"));
+        assert!(!src.lines[1].code.contains("Instant::now"));
+        assert!(src.lines[1].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = SourceFile::parse("t.rs", "a /* x /* y */ still */ b\n/* open\nHashMap\n*/ c\n");
+        assert!(src.lines[0].code.contains('a') && src.lines[0].code.contains('b'));
+        assert!(!src.lines[0].code.contains("still"));
+        assert!(!src.lines[2].code.contains("HashMap"));
+        assert!(src.lines[2].comment.contains("HashMap"));
+        assert!(src.lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = SourceFile::parse(
+            "t.rs",
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n",
+        );
+        assert!(!src.lines[0].in_test);
+        assert!(src.lines[3].in_test);
+        assert!(!src.lines[5].in_test);
+    }
+
+    #[test]
+    fn allows_parse_with_targets() {
+        let text = "\
+// gcs-lint: allow(determinism, reason = \"bounded scratch set\")
+use std::collections::HashSet;
+x(); // gcs-lint: allow(panic_path, reason = \"trailing\")
+// gcs-lint: allow(atomics_order)
+y();
+";
+        let src = SourceFile::parse("t.rs", text);
+        let allows = collect_allows(&src);
+        assert_eq!(allows.len(), 3);
+        assert_eq!(allows[0].target, AllowTarget::Line(1));
+        assert_eq!(allows[0].reason.as_deref(), Some("bounded scratch set"));
+        assert_eq!(allows[1].target, AllowTarget::Line(2));
+        assert_eq!(allows[2].reason, None);
+        assert_eq!(allows[2].target, AllowTarget::Line(4));
+    }
+
+    #[test]
+    fn reason_may_contain_parentheses() {
+        let text = "\
+// gcs-lint: allow(panic_path, reason = \"p.index() is bounded (see new())\")
+x();
+";
+        let src = SourceFile::parse("t.rs", text);
+        let allows = collect_allows(&src);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].lint, "panic_path");
+        assert_eq!(allows[0].reason.as_deref(), Some("p.index() is bounded (see new())"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert_eq!(find_word("let m: HashMap<u8, u8>", "HashMap").len(), 1);
+        assert!(find_word("struct MyHashMapLike;", "HashMap").is_empty());
+        assert!(find_word("std::collections::HashMap", "HashMap").len() == 1);
+        assert!(find_word("x.unwrap_or(0)", ".unwrap()").is_empty());
+        // A needle starting with punctuation must still match after an
+        // identifier character.
+        assert_eq!(find_word("rx.recv().unwrap()", ".unwrap()").len(), 1);
+        assert_eq!(find_word("guard.expect(\"msg\")", ".expect(").len(), 1);
+    }
+
+    #[test]
+    fn doc_comment_directives_are_inert() {
+        let text = "\
+/// Example: `// gcs-lint: allow(determinism, reason = \"doc\")`
+//! gcs-lint: allow(panic_path, reason = \"also doc\")
+// gcs-lint: allow(atomics_order, reason = \"live\")
+x();
+";
+        let src = SourceFile::parse("t.rs", text);
+        let allows = collect_allows(&src);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].lint, "atomics_order");
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: a suppression without the mandatory reason. The suppressed
+// finding stays suppressed, but the allow itself becomes a bad_allow
+// finding.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // gcs-lint: allow(atomics_order)
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+// Fixture: a well-formed suppression that matches no finding; it must
+// be reported as unused_allow so stale annotations cannot accumulate.
+
+// gcs-lint: allow(determinism, reason = "stale: the HashMap this once covered is long gone")
+pub fn nothing_here() -> u64 {
+    7
+}

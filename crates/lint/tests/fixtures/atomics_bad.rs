@@ -1,0 +1,7 @@
+// Known-bad fixture for the `atomics_order` lint: an Ordering:: use
+// with no `ordering:` justification anywhere near it.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,20 @@
+// Known-good fixture for the `atomics_order` lint: every justification
+// form, plus a cmp::Ordering use that must not be mistaken for the
+// atomic kind.
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn forms(c: &AtomicU64) -> u64 {
+    let a = c.load(Ordering::Acquire); // ordering: Acquire pairs with the Release store in publish()
+    // ordering: Relaxed — advisory counter, merged at quiescence.
+    let b = c.fetch_add(1, Ordering::Relaxed);
+    // ordering: Relaxed throughout — one annotation covers this tight
+    // group of independent statistical counters.
+    let d = c.fetch_add(2, Ordering::Relaxed);
+    let e = c.fetch_add(3, Ordering::Relaxed);
+    a + b + d + e
+}
+
+pub fn not_atomic(x: u64, y: u64) -> bool {
+    matches!(x.cmp(&y), CmpOrdering::Less)
+}

@@ -1,0 +1,17 @@
+// Spec-coverage fixture: the encoder covers all three variants, but the
+// decoder forgot Wire::Token — a runtime BadTag for a valid peer.
+pub fn put_wire(w: &super::Wire, out: &mut Vec<u8>) {
+    match w {
+        super::Wire::Probe => out.push(0),
+        super::Wire::Call { viewid } => out.push(*viewid as u8),
+        super::Wire::Token(t) => out.push(**t as u8),
+    }
+}
+
+pub fn wire(tag: u8) -> Option<super::Wire> {
+    match tag {
+        0 => Some(super::Wire::Probe),
+        1 => Some(super::Wire::Call { viewid: 0 }),
+        _ => None,
+    }
+}

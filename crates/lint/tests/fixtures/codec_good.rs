@@ -1,0 +1,18 @@
+// Spec-coverage fixture: encoder and decoder cover identical variant
+// sets.
+pub fn put_wire(w: &super::Wire, out: &mut Vec<u8>) {
+    match w {
+        super::Wire::Probe => out.push(0),
+        super::Wire::Call { viewid } => out.push(*viewid as u8),
+        super::Wire::Token(t) => out.push(**t as u8),
+    }
+}
+
+pub fn wire(tag: u8) -> Option<super::Wire> {
+    match tag {
+        0 => Some(super::Wire::Probe),
+        1 => Some(super::Wire::Call { viewid: 0 }),
+        2 => Some(super::Wire::Token(Box::new(0))),
+        _ => None,
+    }
+}

@@ -1,0 +1,12 @@
+// Known-bad fixture for the `determinism` lint: wall-clock reads and
+// randomized-iteration containers in (what the test presents as) a
+// digest-deterministic crate.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let _t = Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    m.len() as u64
+}

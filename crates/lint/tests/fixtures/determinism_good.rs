@@ -1,0 +1,24 @@
+// Known-good fixture for the `determinism` lint: ordered containers and
+// virtual time only. The string and comment below must NOT fire: the
+// scanner masks literal interiors and comments.
+use std::collections::BTreeMap;
+
+pub fn stamp(virtual_now_ms: u64) -> u64 {
+    // HashMap is fine to *mention* in a comment.
+    let banner = "Instant::now and HashMap in a string are masked";
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.insert(1, 2);
+    virtual_now_ms + m.len() as u64 + banner.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are exempt even in deterministic crates.
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+    }
+}

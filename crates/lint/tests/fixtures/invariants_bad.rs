@@ -1,0 +1,20 @@
+// Spec-coverage fixture: lemma_unregistered is defined but missing from
+// all_invariants().
+pub fn lemma_registered() -> bool {
+    true
+}
+
+pub fn lemma_unregistered() -> bool {
+    true
+}
+
+pub fn corollary_also_registered() -> bool {
+    true
+}
+
+pub fn all_invariants() -> Vec<(&'static str, fn() -> bool)> {
+    vec![
+        ("lemma_registered", lemma_registered),
+        ("corollary_also_registered", corollary_also_registered),
+    ]
+}

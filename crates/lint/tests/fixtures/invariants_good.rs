@@ -1,0 +1,12 @@
+// Spec-coverage fixture: every defined invariant is registered.
+pub fn lemma_one() -> bool {
+    true
+}
+
+pub fn corollary_two() -> bool {
+    true
+}
+
+pub fn all_invariants() -> Vec<(&'static str, fn() -> bool)> {
+    vec![("lemma_one", lemma_one), ("corollary_two", corollary_two)]
+}

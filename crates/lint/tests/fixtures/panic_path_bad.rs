@@ -1,0 +1,13 @@
+// Known-bad fixture for the `panic_path` lint: panicking constructs on
+// (what the test presents as) a daemon path of crates/net.
+use std::sync::Mutex;
+
+pub fn daemon(q: &[u8], m: &Mutex<Vec<u8>>) -> u8 {
+    let g = m.lock().unwrap();
+    let first = q[0];
+    drop(g);
+    if first == 255 {
+        panic!("boom");
+    }
+    first
+}

@@ -1,0 +1,25 @@
+// Known-good fixture for the `panic_path` lint: poison-recovering lock,
+// .get() instead of indexing, and one annotated intentional panic.
+use std::sync::{Mutex, PoisonError};
+
+pub fn daemon(q: &[u8], m: &Mutex<Vec<u8>>) -> u8 {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let first = q.first().copied().unwrap_or(0);
+    drop(g);
+    first
+}
+
+pub fn harness_accessor(slots: &[u8], i: usize) -> u8 {
+    // gcs-lint: allow(panic_path, reason = "documented harness contract: out-of-range i is a test bug that must fail loudly")
+    slots[i]
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules may unwrap freely.
+    #[test]
+    fn scratch() {
+        let v = vec![1u8];
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

@@ -1,0 +1,7 @@
+// Spec-coverage fixture: the message enum whose codec coverage the
+// codec_bad/codec_good fixtures are checked against.
+pub enum Wire {
+    Probe,
+    Call { viewid: u64 },
+    Token(Box<u64>),
+}

@@ -156,6 +156,7 @@ impl LoopbackCluster {
 
     /// The bound address of node `p` (for external TCP clients).
     pub fn addr(&self, p: ProcId) -> SocketAddr {
+        // gcs-lint: allow(panic_path, reason = "test-harness accessor; every ProcId a test holds comes from this cluster's own node set")
         self.addrs[&p]
     }
 
@@ -165,11 +166,13 @@ impl LoopbackCluster {
     ///
     /// Panics if `p` is currently crashed.
     pub fn node(&self, p: ProcId) -> &NetNode {
+        // gcs-lint: allow(panic_path, reason = "documented `# Panics` harness contract: asking for a crashed node is a test bug that must fail loudly, not limp")
         self.slots[p.index()].node.as_ref().expect("node is crashed")
     }
 
     /// Whether `p` is currently running (not crashed).
     pub fn is_up(&self, p: ProcId) -> bool {
+        // gcs-lint: allow(panic_path, reason = "test-harness accessor; p.index() is bounded by the cluster's own node count")
         self.slots[p.index()].node.is_some()
     }
 
@@ -267,7 +270,9 @@ impl LoopbackCluster {
     ///
     /// Panics if `p` is already crashed.
     pub fn crash(&mut self, p: ProcId) {
+        // gcs-lint: allow(panic_path, reason = "test-harness accessor; p.index() is bounded by the cluster's own node count")
         let slot = &mut self.slots[p.index()];
+        // gcs-lint: allow(panic_path, reason = "documented `# Panics` harness contract: crashing a crashed node is a test bug that must fail loudly")
         let node = slot.node.take().expect("node already crashed");
         self.obs.trace.record(EventKind::Fault { node: p.0, peer: p.0, kind: FaultKind::Crash });
         let (stable, recorded) = node.crash();
@@ -287,8 +292,10 @@ impl LoopbackCluster {
     ///
     /// Panics if `p` is not crashed.
     pub fn restart(&mut self, p: ProcId) -> io::Result<()> {
+        // gcs-lint: allow(panic_path, reason = "test-harness accessor; p.index() is bounded by the cluster's own node count")
         let slot = &mut self.slots[p.index()];
         assert!(slot.node.is_none(), "node {p} is not crashed");
+        // gcs-lint: allow(panic_path, reason = "documented `# Panics` harness contract: crash() always stores a snapshot before restart() can run; absence is a harness bug")
         let stable = slot.stable.take().expect("crash() stored stable state");
         slot.incarnation += 1;
         let transport_cfg = TransportConfig {

@@ -22,7 +22,9 @@
 //! `VStoTO` client layer intact, which is exactly what the VS/TO safety
 //! specs need across a restart.
 
-use crate::transport::{Incoming, ShutdownReport, TcpTransport, Transport, TransportConfig};
+use crate::transport::{
+    Incoming, LockExt, ShutdownReport, TcpTransport, Transport, TransportConfig,
+};
 use gcs_ioa::TimedTrace;
 use gcs_model::{Majority, ProcId, Time, Value, View};
 use gcs_netsim::{CollectedEffects, Process, TraceEvent};
@@ -72,6 +74,9 @@ impl Clock {
     /// (manual).
     pub fn now_ms(&self) -> Time {
         match &self.manual_ms {
+            // ordering: Relaxed — monotone virtual-time register with no
+            // dependent data; readers only need a recent value, and the
+            // checkers re-sort merged traces by (time, seq) anyway.
             Some(m) => m.load(Ordering::Relaxed) as Time,
             None => self.epoch.elapsed().as_millis() as Time,
         }
@@ -81,6 +86,9 @@ impl Clock {
     /// ignored). No-op on a wall clock.
     pub fn advance_to(&self, t_ms: Time) {
         if let Some(m) = &self.manual_ms {
+            // ordering: Relaxed — fetch_max keeps the register monotone
+            // on its own; nothing is published under this store (see
+            // now_ms above).
             m.fetch_max(t_ms, Ordering::Relaxed);
         }
     }
@@ -92,6 +100,10 @@ impl Clock {
 
     /// The next global event sequence number.
     pub fn next_seq(&self) -> u64 {
+        // ordering: SeqCst — merge stamps across all nodes of a cluster
+        // must form one total order every thread agrees on; (time, seq)
+        // is the tiebreaker when per-node traces are merged for the
+        // safety checkers, so this counter pays for the strongest order.
         self.seq.fetch_add(1, Ordering::SeqCst)
     }
 }
@@ -251,7 +263,7 @@ impl NodeCore {
         for e in std::mem::take(&mut self.fx.emits) {
             match &e {
                 ImplEvent::Brcv { src, a, .. } => {
-                    self.delivered.lock().expect("no panicking holder").push((*src, a.clone()));
+                    self.delivered.lock_clean().push((*src, a.clone()));
                     transport.push_delivery(*src, a);
                     self.deliveries_ctr.inc();
                     self.trace.record(EventKind::Brcv {
@@ -261,7 +273,7 @@ impl NodeCore {
                     });
                 }
                 ImplEvent::NewView { v, .. } => {
-                    self.views.lock().expect("no panicking holder").push(v.clone());
+                    self.views.lock_clean().push(v.clone());
                     self.views_ctr.inc();
                     self.trace.record(EventKind::ViewChange {
                         node: self.id.0,
@@ -283,7 +295,7 @@ impl NodeCore {
                 seq: self.clock.next_seq(),
                 event: TraceEvent::App(e),
             };
-            self.recorded.lock().expect("no panicking holder").push(stamp);
+            self.recorded.lock_clean().push(stamp);
         }
         for (to, wire) in self.fx.take_sends() {
             transport.send(to, wire);
@@ -320,17 +332,17 @@ impl NodeCore {
 
     /// What this node has delivered to its client so far.
     pub fn delivered(&self) -> Vec<(ProcId, Value)> {
-        self.delivered.lock().expect("no panicking holder").clone()
+        self.delivered.lock_clean().clone()
     }
 
     /// Every view this node has installed, in order.
     pub fn views(&self) -> Vec<View> {
-        self.views.lock().expect("no panicking holder").clone()
+        self.views.lock_clean().clone()
     }
 
     /// A snapshot of this node's recorded (stamped) trace events.
     pub fn recorded(&self) -> Vec<Recorded> {
-        self.recorded.lock().expect("no panicking holder").clone()
+        self.recorded.lock_clean().clone()
     }
 }
 
@@ -482,17 +494,17 @@ impl NetNode {
 
     /// What this node has delivered to its client so far.
     pub fn delivered(&self) -> Vec<(ProcId, Value)> {
-        self.delivered.lock().expect("no panicking holder").clone()
+        self.delivered.lock_clean().clone()
     }
 
     /// Every view this node has installed, in order.
     pub fn views(&self) -> Vec<View> {
-        self.views.lock().expect("no panicking holder").clone()
+        self.views.lock_clean().clone()
     }
 
     /// A snapshot of this node's recorded (stamped) trace events.
     pub fn recorded(&self) -> Vec<Recorded> {
-        self.recorded.lock().expect("no panicking holder").clone()
+        self.recorded.lock_clean().clone()
     }
 
     /// Stops the node loop and the transport; returns the final recording.
@@ -504,13 +516,13 @@ impl NetNode {
     /// thread was joined within the shutdown deadline.
     pub fn stop_report(&self) -> (Vec<Recorded>, ShutdownReport) {
         let _ = self.events_tx.send(Incoming::Stop);
-        if let Some(h) = self.handle.lock().expect("no panicking holder").take() {
+        if let Some(h) = self.handle.lock_clean().take() {
             if let Ok(core) = h.join() {
-                *self.final_core.lock().expect("no panicking holder") = Some(core);
+                *self.final_core.lock_clean() = Some(core);
             }
         }
         let report = self.transport.stop();
-        (self.recorded.lock().expect("no panicking holder").clone(), report)
+        (self.recorded.lock_clean().clone(), report)
     }
 
     /// Models a crash: stops this incarnation (volatile state — installed
@@ -521,9 +533,9 @@ impl NetNode {
         let (recorded, _) = self.stop_report();
         let stable = self
             .final_core
-            .lock()
-            .expect("no panicking holder")
+            .lock_clean()
             .take()
+            // gcs-lint: allow(panic_path, reason = "harness crash API with a documented contract: stop_report() stores the core before returning, so absence means the node loop itself panicked — surface that loudly in the test")
             .expect("node loop exited cleanly")
             .stable_state();
         (stable, recorded)

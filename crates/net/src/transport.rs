@@ -30,9 +30,29 @@ use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Mutex locking that survives a poisoned lock instead of panicking.
+///
+/// Every structure guarded by these mutexes is updated in single steps
+/// that leave it consistent (push to a queue, take a socket, replace a
+/// map entry), so a thread that panicked while holding the guard cannot
+/// have left the data half-written — recovering the guard is safe. The
+/// alternative, `.lock().expect(…)`, turns one panicking thread into a
+/// cascade that silently kills the accept loop, every reader, and every
+/// writer: a dead daemon thread looks exactly like a partition.
+pub(crate) trait LockExt<T> {
+    /// Locks, recovering the guard from a poisoned mutex.
+    fn lock_clean(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_clean(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// What the node runtime needs from a transport — the seam between the
 /// protocol stack and the wire. [`TcpTransport`] is the deployable
@@ -266,7 +286,7 @@ struct Shared {
 
 impl Shared {
     fn is_blocked(&self, p: ProcId) -> bool {
-        self.blocked.lock().expect("no panicking holder").contains(&p)
+        self.blocked.lock_clean().contains(&p)
     }
 }
 
@@ -382,7 +402,7 @@ impl TcpTransport {
     /// Pushes a delivery notification to every connected client.
     pub fn push_delivery(&self, src: ProcId, a: &Value) {
         let frame = Frame::Deliver { src, a: a.clone() };
-        let mut subs = self.shared.subscribers.lock().expect("no panicking holder");
+        let mut subs = self.shared.subscribers.lock_clean();
         subs.retain_mut(|stream| write_frame(stream, &frame).is_ok());
     }
 
@@ -391,7 +411,7 @@ impl TcpTransport {
     /// [`TcpTransport::heal`].
     pub fn sever(&self, p: ProcId) {
         self.shared.netobs.on_fault(p, FaultKind::Sever);
-        self.shared.blocked.lock().expect("no panicking holder").insert(p);
+        self.shared.blocked.lock_clean().insert(p);
         self.close_sockets(p);
     }
 
@@ -399,7 +419,7 @@ impl TcpTransport {
     /// next backoff tick.
     pub fn heal(&self, p: ProcId) {
         self.shared.netobs.on_fault(p, FaultKind::Heal);
-        self.shared.blocked.lock().expect("no panicking holder").remove(&p);
+        self.shared.blocked.lock_clean().remove(&p);
     }
 
     /// Kills the live TCP connections to `p` without blocking the peer:
@@ -412,11 +432,11 @@ impl TcpTransport {
 
     fn close_sockets(&self, p: ProcId) {
         if let Some(link) = self.links.get(&p) {
-            if let Some(stream) = link.current.lock().expect("no panicking holder").take() {
+            if let Some(stream) = link.current.lock_clean().take() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
         }
-        let mut inbound = self.shared.inbound.lock().expect("no panicking holder");
+        let mut inbound = self.shared.inbound.lock_clean();
         inbound.retain(|(q, stream)| {
             if *q == p {
                 let _ = stream.shutdown(Shutdown::Both);
@@ -429,16 +449,21 @@ impl TcpTransport {
 
     /// Whether the outbound link to `p` is currently established.
     pub fn connected(&self, p: ProcId) -> bool {
+        // ordering: Relaxed — advisory status bit read by tests/metrics;
+        // no data is synchronized through it (see the writer loop).
         self.links.get(&p).is_some_and(|l| l.stats.connected.load(Ordering::Relaxed))
     }
 
     /// Connection attempts made toward `p` (reconnect/backoff activity).
     pub fn connect_attempts(&self, p: ProcId) -> u64 {
+        // ordering: Relaxed — monotone stat counter, observational only.
         self.links.get(&p).map_or(0, |l| l.stats.attempts.load(Ordering::Relaxed))
     }
 
     /// The current outbound connection generation toward `p`.
     pub fn generation(&self, p: ProcId) -> u64 {
+        // ordering: Relaxed — observational read; the authoritative
+        // generation travels in the Hello frame, not through this load.
         self.links.get(&p).map_or(0, |l| l.stats.generation.load(Ordering::Relaxed))
     }
 
@@ -485,28 +510,30 @@ impl TcpTransport {
     /// to exit in time is counted as leaked in the report rather than
     /// blocking shutdown forever.
     pub fn stop(&self) -> ShutdownReport {
+        // ordering: SeqCst — the shutdown flag is a lone boolean with no
+        // payload published under it; every daemon loop polls it with
+        // SeqCst too, keeping the reasoning trivial, and none of these
+        // sites are on the frame hot path.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for link in self.links.values() {
-            if let Some(stream) = link.current.lock().expect("no panicking holder").take() {
+            if let Some(stream) = link.current.lock_clean().take() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
         }
-        for (_, stream) in self.shared.inbound.lock().expect("no panicking holder").drain(..) {
+        for (_, stream) in self.shared.inbound.lock_clean().drain(..) {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        for stream in self.shared.subscribers.lock().expect("no panicking holder").drain(..) {
+        for stream in self.shared.subscribers.lock_clean().drain(..) {
             let _ = stream.shutdown(Shutdown::Both);
         }
         // Close *every* socket ever accepted: a reader still waiting for
         // its `Hello` holds a socket registered nowhere else, and it must
         // see EOF now or it would outlive this test.
-        for stream in self.shared.accepted.lock().expect("no panicking holder").drain(..) {
+        for stream in self.shared.accepted.lock_clean().drain(..) {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        let mut pending: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.handles.lock().expect("no panicking holder"));
-        pending
-            .extend(std::mem::take(&mut *self.shared.readers.lock().expect("no panicking holder")));
+        let mut pending: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock_clean());
+        pending.extend(std::mem::take(&mut *self.shared.readers.lock_clean()));
         // Worst legitimate exit latency: a writer inside connect_timeout
         // (500 ms) or a backoff sleep (≤ backoff_max); readers unblock at
         // socket close. 5 s is comfortably past all of it.
@@ -541,6 +568,8 @@ impl Transport for TcpTransport {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incoming>) {
+    // ordering: SeqCst — shutdown-flag poll; pairs with the SeqCst store
+    // in stop(), no payload rides on it.
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -550,12 +579,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incomi
                 // see EOF even before their `Hello`) and then joins the
                 // threads with a bounded deadline.
                 if let Ok(clone) = stream.try_clone() {
-                    shared.accepted.lock().expect("no panicking holder").push(clone);
+                    shared.accepted.lock_clean().push(clone);
                 }
                 let reader_shared = shared.clone();
                 let events = events.clone();
                 let handle = std::thread::spawn(move || reader_loop(stream, reader_shared, events));
-                shared.readers.lock().expect("no panicking holder").push(handle);
+                shared.readers.lock_clean().push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -575,7 +604,7 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incomi
     match kind {
         HelloKind::Peer => {
             {
-                let mut latest = shared.latest_gen.lock().expect("no panicking holder");
+                let mut latest = shared.latest_gen.lock_clean();
                 let e = latest.entry(node).or_insert(0);
                 if generation < *e {
                     // A stale socket racing a newer incarnation: refuse it.
@@ -584,15 +613,17 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incomi
                 *e = generation;
             }
             let Ok(clone) = stream.try_clone() else { return };
-            shared.inbound.lock().expect("no panicking holder").push((node, clone));
+            shared.inbound.lock_clean().push((node, clone));
             loop {
                 match read_frame(&mut stream) {
                     Ok(Some(Frame::Peer(wire))) => {
+                        // ordering: SeqCst — shutdown-flag poll; pairs
+                        // with the SeqCst store in stop().
                         if shared.shutdown.load(Ordering::SeqCst) {
                             return;
                         }
                         let stale = {
-                            let latest = shared.latest_gen.lock().expect("no panicking holder");
+                            let latest = shared.latest_gen.lock_clean();
                             latest.get(&node).copied().unwrap_or(0) > generation
                         };
                         if stale || shared.is_blocked(node) {
@@ -613,11 +644,13 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incomi
         }
         HelloKind::Client => {
             if let Ok(clone) = stream.try_clone() {
-                shared.subscribers.lock().expect("no panicking holder").push(clone);
+                shared.subscribers.lock_clean().push(clone);
             }
             loop {
                 match read_frame(&mut stream) {
                     Ok(Some(Frame::Submit(a))) => {
+                        // ordering: SeqCst — shutdown-flag poll; pairs
+                        // with the SeqCst store in stop().
                         if shared.shutdown.load(Ordering::SeqCst) {
                             return;
                         }
@@ -643,6 +676,8 @@ fn writer_loop(
 ) {
     let mut backoff = config.backoff_min;
     'reconnect: loop {
+        // ordering: SeqCst — shutdown-flag poll; pairs with the SeqCst
+        // store in stop().
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -655,6 +690,8 @@ fn writer_loop(
             std::thread::sleep(Duration::from_millis(5));
             continue;
         }
+        // ordering: Relaxed — monotone stat counter; only the advisory
+        // connect_attempts() accessor reads it.
         stats.attempts.fetch_add(1, Ordering::Relaxed);
         let stream = match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
             Ok(s) => s,
@@ -666,6 +703,10 @@ fn writer_loop(
         };
         backoff = config.backoff_min;
         let _ = stream.set_nodelay(true);
+        // ordering: SeqCst — generations must be strictly monotone per
+        // link: the peer's stale-frame filter compares the Hello value
+        // against the highest generation it ever saw, so this counter
+        // must never appear to move backwards from any thread's view.
         let generation =
             config.generation_base + stats.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let mut write_half = stream;
@@ -679,8 +720,10 @@ fn writer_loop(
             continue;
         }
         if let Ok(clone) = write_half.try_clone() {
-            *current.lock().expect("no panicking holder") = Some(clone);
+            *current.lock_clean() = Some(clone);
         }
+        // ordering: Relaxed — advisory status bit for connected(); link
+        // correctness never depends on observing it promptly.
         stats.connected.store(true, Ordering::Relaxed);
         shared.netobs.on_link_up(peer, generation);
         loop {
@@ -700,27 +743,29 @@ fn writer_loop(
                     shared.netobs.on_send(peer);
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    // ordering: SeqCst shutdown poll (pairs with stop());
+                    // Relaxed for the advisory connected() status bit.
                     if shared.shutdown.load(Ordering::SeqCst) {
                         stats.connected.store(false, Ordering::Relaxed);
                         return;
                     }
-                    if shared.is_blocked(peer)
-                        || current.lock().expect("no panicking holder").is_none()
-                    {
+                    if shared.is_blocked(peer) || current.lock_clean().is_none() {
                         // Severed or kicked out from under us.
                         break;
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    // ordering: Relaxed — advisory connected() status bit.
                     stats.connected.store(false, Ordering::Relaxed);
                     return;
                 }
             }
         }
+        // ordering: Relaxed — advisory connected() status bit.
         stats.connected.store(false, Ordering::Relaxed);
         shared.netobs.on_link_down(peer);
         let _ = write_half.shutdown(Shutdown::Both);
-        *current.lock().expect("no panicking holder") = None;
+        *current.lock_clean() = None;
         continue 'reconnect;
     }
 }

@@ -30,6 +30,8 @@ impl MetricsServer {
 
     /// Stops the accept loop and joins the server thread.
     pub fn stop(mut self) {
+        // ordering: SeqCst — lone stop flag with no payload; pairs with
+        // the SeqCst poll in the accept loop, off any hot path.
         self.stop.store(true, Ordering::SeqCst);
         // Wake the accept loop if it is parked in `accept`.
         let _ = TcpStream::connect(self.addr);
@@ -62,6 +64,7 @@ pub fn serve(listener: TcpListener, registry: Registry) -> std::io::Result<Metri
     let stop2 = stop.clone();
     let handle = std::thread::Builder::new().name("gcs-obs-metrics".into()).spawn(move || {
         for conn in listener.incoming() {
+            // ordering: SeqCst — stop-flag poll; pairs with stop().
             if stop2.load(Ordering::SeqCst) {
                 break;
             }

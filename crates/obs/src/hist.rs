@@ -85,6 +85,10 @@ impl HistCore {
     }
 
     fn record(&self, v: u64) {
+        // ordering: Relaxed throughout — independent statistical
+        // counters with no cross-field consistency requirement; each
+        // cell is correct on its own (fetch_add/min/max are atomic RMW)
+        // and snapshots are advisory, not a consistent cut.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -94,6 +98,9 @@ impl HistCore {
 
     fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
+            // ordering: Relaxed throughout — advisory reads; a snapshot
+            // taken concurrently with record() may see count without sum
+            // (or vice versa) and that is accepted, see HistSnapshot docs.
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
@@ -138,6 +145,7 @@ impl Histogram {
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — advisory statistical read.
         self.core.count.load(Ordering::Relaxed)
     }
 

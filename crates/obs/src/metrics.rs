@@ -31,11 +31,14 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — pure event counter; hot-path increments
+        // synchronize nothing, readers merge at scrape time.
         self.cell.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — advisory scrape read.
         self.cell.load(Ordering::Relaxed)
     }
 }
@@ -49,16 +52,21 @@ pub struct Gauge {
 impl Gauge {
     /// Sets the value.
     pub fn set(&self, v: i64) {
+        // ordering: Relaxed — last-writer-wins gauge cell; no data is
+        // published under it.
         self.cell.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` (may be negative).
     pub fn add(&self, n: i64) {
+        // ordering: Relaxed — atomic RMW keeps the sum exact; ordering
+        // against other metrics is not required.
         self.cell.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed — advisory scrape read.
         self.cell.load(Ordering::Relaxed)
     }
 }
@@ -193,6 +201,8 @@ impl Registry {
         for shard in self.shards.iter() {
             for (k, slot) in shard.lock().expect("no panicking holder").iter() {
                 let value = match slot {
+                    // ordering: Relaxed — scrape-time reads; a snapshot
+                    // is not a consistent cut across metrics.
                     Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
                     Slot::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
                     Slot::Histogram(h) => {

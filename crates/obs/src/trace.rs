@@ -196,6 +196,9 @@ fn my_shard() -> usize {
     MY_SHARD.with(|c| match c.get() {
         Some(i) => i,
         None => {
+            // ordering: Relaxed — round-robin shard assignment; each
+            // thread only needs a distinct ticket, which fetch_add's
+            // single modification order already guarantees.
             let i = NEXT_WRITER.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
             c.set(Some(i));
             i
@@ -242,6 +245,9 @@ impl TraceBuf {
     /// created with [`TraceBuf::with_manual_clock`].
     pub fn now_ms(&self) -> u64 {
         match &self.inner.manual_ms {
+            // ordering: Relaxed — monotone virtual-time register with no
+            // dependent data; stamps are advisory and snapshots re-sort
+            // by seq.
             Some(m) => m.load(Ordering::Relaxed),
             None => self.inner.epoch.elapsed().as_millis() as u64,
         }
@@ -251,6 +257,8 @@ impl TraceBuf {
     /// buffer). The register is monotone: moving backwards is ignored.
     pub fn set_now_ms(&self, t_ms: u64) {
         if let Some(m) = &self.inner.manual_ms {
+            // ordering: Relaxed — fetch_max keeps the register monotone
+            // by itself; nothing is published under this store.
             m.fetch_max(t_ms, Ordering::Relaxed);
         }
     }
@@ -260,10 +268,19 @@ impl TraceBuf {
     /// shard when full.
     pub fn record(&self, kind: EventKind) {
         let t_ms = self.now_ms();
-        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        // ordering: AcqRel — the Release half pairs with the Acquire
+        // load in recorded(): a reader that observes seq >= n also
+        // observes every write the recording thread made before claiming
+        // sequence n-1, so `recorded()` is a safe high-water cursor for
+        // `snapshot_since` polling loops. (The claimed event itself is
+        // published under the shard mutex below; an in-flight writer may
+        // still be between the two, which snapshot_since documents.)
+        let seq = self.inner.seq.fetch_add(1, Ordering::AcqRel);
         let mut shard = self.inner.shards[my_shard()].lock().expect("no panicking holder");
         if shard.len() >= self.inner.cap_per_shard {
             shard.pop_front();
+            // ordering: Relaxed — eviction counter; read only by the
+            // advisory evicted() accessor, merged at quiescence.
             self.inner.evicted.fetch_add(1, Ordering::Relaxed);
         }
         shard.push_back(ObsEvent { t_ms, seq, kind });
@@ -282,12 +299,17 @@ impl TraceBuf {
     /// Number of events evicted by ring overflow. Zero means the
     /// snapshot is a complete record of everything ever recorded.
     pub fn evicted(&self) -> u64 {
+        // ordering: Relaxed — advisory counter, meaningful at quiescence.
         self.inner.evicted.load(Ordering::Relaxed)
     }
 
     /// Total events ever recorded (buffered + evicted).
     pub fn recorded(&self) -> u64 {
-        self.inner.seq.load(Ordering::Relaxed)
+        // ordering: Acquire — pairs with the AcqRel fetch_add in
+        // record(): observing seq >= n here happens-after everything the
+        // thread that claimed n-1 did first, making this a safe
+        // high-water mark for snapshot_since polling.
+        self.inner.seq.load(Ordering::Acquire)
     }
 
     /// A merged snapshot of every shard, ordered by sequence number.
@@ -302,6 +324,14 @@ impl TraceBuf {
 
     /// Like [`TraceBuf::snapshot`], but only events with `seq > after`;
     /// for incremental online consumption.
+    ///
+    /// Caveat for pollers: a writer that has claimed a sequence number in
+    /// [`TraceBuf::record`] but not yet pushed into its shard is
+    /// invisible to this call, so one poll may return seq `n+1` without
+    /// `n` and a later poll (with the same `after`) fills the gap. Use
+    /// [`TraceBuf::recorded`] as the high-water cursor and tolerate
+    /// transient gaps below it, or snapshot at quiescence for a complete
+    /// prefix.
     pub fn snapshot_since(&self, after: u64) -> Vec<ObsEvent> {
         let mut all: Vec<ObsEvent> = Vec::new();
         for s in &self.inner.shards {

@@ -123,6 +123,7 @@ impl ThreadedStack {
             mode: crate::node::MembershipMode::ThreeRound,
             safe_delivery: false,
         };
+        // gcs-lint: allow(determinism, reason = "the threaded runtime is the intentionally wall-clock, nondeterministic harness; digest-reproducible runs go through gcs-netsim/gcs-sim instead")
         let epoch = Instant::now();
         let failures = Arc::new(RwLock::new(FailureMap::all_good()));
         let trace = Arc::new(Mutex::new(TimedTrace::new()));
@@ -310,6 +311,7 @@ impl ThreadedStack {
     /// Blocks until every client has delivered at least `count` values or
     /// the deadline passes; returns whether the goal was reached.
     pub fn await_deliveries(&self, count: usize, deadline: Duration) -> bool {
+        // gcs-lint: allow(determinism, reason = "wall-clock deadline in the intentionally nondeterministic threaded harness; not on any digest path")
         let start = Instant::now();
         while start.elapsed() < deadline {
             if self.delivered.lock().iter().all(|d| d.len() >= count) {

@@ -16,3 +16,10 @@ cargo bench -p gcs-bench --bench micro -- --quick obs_overhead
 # Loopback TCP cluster throughput (gcs-net): boots real sockets on
 # 127.0.0.1 and measures delivery of 100-op batches through the ring.
 cargo bench -p gcs-bench --bench loopback -- --quick "$@"
+# Lint runtime: a full workspace scan must stay interactive (budget ~2 s)
+# so the tier-1 gcs-lint stage never becomes the slow part of ci.sh.
+cargo build --release -p gcs-lint --quiet
+t0=$(date +%s%N)
+./target/release/gcs-lint --root . > /dev/null
+t1=$(date +%s%N)
+echo "lint-runtime: full workspace scan in $(( (t1 - t0) / 1000000 )) ms (budget ~2000 ms)"

@@ -16,8 +16,15 @@ cargo fmt --check
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> gcs-lint --root . (project lints; see docs/LINTS.md)"
+cargo build --release -p gcs-lint --quiet
+./target/release/gcs-lint --root .
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -q -p gcs-lint (lint fixture self-tests + workspace-clean meta-test)"
+cargo test -q -p gcs-lint
 
 echo "==> gcs-sim run --seeds 10 (smoke)"
 ./target/release/gcs-sim run --seeds 10
@@ -31,6 +38,22 @@ if [[ "${NIGHTLY:-0}" == "1" ]]; then
 
   echo "==> [nightly] injected-bug catch + shrink (bug-hook feature)"
   cargo test -p gcs-sim --features bug-hook --test bug_catch -q
+
+  # ThreadSanitizer over the concurrency-heavy crates validates the
+  # happens-before claims the `// ordering:` annotations make (the
+  # atomics_order lint forces the claims; TSan checks them). Needs the
+  # nightly toolchain with rust-src (-Zbuild-std rebuilds std with TSan
+  # instrumentation); in offline containers the component cannot be
+  # fetched, so skip with a notice instead of failing the run.
+  echo "==> [nightly] ThreadSanitizer (gcs-obs, gcs-net)"
+  if rustup component add rust-src --toolchain nightly >/dev/null 2>&1 \
+     || ls "$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library/std/Cargo.toml" >/dev/null 2>&1; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+      -p gcs-obs -p gcs-net -q
+  else
+    echo "    [skip] nightly rust-src unavailable (offline); TSan stage not run"
+  fi
 fi
 
 echo "==> ci.sh: all green"
