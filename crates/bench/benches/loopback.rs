@@ -60,6 +60,7 @@ fn bench_tcp_client(c: &mut Criterion) {
                     value_base: base,
                     mode: LoadMode::Closed { window: 16 },
                     idle_timeout: Duration::from_secs(30),
+                    warmup: 0,
                 },
             )
             .expect("client connects");

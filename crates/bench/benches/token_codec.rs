@@ -1,0 +1,70 @@
+//! Wire-codec micro-benchmarks for the batched token: encode and decode
+//! cost of a `Token` frame as the entry batch grows from a single
+//! message to a full pipeline rotation's worth. The per-message cost
+//! should fall sharply with batch size — that amortization is the whole
+//! premise of the batched ring — so a regression here shows up long
+//! before it is visible in the end-to-end loopback numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_core::msg::AppMsg;
+use gcs_model::{Label, ProcId, Value, View, ViewId};
+use gcs_net::codec::{decode_payload, encode_payload_into, Frame};
+use gcs_vsimpl::{Token, TokenMsg, Wire};
+
+const BATCH_SIZES: [usize; 4] = [1, 16, 256, 4096];
+
+/// A mid-rotation token carrying `batch` freshly sequenced entries, the
+/// shape a member sees on the hot path of a loaded ring.
+fn token_with_batch(batch: usize) -> Frame {
+    let view = View::new(ViewId::new(3, ProcId(0)), ProcId::range(5));
+    let mut t = Token::new(&view);
+    t.round = 42;
+    t.seq_start = 10_000;
+    t.acked = 9_000;
+    for (p, d) in t.delivered.iter_mut() {
+        *d = 9_500 + p.0 as u64;
+    }
+    for i in 0..batch {
+        let l = Label::new(view.id, t.seq_start + i as u64, ProcId((i % 5) as u32));
+        t.entries.push(TokenMsg {
+            src: ProcId((i % 5) as u32),
+            mid: i as u64,
+            msg: AppMsg::Val(l, Value::from_u64(i as u64)),
+        });
+    }
+    Frame::Peer(Wire::Token(Box::new(t)))
+}
+
+fn bench_token_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_codec/encode");
+    for batch in BATCH_SIZES {
+        let frame = token_with_batch(batch);
+        let mut buf = Vec::with_capacity(1 << 20);
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &frame, |b, frame| {
+            b.iter(|| {
+                // Reuse the buffer: the hot send path encodes into the
+                // writer's scratch Vec, never a fresh allocation.
+                buf.clear();
+                encode_payload_into(&mut buf, frame);
+                criterion::black_box(buf.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_token_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_codec/decode");
+    for batch in BATCH_SIZES {
+        let frame = token_with_batch(batch);
+        let mut bytes = Vec::new();
+        encode_payload_into(&mut bytes, &frame);
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &bytes, |b, bytes| {
+            b.iter(|| criterion::black_box(decode_payload(bytes).expect("valid frame")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_token_encode, bench_token_decode);
+criterion_main!(benches);

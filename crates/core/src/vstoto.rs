@@ -70,6 +70,20 @@ pub struct VsToToProc {
     pub buffer: VecDeque<Label>,
     /// `order ∈ L*`: the tentative total order.
     pub order: Vec<Label>,
+    /// Derived index over `order` for the duplicate-membership test in
+    /// `gprcv` — a linear `order.contains` there makes every receipt
+    /// O(|order|) and a long run quadratic. Not part of the automaton
+    /// state (excluded from `PartialEq`); rebuilt whenever `order` is
+    /// replaced wholesale at view establishment.
+    order_set: BTreeSet<Label>,
+    /// Derived positional cache: `order_vals[i] = content[order[i]]`,
+    /// `None` while that content has not arrived (a recovery order can
+    /// run ahead of its values). Lets `brcv` read the next value by
+    /// position instead of walking `content` — the map holds the whole
+    /// delivered history, so that walk grows with run length. Like
+    /// `order_set`, not automaton state: excluded from `PartialEq`,
+    /// rebuilt when `order` is replaced at establishment.
+    order_vals: Vec<Option<Value>>,
     /// `nextconfirm ∈ ℕ⁺`.
     pub nextconfirm: u64,
     /// `nextreport ∈ ℕ⁺`.
@@ -157,6 +171,8 @@ impl VsToToProc {
             nextseqno: 1,
             buffer: VecDeque::new(),
             order: Vec::new(),
+            order_set: BTreeSet::new(),
+            order_vals: Vec::new(),
             nextconfirm: 1,
             nextreport: 1,
             gotstate: GotState::new(),
@@ -222,8 +238,19 @@ impl VsToToProc {
                 // confirmed and delivered twice, violating `TO-machine`.
                 // (Caught by the executable simulation check of
                 // Theorem 6.26; see DESIGN.md.)
-                if self.primary() && !self.order.contains(l) {
-                    self.order.push(*l);
+                if self.primary() {
+                    if self.order_set.len() == self.order.len() {
+                        // Index in sync: one walk both tests and inserts.
+                        if self.order_set.insert(*l) {
+                            self.order.push(*l);
+                            self.order_vals.push(Some(a.clone()));
+                        }
+                    } else if !self.order.contains(l) {
+                        // A test poked `order` directly; fall back to the
+                        // paper's scan and let establishment rebuild.
+                        self.order.push(*l);
+                        self.order_set.insert(*l);
+                    }
                 }
                 GprcvOutcome { established: false }
             }
@@ -245,6 +272,9 @@ impl VsToToProc {
                         self.order = shortorder(&self.gotstate);
                         self.highprimary = maxprimary(&self.gotstate);
                     }
+                    self.order_set = self.order.iter().copied().collect();
+                    self.order_vals =
+                        self.order.iter().map(|l| self.content.get(l).cloned()).collect();
                     self.status = ProcStatus::Normal;
                     GprcvOutcome { established: true }
                 } else {
@@ -408,6 +438,112 @@ impl VsToToProc {
         let out = self.brcv_ready().expect("brcv not enabled");
         self.nextreport += 1;
         out
+    }
+
+    /// Runs every enabled `label` and `gpsnd` step in one pass,
+    /// appending each message to send to `out`; returns whether anything
+    /// fired. Equivalent to alternating
+    /// [`VsToToProc::do_label`]/[`VsToToProc::do_gpsnd`] until neither is
+    /// enabled, with the same redundancy argument as
+    /// [`VsToToProc::drain_confirm_brcv`]: the check-then-act pairs walk
+    /// `content` twice per sent value (once to materialize the message,
+    /// once to re-verify it); here a freshly labelled value is shipped
+    /// with the `content` walk skipped entirely, since its bytes are
+    /// still in hand.
+    pub fn drain_label_gpsnd(&mut self, out: &mut Vec<AppMsg>) -> bool {
+        let mut progressed = false;
+        let direct = self.status == ProcStatus::Normal && self.buffer.is_empty();
+        if let Some(vid) = self.current.as_ref().map(|v| v.id) {
+            while let Some(a) = self.delay.pop_front() {
+                let l = Label::new(vid, self.nextseqno, self.id);
+                self.nextseqno += 1;
+                if direct {
+                    // label + gpsnd fused: the buffer stays empty, the
+                    // message carries the value without a map walk.
+                    self.content.insert(l, a.clone());
+                    out.push(AppMsg::Val(l, a));
+                } else {
+                    self.content.insert(l, a);
+                    self.buffer.push_back(l);
+                }
+                progressed = true;
+            }
+        }
+        match self.status {
+            ProcStatus::Send => {
+                out.push(AppMsg::Summary(self.summary()));
+                self.status = ProcStatus::Collect;
+                progressed = true;
+            }
+            ProcStatus::Normal => {
+                while let Some(l) = self.buffer.front().copied() {
+                    let Some(a) = self.content.get(&l) else { break };
+                    out.push(AppMsg::Val(l, a.clone()));
+                    self.buffer.pop_front();
+                    progressed = true;
+                }
+            }
+            ProcStatus::Collect => {}
+        }
+        progressed
+    }
+
+    /// Runs every enabled `confirm` and `brcv` step in one pass,
+    /// appending each delivered `(origin, value)` to `out`; returns
+    /// whether anything fired. Equivalent to alternating
+    /// [`VsToToProc::do_confirm`]/[`VsToToProc::do_brcv`] until neither
+    /// is enabled, but each `order`/`safe-labels`/`content` lookup is
+    /// evaluated exactly once — the enabledness probe and the effect
+    /// share the walk. This is the per-delivery hot path: the separate
+    /// check-then-act calls re-walk three maps per delivered value, and
+    /// at ring throughput those redundant walks dominate client-layer
+    /// CPU.
+    pub fn drain_confirm_brcv(&mut self, out: &mut Vec<(ProcId, Value)>) -> bool {
+        let mut progressed = false;
+        if self.primary() {
+            while let Some(&l) = self.order.get(self.nextconfirm as usize - 1) {
+                // Membership test and prune in one walk: a confirmed
+                // label is never consulted again (`confirm` only ever
+                // probes `order[nextconfirm-1]`, which is past it), so
+                // dropping it keeps `safe-labels` at the in-flight
+                // window instead of the whole run's history. The spec
+                // path (`confirm_ready`/`do_confirm`) keeps the paper's
+                // monotone set; a view change's summary exchange may
+                // re-add confirmed labels, which is harmless — they are
+                // dead weight until the next establishment, nothing
+                // queries them.
+                if !self.safe_labels.remove(&l) {
+                    break;
+                }
+                self.nextconfirm += 1;
+                progressed = true;
+            }
+        }
+        let vals_synced = self.order_vals.len() == self.order.len();
+        while self.nextreport < self.nextconfirm {
+            let idx = self.nextreport as usize - 1;
+            let Some(&l) = self.order.get(idx) else { break };
+            let a = if vals_synced {
+                match self.order_vals.get_mut(idx) {
+                    Some(Some(a)) => a.clone(),
+                    Some(slot @ None) => {
+                        // Recovery order ran ahead of its content; fill
+                        // the cache the first time the value shows up.
+                        let Some(a) = self.content.get(&l) else { break };
+                        *slot = Some(a.clone());
+                        a.clone()
+                    }
+                    None => break,
+                }
+            } else {
+                let Some(a) = self.content.get(&l) else { break };
+                a.clone()
+            };
+            out.push((l.origin, a));
+            self.nextreport += 1;
+            progressed = true;
+        }
+        progressed
     }
 }
 

@@ -24,6 +24,7 @@ fn usage() -> ! {
          --window  closed-loop outstanding window (default 32)\n\
          --rate    open-loop offered rate, ops/s (overrides --window)\n\
          --base    first value in this client's range (default 1)\n\
+         --warmup  untimed warm-up operations before sampling (default 0)\n\
          --idle    idle timeout in seconds before giving up (default 30)"
     );
     exit(2)
@@ -35,6 +36,7 @@ fn main() {
     let mut window: usize = 32;
     let mut rate: Option<u64> = None;
     let mut base: u64 = 1;
+    let mut warmup: u64 = 0;
     let mut idle_secs: u64 = 30;
 
     let mut args = std::env::args().skip(1);
@@ -55,6 +57,7 @@ fn main() {
             "--window" => window = take("--window").parse().unwrap_or_else(|_| usage()),
             "--rate" => rate = Some(take("--rate").parse().unwrap_or_else(|_| usage())),
             "--base" => base = take("--base").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => warmup = take("--warmup").parse().unwrap_or_else(|_| usage()),
             "--idle" => idle_secs = take("--idle").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
@@ -69,8 +72,13 @@ fn main() {
         Some(r) => LoadMode::Open { rate: r },
         None => LoadMode::Closed { window },
     };
-    let cfg =
-        LoadConfig { ops, value_base: base, mode, idle_timeout: Duration::from_secs(idle_secs) };
+    let cfg = LoadConfig {
+        ops,
+        value_base: base,
+        mode,
+        idle_timeout: Duration::from_secs(idle_secs),
+        warmup,
+    };
 
     println!("gcs-client: {addr}, {ops} ops, {mode:?}");
     let report = match run_load(addr, &cfg) {

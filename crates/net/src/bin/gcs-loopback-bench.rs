@@ -1,0 +1,284 @@
+//! `gcs-loopback-bench`: the repeatable throughput benchmark for the
+//! batched, pipelined token ring over the real TCP stack.
+//!
+//! ```text
+//! gcs-loopback-bench [--nodes 5] [--ops 20000] [--window 256]
+//!                    [--warmup 2000] [--delta-ms 20]
+//!                    [--out BENCH_loopback.json] [--floor <ops/s>]
+//! ```
+//!
+//! Boots an n-node loopback cluster, warms the ring (the warm-up
+//! operations are excluded from every statistic), drives a closed-loop
+//! client against node 0, and then verifies the run end to end: the
+//! merged recorded trace must pass the VS cause checker and the TO
+//! checker, and the `gcs-obs` event stream must satisfy the online b/d
+//! bound monitors. The result — throughput, latency percentiles, and
+//! the verification verdicts — is written as one JSON object (schema
+//! documented in `EXPERIMENTS.md`).
+//!
+//! With `--floor`, the process exits nonzero if the measured closed-loop
+//! throughput falls below that many ops/s — the CI throughput gate.
+//! Checker or monitor failures always exit nonzero: a fast run that
+//! breaks total order is a bug, not a benchmark result.
+
+use gcs_core::cause::check_trace;
+use gcs_core::to_trace::check_to_trace;
+use gcs_model::ProcId;
+use gcs_net::cluster::{ClusterConfig, LoopbackCluster};
+use gcs_net::load::{run_load, LoadConfig, LoadMode, LoadReport};
+use gcs_obs::{BoundParams, Obs, StabilizationMonitor, TokenRoundMonitor};
+use gcs_vsimpl::convert::{to_obs, vs_actions};
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gcs-loopback-bench [--nodes <n>] [--ops <n>] [--window <w>] [--warmup <n>]\n\
+         \n\
+         --nodes     cluster size (default 5)\n\
+         --ops       timed operations (default 20000)\n\
+         --window    closed-loop outstanding window (default 256)\n\
+         --warmup    untimed warm-up operations (default 2000)\n\
+         --delta-ms  protocol delta in ms (default 20)\n\
+         --out       JSON result path (default BENCH_loopback.json)\n\
+         --floor     minimum acceptable ops/s; below it exit nonzero\n\
+         --no-check  skip the trace checkers and bound monitors"
+    );
+    exit(2)
+}
+
+struct Args {
+    nodes: u32,
+    ops: u64,
+    window: usize,
+    warmup: u64,
+    delta_ms: u64,
+    out: String,
+    floor: Option<f64>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        nodes: 5,
+        ops: 20_000,
+        window: 256,
+        warmup: 2_000,
+        delta_ms: 20,
+        out: "BENCH_loopback.json".to_string(),
+        floor: None,
+        check: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("gcs-loopback-bench: {what} needs a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--nodes" => a.nodes = take("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--ops" => a.ops = take("--ops").parse().unwrap_or_else(|_| usage()),
+            "--window" => a.window = take("--window").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => a.warmup = take("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--delta-ms" => a.delta_ms = take("--delta-ms").parse().unwrap_or_else(|_| usage()),
+            "--out" => a.out = take("--out"),
+            "--floor" => a.floor = Some(take("--floor").parse().unwrap_or_else(|_| usage())),
+            "--no-check" => a.check = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("gcs-loopback-bench: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if a.nodes == 0 || a.ops == 0 {
+        usage();
+    }
+    a
+}
+
+fn wait_for(deadline: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+fn json_result(a: &Args, report: &LoadReport, ok: &[(&str, bool)]) -> String {
+    let h = &report.latency_us;
+    let checks: Vec<String> =
+        ok.iter().map(|(name, passed)| format!("\"{name}\": {passed}")).collect();
+    format!(
+        "{{\n  \"schema\": \"gcs-loopback-bench/v1\",\n  \"nodes\": {},\n  \"mode\": \"closed\",\n  \"window\": {},\n  \"warmup_ops\": {},\n  \"ops\": {},\n  \"submitted\": {},\n  \"delivered\": {},\n  \"elapsed_ms\": {},\n  \"ops_per_sec\": {:.1},\n  \"latency_us\": {{ \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},\n  \"checks\": {{ {} }}\n}}\n",
+        a.nodes,
+        a.window,
+        a.warmup,
+        a.ops,
+        report.submitted,
+        report.delivered,
+        report.elapsed.as_millis(),
+        report.throughput_ops(),
+        h.mean(),
+        h.percentile(50.0),
+        h.percentile(95.0),
+        h.percentile(99.0),
+        h.max(),
+        checks.join(", "),
+    )
+}
+
+fn main() {
+    let a = parse_args();
+    // Trace capacity sized so a full run (Bcast + n×Brcv per op, plus
+    // token traffic) fits without eviction — the monitors need the
+    // complete stream.
+    let obs = Obs::with_trace_capacity(1 << 22);
+    let cluster = LoopbackCluster::start_with_obs(
+        ClusterConfig { n: a.nodes, delta_ms: a.delta_ms, transport: Default::default() },
+        obs.clone(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("gcs-loopback-bench: bind failed: {e}");
+        exit(1);
+    });
+
+    let full_view = |c: &LoopbackCluster| {
+        c.views().iter().all(|vs| vs.last().is_some_and(|v| v.size() == a.nodes as usize))
+    };
+    if !wait_for(Duration::from_secs(30), || full_view(&cluster)) {
+        eprintln!("gcs-loopback-bench: initial view never formed");
+        exit(1);
+    }
+
+    let cfg = LoadConfig {
+        ops: a.ops,
+        value_base: 1,
+        mode: LoadMode::Closed { window: a.window },
+        idle_timeout: Duration::from_secs(30),
+        warmup: a.warmup,
+    };
+    let report = match run_load(cluster.addr(ProcId(0)), &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gcs-loopback-bench: load run failed: {e}");
+            exit(1);
+        }
+    };
+
+    let mut failed = false;
+    if report.delivered < report.submitted {
+        eprintln!(
+            "gcs-loopback-bench: FAIL: {} of {} operations never delivered",
+            report.submitted - report.delivered,
+            report.submitted
+        );
+        failed = true;
+    }
+
+    // Let the last deliveries propagate to every node before snapshotting.
+    let total = (a.warmup + a.ops) as usize;
+    if !cluster.await_deliveries(total, Duration::from_secs(30)) {
+        eprintln!("gcs-loopback-bench: FAIL: peers missed client traffic");
+        failed = true;
+    }
+
+    let mut checks: Vec<(&str, bool)> = Vec::new();
+    if a.check {
+        let events = obs.trace.snapshot();
+        let now_ms = obs.trace.now_ms();
+        let params = BoundParams::standard(a.nodes, a.delta_ms);
+        let mut stab = StabilizationMonitor::new(params);
+        let mut round = TokenRoundMonitor::new(params);
+        stab.feed_all(&events);
+        round.feed_all(&events);
+        let stab = stab.finish();
+        let round = round.finish(now_ms);
+        if obs.trace.evicted() > 0 {
+            eprintln!(
+                "gcs-loopback-bench: FAIL: trace ring evicted {} events; monitors are blind",
+                obs.trace.evicted()
+            );
+            failed = true;
+        }
+        if !stab.ok() {
+            eprintln!(
+                "gcs-loopback-bench: FAIL: stabilization monitor (b = {} ms): {:?}",
+                stab.bound_ms,
+                stab.violations.first()
+            );
+        }
+        if !round.ok() {
+            eprintln!(
+                "gcs-loopback-bench: FAIL: token-round monitor (d = {} ms): {:?}",
+                round.bound_ms,
+                round.violations.first()
+            );
+        }
+        checks.push(("stabilization_monitor", stab.ok()));
+        checks.push(("token_round_monitor", round.ok()));
+
+        let trace = cluster.stop();
+        let to = check_to_trace(&to_obs(&trace).untimed());
+        if !to.ok() {
+            eprintln!("gcs-loopback-bench: FAIL: TO checker: {:?}", to.violations.first());
+        }
+        let cause = check_trace(&vs_actions(&trace), &ProcId::range(a.nodes));
+        if !cause.ok() {
+            eprintln!("gcs-loopback-bench: FAIL: VS cause checker: {:?}", cause.violations.first());
+        }
+        checks.push(("to_checker", to.ok()));
+        checks.push(("vs_cause_checker", cause.ok()));
+        failed |= checks.iter().any(|(_, ok)| !ok);
+    } else {
+        cluster.stop();
+    }
+
+    let json = json_result(&a, &report, &checks);
+    if let Err(e) = std::fs::write(&a.out, &json) {
+        eprintln!("gcs-loopback-bench: cannot write {}: {e}", a.out);
+        failed = true;
+    }
+
+    let frames = obs.registry.snapshot().counter_total("net_frames_sent_total");
+    println!(
+        "gcs-loopback-bench: {} peer frames sent cluster-wide ({:.1} per delivered op)",
+        frames,
+        frames as f64 / report.delivered.max(1) as f64
+    );
+    let h = &report.latency_us;
+    println!(
+        "gcs-loopback-bench: {} nodes, window {}, {} ops: {:.1} ops/s | p50 {} us | p95 {} us | p99 {} us",
+        a.nodes,
+        a.window,
+        a.ops,
+        report.throughput_ops(),
+        h.percentile(50.0),
+        h.percentile(95.0),
+        h.percentile(99.0),
+    );
+
+    if let Some(floor) = a.floor {
+        if report.throughput_ops() < floor {
+            eprintln!(
+                "gcs-loopback-bench: FAIL: {:.1} ops/s is below the floor of {floor} ops/s",
+                report.throughput_ops()
+            );
+            failed = true;
+        } else {
+            println!(
+                "gcs-loopback-bench: throughput gate passed ({:.1} >= {floor} ops/s)",
+                report.throughput_ops()
+            );
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}

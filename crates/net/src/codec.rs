@@ -24,7 +24,10 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// The wire format version carried in every frame's first payload byte.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 changed the token body to the batched/pipelined layout
+/// (`seq_start`/`entries`/`collect`/`acked` instead of the cumulative
+/// `msgs` history and `clean_rounds`).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Maximum accepted frame payload (64 MiB): large enough for a token or
 /// state-exchange summary carrying a long view history, small enough that
@@ -107,6 +110,11 @@ pub enum Frame {
     Peer(Wire),
     /// A client submits a value for totally ordered broadcast.
     Submit(Value),
+    /// A burst of submissions in one frame, in submission order — the
+    /// closed-loop generator refills its whole window in one frame, so
+    /// the per-frame constants are paid once per refill rather than once
+    /// per operation.
+    SubmitBatch(Vec<Value>),
     /// The node reports a delivery (`brcv`) to a subscribed client.
     Deliver {
         /// The originating node.
@@ -114,12 +122,19 @@ pub enum Frame {
         /// The delivered value.
         a: Value,
     },
+    /// A burst of deliveries in one frame: everything one batched token
+    /// round handed the client at once crosses the socket under a single
+    /// header and is decoded in a single dispatch, instead of paying the
+    /// per-frame constants once per operation.
+    DeliverBatch(Vec<(ProcId, Value)>),
 }
 
 const TAG_HELLO: u8 = 0;
 const TAG_PEER: u8 = 1;
 const TAG_SUBMIT: u8 = 2;
 const TAG_DELIVER: u8 = 3;
+const TAG_DELIVER_BATCH: u8 = 4;
+const TAG_SUBMIT_BATCH: u8 = 5;
 
 const WIRE_PROBE: u8 = 0;
 const WIRE_CALL: u8 = 1;
@@ -221,16 +236,21 @@ fn put_token_msg(out: &mut Vec<u8>, tm: &TokenMsg) {
 fn put_token(out: &mut Vec<u8>, t: &Token) {
     put_viewid(out, t.view);
     put_varint(out, t.round);
-    put_varint(out, t.msgs.len() as u64);
-    for tm in &t.msgs {
+    put_varint(out, t.seq_start);
+    put_varint(out, t.entries.len() as u64);
+    for tm in &t.entries {
         put_token_msg(out, tm);
     }
+    put_varint(out, t.collect.len() as u64);
+    for tm in &t.collect {
+        put_token_msg(out, tm);
+    }
+    put_varint(out, t.acked);
     put_varint(out, t.delivered.len() as u64);
     for (&p, &c) in &t.delivered {
         put_proc(out, p);
         put_varint(out, c);
     }
-    put_varint(out, t.clean_rounds as u64);
 }
 
 fn put_wire(out: &mut Vec<u8>, w: &Wire) {
@@ -404,11 +424,18 @@ impl<'a> Cursor<'a> {
     fn token(&mut self) -> DecodeResult<Token> {
         let view = self.viewid()?;
         let round = self.varint()?;
-        let nmsgs = self.len("token message count")?;
-        let mut msgs = Vec::with_capacity(nmsgs);
-        for _ in 0..nmsgs {
-            msgs.push(self.token_msg()?);
+        let seq_start = self.varint()?;
+        let nentries = self.len("token entry count")?;
+        let mut entries = Vec::with_capacity(nentries);
+        for _ in 0..nentries {
+            entries.push(self.token_msg()?);
         }
+        let ncollect = self.len("token collect count")?;
+        let mut collect = Vec::with_capacity(ncollect);
+        for _ in 0..ncollect {
+            collect.push(self.token_msg()?);
+        }
+        let acked = self.varint()?;
         let ndel = self.len("token delivered count")?;
         let mut delivered = BTreeMap::new();
         for _ in 0..ndel {
@@ -419,10 +446,7 @@ impl<'a> Cursor<'a> {
         if delivered.len() != ndel {
             return Err(CodecError::Invalid("duplicate token delivered entry"));
         }
-        let clean = self.varint()?;
-        let clean_rounds = u32::try_from(clean)
-            .map_err(|_| CodecError::Invalid("token clean_rounds exceeds u32"))?;
-        Ok(Token { view, round, msgs, delivered, clean_rounds })
+        Ok(Token { view, round, seq_start, entries, collect, acked, delivered })
     }
 
     fn wire(&mut self) -> DecodeResult<Wire> {
@@ -459,6 +483,24 @@ impl<'a> Cursor<'a> {
                 let a = self.value()?;
                 Ok(Frame::Deliver { src, a })
             }
+            TAG_SUBMIT_BATCH => {
+                let n = self.len("submit batch count")?;
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(self.value()?);
+                }
+                Ok(Frame::SubmitBatch(batch))
+            }
+            TAG_DELIVER_BATCH => {
+                let n = self.len("deliver batch count")?;
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let src = self.proc()?;
+                    let a = self.value()?;
+                    batch.push((src, a));
+                }
+                Ok(Frame::DeliverBatch(batch))
+            }
             tag => Err(CodecError::BadTag { what: "frame", tag }),
         }
     }
@@ -472,12 +514,21 @@ impl<'a> Cursor<'a> {
 /// prefix).
 pub fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
+    encode_payload_into(&mut out, frame);
+    out
+}
+
+/// Encodes a frame payload into a caller-supplied buffer, appending to
+/// whatever it already holds. This is the allocation-free form for hot
+/// send paths: the caller keeps one scratch buffer and reuses its
+/// capacity across frames.
+pub fn encode_payload_into(out: &mut Vec<u8>, frame: &Frame) {
     out.push(WIRE_VERSION);
     match frame {
         Frame::Hello { node, generation, kind } => {
             out.push(TAG_HELLO);
-            put_proc(&mut out, *node);
-            put_varint(&mut out, *generation);
+            put_proc(out, *node);
+            put_varint(out, *generation);
             out.push(match kind {
                 HelloKind::Peer => 0,
                 HelloKind::Client => 1,
@@ -485,19 +536,33 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
         }
         Frame::Peer(w) => {
             out.push(TAG_PEER);
-            put_wire(&mut out, w);
+            put_wire(out, w);
         }
         Frame::Submit(a) => {
             out.push(TAG_SUBMIT);
-            put_value(&mut out, a);
+            put_value(out, a);
+        }
+        Frame::SubmitBatch(batch) => {
+            out.push(TAG_SUBMIT_BATCH);
+            put_varint(out, batch.len() as u64);
+            for a in batch {
+                put_value(out, a);
+            }
         }
         Frame::Deliver { src, a } => {
             out.push(TAG_DELIVER);
-            put_proc(&mut out, *src);
-            put_value(&mut out, a);
+            put_proc(out, *src);
+            put_value(out, a);
+        }
+        Frame::DeliverBatch(batch) => {
+            out.push(TAG_DELIVER_BATCH);
+            put_varint(out, batch.len() as u64);
+            for (src, a) in batch {
+                put_proc(out, *src);
+                put_value(out, a);
+            }
         }
     }
-    out
 }
 
 /// Decodes a frame payload produced by [`encode_payload`]. The payload
@@ -523,6 +588,93 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 /// Writes one frame to a stream.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.write_all(&encode_frame(frame))
+}
+
+/// A reusable gather-writer for batches of frames.
+///
+/// Frames are encoded back-to-back into one retained payload buffer (no
+/// per-frame allocation once the buffer is warm); [`FrameWriter::write_to`]
+/// then emits the whole batch as interleaved 4-byte big-endian length
+/// headers and borrowed payload slices through a single
+/// [`Write::write_vectored`] gather syscall where the stream accepts it,
+/// with explicit continuation on partial writes.
+#[derive(Default)]
+pub struct FrameWriter {
+    payloads: Vec<u8>,
+    headers: Vec<[u8; 4]>,
+    bounds: Vec<(usize, usize)>,
+}
+
+impl FrameWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    /// Drops all batched frames, retaining buffer capacity.
+    pub fn clear(&mut self) {
+        self.payloads.clear();
+        self.headers.clear();
+        self.bounds.clear();
+    }
+
+    /// Number of batched frames.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Total batched payload bytes (excluding length headers).
+    pub fn payload_bytes(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Encodes one frame onto the batch.
+    pub fn push(&mut self, frame: &Frame) {
+        let start = self.payloads.len();
+        encode_payload_into(&mut self.payloads, frame);
+        let end = self.payloads.len();
+        self.headers.push(((end - start) as u32).to_be_bytes());
+        self.bounds.push((start, end));
+    }
+
+    /// Writes the whole batch, preferring one gather syscall. The batch
+    /// is left intact; call [`FrameWriter::clear`] afterwards to reuse
+    /// the buffers.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut slices: Vec<io::IoSlice<'_>> = Vec::with_capacity(self.bounds.len() * 2);
+        for (i, &(start, end)) in self.bounds.iter().enumerate() {
+            slices.push(io::IoSlice::new(&self.headers[i]));
+            slices.push(io::IoSlice::new(&self.payloads[start..end]));
+        }
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        let mut written = 0usize;
+        while written < total {
+            // Skip fully written slices; a slice written partway is
+            // finished with a plain write of its remainder (rare — the
+            // common case completes in one gather call).
+            let mut off = written;
+            let mut idx = 0;
+            while idx < slices.len() && off >= slices[idx].len() {
+                off -= slices[idx].len();
+                idx += 1;
+            }
+            let n = if off == 0 {
+                w.write_vectored(&slices[idx..])?
+            } else {
+                w.write(&slices[idx][off..])?
+            };
+            if n == 0 {
+                return Err(io::ErrorKind::WriteZero.into());
+            }
+            written += n;
+        }
+        Ok(())
+    }
 }
 
 /// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF at a
@@ -578,11 +730,82 @@ mod tests {
         let v = View::new(ViewId::new(2, ProcId(0)), ProcId::range(3));
         let mut t = Token::new(&v);
         t.round = 7;
-        t.clean_rounds = 1;
+        t.seq_start = 3;
+        t.acked = 2;
         let l = Label::new(v.id, 1, ProcId(1));
-        t.msgs.push(TokenMsg { src: ProcId(1), mid: 42, msg: AppMsg::Val(l, Value::from_u64(5)) });
+        t.entries.push(TokenMsg {
+            src: ProcId(1),
+            mid: 42,
+            msg: AppMsg::Val(l, Value::from_u64(5)),
+        });
+        t.collect.push(TokenMsg {
+            src: ProcId(2),
+            mid: 77,
+            msg: AppMsg::Val(l, Value::from_u64(6)),
+        });
         t.delivered.insert(ProcId(1), 1);
         roundtrip(&Frame::Peer(Wire::Token(Box::new(t))));
+    }
+
+    #[test]
+    fn frame_writer_matches_sequential_write_frame() {
+        let frames = vec![
+            Frame::Peer(Wire::Probe),
+            Frame::Submit(Value::from_u64(1)),
+            Frame::Deliver { src: ProcId(2), a: Value::from("abc") },
+        ];
+        let mut expect = Vec::new();
+        for f in &frames {
+            write_frame(&mut expect, f).unwrap();
+        }
+        let mut fw = FrameWriter::new();
+        for f in &frames {
+            fw.push(f);
+        }
+        assert_eq!(fw.len(), 3);
+        let mut got = Vec::new();
+        fw.write_to(&mut got).unwrap();
+        assert_eq!(got, expect);
+        fw.clear();
+        assert!(fw.is_empty());
+        assert_eq!(fw.payload_bytes(), 0);
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, to force the
+    /// partial-write continuation path.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_writer_survives_partial_writes() {
+        let frames = vec![
+            Frame::Submit(Value::from_u64(7)),
+            Frame::Peer(Wire::Call { viewid: ViewId::new(3, ProcId(1)) }),
+        ];
+        let mut expect = Vec::new();
+        let mut fw = FrameWriter::new();
+        for f in &frames {
+            write_frame(&mut expect, f).unwrap();
+            fw.push(f);
+        }
+        for cap in 1..8 {
+            let mut d = Dribble { out: Vec::new(), cap };
+            fw.write_to(&mut d).unwrap();
+            assert_eq!(d.out, expect, "cap {cap}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   This measures how the ring behaves when the offered load is
 //!   independent of its progress.
 
-use crate::codec::{read_frame, write_frame, Frame, HelloKind};
+use crate::codec::{read_frame, write_frame, Frame, FrameWriter, HelloKind};
 use gcs_model::{ProcId, Value};
 use std::collections::BTreeMap;
 use std::io;
@@ -79,6 +79,13 @@ pub struct LoadConfig {
     pub mode: LoadMode,
     /// Give up waiting for deliveries after this long with no progress.
     pub idle_timeout: Duration,
+    /// Operations submitted and completed *before* the timed window
+    /// opens. They warm the ring — view formation, the cold token's
+    /// first rotations — and are excluded from the histogram and the
+    /// elapsed time, so the ramp-up cannot masquerade as a genuine p99
+    /// tail. Warm-up values occupy `value_base .. value_base + warmup`;
+    /// the timed range follows them.
+    pub warmup: u64,
 }
 
 /// Runs one load generation session against the node at `addr`.
@@ -95,66 +102,182 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
         &Frame::Hello { node: ProcId(u32::MAX), generation: 0, kind: HelloKind::Client },
     )?;
 
-    // Reader thread: forward every delivered u64 value with its arrival
-    // instant; exits on EOF/error.
-    let (tx, rx) = mpsc::channel::<(u64, Instant)>();
-    let mut read_half = stream.try_clone()?;
-    let reader = std::thread::spawn(move || loop {
-        match read_frame(&mut read_half) {
-            Ok(Some(Frame::Deliver { a, .. })) => {
-                if let Some(x) = a.as_u64() {
-                    if tx.send((x, Instant::now())).is_err() {
+    // Reader thread: forward delivered u64 values with their arrival
+    // instant; exits on EOF/error. Deliveries arrive in bursts (the node
+    // writes one vectored batch per flush), so the reader drains every
+    // frame already buffered and crosses the channel once per burst —
+    // one timestamp, one send, one receiver wakeup — instead of once
+    // per operation.
+    let (tx, rx) = mpsc::channel::<(Vec<u64>, Instant)>();
+    let read_half = stream.try_clone()?;
+    let reader = std::thread::spawn(move || {
+        let mut read_half = io::BufReader::with_capacity(256 * 1024, read_half);
+        let mut burst: Vec<u64> = Vec::new();
+        loop {
+            match read_frame(&mut read_half) {
+                Ok(Some(f)) => {
+                    match f {
+                        Frame::Deliver { a, .. } => {
+                            if let Some(x) = a.as_u64() {
+                                burst.push(x);
+                            }
+                        }
+                        Frame::DeliverBatch(batch) => {
+                            burst.extend(batch.iter().filter_map(|(_, a)| a.as_u64()));
+                        }
+                        _ => continue,
+                    }
+                    if buffer_has_frame(&read_half) {
+                        continue;
+                    }
+                    if tx.send((std::mem::take(&mut burst), Instant::now())).is_err() {
                         return;
                     }
                 }
+                Ok(None) | Err(_) => return,
             }
-            Ok(Some(_)) => {}
-            Ok(None) | Err(_) => return,
         }
     });
 
-    let lo = cfg.value_base;
-    let hi = cfg.value_base + cfg.ops;
+    // Whether the reader's buffer already holds one complete frame (so
+    // draining it cannot block on the socket).
+    fn buffer_has_frame(r: &io::BufReader<TcpStream>) -> bool {
+        let buf = r.buffer();
+        let Some(hdr) = buf.get(..4) else { return false };
+        let Ok(hdr) = <[u8; 4]>::try_from(hdr) else { return false };
+        let len = u32::from_be_bytes(hdr) as usize;
+        buf.len() >= 4usize.saturating_add(len)
+    }
+
+    // Submits `count` fresh operations as one coalesced batch: every
+    // `Submit` frame is encoded into a reused buffer and the whole batch
+    // lands on the socket in a single vectored write.
+    fn submit_batch(
+        stream: &mut TcpStream,
+        fw: &mut FrameWriter,
+        pending: &mut BTreeMap<u64, Instant>,
+        next: &mut u64,
+        submitted: &mut u64,
+        count: u64,
+    ) -> io::Result<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        fw.clear();
+        let now = Instant::now();
+        let mut batch = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let x = *next;
+            *next += 1;
+            pending.insert(x, now);
+            *submitted += 1;
+            batch.push(Value::from_u64(x));
+        }
+        fw.push(&Frame::SubmitBatch(batch));
+        fw.write_to(stream)
+    }
+
+    let mut fw = FrameWriter::new();
     let mut pending: BTreeMap<u64, Instant> = BTreeMap::new();
-    let mut next = lo;
+    let mut next = cfg.value_base;
+    let mut submitted = 0u64;
+
+    // Warm-up phase: drive the ring through its first rotations before
+    // any sample is taken.
+    if cfg.warmup > 0 {
+        let warm_hi = cfg.value_base + cfg.warmup;
+        let window = match cfg.mode {
+            LoadMode::Closed { window } => window.max(1),
+            LoadMode::Open { .. } => 32,
+        } as u64;
+        let count = window.min(warm_hi - next);
+        submit_batch(&mut stream, &mut fw, &mut pending, &mut next, &mut submitted, count)?;
+        let mut last_progress = Instant::now();
+        let mut done = 0u64;
+        while done < cfg.warmup {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok((xs, _)) => {
+                    for x in xs {
+                        if pending.remove(&x).is_some() {
+                            done += 1;
+                        }
+                    }
+                    while let Ok((ys, _)) = rx.try_recv() {
+                        for y in ys {
+                            if pending.remove(&y).is_some() {
+                                done += 1;
+                            }
+                        }
+                    }
+                    last_progress = Instant::now();
+                    let room = window.saturating_sub(pending.len() as u64);
+                    let count = room.min(warm_hi.saturating_sub(next));
+                    submit_batch(
+                        &mut stream,
+                        &mut fw,
+                        &mut pending,
+                        &mut next,
+                        &mut submitted,
+                        count,
+                    )?;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if last_progress.elapsed() > cfg.idle_timeout {
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Anything still outstanding belongs to the warm-up: forget it,
+        // so a straggling delivery finds no pending entry and cannot
+        // leak a cold-start latency into the timed histogram.
+        pending.clear();
+        submitted = 0;
+    }
+
+    let hi = cfg.value_base + cfg.warmup + cfg.ops;
     let latency = Histogram::new();
     let started = Instant::now();
     let mut last_progress = Instant::now();
-    let mut submitted = 0u64;
     let mut finished_at = started;
-
-    let submit_one = |stream: &mut TcpStream,
-                      pending: &mut BTreeMap<u64, Instant>,
-                      next: &mut u64,
-                      submitted: &mut u64|
-     -> io::Result<()> {
-        let x = *next;
-        *next += 1;
-        pending.insert(x, Instant::now());
-        *submitted += 1;
-        write_frame(stream, &Frame::Submit(Value::from_u64(x)))
-    };
 
     match cfg.mode {
         LoadMode::Closed { window } => {
-            let window = window.max(1);
-            while next < hi && pending.len() < window {
-                submit_one(&mut stream, &mut pending, &mut next, &mut submitted)?;
-            }
+            let window = window.max(1) as u64;
+            let count = window.min(hi.saturating_sub(next));
+            submit_batch(&mut stream, &mut fw, &mut pending, &mut next, &mut submitted, count)?;
             while !pending.is_empty() {
                 match rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok((x, at)) => {
-                        if let Some(t0) = pending.remove(&x) {
-                            latency.record(at.duration_since(t0).as_micros() as u64);
-                            finished_at = at;
-                            last_progress = Instant::now();
-                            if next < hi {
-                                submit_one(&mut stream, &mut pending, &mut next, &mut submitted)?;
+                    Ok((xs, at)) => {
+                        for x in xs {
+                            if let Some(t0) = pending.remove(&x) {
+                                latency.record(at.duration_since(t0).as_micros() as u64);
+                                finished_at = at;
                             }
-                        } else if (lo..hi).contains(&x) {
-                            // A duplicate push for a value we already
-                            // counted — ignore.
                         }
+                        // Batched tokens complete operations in bursts:
+                        // drain every completion already queued, then
+                        // refill the window with one batched write.
+                        while let Ok((ys, at2)) = rx.try_recv() {
+                            for y in ys {
+                                if let Some(t0) = pending.remove(&y) {
+                                    latency.record(at2.duration_since(t0).as_micros() as u64);
+                                    finished_at = at2;
+                                }
+                            }
+                        }
+                        last_progress = Instant::now();
+                        let room = window.saturating_sub(pending.len() as u64);
+                        let count = room.min(hi.saturating_sub(next));
+                        submit_batch(
+                            &mut stream,
+                            &mut fw,
+                            &mut pending,
+                            &mut next,
+                            &mut submitted,
+                            count,
+                        )?;
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {
                         if last_progress.elapsed() > cfg.idle_timeout {
@@ -170,17 +293,32 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
             let gap = Duration::from_nanos(1_000_000_000 / rate);
             let mut due = Instant::now();
             while next < hi || !pending.is_empty() {
-                if next < hi && Instant::now() >= due {
-                    submit_one(&mut stream, &mut pending, &mut next, &mut submitted)?;
+                // Everything that has come due since the last pass goes
+                // out as one batch — at high offered rates this is the
+                // difference between one syscall per op and one per tick.
+                let mut burst = 0u64;
+                while next + burst < hi && Instant::now() >= due {
+                    burst += 1;
                     due += gap;
                 }
+                submit_batch(&mut stream, &mut fw, &mut pending, &mut next, &mut submitted, burst)?;
                 match rx.recv_timeout(Duration::from_millis(1)) {
-                    Ok((x, at)) => {
-                        if let Some(t0) = pending.remove(&x) {
-                            latency.record(at.duration_since(t0).as_micros() as u64);
-                            finished_at = at;
-                            last_progress = Instant::now();
+                    Ok((xs, at)) => {
+                        for x in xs {
+                            if let Some(t0) = pending.remove(&x) {
+                                latency.record(at.duration_since(t0).as_micros() as u64);
+                                finished_at = at;
+                            }
                         }
+                        while let Ok((ys, at2)) = rx.try_recv() {
+                            for y in ys {
+                                if let Some(t0) = pending.remove(&y) {
+                                    latency.record(at2.duration_since(t0).as_micros() as u64);
+                                    finished_at = at2;
+                                }
+                            }
+                        }
+                        last_progress = Instant::now();
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {
                         if next >= hi && last_progress.elapsed() > cfg.idle_timeout {

@@ -21,7 +21,7 @@
 //! `NodeCore` runs unchanged over this TCP endpoint or over the
 //! deterministic in-process transport of `gcs-sim`.
 
-use crate::codec::{read_frame, write_frame, Frame, HelloKind};
+use crate::codec::{read_frame, write_frame, Frame, FrameWriter, HelloKind};
 use gcs_model::{ProcId, Value};
 use gcs_obs::{Counter, DropReason, EventKind, FaultKind, Obs};
 use gcs_vsimpl::Wire;
@@ -70,7 +70,25 @@ pub trait Transport {
     fn send(&self, to: ProcId, wire: Wire);
     /// Pushes a delivery notification to connected clients, if any.
     fn push_delivery(&self, src: ProcId, a: &Value);
+    /// Pushes a batch of delivery notifications. The default forwards one
+    /// at a time; transports with a vectored framing fast path override
+    /// it to coalesce the whole batch into one write per client.
+    fn push_deliveries(&self, batch: &[(ProcId, Value)]) {
+        for (src, a) in batch {
+            self.push_delivery(*src, a);
+        }
+    }
 }
+
+/// Most frames a writer thread coalesces into one vectored write; keeps
+/// a single syscall's iovec bounded even when the queue is deep. Public
+/// because it also bounds the writer's in-flight window — frames in the
+/// current batch are neither counted sent nor dropped yet — which
+/// conservation-accounting tests need to know.
+pub const COALESCE_FRAMES: usize = 256;
+/// Byte ceiling for one coalesced write; stops a batch of large tokens
+/// from building an arbitrarily large buffer before flushing.
+const COALESCE_BYTES: usize = 1 << 20;
 
 /// What [`TcpTransport::stop`] observed while tearing the endpoint down:
 /// every spawned thread (accept loop, per-peer writers, per-connection
@@ -143,11 +161,14 @@ pub enum Incoming {
         /// The packet.
         wire: Wire,
     },
-    /// A client submitted a value over a client connection (or the local
-    /// harness injected one).
+    /// A client submitted values over a client connection (or the local
+    /// harness injected them). One event can carry a whole burst: the
+    /// reader coalesces every `Submit` frame already sitting in its read
+    /// buffer, so a load generator's batched write crosses the channel
+    /// as one event and the node runs one flush for the lot.
     Submit {
-        /// The value to broadcast.
-        a: Value,
+        /// The values to broadcast, in submission order.
+        batch: Vec<Value>,
     },
     /// Shut the node down.
     Stop,
@@ -406,6 +427,23 @@ impl TcpTransport {
         subs.retain_mut(|stream| write_frame(stream, &frame).is_ok());
     }
 
+    /// Pushes a batch of deliveries: the whole batch travels as one
+    /// `DeliverBatch` frame, encoded once, and lands on each client
+    /// socket as a single write instead of one frame (and one decode
+    /// dispatch at the client) per notification.
+    pub fn push_deliveries(&self, batch: &[(ProcId, Value)]) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut subs = self.shared.subscribers.lock_clean();
+        if subs.is_empty() {
+            return;
+        }
+        let mut fw = FrameWriter::new();
+        fw.push(&Frame::DeliverBatch(batch.to_vec()));
+        subs.retain_mut(|stream| fw.write_to(stream).is_ok());
+    }
+
     /// Emulates a network partition from this node to `p`: closes the live
     /// sockets and drops all traffic in both directions until
     /// [`TcpTransport::heal`].
@@ -565,6 +603,10 @@ impl Transport for TcpTransport {
     fn push_delivery(&self, src: ProcId, a: &Value) {
         TcpTransport::push_delivery(self, src, a);
     }
+
+    fn push_deliveries(&self, batch: &[(ProcId, Value)]) {
+        TcpTransport::push_deliveries(self, batch);
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incoming>) {
@@ -594,7 +636,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incomi
     }
 }
 
-fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incoming>) {
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>, events: Sender<Incoming>) {
+    // Buffer reads: coalesced writers put many frames into one segment,
+    // and decoding them one read_exact at a time straight off the socket
+    // would pay two syscalls per frame.
+    let mut stream = io::BufReader::with_capacity(64 * 1024, stream);
     // The first frame must identify the connection.
     let hello = match read_frame(&mut stream) {
         Ok(Some(Frame::Hello { node, generation, kind })) => (node, generation, kind),
@@ -612,7 +658,7 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incomi
                 }
                 *e = generation;
             }
-            let Ok(clone) = stream.try_clone() else { return };
+            let Ok(clone) = stream.get_ref().try_clone() else { return };
             shared.inbound.lock_clean().push((node, clone));
             loop {
                 match read_frame(&mut stream) {
@@ -643,18 +689,34 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incomi
             }
         }
         HelloKind::Client => {
-            if let Ok(clone) = stream.try_clone() {
+            if let Ok(clone) = stream.get_ref().try_clone() {
                 shared.subscribers.lock_clean().push(clone);
             }
             loop {
                 match read_frame(&mut stream) {
-                    Ok(Some(Frame::Submit(a))) => {
+                    Ok(Some(first @ (Frame::Submit(_) | Frame::SubmitBatch(_)))) => {
                         // ordering: SeqCst — shutdown-flag poll; pairs
                         // with the SeqCst store in stop().
                         if shared.shutdown.load(Ordering::SeqCst) {
                             return;
                         }
-                        if events.send(Incoming::Submit { a }).is_err() {
+                        let mut batch = match first {
+                            Frame::Submit(a) => vec![a],
+                            Frame::SubmitBatch(b) => b,
+                            _ => return,
+                        };
+                        // Coalesce the burst: whatever submit frames the
+                        // read buffer already holds ride in the same
+                        // event. Only complete buffered frames are taken
+                        // — a frame split across segments waits for the
+                        // next loop pass rather than blocking the batch.
+                        while batch.len() < 4096 {
+                            match peek_buffered_submit(&mut stream) {
+                                Some(mut more) => batch.append(&mut more),
+                                None => break,
+                            }
+                        }
+                        if events.send(Incoming::Submit { batch }).is_err() {
                             return;
                         }
                     }
@@ -662,6 +724,30 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, events: Sender<Incomi
                 }
             }
         }
+    }
+}
+
+/// Decodes one complete submit frame (`Submit` or `SubmitBatch`) out of
+/// the reader's buffered bytes without blocking. Returns `None` —
+/// leaving the buffer intact for the caller's blocking `read_frame` —
+/// when the buffer holds no complete frame, or when the next frame is
+/// not a submission.
+fn peek_buffered_submit(stream: &mut io::BufReader<TcpStream>) -> Option<Vec<Value>> {
+    use std::io::BufRead;
+    let buf = stream.buffer();
+    let hdr: [u8; 4] = buf.get(..4)?.try_into().ok()?;
+    let len = u32::from_be_bytes(hdr) as usize;
+    let payload = buf.get(4..4usize.checked_add(len)?)?;
+    match crate::codec::decode_payload(payload) {
+        Ok(Frame::Submit(a)) => {
+            stream.consume(4 + len);
+            Some(vec![a])
+        }
+        Ok(Frame::SubmitBatch(b)) => {
+            stream.consume(4 + len);
+            Some(b)
+        }
+        _ => None,
     }
 }
 
@@ -726,6 +812,7 @@ fn writer_loop(
         // correctness never depends on observing it promptly.
         stats.connected.store(true, Ordering::Relaxed);
         shared.netobs.on_link_up(peer, generation);
+        let mut batch = FrameWriter::new();
         loop {
             match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(wire) => {
@@ -734,13 +821,39 @@ fn writer_loop(
                         break;
                     }
                     if let Some(delay) = config.inject_send_delay {
+                        // Fault injection is defined per frame — skip
+                        // coalescing so every frame pays the delay.
                         std::thread::sleep(delay);
+                        if write_frame(&mut write_half, &Frame::Peer(wire)).is_err() {
+                            shared.netobs.on_drop(peer, DropReason::WriteError);
+                            break;
+                        }
+                        shared.netobs.on_send(peer);
+                        continue;
                     }
-                    if write_frame(&mut write_half, &Frame::Peer(wire)).is_err() {
-                        shared.netobs.on_drop(peer, DropReason::WriteError);
+                    // Coalesce: drain whatever queued behind this frame
+                    // (bounded) and flush the whole batch as one vectored
+                    // write instead of one syscall per frame.
+                    batch.clear();
+                    batch.push(&Frame::Peer(wire));
+                    while batch.len() < COALESCE_FRAMES && batch.payload_bytes() < COALESCE_BYTES {
+                        match rx.try_recv() {
+                            Ok(w) => batch.push(&Frame::Peer(w)),
+                            Err(_) => break,
+                        }
+                    }
+                    if batch.write_to(&mut write_half).is_err() {
+                        // The stream is torn mid-batch; count every frame
+                        // of it lost (some bytes may have landed, but the
+                        // peer's length-prefix framing discards the tail).
+                        for _ in 0..batch.len() {
+                            shared.netobs.on_drop(peer, DropReason::WriteError);
+                        }
                         break;
                     }
-                    shared.netobs.on_send(peer);
+                    for _ in 0..batch.len() {
+                        shared.netobs.on_send(peer);
+                    }
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     // ordering: SeqCst shutdown poll (pairs with stop());

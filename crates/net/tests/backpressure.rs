@@ -10,7 +10,7 @@ use gcs_core::cause::check_trace;
 use gcs_core::to_trace::check_to_trace;
 use gcs_model::{ProcId, Value, View, ViewId};
 use gcs_net::cluster::{ClusterConfig, LoopbackCluster};
-use gcs_net::transport::{Incoming, TcpTransport, TransportConfig};
+use gcs_net::transport::{Incoming, TcpTransport, TransportConfig, COALESCE_FRAMES};
 use gcs_obs::{DropReason, EventKind, Obs};
 use gcs_vsimpl::convert::{to_obs, vs_actions};
 use gcs_vsimpl::Wire;
@@ -90,9 +90,10 @@ fn slow_consumer_fills_queue_and_drops_are_counted() {
     let sent = snap.counter_value("net_frames_sent_total", &[("node", "0")]);
     assert!(queue_full > 0, "a non-draining peer must produce queue_full drops");
     // Conservation: every frame was written, dropped, or sits in the
-    // bounded queue / the writer's single in-flight slot.
+    // bounded queue / the writer's in-flight coalescing batch (counted
+    // as sent or dropped only once the batch write resolves).
     assert!(
-        sent + queue_full + QUEUE as u64 + 1 >= SENDS,
+        sent + queue_full + QUEUE as u64 + COALESCE_FRAMES as u64 >= SENDS,
         "frames unaccounted for: sent={sent} dropped={queue_full}"
     );
     assert!(sent + queue_full <= SENDS, "sent={sent} dropped={queue_full} exceed submissions");

@@ -106,16 +106,20 @@ fn token_strategy() -> impl Strategy<Value = Token> {
     (
         viewid_strategy(),
         any::<u64>(),
+        any::<u64>(),
         collection::vec(token_msg_strategy(), 0..6),
+        collection::vec(token_msg_strategy(), 0..4),
+        any::<u64>(),
         collection::btree_map(proc_strategy(), any::<u64>(), 0..8),
-        any::<u32>(),
     )
-        .prop_map(|(view, round, msgs, delivered, clean_rounds)| Token {
+        .prop_map(|(view, round, seq_start, entries, collect, acked, delivered)| Token {
             view,
             round,
-            msgs,
+            seq_start,
+            entries,
+            collect,
+            acked,
             delivered,
-            clean_rounds,
         })
 }
 
@@ -134,7 +138,7 @@ fn wire_strategy() -> BoxedStrategy<Wire> {
 }
 
 fn frame_strategy() -> BoxedStrategy<Frame> {
-    (0u8..4)
+    (0u8..6)
         .prop_flat_map(|variant| -> BoxedStrategy<Frame> {
             match variant {
                 0 => (proc_strategy(), any::<u64>(), any::<bool>())
@@ -146,12 +150,41 @@ fn frame_strategy() -> BoxedStrategy<Frame> {
                     .boxed(),
                 1 => wire_strategy().prop_map(Frame::Peer).boxed(),
                 2 => value_strategy().prop_map(Frame::Submit).boxed(),
-                _ => (proc_strategy(), value_strategy())
+                3 => (proc_strategy(), value_strategy())
                     .prop_map(|(src, a)| Frame::Deliver { src, a })
                     .boxed(),
+                4 => collection::vec((proc_strategy(), value_strategy()), 0..16)
+                    .prop_map(Frame::DeliverBatch)
+                    .boxed(),
+                _ => collection::vec(value_strategy(), 0..16).prop_map(Frame::SubmitBatch).boxed(),
             }
         })
         .boxed()
+}
+
+/// A token mid-rotation under load: a large `entries` delta (hundreds of
+/// messages) with realistic monotone cursors. The small `token_strategy`
+/// above keeps the general frame tests fast; this one exists so the
+/// batched hot-path shape gets direct roundtrip/truncation coverage.
+fn batched_token_strategy() -> impl Strategy<Value = Token> {
+    (
+        viewid_strategy(),
+        any::<u64>(),
+        0u64..1 << 40,
+        collection::vec(token_msg_strategy(), 64..384),
+        collection::vec(token_msg_strategy(), 0..8),
+        any::<u64>(),
+        collection::btree_map(proc_strategy(), any::<u64>(), 1..8),
+    )
+        .prop_map(|(view, round, seq_start, entries, collect, acked, delivered)| Token {
+            view,
+            round,
+            seq_start,
+            entries,
+            collect,
+            acked,
+            delivered,
+        })
 }
 
 proptest! {
@@ -235,5 +268,86 @@ proptest! {
             persist_failure("raw", &bytes);
         }
         prop_assert!(returned.is_ok(), "decoder panicked on random bytes");
+    }
+}
+
+proptest! {
+    // Large tokens are expensive to generate; fewer cases keep the suite
+    // interactive while still sweeping hundreds of batch shapes.
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// A heavily batched token round-trips bit-exactly.
+    #[test]
+    fn batched_token_roundtrips(t in batched_token_strategy()) {
+        let frame = Frame::Peer(Wire::Token(Box::new(t)));
+        let bytes = encode_payload(&frame);
+        let back = decode_payload(&bytes);
+        if back.as_ref().ok() != Some(&frame) {
+            persist_failure("ok", &bytes);
+        }
+        prop_assert_eq!(back.ok(), Some(frame));
+    }
+
+    /// Truncating a batched token anywhere — including mid-entry — fails
+    /// cleanly. Cuts sweep the whole payload at a stride so every region
+    /// (header, entries, collect, counts) is hit without O(len) decodes
+    /// per case.
+    #[test]
+    fn batched_token_truncations_error_cleanly(t in batched_token_strategy(), seed in any::<u64>()) {
+        let frame = Frame::Peer(Wire::Token(Box::new(t)));
+        let bytes = encode_payload(&frame);
+        let stride = (bytes.len() / 64).max(1);
+        let offset = (seed % stride as u64) as usize;
+        let mut cut = offset;
+        while cut < bytes.len() {
+            prop_assert!(
+                decode_payload(&bytes[..cut]).is_err(),
+                "truncation at {} of {} decoded successfully", cut, bytes.len()
+            );
+            cut += stride;
+        }
+    }
+
+    /// Corrupting a single byte of a batched token never panics.
+    #[test]
+    fn batched_token_corruption_never_panics(
+        t in batched_token_strategy(),
+        pos in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let frame = Frame::Peer(Wire::Token(Box::new(t)));
+        let mut bytes = encode_payload(&frame);
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= flip;
+        let returned = decode_guarded(&bytes);
+        if returned.is_err() {
+            persist_failure("raw", &bytes);
+        }
+        prop_assert!(returned.is_ok(), "decoder panicked on corrupted batched token");
+    }
+}
+
+/// Pipeline-rotation-sized tokens (the `bench_token_codec` shapes, up to
+/// 4096 entries) round-trip; a plain test because proptest generation at
+/// this size would dominate the suite's runtime.
+#[test]
+fn rotation_sized_tokens_roundtrip() {
+    for batch in [1usize, 16, 256, 4096] {
+        let view = View::new(ViewId::new(3, ProcId(0)), ProcId::range(5));
+        let mut t = Token::new(&view);
+        t.round = 42;
+        t.seq_start = 10_000;
+        t.acked = 9_000;
+        for i in 0..batch {
+            let l = Label::new(view.id, t.seq_start + i as u64, ProcId((i % 5) as u32));
+            t.entries.push(TokenMsg {
+                src: ProcId((i % 5) as u32),
+                mid: i as u64,
+                msg: AppMsg::Val(l, Value::from_u64(i as u64)),
+            });
+        }
+        let frame = Frame::Peer(Wire::Token(Box::new(t)));
+        let bytes = encode_payload(&frame);
+        assert_eq!(decode_payload(&bytes).ok(), Some(frame), "batch size {batch}");
     }
 }

@@ -106,7 +106,8 @@ fn seed_frames() -> Vec<Frame> {
     let token = Token {
         view: vid(3, 0),
         round: 130,
-        msgs: vec![
+        seq_start: 7,
+        entries: vec![
             TokenMsg {
                 src: ProcId(0),
                 mid: 1,
@@ -114,8 +115,13 @@ fn seed_frames() -> Vec<Frame> {
             },
             TokenMsg { src: ProcId(4), mid: u64::MAX, msg: AppMsg::Summary(summary.clone()) },
         ],
+        collect: vec![TokenMsg {
+            src: ProcId(3),
+            mid: (3 << 40) | 9,
+            msg: AppMsg::Val(label(3, 2, 3), Value::from(vec![1u8, 2, 3])),
+        }],
+        acked: 5,
         delivered: BTreeMap::from([(ProcId(0), 2), (ProcId(4), 0)]),
-        clean_rounds: 5,
     };
     vec![
         Frame::Hello { node: ProcId(0), generation: 0, kind: HelloKind::Peer },
@@ -130,9 +136,11 @@ fn seed_frames() -> Vec<Frame> {
         Frame::Peer(Wire::Token(Box::new(Token {
             view: vid(1, 0),
             round: 0,
-            msgs: vec![],
+            seq_start: 0,
+            entries: vec![],
+            collect: vec![],
+            acked: 0,
             delivered: BTreeMap::new(),
-            clean_rounds: 0,
         }))),
         Frame::Submit(Value::default()),
         Frame::Submit(Value::from_u64(u64::MAX)),

@@ -82,6 +82,7 @@ fn tcp_client_load_generator_round_trips() {
             value_base: 1,
             mode: LoadMode::Closed { window: 16 },
             idle_timeout: Duration::from_secs(30),
+            warmup: 0,
         },
     )
     .expect("client connects");

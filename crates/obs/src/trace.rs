@@ -286,6 +286,39 @@ impl TraceBuf {
         shard.push_back(ObsEvent { t_ms, seq, kind });
     }
 
+    /// Records a batch of events with one clock read, one claimed
+    /// sequence block, and one shard lock — the hot-path form of
+    /// [`TraceBuf::record`] for recorders that flush events in bursts
+    /// (e.g. every delivery a batched token round produced at once). The
+    /// block is claimed before the caller's effects propagate anywhere,
+    /// so causally later recordings still claim later sequence numbers;
+    /// concurrent unrelated recorders are merely coarsened to batch
+    /// granularity, which the merged order never promised to refine.
+    pub fn record_many<I>(&self, kinds: I)
+    where
+        I: IntoIterator<Item = EventKind>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let kinds = kinds.into_iter();
+        let n = kinds.len() as u64;
+        if n == 0 {
+            return;
+        }
+        let t_ms = self.now_ms();
+        // ordering: AcqRel — same publication contract as record().
+        let seq0 = self.inner.seq.fetch_add(n, Ordering::AcqRel);
+        let mut shard = self.inner.shards[my_shard()].lock().expect("no panicking holder");
+        for (i, kind) in kinds.enumerate() {
+            if shard.len() >= self.inner.cap_per_shard {
+                shard.pop_front();
+                // ordering: Relaxed — advisory eviction counter, as in
+                // record().
+                self.inner.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            shard.push_back(ObsEvent { t_ms, seq: seq0 + i as u64, kind });
+        }
+    }
+
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
         self.inner.shards.iter().map(|s| s.lock().expect("no panicking holder").len()).sum()

@@ -73,7 +73,7 @@ fn bug_active(_: &SimConfig) -> bool {
 fn corrupt_token_acks(bytes: &[u8]) -> Option<Vec<u8>> {
     match decode_payload(bytes) {
         Ok(Frame::Peer(Wire::Token(mut tok))) => {
-            let full = tok.msgs.len() as u64;
+            let full = tok.seq_start + tok.entries.len() as u64;
             for count in tok.delivered.values_mut() {
                 *count = full;
             }
@@ -604,7 +604,7 @@ impl<'a> World<'a> {
                         .push(format!("schedule: submit of {value} aimed at crashed node {p}"));
                     return;
                 };
-                core.handle(Incoming::Submit { a: Value::from_u64(value) }, &*ep);
+                core.handle(Incoming::Submit { batch: vec![Value::from_u64(value)] }, &*ep);
                 self.post(p);
             }
             Ev::Timer { p } => {

@@ -41,6 +41,11 @@ pub struct ProtoConfig {
     /// VS), delivery happens as soon as the token brings the message and
     /// the safe indication follows separately.
     pub safe_delivery: bool,
+    /// Maximum number of token rounds the leader keeps in flight at
+    /// once. 1 reproduces the classic single circulating token; larger
+    /// values pipeline the ring so newly sequenced batches ship without
+    /// waiting for the previous rotation to complete.
+    pub pipeline: u32,
 }
 
 impl ProtoConfig {
@@ -56,6 +61,7 @@ impl ProtoConfig {
             mu: 4 * n as Time * delta,
             mode: MembershipMode::ThreeRound,
             safe_delivery: false,
+            pipeline: 4,
         }
     }
 }
@@ -67,6 +73,11 @@ const TAG_TOKEN: u64 = 1;
 const TAG_LAUNCH: u64 = 2;
 const TAG_FORM: u64 = 3;
 const TAG_MASK: u64 = 0b111;
+
+/// Upper bound on entries a member will hold from rounds that overtook a
+/// gap. At most `pipeline` rounds are ever in flight, so a healthy ring
+/// never comes close; the cap only guards memory against a hostile peer.
+const STASH_MAX: usize = 4096;
 
 fn timer_kind(tag: u64, gen: u64) -> u64 {
     tag | (gen << 3)
@@ -102,13 +113,47 @@ pub struct VsNode<C> {
     heard: BTreeMap<ProcId, Time>,
     // --- token state (per current view) ---
     out_buf: Vec<TokenMsg>,
+    /// Retained suffix of the per-view total order: `log[0]` sits at
+    /// absolute sequence position `log_start`. The prefix below the
+    /// token's `acked` cursor has been delivered and reported safe
+    /// everywhere and is discarded.
+    log: std::collections::VecDeque<TokenMsg>,
+    log_start: u64,
+    /// Absolute cursors into the total order (client delivery and safe
+    /// indication respectively); receipt is `log_start + log.len()`.
     delivered_count: u64,
-    received_count: u64,
     safe_count: u64,
-    holding: Option<Box<Token>>,
-    pending_token: Option<Box<Token>>,
+    /// Tokens for a view above the current one, held until that view is
+    /// installed (several can race ahead of a join when pipelined).
+    /// Tokens arrive already boxed inside `Wire::Token`; keeping the box
+    /// means holding and later replaying one is a pointer move.
+    #[allow(clippy::vec_box)]
+    pending_tokens: Vec<Box<Token>>,
+    /// Entries from rounds that arrived ahead of a gap (links may
+    /// reorder), keyed by absolute sequence position; spliced into the
+    /// log as soon as the missing prefix shows up.
+    stash: BTreeMap<u64, TokenMsg>,
     last_token: Time,
     mid_counter: u64,
+    // --- leader state (meaningful only while leading the current view) ---
+    /// Round number of the next launch (rounds start at 1 per view).
+    next_round: u64,
+    /// Highest round that has completed its rotation.
+    last_returned: u64,
+    /// Absolute sequence position up to which entries have been shipped.
+    sent_high: u64,
+    /// Ack cursor: launch-time safe prefix of the last returned round.
+    acked: u64,
+    /// Latest per-member receipt counts (entrywise max over returns).
+    last_counts: BTreeMap<ProcId, u64>,
+    /// Launch records `(round, safe prefix at launch)`: when round r
+    /// returns, every member has processed r and therefore reported safe
+    /// at least r's launch prefix, which then becomes the ack cursor.
+    launch_sps: std::collections::VecDeque<(u64, u64)>,
+    /// Per-source high-water message ids already sequenced from token
+    /// `collect` fields; mids are strictly increasing per source, so
+    /// this deduplicates pickups carried by duplicated tokens.
+    seq_mids: BTreeMap<ProcId, u64>,
 }
 
 /// The part of a node's state assumed to live on stable storage, for
@@ -155,13 +200,21 @@ impl<C: VsClient> VsNode<C> {
             last_form: None,
             heard: BTreeMap::new(),
             out_buf: Vec::new(),
+            log: std::collections::VecDeque::new(),
+            log_start: 0,
             delivered_count: 0,
-            received_count: 0,
             safe_count: 0,
-            holding: None,
-            pending_token: None,
+            pending_tokens: Vec::new(),
+            stash: BTreeMap::new(),
             last_token: 0,
             mid_counter: 0,
+            next_round: 1,
+            last_returned: 0,
+            sent_high: 0,
+            acked: 0,
+            last_counts: BTreeMap::new(),
+            launch_sps: std::collections::VecDeque::new(),
+            seq_mids: BTreeMap::new(),
         }
     }
 
@@ -202,13 +255,21 @@ impl<C: VsClient> VsNode<C> {
             last_form: None,
             heard: BTreeMap::new(),
             out_buf: Vec::new(),
+            log: std::collections::VecDeque::new(),
+            log_start: 0,
             delivered_count: 0,
-            received_count: 0,
             safe_count: 0,
-            holding: None,
-            pending_token: None,
+            pending_tokens: Vec::new(),
+            stash: BTreeMap::new(),
             last_token: 0,
             mid_counter: stable.mid_counter,
+            next_round: 1,
+            last_returned: 0,
+            sent_high: 0,
+            acked: 0,
+            last_counts: BTreeMap::new(),
+            launch_sps: std::collections::VecDeque::new(),
+            seq_mids: BTreeMap::new(),
         }
     }
 
@@ -331,138 +392,315 @@ impl<C: VsClient> VsNode<C> {
         self.view = Some(v.clone());
         self.forming = None;
         self.out_buf.clear();
+        self.log.clear();
+        self.log_start = 0;
         self.delivered_count = 0;
-        self.received_count = 0;
         self.safe_count = 0;
-        self.holding = None;
+        self.stash.clear();
         self.last_token = ctx.now();
+        self.next_round = 1;
+        self.last_returned = 0;
+        self.sent_high = 0;
+        self.acked = 0;
+        self.last_counts = v.set.iter().map(|&p| (p, 0)).collect();
+        self.launch_sps.clear();
+        self.seq_mids.clear();
         ctx.emit(ImplEvent::NewView { p: self.id, v: v.clone() });
         let mut effects = ClientEffects::default();
         self.client.on_newview(&v, &mut effects);
         self.queue_effects(effects, ctx);
         if self.is_leader() {
-            self.holding = Some(Box::new(Token::new(&v)));
             // Launch promptly on installation, then pace by π.
             ctx.set_timer(0, timer_kind(TAG_LAUNCH, self.gen));
         }
         ctx.set_timer(self.token_timeout(), timer_kind(TAG_TOKEN, self.gen));
-        // A token that raced ahead of our join can be processed now.
-        if let Some(tok) = self.pending_token.take() {
+        // Tokens that raced ahead of our join can be processed now, in
+        // arrival (= round) order.
+        let pending = std::mem::take(&mut self.pending_tokens);
+        for tok in pending {
             if Some(tok.view) == self.current_id() {
-                self.process_token(tok, ctx, false);
+                self.process_token(tok, ctx);
             }
         }
     }
 
     // ----------------------------------------------------------------
-    // Token
+    // Token (batched, pipelined: the leader sequences, rounds ship
+    // deltas, members collect and acknowledge)
     // ----------------------------------------------------------------
 
-    /// Appends, delivers, reports safe, and forwards the token.
-    /// `relaunch` is true when the leader is launching at a π boundary
-    /// (the token must go to the successor rather than be held again).
-    fn process_token(
+    fn log_end(&self) -> u64 {
+        self.log_start + self.log.len() as u64
+    }
+
+    /// Discards retained log entries below `acked`. Clamped to what has
+    /// already been delivered *and* reported safe locally, so a hostile
+    /// or corrupted ack cursor can never discard undelivered entries
+    /// (which would break the delivery cursors' indexing).
+    fn prune_log(&mut self, acked: u64) {
+        let limit = acked.min(self.safe_count).min(self.delivered_count);
+        while self.log_start < limit {
+            self.log.pop_front();
+            self.log_start += 1;
+        }
+    }
+
+    /// Delivers log entries to the client up to absolute position
+    /// `target` (callers keep `target ≤ log_end`).
+    fn deliver_up_to(&mut self, target: u64, ctx: &mut Context<'_, Wire, ImplEvent>) -> bool {
+        let mut progressed = false;
+        while self.delivered_count < target {
+            let tm = self.log[(self.delivered_count - self.log_start) as usize].clone();
+            self.delivered_count += 1;
+            ctx.emit(ImplEvent::GpRcv {
+                src: tm.src,
+                dst: self.id,
+                mid: tm.mid,
+                m: tm.msg.clone(),
+            });
+            let mut effects = ClientEffects::default();
+            self.client.on_gprcv(tm.src, &tm.msg, &mut effects);
+            self.queue_effects(effects, ctx);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Runs client delivery and safe indication given the safe prefix
+    /// `sp` (callers keep `sp ≤ log_end`). Under safe delivery the
+    /// client sees a message only once it is safe; otherwise delivery
+    /// runs ahead to everything received and safe follows separately.
+    fn advance_client(&mut self, sp: u64, ctx: &mut Context<'_, Wire, ImplEvent>) -> bool {
+        let mut progressed = false;
+        if self.cfg.safe_delivery {
+            progressed |= self.deliver_up_to(sp, ctx);
+        } else {
+            progressed |= self.deliver_up_to(self.log_end(), ctx);
+        }
+        while self.safe_count < sp {
+            let tm = self.log[(self.safe_count - self.log_start) as usize].clone();
+            self.safe_count += 1;
+            ctx.emit(ImplEvent::Safe { src: tm.src, dst: self.id, mid: tm.mid, m: tm.msg.clone() });
+            let mut effects = ClientEffects::default();
+            self.client.on_safe(tm.src, &tm.msg, &mut effects);
+            self.queue_effects(effects, ctx);
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn process_token(&mut self, tok: Box<Token>, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        if self.is_leader() {
+            self.leader_absorb_token(*tok, ctx);
+        } else {
+            self.member_process_token(tok, ctx);
+        }
+    }
+
+    /// A member's visit: extend the log with the round's delta, hand
+    /// pending sends to the token, update the receipt count, deliver and
+    /// report safe, and forward along the ring.
+    fn member_process_token(
         &mut self,
         mut tok: Box<Token>,
         ctx: &mut Context<'_, Wire, ImplEvent>,
-        relaunch: bool,
     ) {
-        self.last_token = ctx.now();
         let view = self.view.clone().expect("token processed only inside a view");
+        self.prune_log(tok.acked);
+        if tok.seq_start <= self.log_end() {
+            // Contiguous round: append the unseen part of the delta.
+            // Overlap with what earlier (possibly duplicated or
+            // retransmitted) rounds already shipped is skipped, which
+            // makes re-processing idempotent. Only a contiguous round
+            // refreshes the token clock: if an earlier round was truly
+            // lost, later rounds keep the ring spinning but the clock
+            // stales out and the loss timeout reforms the view — unless
+            // the leader's floor retransmission heals the hole first.
+            self.last_token = ctx.now();
+            let skip = (self.log_end() - tok.seq_start) as usize;
+            for tm in tok.entries.iter().skip(skip) {
+                self.log.push_back(tm.clone());
+            }
+        } else {
+            // This round overtook one still in flight (links may
+            // reorder). Its entries sit at fixed absolute positions, so
+            // stash them for splicing once the missing prefix shows up.
+            for (i, tm) in tok.entries.iter().enumerate() {
+                let pos = tok.seq_start + i as u64;
+                if pos >= self.log_end() && self.stash.len() < STASH_MAX {
+                    self.stash.insert(pos, tm.clone());
+                }
+            }
+        }
+        // Splice any stashed entries that have become contiguous, then
+        // drop stale stash positions the log has since covered.
+        while let Some(tm) = self.stash.remove(&self.log_end()) {
+            self.log.push_back(tm);
+        }
+        let end = self.log_end();
+        while let Some((&pos, _)) = self.stash.iter().next() {
+            if pos < end {
+                self.stash.remove(&pos);
+            } else {
+                break;
+            }
+        }
         loop {
             let mut progressed = false;
             if !self.out_buf.is_empty() {
-                tok.msgs.append(&mut self.out_buf);
+                tok.collect.append(&mut self.out_buf);
                 progressed = true;
             }
-            // The token's per-member count records *receipt*; under safe
-            // delivery the client sees a message only once it is safe, so
-            // receipt and client delivery are tracked separately there.
-            if self.cfg.safe_delivery {
-                self.received_count = tok.msgs.len() as u64;
-            } else {
-                while (self.delivered_count as usize) < tok.msgs.len() {
-                    let tm = tok.msgs[self.delivered_count as usize].clone();
-                    self.delivered_count += 1;
-                    ctx.emit(ImplEvent::GpRcv {
-                        src: tm.src,
-                        dst: self.id,
-                        mid: tm.mid,
-                        m: tm.msg.clone(),
-                    });
-                    let mut effects = ClientEffects::default();
-                    self.client.on_gprcv(tm.src, &tm.msg, &mut effects);
-                    self.queue_effects(effects, ctx);
-                    progressed = true;
-                }
-                self.received_count = self.delivered_count;
-            }
-            tok.delivered.insert(self.id, self.received_count);
-            let sp = tok.safe_prefix();
-            if self.cfg.safe_delivery {
-                // Deliver the newly safe prefix first, then report it safe.
-                while self.delivered_count < sp {
-                    let tm = tok.msgs[self.delivered_count as usize].clone();
-                    self.delivered_count += 1;
-                    ctx.emit(ImplEvent::GpRcv {
-                        src: tm.src,
-                        dst: self.id,
-                        mid: tm.mid,
-                        m: tm.msg.clone(),
-                    });
-                    let mut effects = ClientEffects::default();
-                    self.client.on_gprcv(tm.src, &tm.msg, &mut effects);
-                    self.queue_effects(effects, ctx);
-                    progressed = true;
-                }
-            }
-            while self.safe_count < sp {
-                let tm = tok.msgs[self.safe_count as usize].clone();
-                self.safe_count += 1;
-                ctx.emit(ImplEvent::Safe {
-                    src: tm.src,
-                    dst: self.id,
-                    mid: tm.mid,
-                    m: tm.msg.clone(),
-                });
-                let mut effects = ClientEffects::default();
-                self.client.on_safe(tm.src, &tm.msg, &mut effects);
-                self.queue_effects(effects, ctx);
-                progressed = true;
-            }
+            tok.delivered.insert(self.id, self.log_end());
+            // Min over own receipt too, so sp ≤ log_end even if a
+            // corrupted token inflates other members' counts.
+            let sp = tok.safe_prefix().min(self.log_end());
+            progressed |= self.advance_client(sp, ctx);
             if !progressed {
                 break;
             }
         }
-        // Forward. The leader paces an *idle* token at π (the paper's
-        // "spacing of token creation"), but keeps a *busy* token
-        // circulating continuously — otherwise end-to-end safety would
-        // take ~3π instead of the d = 2π + nδ of Section 8. The token is
-        // idle once everything is delivered everywhere and two further
-        // clean rotations have propagated the final safe prefix to every
-        // member.
-        if self.is_leader() {
-            let all_delivered =
-                tok.safe_prefix() as usize == tok.msgs.len() && self.out_buf.is_empty();
-            if all_delivered {
-                tok.clean_rounds = tok.clean_rounds.saturating_add(1);
-            } else {
-                tok.clean_rounds = 0;
+        let succ = view.ring_successor(self.id).expect("member of own view");
+        if succ != self.id {
+            if Some(succ) == view.leader() {
+                // The hop back to the leader never needs the round's
+                // entries — the leader sequenced them itself and absorbs
+                // only `collect`, the receipt counts, and the round
+                // number. Dropping them here saves re-encoding (and the
+                // leader re-decoding) the whole batch once per rotation.
+                tok.entries.clear();
             }
-            let busy = tok.clean_rounds < 2;
-            let succ = view.ring_successor(self.id).expect("member of own view");
-            if (relaunch || busy) && succ != self.id {
-                ctx.send(succ, Wire::Token(tok));
-            } else {
-                self.holding = Some(tok);
+            ctx.send(succ, Wire::Token(tok));
+        }
+    }
+
+    /// A round returned to the leader: sequence what the ring collected,
+    /// fold in the receipt counts, advance the ack cursor, and keep the
+    /// pipeline full.
+    fn leader_absorb_token(&mut self, tok: Token, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        self.last_token = ctx.now();
+        // Sequence collected sends from *any* arriving copy — a
+        // duplicated token instance can carry pickups the original
+        // never saw. Mids are strictly increasing per source, so the
+        // high-water filter keeps this idempotent.
+        for tm in tok.collect {
+            let high = self.seq_mids.entry(tm.src).or_insert(0);
+            if tm.mid > *high {
+                *high = tm.mid;
+                self.log.push_back(tm);
             }
+        }
+        // Fold in receipt counts from every current-view return, even
+        // reordered or duplicated ones: counts are genuine monotone
+        // receipts, so a max-merge (clamped to our own log end) is
+        // always sound and keeps the floor fresh when rounds overtake
+        // each other on non-FIFO links.
+        let end = self.log_end();
+        for (p, c) in tok.delivered {
+            if let Some(e) = self.last_counts.get_mut(&p) {
+                *e = (*e).max(c.min(end));
+            }
+        }
+        // Ack bookkeeping for returns of rounds we actually launched
+        // (rounds may return out of order; the high-water keeps it
+        // monotone).
+        if tok.round < self.next_round {
+            self.last_returned = self.last_returned.max(tok.round);
+            // Every member processed each round up to `last_returned`,
+            // so each has reported safe at least that round's
+            // launch-time prefix: that prefix is now a valid ack cursor.
+            while let Some(&(r, sp)) = self.launch_sps.front() {
+                if r > self.last_returned {
+                    break;
+                }
+                self.acked = self.acked.max(sp);
+                self.launch_sps.pop_front();
+            }
+        }
+        self.leader_progress(ctx);
+        self.maybe_launch(ctx, false);
+    }
+
+    /// Sequences the leader's own pending sends and advances its client
+    /// delivery/safe cursors from the latest counts.
+    fn leader_progress(&mut self, ctx: &mut Context<'_, Wire, ImplEvent>) {
+        loop {
+            let mut progressed = false;
+            if !self.out_buf.is_empty() {
+                for tm in self.out_buf.drain(..) {
+                    self.log.push_back(tm);
+                }
+                progressed = true;
+            }
+            self.last_counts.insert(self.id, self.log_end());
+            let sp = self.last_counts.values().copied().min().unwrap_or(0).min(self.log_end());
+            progressed |= self.advance_client(sp, ctx);
+            if !progressed {
+                break;
+            }
+        }
+        if self.view.as_ref().is_some_and(|v| v.size() == 1) {
+            // Singleton view: there is no ring, everything sequenced is
+            // immediately safe and acknowledged.
+            self.acked = self.log_end();
+        }
+        self.prune_log(self.acked);
+    }
+
+    /// Launches the next round if the pipeline has room and there is a
+    /// reason to: unshipped entries always warrant a launch; with nothing
+    /// in flight, unacknowledged work or a π heartbeat does too.
+    fn maybe_launch(&mut self, ctx: &mut Context<'_, Wire, ImplEvent>, heartbeat: bool) {
+        let Some(view) = self.view.clone() else { return };
+        if view.size() <= 1 {
+            // No ring to launch into; keep the token clock fresh so the
+            // loss timeout stays quiet.
+            self.last_token = ctx.now();
+            return;
+        }
+        let k = self.cfg.pipeline.max(1) as u64;
+        let in_flight = (self.next_round - 1).saturating_sub(self.last_returned);
+        if in_flight >= k {
+            return;
+        }
+        let unsent = self.log_end() > self.sent_high;
+        let busy = self.acked < self.log_end();
+        if !(unsent || (in_flight == 0 && (busy || heartbeat))) {
+            return;
+        }
+        // With the pipeline drained, ship from the lowest receipt count
+        // instead of the send high-water: if a round was lost in transit,
+        // this retransmits its entries and heals member gaps without a
+        // view reformation. (The floor never precedes the log: counts
+        // are clamped ≥ acked ≥ log_start by pruning.)
+        let start = if in_flight == 0 {
+            self.last_counts.values().copied().min().unwrap_or(0).max(self.log_start)
         } else {
-            let succ = view.ring_successor(self.id).expect("member of own view");
-            if succ == self.id {
-                self.holding = Some(tok);
-            } else {
-                ctx.send(succ, Wire::Token(tok));
-            }
+            self.sent_high
+        };
+        let skip = (start - self.log_start) as usize;
+        let tok = Token {
+            view: view.id,
+            round: self.next_round,
+            seq_start: start,
+            entries: self.log.iter().skip(skip).cloned().collect(),
+            collect: Vec::new(),
+            acked: self.acked,
+            delivered: self.last_counts.clone(),
+        };
+        let sp_now = self.last_counts.values().copied().min().unwrap_or(0);
+        self.launch_sps.push_back((self.next_round, sp_now));
+        self.next_round += 1;
+        self.sent_high = self.log_end();
+        let succ = view.ring_successor(self.id).expect("member of own view");
+        ctx.send(succ, Wire::Token(Box::new(tok)));
+    }
+
+    fn hold_pending(&mut self, tok: Box<Token>) {
+        // Bounded: anything beyond a full pipeline of raced-ahead rounds
+        // is recoverable through the loss timeout anyway.
+        if self.pending_tokens.len() < 16 {
+            self.pending_tokens.push(tok);
         }
     }
 }
@@ -480,8 +718,8 @@ impl<C: VsClient> Process for VsNode<C> {
         // Stagger probes per id to avoid synchronized storms.
         ctx.set_timer(self.cfg.mu + self.id.0 as Time, timer_kind(TAG_PROBE, 0));
         if let Some(view) = &self.view {
+            self.last_counts = view.set.iter().map(|&p| (p, 0)).collect();
             if self.is_leader() {
-                self.holding = Some(Box::new(Token::new(view)));
                 ctx.set_timer(self.cfg.pi, timer_kind(TAG_LAUNCH, self.gen));
             }
             ctx.set_timer(self.token_timeout(), timer_kind(TAG_TOKEN, self.gen));
@@ -541,9 +779,9 @@ impl<C: VsClient> Process for VsNode<C> {
             }
             Wire::Token(tok) => {
                 match self.current_id() {
-                    Some(cur) if tok.view == cur => self.process_token(tok, ctx, false),
-                    Some(cur) if tok.view > cur => self.pending_token = Some(tok),
-                    None => self.pending_token = Some(tok),
+                    Some(cur) if tok.view == cur => self.process_token(tok, ctx),
+                    Some(cur) if tok.view > cur => self.hold_pending(tok),
+                    None => self.hold_pending(tok),
                     _ => {} // stale token from a dead view: drop
                 }
             }
@@ -594,11 +832,11 @@ impl<C: VsClient> Process for VsNode<C> {
                 if gen != self.gen {
                     return;
                 }
-                if let Some(mut tok) = self.holding.take() {
-                    tok.round += 1;
-                    self.process_token(tok, ctx, true);
+                if self.view.is_some() && self.is_leader() {
+                    self.leader_progress(ctx);
+                    self.maybe_launch(ctx, true);
+                    ctx.set_timer(self.cfg.pi, timer_kind(TAG_LAUNCH, self.gen));
                 }
-                ctx.set_timer(self.cfg.pi, timer_kind(TAG_LAUNCH, self.gen));
             }
             TAG_FORM => {
                 if gen != self.form_seq {
@@ -620,5 +858,12 @@ impl<C: VsClient> Process for VsNode<C> {
         let mut effects = ClientEffects::default();
         self.client.on_input(a, &mut effects);
         self.queue_effects(effects, ctx);
+        // The leader sequences its own sends immediately and ships them
+        // without waiting for a rotation; members' sends wait for the
+        // next token visit.
+        if self.view.is_some() && self.is_leader() {
+            self.leader_progress(ctx);
+            self.maybe_launch(ctx, false);
+        }
     }
 }

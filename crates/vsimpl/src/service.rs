@@ -75,6 +75,7 @@ impl Stack {
             mu: config.mu,
             mode: config.mode,
             safe_delivery: config.safe_delivery,
+            pipeline: 4,
         };
         let nodes = procs.iter().map(|&p| {
             VsNode::new(p, proto.clone(), TimedVsToTo::new(p, &config.p0, config.quorums.clone()))

@@ -122,6 +122,7 @@ impl ThreadedStack {
             mu: config.mu_ms,
             mode: crate::node::MembershipMode::ThreeRound,
             safe_delivery: false,
+            pipeline: 4,
         };
         // gcs-lint: allow(determinism, reason = "the threaded runtime is the intentionally wall-clock, nondeterministic harness; digest-reproducible runs go through gcs-netsim/gcs-sim instead")
         let epoch = Instant::now();

@@ -64,28 +64,28 @@ impl TimedVsToTo {
     }
 
     /// Performs every enabled locally controlled action until quiescent.
+    ///
+    /// `label`/`gpsnd` run through the fused
+    /// [`VsToToProc::drain_label_gpsnd`] and `confirm`/`brcv` through
+    /// [`VsToToProc::drain_confirm_brcv`] — one map walk per message
+    /// instead of separate enabledness probes and effects — because this
+    /// loop runs once per received and once per safe message at ring
+    /// throughput.
     fn pump(&mut self, effects: &mut ClientEffects) {
+        let mut fresh: Vec<(ProcId, Value)> = Vec::new();
         loop {
-            if self.proc.label_ready().is_some() {
-                self.proc.do_label();
-                continue;
+            let mut progressed = self.proc.drain_label_gpsnd(&mut effects.gpsnd);
+            fresh.clear();
+            if self.proc.drain_confirm_brcv(&mut fresh) {
+                for (src, a) in fresh.drain(..) {
+                    self.delivered.push((src, a.clone()));
+                    effects.brcv.push((src, a));
+                }
+                progressed = true;
             }
-            if let Some(m) = self.proc.gpsnd_ready() {
-                self.proc.do_gpsnd(&m);
-                effects.gpsnd.push(m);
-                continue;
+            if !progressed {
+                break;
             }
-            if self.proc.confirm_ready() {
-                self.proc.do_confirm();
-                continue;
-            }
-            if self.proc.brcv_ready().is_some() {
-                let (src, a) = self.proc.do_brcv();
-                self.delivered.push((src, a.clone()));
-                effects.brcv.push((src, a));
-                continue;
-            }
-            break;
         }
     }
 }
@@ -97,8 +97,21 @@ impl VsClient for TimedVsToTo {
     }
 
     fn on_gprcv(&mut self, src: ProcId, m: &AppMsg, effects: &mut ClientEffects) {
-        self.proc.gprcv(src, m);
-        self.pump(effects);
+        let out = self.proc.gprcv(src, m);
+        // A steady-state `Val` receipt cannot enable any locally
+        // controlled action: `label`/`gpsnd` depend only on the local
+        // client queues, `confirm` needs the freshly appended label to
+        // already be safe (the VS service indicates safe only after
+        // receipt, so it cannot be), and `brcv` can only have been
+        // waiting on this content if a recovery order ran ahead of it
+        // (`nextreport < nextconfirm`). Skipping the no-op pump here
+        // removes a map probe from every receipt on the ring's hot path.
+        if matches!(m, AppMsg::Summary(_))
+            || out.established
+            || self.proc.nextreport < self.proc.nextconfirm
+        {
+            self.pump(effects);
+        }
     }
 
     fn on_safe(&mut self, src: ProcId, m: &AppMsg, effects: &mut ClientEffects) {

@@ -18,25 +18,40 @@ pub struct TokenMsg {
     pub msg: AppMsg,
 }
 
-/// The circulating token of Section 8: it carries the per-view message
-/// sequence and, per member, how many of those messages that member had
-/// delivered when the token last left it.
+/// The circulating token of Section 8, batched and pipelined: instead of
+/// re-shipping the whole per-view message history each hop, a token
+/// carries a *delta* of the leader-sequenced order (`entries`, placed at
+/// absolute positions `seq_start..`), picks up members' pending sends in
+/// `collect` for the leader to sequence on return, and prunes everyone's
+/// retained log with the `acked` high-water cursor. Rounds are numbered
+/// so the leader can keep up to `ProtoConfig::pipeline` tokens in flight
+/// at once; per-member counts still record receipt, and the safe prefix
+/// is still their minimum.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Token {
     /// The view this token belongs to.
     pub view: ViewId,
-    /// Rotation counter (diagnostic).
+    /// Round number: strictly increasing per launch within a view, so
+    /// the leader can match returns to launches with several tokens in
+    /// flight, and so duplicated tokens are absorbed idempotently.
     pub round: u64,
-    /// The per-view total order of messages.
-    pub msgs: Vec<TokenMsg>,
-    /// Per-member delivered counts as of the token's last visit.
+    /// Absolute sequence position of `entries[0]` in the per-view total
+    /// order (equal to everything already shipped by earlier rounds).
+    pub seq_start: u64,
+    /// Newly sequenced messages, extending the total order at
+    /// `seq_start..`.
+    pub entries: Vec<TokenMsg>,
+    /// Members' pending sends picked up this rotation, in ring order;
+    /// the leader assigns them sequence positions when the token
+    /// returns.
+    pub collect: Vec<TokenMsg>,
+    /// Acknowledgement cursor: every member had received (and reported
+    /// safe) at least this prefix when the round carrying it launched,
+    /// so members may discard retained log entries below it.
+    pub acked: u64,
+    /// Per-member receipt counts as of the leader's latest knowledge,
+    /// updated in place as the token visits each member.
     pub delivered: BTreeMap<ProcId, u64>,
-    /// Number of consecutive full rotations with no outstanding work
-    /// (everything delivered everywhere). Maintained by the leader to
-    /// decide between immediate re-circulation (busy) and π-paced
-    /// launches (idle); two clean rotations guarantee every member has
-    /// seen the final safe prefix.
-    pub clean_rounds: u32,
 }
 
 impl Token {
@@ -45,9 +60,11 @@ impl Token {
         Token {
             view: view.id,
             round: 0,
-            msgs: Vec::new(),
+            seq_start: 0,
+            entries: Vec::new(),
+            collect: Vec::new(),
+            acked: 0,
             delivered: view.set.iter().map(|&p| (p, 0)).collect(),
-            clean_rounds: 0,
         }
     }
 

@@ -16,6 +16,9 @@ cargo bench -p gcs-bench --bench micro -- --quick obs_overhead
 # Loopback TCP cluster throughput (gcs-net): boots real sockets on
 # 127.0.0.1 and measures delivery of 100-op batches through the ring.
 cargo bench -p gcs-bench --bench loopback -- --quick "$@"
+# Batched-token wire codec: Token encode/decode at batch sizes
+# 1/16/256/4096; per-element cost should fall as the batch grows.
+cargo bench -p gcs-bench --bench token_codec -- --quick "$@"
 # Lint runtime: a full workspace scan must stay interactive (budget ~2 s)
 # so the tier-1 gcs-lint stage never becomes the slow part of ci.sh.
 cargo build --release -p gcs-lint --quiet

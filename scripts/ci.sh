@@ -29,6 +29,15 @@ cargo test -q -p gcs-lint
 echo "==> gcs-sim run --seeds 10 (smoke)"
 ./target/release/gcs-sim run --seeds 10
 
+# Throughput smoke gate: the 5-node loopback cluster must clear a floor
+# of 25k ops/s (2x the pre-batching seed's 12.5k) with the VS/TO
+# checkers and b/d monitors on. The floor is deliberately far below the
+# bench's ~125k+ headline so scheduler noise on loaded CI boxes never
+# flakes it, while a regression that undoes the batched token path
+# (which would land back near 12k) still fails loudly.
+echo "==> gcs-loopback-bench --floor 25000 (throughput smoke gate)"
+./target/release/gcs-loopback-bench --ops 20000 --window 1024 --floor 25000
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
