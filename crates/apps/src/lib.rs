@@ -20,7 +20,10 @@
 //!   the paper's follow-on load-balancing work), with primary-only
 //!   exclusive ownership as an option;
 //! - [`lock`] — a fault-tolerant FIFO lock service, the classic
-//!   state-machine-replication example after replicated memory.
+//!   state-machine-replication example after replicated memory;
+//! - [`kv`] — the sharded key-value store (`Put`/`Get`/`Cas`) the
+//!   multi-group deployment runs as its application workload, with a
+//!   per-key consistency checker over replica delivered streams.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kv;
 pub mod loadbalance;
 pub mod lock;
 pub mod ops;
@@ -46,6 +50,7 @@ pub mod seqmem;
 mod wire;
 pub mod workload;
 
+pub use kv::{check_per_key_linearizable, KvCmd, KvOutcome, KvShardStore};
 pub use loadbalance::Partitioner;
 pub use lock::{LockOp, LockTable};
 pub use ops::KvOp;

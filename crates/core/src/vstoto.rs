@@ -30,8 +30,8 @@
 
 use crate::msg::AppMsg;
 use gcs_model::summary::{fullorder, maxnextconfirm, maxprimary, shortorder};
-use gcs_model::{GotState, Label, ProcId, QuorumSystem, Summary, Value, View, ViewId};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use gcs_model::{ContentMap, GotState, Label, ProcId, QuorumSystem, Summary, Value, View, ViewId};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -62,8 +62,12 @@ pub struct VsToToProc {
     pub status: ProcStatus,
     /// `delay`: client values not yet labelled.
     pub delay: VecDeque<Value>,
-    /// `content ⊆ L × A` (a partial function by Lemma 6.5).
-    pub content: BTreeMap<Label, Value>,
+    /// `content ⊆ L × A` (a partial function by Lemma 6.5), stored as a
+    /// [`ContentMap`]: dense per-⟨view, origin⟩ seqno vectors instead of
+    /// one ever-growing ordered map, so the per-label touches on the
+    /// token hot path cost a small-group walk plus an index rather than
+    /// an O(log *history*) tree descent.
+    pub content: ContentMap,
     /// `nextseqno ∈ ℕ⁺`.
     pub nextseqno: u64,
     /// `buffer`: labelled values not yet multicast.
@@ -167,7 +171,7 @@ impl VsToToProc {
             highprimary: (in_p0 && v0_primary).then(ViewId::initial),
             status: ProcStatus::Normal,
             delay: VecDeque::new(),
-            content: BTreeMap::new(),
+            content: ContentMap::new(),
             nextseqno: 1,
             buffer: VecDeque::new(),
             order: Vec::new(),
@@ -196,7 +200,7 @@ impl VsToToProc {
     /// `⟨content, order, nextconfirm, highprimary⟩`.
     pub fn summary(&self) -> Summary {
         Summary {
-            con: self.content.clone(),
+            con: self.content.to_map(),
             ord: self.order.clone(),
             next: self.nextconfirm,
             high: self.highprimary,
@@ -362,7 +366,7 @@ impl VsToToProc {
                     && x.next == self.nextconfirm
                     && x.high == self.highprimary
                     && x.ord == self.order
-                    && x.con == self.content
+                    && self.content.eq_map(&x.con)
             }
             AppMsg::Val(l, a) => {
                 self.status == ProcStatus::Normal

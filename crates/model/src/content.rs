@@ -1,0 +1,277 @@
+//! [`ContentMap`]: the ⟨label, value⟩ store behind *content* in the
+//! `VStoTO` processor state, keyed for the protocol's access pattern.
+//!
+//! A plain `BTreeMap<Label, Value>` pays one O(log *total*) tree walk
+//! per label touch, where *total* is every message the processor has
+//! ever seen. But the protocol's labels are anything but random: a
+//! label is ⟨view, seqno, origin⟩ with `seqno` assigned densely from 1
+//! within each ⟨view, origin⟩ stream. `ContentMap` exploits that shape
+//! — per ⟨view, origin⟩ group it keeps a dense `Vec<Option<Value>>`
+//! indexed by `seqno − 1`, so the common lookup is one small-tree walk
+//! over the handful of live groups plus one vector index.
+//!
+//! Labels that arrive from the wire are untrusted, so density is never
+//! assumed: a label whose seqno would leave more than [`DENSE_GAP`]
+//! empty slots (or overflow `usize`, or be zero — expressible by
+//! constructing `Label` literally) falls back to a sparse ordered map.
+//! This bounds memory amplification per insert while keeping the hot
+//! path allocation-tight.
+
+use crate::ProcId;
+use crate::{Label, Value, ViewId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The largest run of empty slots a dense group vector may grow past
+/// its current length for one insert. Labels beyond the gap go to the
+/// sparse fallback, so an adversarial seqno cannot force a huge
+/// allocation.
+const DENSE_GAP: usize = 4096;
+
+/// A map from [`Label`] to [`Value`] specialized for the protocol's
+/// dense per-⟨view, origin⟩ seqno streams. Insert-only (like *content*
+/// itself — Lemma 6.5 makes it a growing partial function).
+///
+/// Iteration order is *grouped* — by ⟨view, origin⟩, then seqno — not
+/// the lexicographic [`Label`] order; use [`ContentMap::to_map`] when
+/// label order matters (e.g. building a wire [`crate::Summary`]).
+#[derive(Clone, Default)]
+pub struct ContentMap {
+    /// Dense storage: ⟨view, origin⟩ → values indexed by `seqno − 1`.
+    dense: BTreeMap<(ViewId, ProcId), Vec<Option<Value>>>,
+    /// Sparse fallback for labels that would blow the density bound.
+    sparse: BTreeMap<Label, Value>,
+    /// Number of present entries across both stores.
+    len: usize,
+}
+
+impl ContentMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        ContentMap::default()
+    }
+
+    /// Number of ⟨label, value⟩ entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The dense slot index for a label, if the label is dense-eligible
+    /// at all (seqno ≥ 1 and representable).
+    fn slot(l: &Label) -> Option<usize> {
+        usize::try_from(l.seqno.checked_sub(1)?).ok()
+    }
+
+    /// Inserts a binding, returning the previously bound value if any.
+    pub fn insert(&mut self, l: Label, a: Value) -> Option<Value> {
+        let key = (l.view, l.origin);
+        let dense_idx = Self::slot(&l).filter(|&idx| {
+            let cur = self.dense.get(&key).map_or(0, Vec::len);
+            idx < cur || idx - cur <= DENSE_GAP
+        });
+        let old = match dense_idx {
+            Some(idx) => {
+                let vec = self.dense.entry(key).or_default();
+                if idx >= vec.len() {
+                    vec.resize(idx + 1, None);
+                }
+                let prior = vec[idx].replace(a);
+                // The same label may have landed sparse earlier, when
+                // the group vector was still short of it.
+                match prior {
+                    Some(p) => Some(p),
+                    None if !self.sparse.is_empty() => self.sparse.remove(&l),
+                    None => None,
+                }
+            }
+            None => self.sparse.insert(l, a),
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Looks up the value bound to a label.
+    pub fn get(&self, l: &Label) -> Option<&Value> {
+        if let Some(idx) = Self::slot(l) {
+            if let Some(vec) = self.dense.get(&(l.view, l.origin)) {
+                if let Some(slot) = vec.get(idx) {
+                    if let Some(v) = slot.as_ref() {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        self.sparse.get(l)
+    }
+
+    /// Whether a label is bound.
+    pub fn contains_key(&self, l: &Label) -> bool {
+        self.get(l).is_some()
+    }
+
+    /// Iterates the entries in grouped order (⟨view, origin⟩ group,
+    /// then seqno, then the sparse tail). Labels are reconstructed from
+    /// the group key and slot, so they are yielded by value.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &Value)> {
+        let dense = self.dense.iter().flat_map(|(&(view, origin), vec)| {
+            vec.iter().enumerate().filter_map(move |(idx, slot)| {
+                let a = slot.as_ref()?;
+                Some((Label { view, seqno: idx as u64 + 1, origin }, a))
+            })
+        });
+        dense.chain(self.sparse.iter().map(|(&l, a)| (l, a)))
+    }
+
+    /// Iterates the bound values in grouped order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.iter().map(|(_, a)| a)
+    }
+
+    /// Collects into a lexicographically ordered `BTreeMap`, the
+    /// representation wire summaries use.
+    pub fn to_map(&self) -> BTreeMap<Label, Value> {
+        self.iter().map(|(l, a)| (l, a.clone())).collect()
+    }
+
+    /// Whether this map holds exactly the entries of `m`. The common
+    /// caller is the state-exchange readiness test comparing a received
+    /// summary's *con* against local *content*.
+    pub fn eq_map(&self, m: &BTreeMap<Label, Value>) -> bool {
+        self.len == m.len() && m.iter().all(|(l, a)| self.get(l) == Some(a))
+    }
+}
+
+impl PartialEq for ContentMap {
+    fn eq(&self, other: &Self) -> bool {
+        // Two maps with the same entries may split dense/sparse
+        // differently depending on insertion order, so compare contents,
+        // not representation.
+        self.len == other.len && self.iter().all(|(l, a)| other.get(&l) == Some(a))
+    }
+}
+
+impl Eq for ContentMap {}
+
+impl fmt::Debug for ContentMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.to_map()).finish()
+    }
+}
+
+impl FromIterator<(Label, Value)> for ContentMap {
+    fn from_iter<I: IntoIterator<Item = (Label, Value)>>(iter: I) -> Self {
+        let mut m = ContentMap::new();
+        for (l, a) in iter {
+            m.insert(l, a);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(epoch: u64, seqno: u64, origin: u32) -> Label {
+        Label::new(ViewId::new(epoch, ProcId(origin)), seqno, ProcId(origin))
+    }
+
+    #[test]
+    fn insert_get_roundtrip_dense() {
+        let mut m = ContentMap::new();
+        for s in 1..=100u64 {
+            assert_eq!(m.insert(l(1, s, 0), Value::from_u64(s)), None);
+        }
+        assert_eq!(m.len(), 100);
+        for s in 1..=100u64 {
+            assert_eq!(m.get(&l(1, s, 0)), Some(&Value::from_u64(s)));
+        }
+        assert!(!m.contains_key(&l(1, 101, 0)));
+        assert!(!m.contains_key(&l(2, 1, 0)));
+    }
+
+    #[test]
+    fn reinsert_returns_the_old_value_and_keeps_len() {
+        let mut m = ContentMap::new();
+        assert_eq!(m.insert(l(1, 3, 2), Value::from_u64(7)), None);
+        assert_eq!(m.insert(l(1, 3, 2), Value::from_u64(8)), Some(Value::from_u64(7)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&l(1, 3, 2)), Some(&Value::from_u64(8)));
+    }
+
+    #[test]
+    fn far_seqnos_fall_back_to_sparse_without_huge_allocation() {
+        let mut m = ContentMap::new();
+        let far = l(1, 1 << 40, 0);
+        assert_eq!(m.insert(far, Value::from_u64(1)), None);
+        assert_eq!(m.get(&far), Some(&Value::from_u64(1)));
+        assert_eq!(m.len(), 1);
+        // A later in-gap insert for the same group still works.
+        m.insert(l(1, 1, 0), Value::from_u64(2));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&l(1, 1, 0)), Some(&Value::from_u64(2)));
+    }
+
+    #[test]
+    fn zero_seqno_labels_are_storable_totally() {
+        // `Label::new` rejects seqno 0, but the struct is constructible
+        // literally; the map must stay total over it.
+        let weird = Label { view: ViewId::new(1, ProcId(0)), seqno: 0, origin: ProcId(0) };
+        let mut m = ContentMap::new();
+        assert_eq!(m.insert(weird, Value::from_u64(9)), None);
+        assert_eq!(m.get(&weird), Some(&Value::from_u64(9)));
+    }
+
+    #[test]
+    fn equality_ignores_dense_sparse_split() {
+        let far = l(1, DENSE_GAP as u64 + 100, 0);
+        // m1: far label first (sparse), then the prefix (dense).
+        let mut m1 = ContentMap::new();
+        m1.insert(far, Value::from_u64(42));
+        for s in 1..=8u64 {
+            m1.insert(l(1, s, 0), Value::from_u64(s));
+        }
+        // m2: prefix first; far label still lands beyond the gap only
+        // if the vec is short — with 8 slots it stays sparse too, so
+        // force a representational difference via a fresh map built
+        // from iteration order.
+        let m2: ContentMap = m1.to_map().into_iter().collect();
+        assert_eq!(m1, m2);
+        assert_eq!(m1.len(), m2.len());
+        assert!(m1.eq_map(&m2.to_map()));
+    }
+
+    #[test]
+    fn to_map_is_label_ordered_and_complete() {
+        let mut m = ContentMap::new();
+        m.insert(l(2, 1, 1), Value::from_u64(3));
+        m.insert(l(1, 2, 0), Value::from_u64(2));
+        m.insert(l(1, 1, 0), Value::from_u64(1));
+        let map = m.to_map();
+        assert_eq!(map.len(), 3);
+        let keys: Vec<Label> = map.keys().copied().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert!(m.eq_map(&map));
+        let mut smaller = map.clone();
+        smaller.remove(&l(1, 1, 0));
+        assert!(!m.eq_map(&smaller));
+    }
+
+    #[test]
+    fn values_sees_every_entry() {
+        let mut m = ContentMap::new();
+        m.insert(l(1, 1, 0), Value::from_u64(10));
+        m.insert(l(1, 1, 1), Value::from_u64(11));
+        assert!(m.values().any(|v| *v == Value::from_u64(11)));
+        assert_eq!(m.values().count(), 2);
+    }
+}

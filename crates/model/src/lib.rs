@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod content;
 pub mod failure;
 pub mod ids;
 pub mod label;
@@ -42,6 +43,7 @@ pub mod summary;
 pub mod value;
 pub mod view;
 
+pub use content::ContentMap;
 pub use failure::{FailureEvent, FailureMap, Status, Subject};
 pub use ids::{ProcId, ViewId};
 pub use label::Label;

@@ -16,6 +16,7 @@
 //! input yields a [`CodecError`], never a panic, and every frame must
 //! consume its payload exactly (trailing bytes are an error).
 
+use bytes::Bytes;
 use gcs_core::msg::AppMsg;
 use gcs_model::{Label, ProcId, Summary, Value, View, ViewId};
 use gcs_vsimpl::{Token, TokenMsg, Wire};
@@ -127,6 +128,42 @@ pub enum Frame {
     /// header and is decoded in a single dispatch, instead of paying the
     /// per-frame constants once per operation.
     DeliverBatch(Vec<(ProcId, Value)>),
+    /// A protocol packet addressed to one group instance on the peer.
+    /// Nodes hosting several `NodeCore`s behind a single transport tag
+    /// every inter-node frame with the group it belongs to; an untagged
+    /// [`Frame::Peer`] is equivalent to group 0.
+    PeerGroup {
+        /// The destination group instance.
+        group: u32,
+        /// The protocol packet.
+        wire: Wire,
+    },
+    /// A client submits a burst of values to one group instance. The
+    /// untagged [`Frame::SubmitBatch`] is equivalent to group 0.
+    SubmitGroup {
+        /// The destination group instance.
+        group: u32,
+        /// The submitted values, in submission order.
+        batch: Vec<Value>,
+    },
+    /// A burst of deliveries from one group instance to a subscribed
+    /// client. The untagged [`Frame::DeliverBatch`] is equivalent to
+    /// group 0.
+    DeliverGroup {
+        /// The originating group instance.
+        group: u32,
+        /// The delivered `(source, value)` pairs, in delivery order.
+        batch: Vec<(ProcId, Value)>,
+    },
+    /// A view-change notification for one group instance, pushed to
+    /// subscribed clients. Shard routers refresh their cached shard map
+    /// (group → member set) from these instead of polling.
+    View {
+        /// The group whose view changed.
+        group: u32,
+        /// The newly installed view.
+        view: View,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -135,6 +172,10 @@ const TAG_SUBMIT: u8 = 2;
 const TAG_DELIVER: u8 = 3;
 const TAG_DELIVER_BATCH: u8 = 4;
 const TAG_SUBMIT_BATCH: u8 = 5;
+const TAG_PEER_GROUP: u8 = 6;
+const TAG_SUBMIT_GROUP: u8 = 7;
+const TAG_DELIVER_GROUP: u8 = 8;
+const TAG_VIEW: u8 = 9;
 
 const WIRE_PROBE: u8 = 0;
 const WIRE_CALL: u8 = 1;
@@ -283,11 +324,19 @@ fn put_wire(out: &mut Vec<u8>, w: &Wire) {
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When the payload lives in a shared [`Bytes`] buffer, decoded
+    /// values are O(1) sub-views of it instead of per-value copies.
+    /// `backing.as_slice()` is always identical to `buf`.
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Cursor<'a> {
     fn new(buf: &'a [u8]) -> Self {
-        Cursor { buf, pos: 0 }
+        Cursor { buf, pos: 0, backing: None }
+    }
+
+    fn with_backing(backing: &'a Bytes) -> Self {
+        Cursor { buf: backing.as_slice(), pos: 0, backing: Some(backing) }
     }
 
     fn remaining(&self) -> usize {
@@ -329,16 +378,14 @@ impl<'a> Cursor<'a> {
         Ok(n)
     }
 
-    fn bytes(&mut self) -> DecodeResult<&'a [u8]> {
-        let n = self.len("byte string length")?;
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
     fn proc(&mut self) -> DecodeResult<ProcId> {
         let x = self.varint()?;
         u32::try_from(x).map(ProcId).map_err(|_| CodecError::Invalid("processor id exceeds u32"))
+    }
+
+    fn group(&mut self) -> DecodeResult<u32> {
+        let x = self.varint()?;
+        u32::try_from(x).map_err(|_| CodecError::Invalid("group id exceeds u32"))
     }
 
     fn viewid(&mut self) -> DecodeResult<ViewId> {
@@ -361,7 +408,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn value(&mut self) -> DecodeResult<Value> {
-        Ok(Value::from(self.bytes()?.to_vec()))
+        let n = self.len("byte string length")?;
+        let (start, end) = (self.pos, self.pos + n);
+        self.pos = end;
+        Ok(match self.backing {
+            // Zero-copy: the value is a sub-view of the frame payload,
+            // sharing its allocation for as long as the value lives.
+            Some(b) => Value::new(b.slice(start..end)),
+            None => Value::from(self.buf[start..end].to_vec()),
+        })
     }
 
     fn label(&mut self) -> DecodeResult<Label> {
@@ -501,6 +556,36 @@ impl<'a> Cursor<'a> {
                 }
                 Ok(Frame::DeliverBatch(batch))
             }
+            TAG_PEER_GROUP => {
+                let group = self.group()?;
+                let wire = self.wire()?;
+                Ok(Frame::PeerGroup { group, wire })
+            }
+            TAG_SUBMIT_GROUP => {
+                let group = self.group()?;
+                let n = self.len("submit group count")?;
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(self.value()?);
+                }
+                Ok(Frame::SubmitGroup { group, batch })
+            }
+            TAG_DELIVER_GROUP => {
+                let group = self.group()?;
+                let n = self.len("deliver group count")?;
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let src = self.proc()?;
+                    let a = self.value()?;
+                    batch.push((src, a));
+                }
+                Ok(Frame::DeliverGroup { group, batch })
+            }
+            TAG_VIEW => {
+                let group = self.group()?;
+                let view = self.view()?;
+                Ok(Frame::View { group, view })
+            }
             tag => Err(CodecError::BadTag { what: "frame", tag }),
         }
     }
@@ -562,6 +647,33 @@ pub fn encode_payload_into(out: &mut Vec<u8>, frame: &Frame) {
                 put_value(out, a);
             }
         }
+        Frame::PeerGroup { group, wire } => {
+            out.push(TAG_PEER_GROUP);
+            put_varint(out, u64::from(*group));
+            put_wire(out, wire);
+        }
+        Frame::SubmitGroup { group, batch } => {
+            out.push(TAG_SUBMIT_GROUP);
+            put_varint(out, u64::from(*group));
+            put_varint(out, batch.len() as u64);
+            for a in batch {
+                put_value(out, a);
+            }
+        }
+        Frame::DeliverGroup { group, batch } => {
+            out.push(TAG_DELIVER_GROUP);
+            put_varint(out, u64::from(*group));
+            put_varint(out, batch.len() as u64);
+            for (src, a) in batch {
+                put_proc(out, *src);
+                put_value(out, a);
+            }
+        }
+        Frame::View { group, view } => {
+            out.push(TAG_VIEW);
+            put_varint(out, u64::from(*group));
+            put_view(out, view);
+        }
     }
 }
 
@@ -569,6 +681,20 @@ pub fn encode_payload_into(out: &mut Vec<u8>, frame: &Frame) {
 /// must be consumed exactly.
 pub fn decode_payload(buf: &[u8]) -> DecodeResult<Frame> {
     let mut c = Cursor::new(buf);
+    let frame = c.frame()?;
+    if c.remaining() != 0 {
+        return Err(CodecError::TrailingBytes(c.remaining()));
+    }
+    Ok(frame)
+}
+
+/// Decodes a frame payload held in a shared [`Bytes`] buffer. Identical
+/// to [`decode_payload`], except every decoded [`Value`] is an O(1)
+/// sub-view of `payload` rather than a copy — one allocation per frame
+/// instead of one per value, which is the read-path complement of the
+/// gather-writing [`FrameWriter`].
+pub fn decode_payload_shared(payload: &Bytes) -> DecodeResult<Frame> {
+    let mut c = Cursor::with_backing(payload);
     let frame = c.frame()?;
     if c.remaining() != 0 {
         return Err(CodecError::TrailingBytes(c.remaining()));
@@ -692,7 +818,12 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    decode_payload(&payload).map(Some).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    // Decode out of a shared buffer so the values inside the frame
+    // borrow the payload allocation instead of copying out of it.
+    let payload = Bytes::from(payload);
+    decode_payload_shared(&payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -863,5 +994,46 @@ mod tests {
         let mut buf = vec![WIRE_VERSION, TAG_SUBMIT];
         put_varint(&mut buf, u64::MAX);
         assert!(decode_payload(&buf).is_err());
+    }
+
+    #[test]
+    fn group_tagged_frames_roundtrip() {
+        roundtrip(&Frame::PeerGroup { group: 3, wire: Wire::Probe });
+        roundtrip(&Frame::PeerGroup {
+            group: u32::MAX,
+            wire: Wire::Call { viewid: ViewId::new(7, ProcId(2)) },
+        });
+        roundtrip(&Frame::SubmitGroup {
+            group: 0,
+            batch: vec![Value::from_u64(1), Value::from("kv")],
+        });
+        roundtrip(&Frame::SubmitGroup { group: 2, batch: Vec::new() });
+        roundtrip(&Frame::DeliverGroup {
+            group: 1,
+            batch: vec![(ProcId(4), Value::from_u64(9)), (ProcId(0), Value::default())],
+        });
+        roundtrip(&Frame::View {
+            group: 5,
+            view: View::new(ViewId::new(2, ProcId(1)), ProcId::range(3)),
+        });
+    }
+
+    #[test]
+    fn shared_decode_values_borrow_the_payload_buffer() {
+        let big = Value::from(vec![0xabu8; 64]);
+        let frame = Frame::SubmitGroup { group: 1, batch: vec![big.clone(), big.clone()] };
+        let payload = Bytes::from(encode_payload(&frame));
+        let decoded = decode_payload_shared(&payload).expect("decodes");
+        assert_eq!(decoded, frame);
+        let Frame::SubmitGroup { batch, .. } = decoded else { unreachable!() };
+        let lo = payload.as_slice().as_ptr() as usize;
+        let hi = lo + payload.len();
+        for v in &batch {
+            let p = v.as_bytes().as_ptr() as usize;
+            assert!(p >= lo && p + v.len() <= hi, "value was copied, not borrowed");
+        }
+        // The plain slice-based decode still copies (no backing buffer
+        // to borrow from) and agrees on the result.
+        assert_eq!(decode_payload(payload.as_slice()).expect("decodes"), frame);
     }
 }

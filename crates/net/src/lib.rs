@@ -50,9 +50,11 @@ pub mod transport;
 
 pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use codec::{
-    decode_payload, encode_frame, encode_payload, read_frame, write_frame, CodecError, Frame,
-    HelloKind, MAX_FRAME, WIRE_VERSION,
+    decode_payload, decode_payload_shared, encode_frame, encode_payload, read_frame, write_frame,
+    CodecError, Frame, HelloKind, MAX_FRAME, WIRE_VERSION,
 };
 pub use load::{run_load, Histogram, LoadConfig, LoadMode, LoadReport};
-pub use runtime::{merge_recordings, Clock, NetNode, NodeCore, Recorded};
-pub use transport::{Incoming, ShutdownReport, TcpTransport, Transport, TransportConfig};
+pub use runtime::{merge_recordings, run_core_loop, Clock, NetNode, NodeCore, Recorded};
+pub use transport::{
+    GroupEndpoint, Incoming, ShutdownReport, TcpTransport, Transport, TransportConfig,
+};

@@ -125,9 +125,13 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
                         Frame::DeliverBatch(batch) => {
                             burst.extend(batch.iter().filter_map(|(_, a)| a.as_u64()));
                         }
-                        _ => continue,
+                        // Skipped frames (e.g. pushed `View` notifications)
+                        // must still flush a pending burst below, or
+                        // completions collected just before one strand
+                        // until the next delivery arrives.
+                        _ => {}
                     }
-                    if buffer_has_frame(&read_half) {
+                    if burst.is_empty() || buffer_has_frame(&read_half) {
                         continue;
                     }
                     if tx.send((std::mem::take(&mut burst), Instant::now())).is_err() {

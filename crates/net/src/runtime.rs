@@ -170,6 +170,19 @@ impl NodeCore {
     /// A fresh node for processor `id`, recording into `obs` and stamping
     /// with `clock`.
     pub fn new(id: ProcId, proto: ProtoConfig, clock: Arc<Clock>, obs: &Obs) -> NodeCore {
+        NodeCore::new_in_group(id, proto, clock, obs, None)
+    }
+
+    /// Like [`NodeCore::new`], but for a node hosting one group of a
+    /// sharded deployment: counters carry a `group` label so per-group
+    /// throughput can be told apart on one shared registry.
+    pub fn new_in_group(
+        id: ProcId,
+        proto: ProtoConfig,
+        clock: Arc<Clock>,
+        obs: &Obs,
+        group: Option<u32>,
+    ) -> NodeCore {
         let n = proto.procs.len();
         let p0 = proto.p0.clone();
         // Members of P₀ start with v₀ already installed (no NewView event
@@ -177,7 +190,7 @@ impl NodeCore {
         let initial = proto.p0.contains(&id).then(|| View::initial(proto.p0.clone()));
         let quorums = Arc::new(Majority::new(n));
         let node = VsNode::new(id, proto, TimedVsToTo::new(id, &p0, quorums));
-        NodeCore::assemble(id, node, initial, clock, obs)
+        NodeCore::assemble(id, node, initial, clock, obs, group)
     }
 
     /// A recovered incarnation of processor `id`, rebuilt from the
@@ -190,8 +203,21 @@ impl NodeCore {
         obs: &Obs,
         stable: StableState<TimedVsToTo>,
     ) -> NodeCore {
+        NodeCore::recover_in_group(id, proto, clock, obs, stable, None)
+    }
+
+    /// Like [`NodeCore::recover`], but with a `group` counter label (see
+    /// [`NodeCore::new_in_group`]).
+    pub fn recover_in_group(
+        id: ProcId,
+        proto: ProtoConfig,
+        clock: Arc<Clock>,
+        obs: &Obs,
+        stable: StableState<TimedVsToTo>,
+        group: Option<u32>,
+    ) -> NodeCore {
         let node = VsNode::recover(id, proto, stable);
-        NodeCore::assemble(id, node, None, clock, obs)
+        NodeCore::assemble(id, node, None, clock, obs, group)
     }
 
     fn assemble(
@@ -200,9 +226,14 @@ impl NodeCore {
         initial: Option<View>,
         clock: Arc<Clock>,
         obs: &Obs,
+        group: Option<u32>,
     ) -> NodeCore {
         let node_label = id.0.to_string();
-        let l = [("node", node_label.as_str())];
+        let group_label = group.map(|g| g.to_string());
+        let mut l = vec![("node", node_label.as_str())];
+        if let Some(g) = group_label.as_deref() {
+            l.push(("group", g));
+        }
         NodeCore {
             id,
             node,
@@ -285,6 +316,7 @@ impl NodeCore {
             let time = self.clock.now_ms();
             let seq0 = self.clock.next_seq_block(emits.len() as u64);
             let mut deliveries: Vec<(ProcId, Value)> = Vec::new();
+            let mut new_views: Vec<View> = Vec::new();
             let mut kinds: Vec<EventKind> = Vec::new();
             for e in &emits {
                 match e {
@@ -293,12 +325,13 @@ impl NodeCore {
                         kinds.push(EventKind::Brcv {
                             node: self.id.0,
                             src: src.0,
-                            value: a.as_u64().unwrap_or(0),
+                            value: a.fingerprint(),
                         });
                     }
                     ImplEvent::NewView { v, .. } => {
                         self.views.lock_clean().push(v.clone());
                         self.views_ctr.inc();
+                        new_views.push(v.clone());
                         kinds.push(EventKind::ViewChange {
                             node: self.id.0,
                             epoch: v.id.epoch,
@@ -307,10 +340,7 @@ impl NodeCore {
                     }
                     ImplEvent::Bcast { a, .. } => {
                         self.submits_ctr.inc();
-                        kinds.push(EventKind::Bcast {
-                            node: self.id.0,
-                            value: a.as_u64().unwrap_or(0),
-                        });
+                        kinds.push(EventKind::Bcast { node: self.id.0, value: a.fingerprint() });
                     }
                     _ => {}
                 }
@@ -328,6 +358,13 @@ impl NodeCore {
                 self.deliveries_ctr.add(deliveries.len() as u64);
                 self.delivered.lock_clean().extend(deliveries.iter().cloned());
                 transport.push_deliveries(&deliveries);
+            }
+            // Installed views go out to subscribers too: shard routers
+            // refresh their cached shard map from these pushes instead of
+            // polling, so a router learns about a membership change from
+            // the first surviving member it hears from.
+            for v in &new_views {
+                transport.push_view(v);
             }
         }
         for (to, wire) in self.fx.take_sends() {
@@ -376,6 +413,55 @@ impl NodeCore {
     /// A snapshot of this node's recorded (stamped) trace events.
     pub fn recorded(&self) -> Vec<Recorded> {
         self.recorded.lock_clean().clone()
+    }
+}
+
+/// Drives a [`NodeCore`] on the current thread until it stops: boot,
+/// then alternate between channel events and due timers, draining hot
+/// channels in bounded batches so timers are not starved under load.
+/// This is the event loop [`NetNode`] runs on its node thread; a sharded
+/// node runs one such loop per hosted group, each against its own
+/// grouped transport endpoint. Returns the core on exit so callers can
+/// snapshot [`NodeCore::stable_state`] for crash/recovery modeling.
+pub fn run_core_loop(
+    mut core: NodeCore,
+    events_rx: mpsc::Receiver<Incoming>,
+    transport: &dyn Transport,
+    clock: &Clock,
+) -> NodeCore {
+    core.boot(transport);
+    loop {
+        // Wait for the next event or timer.
+        let timeout = core
+            .next_timer_due()
+            .map(|due| Duration::from_millis(due.saturating_sub(clock.now_ms())))
+            .unwrap_or(Duration::from_millis(20));
+        match events_rx.recv_timeout(timeout) {
+            Ok(ev) => {
+                if !core.handle(ev, transport) {
+                    return core;
+                }
+                // Drain what queued behind it (bounded) so a hot channel
+                // is consumed in batches, then fire any timer that came
+                // due meanwhile — recv_timeout alone would starve timers
+                // under sustained load.
+                for _ in 0..128 {
+                    match events_rx.try_recv() {
+                        Ok(ev) => {
+                            if !core.handle(ev, transport) {
+                                return core;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if core.next_timer_due().is_some_and(|due| due <= clock.now_ms()) {
+                    core.tick(transport);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => core.tick(transport),
+            Err(RecvTimeoutError::Disconnected) => return core,
+        }
     }
 }
 
@@ -445,7 +531,7 @@ impl NetNode {
     }
 
     fn launch(
-        mut core: NodeCore,
+        core: NodeCore,
         listener: TcpListener,
         peers: &BTreeMap<ProcId, SocketAddr>,
         transport_cfg: TransportConfig,
@@ -469,43 +555,7 @@ impl NetNode {
         let handle = {
             let transport = transport.clone();
             let clock = clock.clone();
-            std::thread::spawn(move || {
-                core.boot(&*transport);
-                loop {
-                    // Wait for the next event or timer.
-                    let timeout = core
-                        .next_timer_due()
-                        .map(|due| Duration::from_millis(due.saturating_sub(clock.now_ms())))
-                        .unwrap_or(Duration::from_millis(20));
-                    match events_rx.recv_timeout(timeout) {
-                        Ok(ev) => {
-                            if !core.handle(ev, &*transport) {
-                                return core;
-                            }
-                            // Drain what queued behind it (bounded) so a
-                            // hot channel is consumed in batches, then
-                            // fire any timer that came due meanwhile —
-                            // recv_timeout alone would starve timers
-                            // under sustained load.
-                            for _ in 0..128 {
-                                match events_rx.try_recv() {
-                                    Ok(ev) => {
-                                        if !core.handle(ev, &*transport) {
-                                            return core;
-                                        }
-                                    }
-                                    Err(_) => break,
-                                }
-                            }
-                            if core.next_timer_due().is_some_and(|due| due <= clock.now_ms()) {
-                                core.tick(&*transport);
-                            }
-                        }
-                        Err(RecvTimeoutError::Timeout) => core.tick(&*transport),
-                        Err(RecvTimeoutError::Disconnected) => return core,
-                    }
-                }
-            })
+            std::thread::spawn(move || run_core_loop(core, events_rx, &*transport, &clock))
         };
 
         Ok(NetNode {

@@ -22,7 +22,7 @@
 //! deterministic in-process transport of `gcs-sim`.
 
 use crate::codec::{read_frame, write_frame, Frame, FrameWriter, HelloKind};
-use gcs_model::{ProcId, Value};
+use gcs_model::{ProcId, Value, View};
 use gcs_obs::{Counter, DropReason, EventKind, FaultKind, Obs};
 use gcs_vsimpl::Wire;
 use std::collections::{BTreeMap, BTreeSet};
@@ -78,6 +78,11 @@ pub trait Transport {
             self.push_delivery(*src, a);
         }
     }
+    /// Announces a newly installed view to subscribed clients, so shard
+    /// routers can refresh their cached group → member-set map without
+    /// polling. Default: no-op (the simulator and tests don't carry
+    /// client subscriptions).
+    fn push_view(&self, _view: &View) {}
 }
 
 /// Most frames a writer thread coalesces into one vectored write; keeps
@@ -274,7 +279,9 @@ struct LinkStats {
 }
 
 struct PeerLink {
-    tx: SyncSender<Wire>,
+    /// Outbound queue entries carry the destination group; the writer
+    /// tags non-zero groups with [`Frame::PeerGroup`] on the wire.
+    tx: SyncSender<(u32, Wire)>,
     stats: Arc<LinkStats>,
     /// The live outbound socket, kept so `sever`/`kick` can close it out
     /// from under the writer thread.
@@ -301,6 +308,11 @@ struct Shared {
     accepted: Mutex<Vec<TcpStream>>,
     /// Per-connection reader threads, joined (bounded) at `stop`.
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Inbound routing: group id → the event channel of the `NodeCore`
+    /// hosting that group instance. Group 0 is the channel passed to
+    /// `start_with_obs`, so a single-group node never touches this
+    /// beyond startup. Readers refresh their cached copy on a miss.
+    routes: Mutex<BTreeMap<u32, Sender<Incoming>>>,
     /// Observability sink: counters plus the structured event trace.
     netobs: NetObs,
 }
@@ -358,16 +370,17 @@ impl TcpTransport {
             subscribers: Mutex::new(Vec::new()),
             accepted: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
+            routes: Mutex::new(BTreeMap::from([(0, events.clone())])),
             netobs: NetObs::new(obs, me),
         });
         let mut handles = Vec::new();
 
-        // Accept loop.
+        // Accept loop. Inbound traffic reaches the node runtimes via the
+        // group route table, seeded above with `events` as group 0.
         {
             let shared = shared.clone();
-            let events = events.clone();
             handles.push(std::thread::spawn(move || {
-                accept_loop(listener, shared, events);
+                accept_loop(listener, shared);
             }));
         }
 
@@ -377,7 +390,7 @@ impl TcpTransport {
             if p == me {
                 continue;
             }
-            let (tx, rx) = mpsc::sync_channel::<Wire>(config.send_queue);
+            let (tx, rx) = mpsc::sync_channel::<(u32, Wire)>(config.send_queue);
             let stats = Arc::new(LinkStats::default());
             let current = Arc::new(Mutex::new(None));
             {
@@ -400,9 +413,19 @@ impl TcpTransport {
         self.local_addr
     }
 
-    /// Enqueues a packet for `to`. Frames to blocked peers, unknown peers,
-    /// or over a full queue are silently dropped (and counted).
+    /// Enqueues a packet for `to` on group 0. Frames to blocked peers,
+    /// unknown peers, or over a full queue are silently dropped (and
+    /// counted).
     pub fn send(&self, to: ProcId, wire: Wire) {
+        self.send_group(0, to, wire);
+    }
+
+    /// Enqueues a packet for the given group instance on `to`. All
+    /// groups share the peer's single connection and outbound queue;
+    /// the group id only selects the frame tagging (group 0 rides the
+    /// untagged [`Frame::Peer`] for wire compatibility) and the event
+    /// channel on the receiving side.
+    pub fn send_group(&self, group: u32, to: ProcId, wire: Wire) {
         if self.shared.is_blocked(to) {
             self.shared.netobs.on_drop(to, DropReason::Blocked);
             return;
@@ -411,13 +434,22 @@ impl TcpTransport {
             None => {
                 self.shared.netobs.on_drop(to, DropReason::NoLink);
             }
-            Some(link) => match link.tx.try_send(wire) {
+            Some(link) => match link.tx.try_send((group, wire)) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                     self.shared.netobs.on_drop(to, DropReason::QueueFull);
                 }
             },
         }
+    }
+
+    /// Registers the event channel for a group instance hosted behind
+    /// this endpoint. Inbound [`Frame::PeerGroup`]/[`Frame::SubmitGroup`]
+    /// frames for `group` are dispatched into `tx`; frames for a group
+    /// with no registered route are rejected (and counted). Group 0 is
+    /// pre-registered with the channel passed at startup.
+    pub fn register_group(&self, group: u32, tx: Sender<Incoming>) {
+        self.shared.routes.lock_clean().insert(group, tx);
     }
 
     /// Pushes a delivery notification to every connected client.
@@ -432,6 +464,13 @@ impl TcpTransport {
     /// socket as a single write instead of one frame (and one decode
     /// dispatch at the client) per notification.
     pub fn push_deliveries(&self, batch: &[(ProcId, Value)]) {
+        self.push_deliveries_group(0, batch);
+    }
+
+    /// Pushes a batch of deliveries from one group instance. Group 0
+    /// uses the untagged [`Frame::DeliverBatch`] so existing clients
+    /// keep working; other groups are tagged [`Frame::DeliverGroup`].
+    pub fn push_deliveries_group(&self, group: u32, batch: &[(ProcId, Value)]) {
         if batch.is_empty() {
             return;
         }
@@ -440,8 +479,24 @@ impl TcpTransport {
             return;
         }
         let mut fw = FrameWriter::new();
-        fw.push(&Frame::DeliverBatch(batch.to_vec()));
+        let frame = if group == 0 {
+            Frame::DeliverBatch(batch.to_vec())
+        } else {
+            Frame::DeliverGroup { group, batch: batch.to_vec() }
+        };
+        fw.push(&frame);
         subs.retain_mut(|stream| fw.write_to(stream).is_ok());
+    }
+
+    /// Pushes a view-change notification for a group instance to every
+    /// subscribed client — the shard-map refresh path for routers.
+    pub fn push_view_group(&self, group: u32, view: &View) {
+        let mut subs = self.shared.subscribers.lock_clean();
+        if subs.is_empty() {
+            return;
+        }
+        let frame = Frame::View { group, view: view.clone() };
+        subs.retain_mut(|stream| write_frame(stream, &frame).is_ok());
     }
 
     /// Emulates a network partition from this node to `p`: closes the live
@@ -607,9 +662,60 @@ impl Transport for TcpTransport {
     fn push_deliveries(&self, batch: &[(ProcId, Value)]) {
         TcpTransport::push_deliveries(self, batch);
     }
+
+    fn push_view(&self, view: &View) {
+        TcpTransport::push_view_group(self, 0, view);
+    }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incoming>) {
+/// A [`Transport`] view of one group instance behind a shared
+/// [`TcpTransport`]: the seam that lets an unmodified `NodeCore` run as
+/// group `g` of a multi-group node. Sends are tagged with the group id,
+/// deliveries and view pushes go out under it, and the transport's
+/// reader dispatches inbound frames for the group to the channel
+/// registered via [`TcpTransport::register_group`].
+pub struct GroupEndpoint {
+    group: u32,
+    inner: Arc<TcpTransport>,
+}
+
+impl GroupEndpoint {
+    /// Wraps `inner` as the endpoint of `group`. The caller registers
+    /// the group's event channel separately.
+    pub fn new(group: u32, inner: Arc<TcpTransport>) -> Self {
+        GroupEndpoint { group, inner }
+    }
+
+    /// The group this endpoint speaks for.
+    pub fn group(&self) -> u32 {
+        self.group
+    }
+
+    /// The shared transport underneath.
+    pub fn transport(&self) -> &Arc<TcpTransport> {
+        &self.inner
+    }
+}
+
+impl Transport for GroupEndpoint {
+    fn send(&self, to: ProcId, wire: Wire) {
+        self.inner.send_group(self.group, to, wire);
+    }
+
+    fn push_delivery(&self, src: ProcId, a: &Value) {
+        self.inner.push_deliveries_group(self.group, &[(src, a.clone())]);
+    }
+
+    fn push_deliveries(&self, batch: &[(ProcId, Value)]) {
+        self.inner.push_deliveries_group(self.group, batch);
+    }
+
+    fn push_view(&self, view: &View) {
+        self.inner.push_view_group(self.group, view);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     // ordering: SeqCst — shutdown-flag poll; pairs with the SeqCst store
     // in stop(), no payload rides on it.
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -624,8 +730,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incomi
                     shared.accepted.lock_clean().push(clone);
                 }
                 let reader_shared = shared.clone();
-                let events = events.clone();
-                let handle = std::thread::spawn(move || reader_loop(stream, reader_shared, events));
+                let handle = std::thread::spawn(move || reader_loop(stream, reader_shared));
                 shared.readers.lock_clean().push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -636,7 +741,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, events: Sender<Incomi
     }
 }
 
-fn reader_loop(stream: TcpStream, shared: Arc<Shared>, events: Sender<Incoming>) {
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
     // Buffer reads: coalesced writers put many frames into one segment,
     // and decoding them one read_exact at a time straight off the socket
     // would pay two syscalls per frame.
@@ -660,14 +765,22 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>, events: Sender<Incoming>)
             }
             let Ok(clone) = stream.get_ref().try_clone() else { return };
             shared.inbound.lock_clean().push((node, clone));
+            // Snapshot of the group route table; refreshed on a miss, so
+            // the steady state pays no lock per frame.
+            let mut routes = shared.routes.lock_clean().clone();
             loop {
                 match read_frame(&mut stream) {
-                    Ok(Some(Frame::Peer(wire))) => {
+                    Ok(Some(frame @ (Frame::Peer(_) | Frame::PeerGroup { .. }))) => {
                         // ordering: SeqCst — shutdown-flag poll; pairs
                         // with the SeqCst store in stop().
                         if shared.shutdown.load(Ordering::SeqCst) {
                             return;
                         }
+                        let (group, wire) = match frame {
+                            Frame::Peer(wire) => (0, wire),
+                            Frame::PeerGroup { group, wire } => (group, wire),
+                            _ => return,
+                        };
                         let stale = {
                             let latest = shared.latest_gen.lock_clean();
                             latest.get(&node).copied().unwrap_or(0) > generation
@@ -679,8 +792,18 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>, events: Sender<Incoming>)
                             }
                             continue;
                         }
+                        if !routes.contains_key(&group) {
+                            routes = shared.routes.lock_clean().clone();
+                        }
+                        let Some(route) = routes.get(&group) else {
+                            // No group instance registered here: drop the
+                            // frame, keep the connection (other groups
+                            // share it).
+                            shared.netobs.on_reject(node);
+                            continue;
+                        };
                         shared.netobs.on_recv(node);
-                        if events.send(Incoming::Wire { from: node, wire }).is_err() {
+                        if route.send(Incoming::Wire { from: node, wire }).is_err() {
                             return;
                         }
                     }
@@ -692,31 +815,46 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>, events: Sender<Incoming>)
             if let Ok(clone) = stream.get_ref().try_clone() {
                 shared.subscribers.lock_clean().push(clone);
             }
+            let mut routes = shared.routes.lock_clean().clone();
             loop {
                 match read_frame(&mut stream) {
-                    Ok(Some(first @ (Frame::Submit(_) | Frame::SubmitBatch(_)))) => {
+                    Ok(Some(
+                        first @ (Frame::Submit(_)
+                        | Frame::SubmitBatch(_)
+                        | Frame::SubmitGroup { .. }),
+                    )) => {
                         // ordering: SeqCst — shutdown-flag poll; pairs
                         // with the SeqCst store in stop().
                         if shared.shutdown.load(Ordering::SeqCst) {
                             return;
                         }
-                        let mut batch = match first {
-                            Frame::Submit(a) => vec![a],
-                            Frame::SubmitBatch(b) => b,
+                        let (group, mut batch) = match first {
+                            Frame::Submit(a) => (0, vec![a]),
+                            Frame::SubmitBatch(b) => (0, b),
+                            Frame::SubmitGroup { group, batch } => (group, batch),
                             _ => return,
                         };
-                        // Coalesce the burst: whatever submit frames the
-                        // read buffer already holds ride in the same
-                        // event. Only complete buffered frames are taken
-                        // — a frame split across segments waits for the
-                        // next loop pass rather than blocking the batch.
+                        // Coalesce the burst: whatever same-group submit
+                        // frames the read buffer already holds ride in
+                        // the same event. Only complete buffered frames
+                        // are taken — a frame split across segments (or
+                        // destined for another group) waits for the next
+                        // loop pass rather than blocking the batch.
                         while batch.len() < 4096 {
-                            match peek_buffered_submit(&mut stream) {
+                            match peek_buffered_submit(&mut stream, group) {
                                 Some(mut more) => batch.append(&mut more),
                                 None => break,
                             }
                         }
-                        if events.send(Incoming::Submit { batch }).is_err() {
+                        if !routes.contains_key(&group) {
+                            routes = shared.routes.lock_clean().clone();
+                        }
+                        let Some(route) = routes.get(&group) else {
+                            // Unroutable submission: drop it, keep the
+                            // client connection alive.
+                            continue;
+                        };
+                        if route.send(Incoming::Submit { batch }).is_err() {
                             return;
                         }
                     }
@@ -727,34 +865,50 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>, events: Sender<Incoming>)
     }
 }
 
-/// Decodes one complete submit frame (`Submit` or `SubmitBatch`) out of
-/// the reader's buffered bytes without blocking. Returns `None` —
-/// leaving the buffer intact for the caller's blocking `read_frame` —
-/// when the buffer holds no complete frame, or when the next frame is
-/// not a submission.
-fn peek_buffered_submit(stream: &mut io::BufReader<TcpStream>) -> Option<Vec<Value>> {
+/// Decodes one complete submit frame (`Submit`, `SubmitBatch`, or
+/// `SubmitGroup`) addressed to `group` out of the reader's buffered
+/// bytes without blocking. Returns `None` — leaving the buffer intact
+/// for the caller's blocking `read_frame` — when the buffer holds no
+/// complete frame, or when the next frame is not a submission for the
+/// same group (batches must not merge across groups).
+fn peek_buffered_submit(stream: &mut io::BufReader<TcpStream>, group: u32) -> Option<Vec<Value>> {
     use std::io::BufRead;
     let buf = stream.buffer();
     let hdr: [u8; 4] = buf.get(..4)?.try_into().ok()?;
     let len = u32::from_be_bytes(hdr) as usize;
     let payload = buf.get(4..4usize.checked_add(len)?)?;
     match crate::codec::decode_payload(payload) {
-        Ok(Frame::Submit(a)) => {
+        Ok(Frame::Submit(a)) if group == 0 => {
             stream.consume(4 + len);
             Some(vec![a])
         }
-        Ok(Frame::SubmitBatch(b)) => {
+        Ok(Frame::SubmitBatch(b)) if group == 0 => {
             stream.consume(4 + len);
             Some(b)
         }
+        Ok(Frame::SubmitGroup { group: g, batch }) if g == group => {
+            stream.consume(4 + len);
+            Some(batch)
+        }
         _ => None,
+    }
+}
+
+/// The on-wire shape of an outbound queue entry: group 0 rides the
+/// untagged `Peer` frame (wire-compatible with single-group peers),
+/// every other group is tagged.
+fn peer_frame(group: u32, wire: Wire) -> Frame {
+    if group == 0 {
+        Frame::Peer(wire)
+    } else {
+        Frame::PeerGroup { group, wire }
     }
 }
 
 fn writer_loop(
     peer: ProcId,
     addr: SocketAddr,
-    rx: Receiver<Wire>,
+    rx: Receiver<(u32, Wire)>,
     shared: Arc<Shared>,
     stats: Arc<LinkStats>,
     current: Arc<Mutex<Option<TcpStream>>>,
@@ -815,7 +969,7 @@ fn writer_loop(
         let mut batch = FrameWriter::new();
         loop {
             match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(wire) => {
+                Ok((group, wire)) => {
                     if shared.is_blocked(peer) {
                         shared.netobs.on_drop(peer, DropReason::Blocked);
                         break;
@@ -824,7 +978,7 @@ fn writer_loop(
                         // Fault injection is defined per frame — skip
                         // coalescing so every frame pays the delay.
                         std::thread::sleep(delay);
-                        if write_frame(&mut write_half, &Frame::Peer(wire)).is_err() {
+                        if write_frame(&mut write_half, &peer_frame(group, wire)).is_err() {
                             shared.netobs.on_drop(peer, DropReason::WriteError);
                             break;
                         }
@@ -835,10 +989,10 @@ fn writer_loop(
                     // (bounded) and flush the whole batch as one vectored
                     // write instead of one syscall per frame.
                     batch.clear();
-                    batch.push(&Frame::Peer(wire));
+                    batch.push(&peer_frame(group, wire));
                     while batch.len() < COALESCE_FRAMES && batch.payload_bytes() < COALESCE_BYTES {
                         match rx.try_recv() {
-                            Ok(w) => batch.push(&Frame::Peer(w)),
+                            Ok((g, w)) => batch.push(&peer_frame(g, w)),
                             Err(_) => break,
                         }
                     }

@@ -137,8 +137,18 @@ fn wire_strategy() -> BoxedStrategy<Wire> {
         .boxed()
 }
 
+fn group_strategy() -> impl Strategy<Value = u32> {
+    // Group ids skew small in practice but the codec must take any u32.
+    (0u8..2).prop_flat_map(|wide| -> BoxedStrategy<u32> {
+        match wide {
+            0 => (0u32..8).boxed(),
+            _ => any::<u32>().boxed(),
+        }
+    })
+}
+
 fn frame_strategy() -> BoxedStrategy<Frame> {
-    (0u8..6)
+    (0u8..10)
         .prop_flat_map(|variant| -> BoxedStrategy<Frame> {
             match variant {
                 0 => (proc_strategy(), any::<u64>(), any::<bool>())
@@ -156,7 +166,21 @@ fn frame_strategy() -> BoxedStrategy<Frame> {
                 4 => collection::vec((proc_strategy(), value_strategy()), 0..16)
                     .prop_map(Frame::DeliverBatch)
                     .boxed(),
-                _ => collection::vec(value_strategy(), 0..16).prop_map(Frame::SubmitBatch).boxed(),
+                5 => collection::vec(value_strategy(), 0..16).prop_map(Frame::SubmitBatch).boxed(),
+                6 => (group_strategy(), wire_strategy())
+                    .prop_map(|(group, wire)| Frame::PeerGroup { group, wire })
+                    .boxed(),
+                7 => (group_strategy(), collection::vec(value_strategy(), 0..16))
+                    .prop_map(|(group, batch)| Frame::SubmitGroup { group, batch })
+                    .boxed(),
+                8 => {
+                    (group_strategy(), collection::vec((proc_strategy(), value_strategy()), 0..16))
+                        .prop_map(|(group, batch)| Frame::DeliverGroup { group, batch })
+                        .boxed()
+                }
+                _ => (group_strategy(), view_strategy())
+                    .prop_map(|(group, view)| Frame::View { group, view })
+                    .boxed(),
             }
         })
         .boxed()

@@ -1,0 +1,160 @@
+//! A sharded node: several independent [`NodeCore`] group instances
+//! behind **one** TCP transport endpoint.
+//!
+//! Each hosted group runs the unchanged protocol event loop
+//! ([`gcs_net::run_core_loop`]) on its own thread, wired to the shared
+//! [`TcpTransport`] through a [`GroupEndpoint`] that tags outbound
+//! frames with the group id and through the transport's group route
+//! table for inbound ones. Peers therefore keep a single TCP connection
+//! per node pair no matter how many groups the two nodes co-host; the
+//! group tag in the wire codec (`PeerGroup`/`SubmitGroup`/
+//! `DeliverGroup`) demultiplexes on arrival.
+
+use gcs_model::{ProcId, Value, View};
+use gcs_net::runtime::{run_core_loop, Clock, NodeCore, Recorded};
+use gcs_net::transport::{GroupEndpoint, Incoming, ShutdownReport, TcpTransport, TransportConfig};
+use gcs_obs::Obs;
+use gcs_vsimpl::ProtoConfig;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One hosted group instance: its event channel, its protocol thread,
+/// and shared handles onto what it has recorded so far.
+struct GroupRuntime {
+    events_tx: Sender<Incoming>,
+    handle: Option<JoinHandle<NodeCore>>,
+    recorded: Arc<Mutex<Vec<Recorded>>>,
+    delivered: Arc<Mutex<Vec<(ProcId, Value)>>>,
+    views: Arc<Mutex<Vec<View>>>,
+}
+
+/// A running sharded node: one transport, several group instances.
+pub struct ShardNode {
+    id: ProcId,
+    transport: Arc<TcpTransport>,
+    groups: BTreeMap<u32, GroupRuntime>,
+    /// Keeps the group-0 route receiver alive when this node does not
+    /// host group 0 (the transport pre-registers group 0 at start;
+    /// dropping the receiver would turn misrouted frames into reader
+    /// disconnects instead of harmless drops).
+    _park_rx: Option<Receiver<Incoming>>,
+}
+
+impl ShardNode {
+    /// Boots node `id` hosting the given groups (group id → that
+    /// group's protocol configuration and observability sink). The
+    /// transport records into `net_obs`; each group's core records into
+    /// its own `Obs` so the b/d monitors see per-group event streams,
+    /// not an interleaving of independent rings.
+    pub fn start(
+        id: ProcId,
+        listener: TcpListener,
+        peers: &BTreeMap<ProcId, SocketAddr>,
+        transport_cfg: TransportConfig,
+        clock: Arc<Clock>,
+        net_obs: Obs,
+        groups: &BTreeMap<u32, (ProtoConfig, Obs)>,
+    ) -> io::Result<ShardNode> {
+        let (tx0, rx0) = mpsc::channel::<Incoming>();
+        let transport =
+            TcpTransport::start_with_obs(id, listener, peers, transport_cfg, tx0.clone(), net_obs)?;
+
+        let mut rx0 = Some(rx0);
+        let mut runtimes = BTreeMap::new();
+        for (&g, (proto, obs)) in groups {
+            let core = NodeCore::new_in_group(id, proto.clone(), clock.clone(), obs, Some(g));
+            let (events_tx, events_rx) = if g == 0 {
+                // Group 0 rides the route the transport pre-registered
+                // at start; local submissions reuse the same channel.
+                let rx = rx0.take().expect("group ids are unique");
+                (tx0.clone(), rx)
+            } else {
+                let (tx, rx) = mpsc::channel::<Incoming>();
+                transport.register_group(g, tx.clone());
+                (tx, rx)
+            };
+            let recorded = core.recorded_handle();
+            let delivered = core.delivered_handle();
+            let views = core.views_handle();
+            let endpoint = GroupEndpoint::new(g, transport.clone());
+            let clock = clock.clone();
+            let handle =
+                std::thread::spawn(move || run_core_loop(core, events_rx, &endpoint, &clock));
+            runtimes.insert(
+                g,
+                GroupRuntime { events_tx, handle: Some(handle), recorded, delivered, views },
+            );
+        }
+
+        Ok(ShardNode { id, transport, groups: runtimes, _park_rx: rx0 })
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The group ids this node hosts.
+    pub fn hosted_groups(&self) -> Vec<u32> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// The shared transport endpoint (for severing links, counters).
+    pub fn transport(&self) -> &Arc<TcpTransport> {
+        &self.transport
+    }
+
+    /// Submits a client value into the hosted group `g` through its
+    /// local event path. Returns whether the group is hosted here.
+    pub fn submit(&self, g: u32, a: Value) -> bool {
+        match self.groups.get(&g) {
+            Some(rt) => rt.events_tx.send(Incoming::Submit { batch: vec![a] }).is_ok(),
+            None => false,
+        }
+    }
+
+    /// What the hosted group `g` has delivered to its client so far.
+    pub fn delivered(&self, g: u32) -> Vec<(ProcId, Value)> {
+        self.groups.get(&g).map_or_else(Vec::new, |rt| lock_clean(&rt.delivered).clone())
+    }
+
+    /// How many values group `g` has delivered (cheap, for polling).
+    pub fn delivered_count(&self, g: u32) -> usize {
+        self.groups.get(&g).map_or(0, |rt| lock_clean(&rt.delivered).len())
+    }
+
+    /// Every view the hosted group `g` has installed, in order.
+    pub fn views(&self, g: u32) -> Vec<View> {
+        self.groups.get(&g).map_or_else(Vec::new, |rt| lock_clean(&rt.views).clone())
+    }
+
+    /// A snapshot of group `g`'s recorded (stamped) trace events.
+    pub fn recorded(&self, g: u32) -> Vec<Recorded> {
+        self.groups.get(&g).map_or_else(Vec::new, |rt| lock_clean(&rt.recorded).clone())
+    }
+
+    /// Stops every group loop and the transport; returns the final
+    /// per-group recordings and the aggregated shutdown report.
+    pub fn stop(mut self) -> (BTreeMap<u32, Vec<Recorded>>, ShutdownReport) {
+        for rt in self.groups.values() {
+            let _ = rt.events_tx.send(Incoming::Stop);
+        }
+        let mut recordings = BTreeMap::new();
+        for (&g, rt) in self.groups.iter_mut() {
+            if let Some(h) = rt.handle.take() {
+                let _ = h.join();
+            }
+            recordings.insert(g, lock_clean(&rt.recorded).clone());
+        }
+        let report = self.transport.stop();
+        (recordings, report)
+    }
+}

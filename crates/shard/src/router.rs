@@ -1,0 +1,183 @@
+//! The client-side shard router: key → group → a live member to talk
+//! to, with retry across members on failure and redirect on view
+//! change.
+//!
+//! [`RouterCore`] is deliberately transport-agnostic — it is a pure
+//! policy state machine (cached [`ShardMap`], a preferred member per
+//! group, a down-set) so its retry/redirect/failover behavior is unit
+//! testable without sockets. The TCP client drives it with three
+//! signals: a pushed `View` frame feeds [`RouterCore::on_view`], a
+//! connection failure feeds [`RouterCore::mark_down`], and a submit that
+//! timed out against a stale map feeds [`RouterCore::retry_next`] to
+//! rotate to the next member of the same group.
+
+use crate::map::ShardMap;
+use gcs_model::{ProcId, View};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The routing decision state (see the module docs).
+#[derive(Clone, Debug)]
+pub struct RouterCore {
+    map: ShardMap,
+    /// The member each group's traffic currently targets.
+    preferred: BTreeMap<u32, ProcId>,
+    /// Members believed dead (connection refused/lost). A member leaves
+    /// the set when a fresh view shows it alive again.
+    down: BTreeSet<ProcId>,
+}
+
+impl RouterCore {
+    /// A router over an initial shard map (e.g. the static deployment
+    /// configuration; view pushes refine it from there).
+    pub fn new(map: ShardMap) -> RouterCore {
+        RouterCore { map, preferred: BTreeMap::new(), down: BTreeSet::new() }
+    }
+
+    /// The cached shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Routes `key`: the owning group and the member to send to.
+    /// Returns `None` only when every member of the group is marked
+    /// down.
+    pub fn target(&mut self, key: &str) -> Option<(u32, ProcId)> {
+        let group = self.map.key_group(key);
+        Some((group, self.member_for(group)?))
+    }
+
+    /// The member currently targeted for `group` (choosing and caching
+    /// one if needed).
+    pub fn member_for(&mut self, group: u32) -> Option<ProcId> {
+        if let Some(&p) = self.preferred.get(&group) {
+            if self.map.members(group).contains(&p) && !self.down.contains(&p) {
+                return Some(p);
+            }
+        }
+        let pick = self.map.members(group).iter().find(|p| !self.down.contains(p)).copied()?;
+        self.preferred.insert(group, pick);
+        Some(pick)
+    }
+
+    /// Folds a pushed view-change notification for `group`. Members of
+    /// the new view are evidently alive, so they leave the down-set; if
+    /// the group's preferred member fell out of the view, the next
+    /// [`RouterCore::target`] call redirects to a current member.
+    pub fn on_view(&mut self, group: u32, view: &View) {
+        self.map.apply_view(group, view);
+        for p in &view.set {
+            self.down.remove(p);
+        }
+        if let Some(&p) = self.preferred.get(&group) {
+            if !view.set.contains(&p) {
+                self.preferred.remove(&group);
+            }
+        }
+    }
+
+    /// Marks a member dead (connection refused or lost): every group
+    /// preferring it redirects on its next routing decision.
+    pub fn mark_down(&mut self, node: ProcId) {
+        self.down.insert(node);
+        self.preferred.retain(|_, p| *p != node);
+    }
+
+    /// Stale-map retry: the current target for `group` did not answer
+    /// (e.g. it is on the minority side of a partition the cached map
+    /// does not know about yet). Rotates to the next member of the
+    /// group in cyclic order, skipping down members, and returns it.
+    pub fn retry_next(&mut self, group: u32) -> Option<ProcId> {
+        let members: Vec<ProcId> = self.map.members(group).iter().copied().collect();
+        if members.is_empty() {
+            return None;
+        }
+        let cur = self.preferred.get(&group).copied();
+        let start = cur.and_then(|c| members.iter().position(|&p| p == c)).map_or(0, |i| i + 1);
+        for off in 0..members.len() {
+            let p = members[(start + off) % members.len()];
+            if Some(p) != cur && !self.down.contains(&p) {
+                self.preferred.insert(group, p);
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_model::ViewId;
+
+    fn procs(ids: &[u32]) -> BTreeSet<ProcId> {
+        ids.iter().map(|&i| ProcId(i)).collect()
+    }
+
+    fn router() -> RouterCore {
+        // Ring membership over 5 nodes, 4 groups of 3 — the benchmark
+        // topology.
+        let groups = (0..4u32).map(|i| procs(&[i, (i + 1) % 5, (i + 2) % 5])).collect();
+        RouterCore::new(ShardMap::new(groups))
+    }
+
+    #[test]
+    fn stale_map_retry_rotates_to_another_member() {
+        let mut r = router();
+        let (g, first) = r.target("alpha").expect("route");
+        // The target does not answer (stale map: it is on the minority
+        // side of a partition). Retry must pick a *different* member of
+        // the same group, and stick to it for subsequent routes.
+        let second = r.retry_next(g).expect("another member");
+        assert_ne!(first, second);
+        assert!(r.map().members(g).contains(&second));
+        assert_eq!(r.target("alpha"), Some((g, second)));
+        // Exhausting the rotation cycles through the remaining member.
+        let third = r.retry_next(g).expect("third member");
+        assert_ne!(third, second);
+    }
+
+    #[test]
+    fn view_change_redirects_off_departed_members() {
+        let mut r = router();
+        let (g, first) = r.target("alpha").expect("route");
+        // A view excluding the preferred member arrives (it was
+        // partitioned away): routing must redirect to a view member.
+        let survivors: BTreeSet<ProcId> =
+            r.map().members(g).iter().copied().filter(|&p| p != first).collect();
+        let v = View::new(ViewId::new(7, *survivors.iter().next().unwrap()), survivors.clone());
+        r.on_view(g, &v);
+        let (_, next) = r.target("alpha").expect("redirected route");
+        assert_ne!(next, first);
+        assert!(survivors.contains(&next));
+        assert!(r.map().version() > 0, "the fold must bump the map version");
+    }
+
+    #[test]
+    fn member_down_fails_over_and_view_revives() {
+        let mut r = router();
+        let (g, first) = r.target("alpha").expect("route");
+        r.mark_down(first);
+        let (_, next) = r.target("alpha").expect("failover route");
+        assert_ne!(next, first);
+        // Mark every member down: routing must refuse rather than aim
+        // at a dead node.
+        for p in r.map().members(g).clone() {
+            r.mark_down(p);
+        }
+        assert_eq!(r.target("alpha"), None);
+        // A fresh view listing the members revives them.
+        let v = View::new(ViewId::new(9, first), r.map().members(g).clone());
+        r.on_view(g, &v);
+        assert!(r.target("alpha").is_some());
+    }
+
+    #[test]
+    fn keys_route_to_their_owning_group_only() {
+        let mut r = router();
+        for key in ["a", "b", "c", "d", "e", "f"] {
+            let (g, p) = r.target(key).expect("route");
+            assert_eq!(g, r.map().key_group(key));
+            assert!(r.map().members(g).contains(&p));
+        }
+    }
+}

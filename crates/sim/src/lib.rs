@@ -32,9 +32,11 @@
 #![warn(missing_docs)]
 
 pub mod scenario;
+pub mod shard;
 pub mod shrink;
 pub mod world;
 
 pub use scenario::{FaultOp, Scenario, ScheduledFault, ScheduledSubmit, SimConfig};
+pub use shard::{run_shard, ShardRunReport, ShardScenario};
 pub use shrink::{shrink, ShrinkResult};
-pub use world::{run, settle_ms, RunReport};
+pub use world::{run, run_with_deliveries, settle_ms, RunReport};

@@ -279,7 +279,17 @@ pub fn run(sc: &Scenario) -> RunReport {
 /// (faults, view changes, sends/drops/rejects, client interface events)
 /// for timeline debugging of a failing seed.
 pub fn run_traced(sc: &Scenario) -> (RunReport, Vec<gcs_obs::ObsEvent>) {
-    World::new(sc).run()
+    let (report, events, _) = World::new(sc).run();
+    (report, events)
+}
+
+/// Like [`run`], but also returns each node's final delivered stream
+/// (across incarnations, in its local delivery order) so application
+/// layers — e.g. the sharded key-value store's per-key consistency
+/// checker — can be replayed over what the simulated run delivered.
+pub fn run_with_deliveries(sc: &Scenario) -> (RunReport, Vec<Vec<(ProcId, Value)>>) {
+    let (report, _, delivered) = World::new(sc).run();
+    (report, delivered)
 }
 
 impl<'a> World<'a> {
@@ -647,7 +657,8 @@ impl<'a> World<'a> {
         }
     }
 
-    fn run(mut self) -> (RunReport, Vec<gcs_obs::ObsEvent>) {
+    #[allow(clippy::type_complexity)]
+    fn run(mut self) -> (RunReport, Vec<gcs_obs::ObsEvent>, Vec<Vec<(ProcId, Value)>>) {
         // Boot every node at t = 0.
         for i in 0..self.sc.config.n as usize {
             let p = ProcId(i as u32);
@@ -687,7 +698,8 @@ impl<'a> World<'a> {
         self.finish()
     }
 
-    fn finish(mut self) -> (RunReport, Vec<gcs_obs::ObsEvent>) {
+    #[allow(clippy::type_complexity)]
+    fn finish(mut self) -> (RunReport, Vec<gcs_obs::ObsEvent>, Vec<Vec<(ProcId, Value)>>) {
         let cfg = &self.sc.config;
         let n = cfg.n;
         let p0 = ProcId::range(n);
@@ -779,7 +791,7 @@ impl<'a> World<'a> {
             views_installed,
             delivered: delivered.iter().map(|d| d.len()).min().unwrap_or(0),
         };
-        (report, events)
+        (report, events, delivered)
     }
 }
 

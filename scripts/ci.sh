@@ -38,6 +38,14 @@ echo "==> gcs-sim run --seeds 10 (smoke)"
 echo "==> gcs-loopback-bench --floor 25000 (throughput smoke gate)"
 ./target/release/gcs-loopback-bench --ops 20000 --window 1024 --floor 25000
 
+# Sharded aggregate gate: 4 groups of 3 nodes over 5 hosts must clear
+# 2x the single-group floor in aggregate, with every group's VS/TO
+# checkers, b/d monitors, and the per-key linearizability checker on,
+# through a one-group partition/merge. Measured headline is ~200k+
+# aggregate; 50k keeps the same scheduler-noise margin as the 25k gate.
+echo "==> gcs-shard-bench --floor 50000 (sharded aggregate gate)"
+./target/release/gcs-shard-bench --ops 10000 --window 256 --warmup 1000 --delta-ms 60 --floor 50000
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

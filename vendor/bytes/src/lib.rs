@@ -1,52 +1,86 @@
 //! Offline drop-in subset of the `bytes` crate: an immutable,
 //! cheaply-cloneable byte buffer backed by `Arc<[u8]>`.
+//!
+//! A `Bytes` is a *view* `[start, end)` into a shared backing
+//! allocation, so [`Bytes::slice`] is O(1) and allocation-free: many
+//! values decoded out of one network frame can all share the frame's
+//! single buffer. Equality, ordering, and hashing are defined over the
+//! viewed contents only, so a sliced `Bytes` behaves exactly like an
+//! owned copy of the same bytes.
 
 #![forbid(unsafe_code)]
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, Range};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable chunk of contiguous memory.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Bytes(Arc<[u8]>);
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     /// Creates an empty `Bytes`.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes::wrap(Arc::from(&[][..]))
+    }
+
+    fn wrap(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes { data, start: 0, end }
     }
 
     /// Copies `data` into a new `Bytes`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::wrap(Arc::from(data))
     }
 
     /// Creates `Bytes` from a static slice without copying semantics
     /// concerns (contents are still copied into the shared buffer).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::wrap(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Borrows the contents as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// An O(1) sub-view of `self` sharing the same backing allocation;
+    /// `range` is relative to this view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching slice
+    /// indexing.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(range.start <= range.end, "slice range inverted");
+        assert!(range.end <= self.len(), "slice range out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
     }
 }
 
@@ -59,25 +93,52 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with `<[u8] as Hash>` for the `Borrow<[u8]>` impl.
+        self.as_slice().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes::wrap(Arc::from(v.into_boxed_slice()))
     }
 }
 
@@ -108,7 +169,7 @@ impl FromIterator<u8> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice().iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -138,5 +199,41 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn slice_shares_the_backing_allocation() {
+        let a = Bytes::copy_from_slice(b"hello world");
+        let hello = a.slice(0..5);
+        let world = a.slice(6..11);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&world[..], b"world");
+        // Same allocation: the sub-view's pointer sits inside `a`.
+        assert_eq!(world.as_ref().as_ptr(), a.as_ref()[6..].as_ptr());
+        // Sub-views of sub-views are relative to the view.
+        assert_eq!(&world.slice(1..3)[..], b"or");
+        assert!(a.slice(5..5).is_empty());
+    }
+
+    #[test]
+    fn sliced_views_compare_by_contents() {
+        let a = Bytes::copy_from_slice(b"xabcx");
+        let owned = Bytes::copy_from_slice(b"abc");
+        let view = a.slice(1..4);
+        assert_eq!(view, owned);
+        assert_eq!(view.cmp(&owned), std::cmp::Ordering::Equal);
+        use std::collections::hash_map::DefaultHasher;
+        let digest = |b: &Bytes| {
+            let mut h = DefaultHasher::new();
+            b.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&view), digest(&owned));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_bounds_are_checked() {
+        let _ = Bytes::copy_from_slice(b"abc").slice(1..5);
     }
 }
