@@ -21,7 +21,7 @@ use gcs_model::{ProcId, Time};
 use gcs_net::runtime::{Clock, NetNode};
 use gcs_net::transport::TransportConfig;
 use gcs_obs::{BoundParams, Obs, StabilizationMonitor, TokenRoundMonitor};
-use gcs_vsimpl::ProtoConfig;
+use gcs_vsimpl::{DetectorPolicy, ProtoConfig};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::process::exit;
@@ -31,10 +31,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: gcs-node --id <i> --peers <addr0,addr1,...> [--delta <ms>] [--metrics-addr <addr>]\n\
          \n\
-         --id            this node's index into the peer list\n\
-         --peers         comma-separated listen addresses for every node, in id order\n\
-         --delta         protocol delta in milliseconds (default 20)\n\
-         --metrics-addr  serve Prometheus-style metrics text on this address"
+         --id                this node's index into the peer list\n\
+         --peers             comma-separated listen addresses for every node, in id order\n\
+         --delta             protocol delta in milliseconds (default 20)\n\
+         --metrics-addr      serve Prometheus-style metrics text on this address\n\
+         --adaptive-detector use the accrual failure detector (timeouts track measured\n\
+         \u{20}                   token gaps; effective bounds exported as detector_*_hat_ms)"
     );
     exit(2)
 }
@@ -44,6 +46,7 @@ fn main() {
     let mut peers: Vec<SocketAddr> = Vec::new();
     let mut delta: Time = 20;
     let mut metrics_addr: Option<SocketAddr> = None;
+    let mut adaptive = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +78,9 @@ fn main() {
                 if metrics_addr.is_none() {
                     usage();
                 }
+            }
+            "--adaptive-detector" => {
+                adaptive = true;
             }
             "--help" | "-h" => usage(),
             other => {
@@ -123,7 +129,10 @@ fn main() {
         }
     });
 
-    let proto = ProtoConfig::standard(n, delta);
+    let mut proto = ProtoConfig::standard(n, delta);
+    if adaptive {
+        proto.detector = DetectorPolicy::adaptive();
+    }
     let node = match NetNode::start_with_obs(
         me,
         proto,

@@ -28,8 +28,8 @@ use crate::transport::{
 use gcs_ioa::TimedTrace;
 use gcs_model::{Majority, ProcId, Time, Value, View};
 use gcs_netsim::{CollectedEffects, Process, TraceEvent};
-use gcs_obs::{trace::TraceBuf, Counter, EventKind, Obs};
-use gcs_vsimpl::{ImplEvent, ProtoConfig, StableState, TimedVsToTo, VsNode, Wire};
+use gcs_obs::{trace::TraceBuf, Counter, EventKind, Gauge, Obs, Registry};
+use gcs_vsimpl::{DetectorBounds, ImplEvent, ProtoConfig, StableState, TimedVsToTo, VsNode, Wire};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -164,6 +164,15 @@ pub struct NodeCore {
     deliveries_ctr: Counter,
     submits_ctr: Counter,
     trace: TraceBuf,
+    // Adaptive-detector export: the registry plus this node's label set,
+    // kept so the δ̂/π̂ gauges can be created lazily on the first bound
+    // change — a fixed-policy node never publishes them, keeping its
+    // metric set byte-identical to pre-adaptive builds.
+    registry: Registry,
+    node_label: String,
+    group_label: Option<String>,
+    last_bounds: Option<DetectorBounds>,
+    detector_gauges: Option<(Gauge, Gauge)>,
 }
 
 impl NodeCore {
@@ -247,6 +256,11 @@ impl NodeCore {
             deliveries_ctr: obs.registry.counter_labeled("node_deliveries_total", &l),
             submits_ctr: obs.registry.counter_labeled("node_submits_total", &l),
             trace: obs.trace.clone(),
+            registry: obs.registry.clone(),
+            node_label,
+            group_label,
+            last_bounds: None,
+            detector_gauges: None,
         }
     }
 
@@ -372,6 +386,40 @@ impl NodeCore {
         }
         for (delay, kind) in std::mem::take(&mut self.fx.timers) {
             self.timers.push((self.clock.now_ms() + delay, kind));
+        }
+        self.export_detector_bounds();
+    }
+
+    /// Publishes the adaptive detector's effective `δ̂/π̂` when they move:
+    /// a `DetectorBound` trace event (feeding the re-derived b/d
+    /// monitors) plus `detector_delta_hat_ms`/`detector_pi_hat_ms`
+    /// gauges. A no-op under the fixed policy.
+    fn export_detector_bounds(&mut self) {
+        let bounds = self.node.detector_bounds();
+        if bounds.is_none() || bounds == self.last_bounds {
+            return;
+        }
+        self.last_bounds = bounds;
+        if let Some(b) = bounds {
+            if self.detector_gauges.is_none() {
+                let mut l = vec![("node", self.node_label.as_str())];
+                if let Some(g) = self.group_label.as_deref() {
+                    l.push(("group", g));
+                }
+                self.detector_gauges = Some((
+                    self.registry.gauge_labeled("detector_delta_hat_ms", &l),
+                    self.registry.gauge_labeled("detector_pi_hat_ms", &l),
+                ));
+            }
+            if let Some((dg, pg)) = &self.detector_gauges {
+                dg.set(b.delta_hat_ms as i64);
+                pg.set(b.pi_hat_ms as i64);
+            }
+            self.trace.record(EventKind::DetectorBound {
+                node: self.id.0,
+                delta_hat_ms: b.delta_hat_ms,
+                pi_hat_ms: b.pi_hat_ms,
+            });
         }
     }
 

@@ -60,6 +60,53 @@ impl BoundParams {
     pub fn d_ms(&self) -> u64 {
         2 * self.pi_ms + self.n as u64 * self.delta_ms
     }
+
+    /// These parameters with δ/π replaced by effective (adaptive)
+    /// values, floored at the configured constants so the bounds only
+    /// ever widen.
+    fn with_effective(&self, delta_hat_ms: u64, pi_hat_ms: u64) -> Self {
+        BoundParams {
+            n: self.n,
+            delta_ms: delta_hat_ms.max(self.delta_ms),
+            pi_ms: pi_hat_ms.max(self.pi_ms),
+            mu_ms: self.mu_ms,
+        }
+    }
+}
+
+/// Running maxima of the effective `δ̂/π̂` published by an adaptive
+/// detector ([`EventKind::DetectorBound`]), shared by both monitors.
+/// Taking the max over the stream keeps the re-derived b/d monotone:
+/// sound (a run that violates the widest deadline the detector ever
+/// enforced is genuinely late) but conservative.
+#[derive(Debug)]
+struct EffectiveBounds {
+    delta_hat_ms: u64,
+    pi_hat_ms: u64,
+}
+
+impl EffectiveBounds {
+    fn new(params: &BoundParams) -> Self {
+        EffectiveBounds { delta_hat_ms: params.delta_ms, pi_hat_ms: params.pi_ms }
+    }
+
+    /// Folds one published bound in; returns the re-derived params if
+    /// either maximum moved.
+    fn absorb(
+        &mut self,
+        params: &BoundParams,
+        delta_hat_ms: u64,
+        pi_hat_ms: u64,
+    ) -> Option<BoundParams> {
+        let d = delta_hat_ms.max(self.delta_hat_ms);
+        let p = pi_hat_ms.max(self.pi_hat_ms);
+        if d == self.delta_hat_ms && p == self.pi_hat_ms {
+            return None;
+        }
+        self.delta_hat_ms = d;
+        self.pi_hat_ms = p;
+        Some(params.with_effective(d, p))
+    }
 }
 
 /// What a monitor concluded.
@@ -90,17 +137,21 @@ impl MonitorReport {
 pub struct StabilizationMonitor {
     params: BoundParams,
     b_ms: u64,
+    effective: EffectiveBounds,
     last_disturbance: Option<u64>,
     checked: u64,
     violations: Vec<String>,
 }
 
 impl StabilizationMonitor {
-    /// A monitor enforcing `params.b_ms()`.
+    /// A monitor enforcing `params.b_ms()`. Under an adaptive detector
+    /// the bound is re-derived from the published effective `δ̂/π̂`
+    /// (running maxima), so it can only widen.
     pub fn new(params: BoundParams) -> Self {
         StabilizationMonitor {
             params,
             b_ms: params.b_ms(),
+            effective: EffectiveBounds::new(&params),
             last_disturbance: None,
             checked: 0,
             violations: Vec::new(),
@@ -117,6 +168,11 @@ impl StabilizationMonitor {
         match &ev.kind {
             EventKind::Fault { .. } | EventKind::LinkUp { .. } | EventKind::LinkDown { .. } => {
                 self.last_disturbance = Some(ev.t_ms);
+            }
+            EventKind::DetectorBound { delta_hat_ms, pi_hat_ms, .. } => {
+                if let Some(p) = self.effective.absorb(&self.params, *delta_hat_ms, *pi_hat_ms) {
+                    self.b_ms = p.b_ms();
+                }
             }
             EventKind::ViewChange { node, epoch, size } => {
                 self.checked += 1;
@@ -180,6 +236,7 @@ pub struct TokenRoundMonitor {
     params: BoundParams,
     b_ms: u64,
     d_ms: u64,
+    effective: EffectiveBounds,
     last_disturbance: Option<u64>,
     disturbances: Vec<u64>,
     /// value → submit time (first submit wins; values are assumed unique
@@ -197,6 +254,7 @@ impl TokenRoundMonitor {
             params,
             b_ms: params.b_ms(),
             d_ms: params.d_ms(),
+            effective: EffectiveBounds::new(&params),
             last_disturbance: None,
             disturbances: Vec::new(),
             pending: BTreeMap::new(),
@@ -229,6 +287,12 @@ impl TokenRoundMonitor {
             EventKind::Fault { .. } | EventKind::LinkUp { .. } | EventKind::LinkDown { .. } => {
                 self.last_disturbance = Some(ev.t_ms);
                 self.disturbances.push(ev.t_ms);
+            }
+            EventKind::DetectorBound { delta_hat_ms, pi_hat_ms, .. } => {
+                if let Some(p) = self.effective.absorb(&self.params, *delta_hat_ms, *pi_hat_ms) {
+                    self.b_ms = p.b_ms();
+                    self.d_ms = p.d_ms();
+                }
             }
             EventKind::Bcast { value, .. } => {
                 self.pending.entry(*value).or_insert(ev.t_ms);
@@ -394,6 +458,83 @@ mod tests {
         let r = m.finish(b + 20 + 2 * d + 1);
         assert_eq!(r.checked, 0, "pair spans a partition, must be excused");
         assert!(r.ok());
+    }
+
+    #[test]
+    fn detector_bounds_widen_the_stabilization_deadline() {
+        let p = params();
+        let b = p.b_ms();
+        // δ̂ = 60 (3× the configured δ = 20), π̂ unchanged:
+        // b̂ = 9·60 + max(120 + 6·60, 240) = 540 + 480 = 1020 > b = 420.
+        let b_hat = BoundParams { delta_ms: 60, ..p }.b_ms();
+        assert!(b_hat > b);
+
+        // A view past the fixed deadline but within the adaptive one is
+        // clean once the detector has published the wider bound...
+        let mut m = StabilizationMonitor::new(p);
+        m.feed_all(&[
+            ev(50, 0, EventKind::DetectorBound { node: 0, delta_hat_ms: 60, pi_hat_ms: 120 }),
+            ev(1000, 1, EventKind::Fault { node: 0, peer: 2, kind: FaultKind::Sever }),
+            ev(1000 + b + 100, 2, EventKind::ViewChange { node: 0, epoch: 2, size: 2 }),
+        ]);
+        let r = m.finish();
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.bound_ms, b_hat);
+
+        // ...and still flagged past the widened deadline.
+        let mut m = StabilizationMonitor::new(p);
+        m.feed_all(&[
+            ev(50, 0, EventKind::DetectorBound { node: 0, delta_hat_ms: 60, pi_hat_ms: 120 }),
+            ev(1000, 1, EventKind::Fault { node: 0, peer: 2, kind: FaultKind::Sever }),
+            ev(1000 + b_hat + 1, 2, EventKind::ViewChange { node: 0, epoch: 2, size: 2 }),
+        ]);
+        assert_eq!(m.finish().violations.len(), 1);
+    }
+
+    #[test]
+    fn detector_bounds_take_running_maxima() {
+        let p = params();
+        let mut m = StabilizationMonitor::new(p);
+        m.feed_all(&[
+            ev(10, 0, EventKind::DetectorBound { node: 0, delta_hat_ms: 80, pi_hat_ms: 120 }),
+            // A later, tighter report must not shrink the bound back.
+            ev(20, 1, EventKind::DetectorBound { node: 1, delta_hat_ms: 25, pi_hat_ms: 120 }),
+        ]);
+        assert_eq!(m.bound_ms(), BoundParams { delta_ms: 80, ..p }.b_ms());
+        // And δ̂ below the configured δ is floored at the constant.
+        let mut m = StabilizationMonitor::new(p);
+        m.feed(&ev(10, 0, EventKind::DetectorBound { node: 0, delta_hat_ms: 1, pi_hat_ms: 1 }));
+        assert_eq!(m.bound_ms(), p.b_ms());
+    }
+
+    #[test]
+    fn detector_bounds_widen_the_delivery_deadline() {
+        let p = params();
+        let (b, d) = (p.b_ms(), p.d_ms());
+        let p_hat = BoundParams { pi_ms: 360, ..p };
+        let (b_hat, d_hat) = (p_hat.b_ms(), p_hat.d_ms());
+        assert!(d_hat > d);
+
+        // π̂ = 3π: a delivery past the fixed d but within d̂ is clean.
+        let mut m = TokenRoundMonitor::new(p);
+        m.feed_all(&[
+            ev(5, 0, EventKind::DetectorBound { node: 0, delta_hat_ms: 20, pi_hat_ms: 360 }),
+            ev(b_hat + 10, 1, EventKind::Bcast { node: 0, value: 4 }),
+            ev(b_hat + 10 + d + 50, 2, EventKind::Brcv { node: 1, src: 0, value: 4 }),
+        ]);
+        let r = m.finish(b_hat + 10 + d_hat + 1000);
+        assert_eq!(r.checked, 1);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.bound_ms, d_hat);
+
+        // Past d̂ it still fires.
+        let mut m = TokenRoundMonitor::new(p);
+        m.feed_all(&[
+            ev(5, 0, EventKind::DetectorBound { node: 0, delta_hat_ms: 20, pi_hat_ms: 360 }),
+            ev(b_hat + 10, 1, EventKind::Bcast { node: 0, value: 4 }),
+            ev(b_hat + 10 + d_hat + 1, 2, EventKind::Brcv { node: 1, src: 0, value: 4 }),
+        ]);
+        assert_eq!(m.finish(b_hat + 10 + d_hat + 1000).violations.len(), 1);
     }
 
     #[test]

@@ -51,6 +51,8 @@ pub enum FaultKind {
     Stall,
     /// A stalled node resumed processing.
     Resume,
+    /// Traffic slowed (delivery delays stretched) without being blocked.
+    Slow,
 }
 
 /// A typed observability event. Node/processor identifiers are plain
@@ -137,6 +139,18 @@ pub enum EventKind {
         peer: u32,
         /// The operation.
         kind: FaultKind,
+    },
+    /// An adaptive failure detector published new effective timing
+    /// bounds. The b/d monitors re-derive their windows from the
+    /// running maxima of these, so an adaptive run is judged against
+    /// the deadlines the detector actually enforced.
+    DetectorBound {
+        /// The reporting node.
+        node: u32,
+        /// Effective per-hop delay bound `δ̂` in milliseconds.
+        delta_hat_ms: u64,
+        /// Effective token period bound `π̂` in milliseconds.
+        pi_hat_ms: u64,
     },
 }
 

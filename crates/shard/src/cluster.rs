@@ -21,7 +21,7 @@ use gcs_net::runtime::{merge_recordings, Clock, Recorded};
 use gcs_net::transport::{ShutdownReport, TransportConfig};
 use gcs_netsim::TraceEvent;
 use gcs_obs::{EventKind, FaultKind, Obs};
-use gcs_vsimpl::{ImplEvent, MembershipMode, ProtoConfig};
+use gcs_vsimpl::{DetectorPolicy, ImplEvent, MembershipMode, ProtoConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -75,6 +75,7 @@ impl ShardClusterConfig {
             mode: MembershipMode::ThreeRound,
             safe_delivery: false,
             pipeline: 4,
+            detector: DetectorPolicy::Fixed,
         }
     }
 }

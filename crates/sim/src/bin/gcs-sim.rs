@@ -12,9 +12,20 @@
 //! (deterministic results at any worker count) and prints one digest
 //! line per seed. On the first failing seed it minimizes the fault
 //! schedule and writes a replayable scenario artifact.
+//!
+//! ```text
+//! gcs-sim hostile [--seeds N] [--workers W] [--kinds flap,bimodal,...] [--verbose]
+//! ```
+//!
+//! `hostile` runs the hostile-network corpus: every (kind, seed) entry
+//! under **both** detector policies, printing view-change and
+//! availability comparisons, and failing if any run violates a checker
+//! or monitor — or if the adaptive detector does not hold membership
+//! strictly more stable than fixed timeouts on the flapping/bimodal
+//! regimes.
 
 use gcs_harness::par_seeds_with;
-use gcs_sim::{shrink, world, Scenario, SimConfig};
+use gcs_sim::{hostile, shrink, world, HostileKind, Scenario, SimConfig};
 use std::process::ExitCode;
 
 struct Args {
@@ -32,6 +43,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: gcs-sim run [--seeds N | --seed X] [--workers W] [--n N] [--delta MS]\n\
          \u{20}                  [--duration MS] [--submits K] [--faults F] [--queue Q]\n\
          \u{20}                  [--fixed-delay] [--verbose] [--out DIR]\n\
+         \u{20}      gcs-sim hostile [--seeds N] [--workers W] [--kinds a,b,..] [--verbose]\n\
          \u{20}      gcs-sim replay FILE [--verbose]"
     );
     ExitCode::from(2)
@@ -192,6 +204,106 @@ fn cmd_run(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct HostileArgs {
+    seeds: u64,
+    workers: usize,
+    kinds: Vec<HostileKind>,
+    verbose: bool,
+}
+
+fn parse_hostile_args(argv: &[String]) -> Result<HostileArgs, String> {
+    let mut args = HostileArgs {
+        seeds: 10,
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        kinds: HostileKind::ALL.to_vec(),
+        verbose: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().map(|s| s.as_str()).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = num(val("--seeds")?)?,
+            "--workers" => args.workers = num(val("--workers")?)? as usize,
+            "--kinds" => {
+                args.kinds = val("--kinds")?
+                    .split(',')
+                    .map(|s| {
+                        HostileKind::from_name(s.trim())
+                            .ok_or_else(|| format!("unknown hostile kind {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--verbose" => args.verbose = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_hostile(args: &HostileArgs) -> ExitCode {
+    let seeds: Vec<u64> = (0..args.seeds).collect();
+    let mut failing = 0usize;
+    for &kind in &args.kinds {
+        let outcomes = par_seeds_with(&seeds, args.workers, |seed| hostile::run_pair(kind, seed));
+        let (mut fixed_views, mut adaptive_views) = (0usize, 0usize);
+        let (mut fixed_avail, mut adaptive_avail) = (0usize, 0usize);
+        for o in &outcomes {
+            fixed_views += o.fixed.views_installed;
+            adaptive_views += o.adaptive.views_installed;
+            fixed_avail += o.fixed.delivered_during_disturbance;
+            adaptive_avail += o.adaptive.delivered_during_disturbance;
+            let pass = o.pass();
+            if args.verbose || !pass {
+                println!(
+                    "{:<11} seed {:>4}  views fixed={:>3} adaptive={:>3}  \
+                     avail fixed={:>3} adaptive={:>3}  {}",
+                    kind.name(),
+                    o.seed,
+                    o.fixed.views_installed,
+                    o.adaptive.views_installed,
+                    o.fixed.delivered_during_disturbance,
+                    o.adaptive.delivered_during_disturbance,
+                    if pass { "ok" } else { "FAIL" },
+                );
+            }
+            if !pass {
+                failing += 1;
+                for v in o.violations() {
+                    println!("  violation: {v}");
+                }
+                if o.fixed.ok()
+                    && o.adaptive.ok()
+                    && kind.strict()
+                    && o.adaptive.views_installed >= o.fixed.views_installed
+                {
+                    println!(
+                        "  gate: adaptive installed {} views, fixed {} — not strictly fewer",
+                        o.adaptive.views_installed, o.fixed.views_installed
+                    );
+                }
+            }
+        }
+        println!(
+            "{:<11} {} seeds: views fixed={} adaptive={}  avail fixed={} adaptive={}{}",
+            kind.name(),
+            outcomes.len(),
+            fixed_views,
+            adaptive_views,
+            fixed_avail,
+            adaptive_avail,
+            if kind.strict() { "  [strict]" } else { "" },
+        );
+    }
+    if failing > 0 {
+        println!("hostile corpus: {failing} failing entries");
+        return ExitCode::FAILURE;
+    }
+    println!("hostile corpus: all entries passed");
+    ExitCode::SUCCESS
+}
+
 fn cmd_replay(path: &str, verbose: bool) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -216,6 +328,10 @@ fn main() -> ExitCode {
             Ok(args) => cmd_run(&args),
             Err(e) => usage(&e),
         },
+        Some("hostile") => match parse_hostile_args(&argv[1..]) {
+            Ok(args) => cmd_hostile(&args),
+            Err(e) => usage(&e),
+        },
         Some("replay") => {
             let Some(path) = argv.get(1) else {
                 return usage("replay needs a scenario file");
@@ -223,6 +339,6 @@ fn main() -> ExitCode {
             let verbose = argv.iter().any(|a| a == "--verbose");
             cmd_replay(path, verbose)
         }
-        _ => usage("expected a subcommand: run | replay"),
+        _ => usage("expected a subcommand: run | hostile | replay"),
     }
 }

@@ -31,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hostile;
 pub mod scenario;
 pub mod shard;
 pub mod shrink;
 pub mod world;
 
+pub use hostile::{build as build_hostile, run_pair, HostileKind, HostileOutcome};
 pub use scenario::{FaultOp, Scenario, ScheduledFault, ScheduledSubmit, SimConfig};
 pub use shard::{run_shard, ShardRunReport, ShardScenario};
 pub use shrink::{shrink, ShrinkResult};

@@ -52,6 +52,11 @@ pub struct SimConfig {
     /// real safety bug the checkers must catch. Ignored (and harmless)
     /// without the feature.
     pub bug_dup_token: bool,
+    /// Run the nodes under the adaptive accrual failure detector
+    /// (`DetectorPolicy::adaptive()`) instead of the fixed δ/π timeouts.
+    /// The settle phase is stretched to cover the widest adaptive
+    /// deadline (see [`settle_ms`]).
+    pub adaptive_detector: bool,
 }
 
 impl Default for SimConfig {
@@ -66,6 +71,7 @@ impl Default for SimConfig {
             seed: 0,
             fixed_delay: false,
             bug_dup_token: false,
+            adaptive_detector: false,
         }
     }
 }
@@ -128,6 +134,43 @@ pub enum FaultOp {
         /// Pause length.
         dur_ms: Time,
     },
+    /// Flap the `p ↔ q` link: block it for `period_ms`, restore it for
+    /// `period_ms`, `count` times — a link oscillating at the detection
+    /// threshold, the canonical regime where fixed timeouts thrash views.
+    Flap {
+        /// One endpoint.
+        p: u32,
+        /// The other endpoint.
+        q: u32,
+        /// Length of each down (and each up) half-cycle.
+        period_ms: Time,
+        /// Number of down/up cycles.
+        count: u32,
+    },
+    /// Stretch delivery delays on the `p → q` direction by `factor`
+    /// for `dur_ms` (the reverse direction stays at δ) — an asymmetric
+    /// one-way slowdown, not a partition: every frame still arrives.
+    SlowOneWay {
+        /// The slowed sender.
+        p: u32,
+        /// The receiver seeing late frames.
+        q: u32,
+        /// Delay multiplier (≥ 2).
+        factor: u32,
+        /// Window length.
+        dur_ms: Time,
+    },
+    /// WAN-like bimodal delays on *every* link for `dur_ms`: each frame
+    /// independently takes the slow mode (delay × `factor`) with
+    /// probability `prob_pct`%, the fast mode (≤ δ) otherwise.
+    Bimodal {
+        /// Percent of frames taking the slow mode.
+        prob_pct: u32,
+        /// Slow-mode delay multiplier (≥ 2).
+        factor: u32,
+        /// Window length.
+        dur_ms: Time,
+    },
     /// Arm the `p → q` link to duplicate its next frame. Without the
     /// `bug-hook` feature the duplicate arrives as a *stale* copy and
     /// must be rejected by the receiver (exercising the transport's
@@ -149,8 +192,11 @@ impl FaultOp {
             FaultOp::Split { dur_ms, .. }
             | FaultOp::SeverPair { dur_ms, .. }
             | FaultOp::SeverOneWay { dur_ms, .. }
+            | FaultOp::SlowOneWay { dur_ms, .. }
+            | FaultOp::Bimodal { dur_ms, .. }
             | FaultOp::Stall { dur_ms, .. } => *dur_ms,
             FaultOp::Crash { down_ms, .. } => *down_ms,
+            FaultOp::Flap { period_ms, count, .. } => 2 * period_ms * *count as Time,
             FaultOp::Kick { .. } | FaultOp::Dup { .. } => 0,
         }
     }
@@ -312,7 +358,7 @@ impl Scenario {
         let _ = writeln!(
             out,
             "config n={} delta_ms={} active_ms={} submits={} fault_budget={} \
-             send_queue={} seed={} fixed_delay={} bug_dup_token={}",
+             send_queue={} seed={} fixed_delay={} bug_dup_token={} adaptive_detector={}",
             c.n,
             c.delta_ms,
             c.active_ms,
@@ -322,6 +368,7 @@ impl Scenario {
             c.seed,
             c.fixed_delay as u8,
             c.bug_dup_token as u8,
+            c.adaptive_detector as u8,
         );
         for s in &self.submits {
             let _ = writeln!(out, "submit at={} node={} value={}", s.at, s.node, s.value);
@@ -360,6 +407,7 @@ impl Scenario {
                             "seed" => c.seed = u()?,
                             "fixed_delay" => c.fixed_delay = u()? != 0,
                             "bug_dup_token" => c.bug_dup_token = u()? != 0,
+                            "adaptive_detector" => c.adaptive_detector = u()? != 0,
                             _ => return Err(err("unknown config key")),
                         }
                     }
@@ -406,6 +454,15 @@ fn render_op(op: &FaultOp) -> String {
         }
         FaultOp::SeverPair { p, q, dur_ms } => format!("sever p={p} q={q} dur={dur_ms}"),
         FaultOp::SeverOneWay { p, q, dur_ms } => format!("sever1 p={p} q={q} dur={dur_ms}"),
+        FaultOp::Flap { p, q, period_ms, count } => {
+            format!("flap p={p} q={q} period={period_ms} count={count}")
+        }
+        FaultOp::SlowOneWay { p, q, factor, dur_ms } => {
+            format!("slow1 p={p} q={q} factor={factor} dur={dur_ms}")
+        }
+        FaultOp::Bimodal { prob_pct, factor, dur_ms } => {
+            format!("bimodal prob={prob_pct} factor={factor} dur={dur_ms}")
+        }
         FaultOp::Kick { p, q } => format!("kick p={p} q={q}"),
         FaultOp::Crash { p, down_ms } => format!("crash p={p} down={down_ms}"),
         FaultOp::Stall { p, dur_ms } => format!("stall p={p} dur={dur_ms}"),
@@ -452,6 +509,23 @@ fn parse_op(name: &str, rest: Vec<&str>, err: &dyn Fn(&str) -> String) -> Result
         "sever1" => FaultOp::SeverOneWay {
             p: field(&kv, "p", err)? as u32,
             q: field(&kv, "q", err)? as u32,
+            dur_ms: field(&kv, "dur", err)?,
+        },
+        "flap" => FaultOp::Flap {
+            p: field(&kv, "p", err)? as u32,
+            q: field(&kv, "q", err)? as u32,
+            period_ms: field(&kv, "period", err)?,
+            count: field(&kv, "count", err)? as u32,
+        },
+        "slow1" => FaultOp::SlowOneWay {
+            p: field(&kv, "p", err)? as u32,
+            q: field(&kv, "q", err)? as u32,
+            factor: field(&kv, "factor", err)? as u32,
+            dur_ms: field(&kv, "dur", err)?,
+        },
+        "bimodal" => FaultOp::Bimodal {
+            prob_pct: field(&kv, "prob", err)? as u32,
+            factor: field(&kv, "factor", err)? as u32,
             dur_ms: field(&kv, "dur", err)?,
         },
         "kick" => {

@@ -116,6 +116,16 @@ fn project_op(op: &FaultOp, local: &BTreeMap<u32, u32>) -> Option<FaultOp> {
             local.get(p).map(|&p| FaultOp::Stall { p, dur_ms: *dur_ms })
         }
         FaultOp::Dup { p, q } => both(p, q).map(|(p, q)| FaultOp::Dup { p, q }),
+        FaultOp::Flap { p, q, period_ms, count } => {
+            both(p, q).map(|(p, q)| FaultOp::Flap { p, q, period_ms: *period_ms, count: *count })
+        }
+        FaultOp::SlowOneWay { p, q, factor, dur_ms } => {
+            both(p, q).map(|(p, q)| FaultOp::SlowOneWay { p, q, factor: *factor, dur_ms: *dur_ms })
+        }
+        // Bimodal is cluster-wide: it disturbs every group as-is.
+        FaultOp::Bimodal { prob_pct, factor, dur_ms } => {
+            Some(FaultOp::Bimodal { prob_pct: *prob_pct, factor: *factor, dur_ms: *dur_ms })
+        }
     }
 }
 

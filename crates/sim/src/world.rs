@@ -34,11 +34,11 @@ use gcs_obs::{
     BoundParams, DropReason, EventKind, FaultKind, Obs, StabilizationMonitor, TokenRoundMonitor,
 };
 use gcs_vsimpl::convert::{to_obs, vs_actions};
-use gcs_vsimpl::{ProtoConfig, StableState, TimedVsToTo, Wire};
+use gcs_vsimpl::{DetectorPolicy, ProtoConfig, StableState, TimedVsToTo, Wire};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cell::RefCell;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
@@ -52,7 +52,15 @@ const MAX_STEPS: u64 = 5_000_000;
 /// every conforming run converges before its horizon.
 pub fn settle_ms(cfg: &SimConfig) -> Time {
     let bp = BoundParams::standard(cfg.n, cfg.delta_ms);
-    2 * bp.b_ms() + 2 * bp.d_ms() + bp.mu_ms
+    let base = 2 * bp.b_ms() + 2 * bp.d_ms() + bp.mu_ms;
+    if cfg.adaptive_detector {
+        // The accrual detector may stretch the token-loss deadline up to
+        // its cap (6× the fixed deadline) after a hostile phase, so the
+        // settle phase must cover correspondingly later detections.
+        3 * base
+    } else {
+        base
+    }
 }
 
 #[cfg(feature = "bug-hook")]
@@ -110,6 +118,13 @@ pub struct RunReport {
     pub views_installed: usize,
     /// Client values delivered per node (minimum across nodes).
     pub delivered: usize,
+    /// Total virtual time covered by fault spans (union of the
+    /// scheduled disturbance intervals).
+    pub disturbed_ms: Time,
+    /// Values whose *first* delivery anywhere landed inside a
+    /// disturbance interval — the availability measure: ops the service
+    /// completed while the network was actively hostile.
+    pub delivered_during_disturbance: usize,
 }
 
 impl RunReport {
@@ -131,6 +146,10 @@ enum Ev {
         epoch: u64,
         stale: bool,
         dup: bool,
+        /// The frame's delay was stretched past δ by a slow/bimodal
+        /// window; its arrival is re-recorded as a disturbance so the
+        /// bound monitors' baseline spans the whole late flight.
+        slowed: bool,
     },
     Submit {
         p: ProcId,
@@ -141,6 +160,13 @@ enum Ev {
     },
     Fault {
         idx: usize,
+    },
+    /// A delayed window-open (the later cycles of a `Flap`).
+    Open {
+        pairs: Vec<(u32, u32)>,
+        rep: (u32, u32),
+        dur: Time,
+        kind: WinKind,
     },
     Heal {
         win: usize,
@@ -211,9 +237,26 @@ struct Link {
 /// core keeps writing through its own clone).
 type Handle<T> = Arc<Mutex<Vec<T>>>;
 
-/// The directed pairs a fault window blocks, plus the representative
-/// pair recorded with the heal event.
-type BlockedWindow = (Vec<(u32, u32)>, (u32, u32));
+/// What a fault window does to the frames it matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WinKind {
+    /// Frames are dropped (partition / sever semantics).
+    Block,
+    /// Delivery delays are stretched by the factor (one-way slowdown).
+    Slow(u32),
+    /// Every frame cluster-wide independently takes the slow mode
+    /// (delay × factor) with the given percent probability.
+    Bimodal { prob_pct: u32, factor: u32 },
+}
+
+/// One active fault window: the directed pairs it matches (empty =
+/// every link, used by `Bimodal`), the representative pair recorded
+/// with its fault/heal events, and what it does.
+struct Window {
+    pairs: Vec<(u32, u32)>,
+    rep: (u32, u32),
+    kind: WinKind,
+}
 
 /// One node slot across incarnations.
 struct SimSlot {
@@ -260,9 +303,8 @@ struct World<'a> {
     endpoints: Vec<Rc<SimEndpoint>>,
     outbox: Rc<RefCell<Vec<(ProcId, ProcId, Wire)>>>,
     links: Vec<Link>,
-    /// Active blocked-pair windows (directed pairs), plus a
-    /// representative pair for the heal event's fault record.
-    windows: Vec<Option<BlockedWindow>>,
+    /// Active fault windows (blocked or slowed pair sets).
+    windows: Vec<Option<Window>>,
     violations: Vec<String>,
     frames_sent: u64,
     frames_dropped: u64,
@@ -300,9 +342,13 @@ impl<'a> World<'a> {
         let endpoints = (0..n)
             .map(|i| Rc::new(SimEndpoint { id: ProcId(i as u32), outbox: outbox.clone() }))
             .collect();
+        let mut proto = ProtoConfig::standard(cfg.n, cfg.delta_ms);
+        if cfg.adaptive_detector {
+            proto.detector = DetectorPolicy::adaptive();
+        }
         World {
             sc,
-            proto: ProtoConfig::standard(cfg.n, cfg.delta_ms),
+            proto,
             clock: Clock::manual(),
             obs: Obs::with_manual_clock(1 << 20),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0dd5_eed0_f00d_cafe),
@@ -345,7 +391,33 @@ impl<'a> World<'a> {
 
     fn blocked(&self, from: ProcId, to: ProcId) -> bool {
         let pair = (from.0, to.0);
-        self.windows.iter().flatten().any(|(pairs, _)| pairs.contains(&pair))
+        self.windows.iter().flatten().any(|w| w.kind == WinKind::Block && w.pairs.contains(&pair))
+    }
+
+    /// The delay multiplier the active slow/bimodal windows impose on a
+    /// frame sent `from → to` right now. Draws the bimodal coin per
+    /// frame (deterministically, from the world RNG).
+    fn stretch_factor(&mut self, from: ProcId, to: ProcId) -> u64 {
+        let pair = (from.0, to.0);
+        let mut stretch: u64 = 1;
+        let mut bimodal: Option<(u32, u32)> = None;
+        for w in self.windows.iter().flatten() {
+            match w.kind {
+                WinKind::Block => {}
+                WinKind::Slow(factor) => {
+                    if w.pairs.contains(&pair) {
+                        stretch = stretch.max(factor as u64);
+                    }
+                }
+                WinKind::Bimodal { prob_pct, factor } => bimodal = Some((prob_pct, factor)),
+            }
+        }
+        if let Some((prob_pct, factor)) = bimodal {
+            if self.rng.gen_range(0..100u32) < prob_pct {
+                stretch = stretch.max(factor as u64);
+            }
+        }
+        stretch
     }
 
     fn stalled(&self, p: ProcId) -> bool {
@@ -384,8 +456,18 @@ impl<'a> World<'a> {
                     eprintln!("t={:>6}  send {}->{}  {:?}", self.now, from.0, to.0, wire);
                 }
                 let bytes = encode_payload(&Frame::Peer(wire));
-                let delay =
+                let mut delay =
                     if self.sc.config.fixed_delay { delta } else { self.rng.gen_range(1..=delta) };
+                let stretch = self.stretch_factor(from, to);
+                let slowed = stretch > 1;
+                if slowed {
+                    // The δ assumption is being violated on purpose:
+                    // record the late frame as a disturbance at launch
+                    // (and again at arrival) so the b/d monitors treat
+                    // the whole slow flight as a disturbed interval.
+                    delay *= stretch;
+                    self.record_fault(from.0, to.0, FaultKind::Slow);
+                }
                 let t_del = (self.now + delay).max(self.links[li].next_fifo);
                 let link = &mut self.links[li];
                 link.next_fifo = t_del;
@@ -422,10 +504,14 @@ impl<'a> World<'a> {
                             epoch,
                             stale: dup_stale,
                             dup: true,
+                            slowed,
                         },
                     );
                 }
-                self.push(t_del, Ev::Deliver { from, to, bytes, epoch, stale: false, dup: false });
+                self.push(
+                    t_del,
+                    Ev::Deliver { from, to, bytes, epoch, stale: false, dup: false, slowed },
+                );
             }
         }
     }
@@ -460,9 +546,24 @@ impl<'a> World<'a> {
 
     /// Opens a blocked-pairs window and schedules its heal.
     fn open_window(&mut self, pairs: Vec<(u32, u32)>, rep: (u32, u32), dur: Time) {
-        self.record_fault(rep.0, rep.1, FaultKind::Sever);
+        self.open_window_kind(pairs, rep, dur, WinKind::Block);
+    }
+
+    /// Opens a fault window of any kind and schedules its heal.
+    fn open_window_kind(
+        &mut self,
+        pairs: Vec<(u32, u32)>,
+        rep: (u32, u32),
+        dur: Time,
+        kind: WinKind,
+    ) {
+        let fk = match kind {
+            WinKind::Block => FaultKind::Sever,
+            WinKind::Slow(_) | WinKind::Bimodal { .. } => FaultKind::Slow,
+        };
+        self.record_fault(rep.0, rep.1, fk);
         let win = self.windows.len();
-        self.windows.push(Some((pairs, rep)));
+        self.windows.push(Some(Window { pairs, rep, kind }));
         self.push(self.now + dur.max(1), Ev::Heal { win });
     }
 
@@ -502,6 +603,44 @@ impl<'a> World<'a> {
             FaultOp::SeverOneWay { p, q, dur_ms } => {
                 self.open_window(vec![(*p, *q)], (*p, *q), *dur_ms);
             }
+            FaultOp::Flap { p, q, period_ms, count } => {
+                // One blocked window per down half-cycle; the up
+                // half-cycles are simply the gaps between them. Cycle 0
+                // opens now, the rest are scheduled.
+                let pairs = vec![(*p, *q), (*q, *p)];
+                let period = (*period_ms).max(1);
+                for i in 0..(*count).max(1) as u64 {
+                    if i == 0 {
+                        self.open_window(pairs.clone(), (*p, *q), period);
+                    } else {
+                        self.push(
+                            self.now + 2 * period * i,
+                            Ev::Open {
+                                pairs: pairs.clone(),
+                                rep: (*p, *q),
+                                dur: period,
+                                kind: WinKind::Block,
+                            },
+                        );
+                    }
+                }
+            }
+            FaultOp::SlowOneWay { p, q, factor, dur_ms } => {
+                self.open_window_kind(
+                    vec![(*p, *q)],
+                    (*p, *q),
+                    *dur_ms,
+                    WinKind::Slow((*factor).max(2)),
+                );
+            }
+            FaultOp::Bimodal { prob_pct, factor, dur_ms } => {
+                self.open_window_kind(
+                    Vec::new(),
+                    (0, 0),
+                    *dur_ms,
+                    WinKind::Bimodal { prob_pct: (*prob_pct).min(100), factor: (*factor).max(2) },
+                );
+            }
             FaultOp::Kick { p, q } => {
                 self.record_fault(*p, *q, FaultKind::Kick);
                 self.cut_links(ProcId(*p), ProcId(*q));
@@ -540,11 +679,17 @@ impl<'a> World<'a> {
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
-            Ev::Deliver { from, to, bytes, epoch, stale, dup } => {
+            Ev::Deliver { from, to, bytes, epoch, stale, dup, slowed } => {
                 if self.stalled(to) {
                     let until = self.slots[to.index()].stalled_until;
-                    self.push(until, Ev::Deliver { from, to, bytes, epoch, stale, dup });
+                    self.push(until, Ev::Deliver { from, to, bytes, epoch, stale, dup, slowed });
                     return;
+                }
+                if slowed {
+                    // Close of the late flight recorded at launch (see
+                    // `drain_sends`): the disturbance baseline must
+                    // extend to this arrival.
+                    self.record_fault(from.0, to.0, FaultKind::Slow);
                 }
                 let li = self.link_idx(from, to);
                 let live_epoch = epoch == self.links[li].epoch;
@@ -633,9 +778,12 @@ impl<'a> World<'a> {
                 let op = self.sc.faults[idx].op.clone();
                 self.apply_fault(&op);
             }
+            Ev::Open { pairs, rep, dur, kind } => {
+                self.open_window_kind(pairs, rep, dur, kind);
+            }
             Ev::Heal { win } => {
-                if let Some((_, rep)) = self.windows[win].take() {
-                    self.record_fault(rep.0, rep.1, FaultKind::Heal);
+                if let Some(w) = self.windows[win].take() {
+                    self.record_fault(w.rep.0, w.rep.1, FaultKind::Heal);
                 }
             }
             Ev::Restart { p } => {
@@ -778,6 +926,37 @@ impl<'a> World<'a> {
             }
         }
 
+        // Availability: how much of the run the scheduled faults kept
+        // disturbed, and how many values got their first delivery while
+        // a disturbance was in force.
+        let mut intervals: Vec<(Time, Time)> = self
+            .sc
+            .faults
+            .iter()
+            .map(|f| (f.at, f.at + f.op.span_ms()))
+            .filter(|(a, b)| b > a)
+            .collect();
+        intervals.sort_unstable();
+        let mut disturbed_ms: Time = 0;
+        let mut cursor: Time = 0;
+        for &(a, b) in &intervals {
+            let a = a.max(cursor);
+            if b > a {
+                disturbed_ms += b - a;
+                cursor = b;
+            }
+        }
+        let mut first_delivery: BTreeMap<u64, Time> = BTreeMap::new();
+        for e in &events {
+            if let EventKind::Brcv { value, .. } = e.kind {
+                first_delivery.entry(value).or_insert(e.t_ms);
+            }
+        }
+        let delivered_during_disturbance = first_delivery
+            .values()
+            .filter(|&&t| intervals.iter().any(|&(a, b)| t >= a && t <= b))
+            .count();
+
         let report = RunReport {
             seed: cfg.seed,
             violations: self.violations,
@@ -790,6 +969,8 @@ impl<'a> World<'a> {
             faults_applied: self.faults_applied,
             views_installed,
             delivered: delivered.iter().map(|d| d.len()).min().unwrap_or(0),
+            disturbed_ms,
+            delivered_during_disturbance,
         };
         (report, events, delivered)
     }

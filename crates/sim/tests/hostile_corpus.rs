@@ -1,0 +1,119 @@
+//! The hostile-network corpus as a CI gate: every regime runs under
+//! both detector policies, the acceptance comparison holds (adaptive
+//! strictly fewer view changes on the pure-timing regimes, zero checker
+//! or monitor violations everywhere), replay is bit-for-bit
+//! deterministic at any worker count, and the committed scenario
+//! fixtures in `tests/corpus/` stay in lockstep with the builders.
+
+use gcs_harness::par_seeds_with;
+use gcs_sim::{build_hostile, run, run_pair, HostileKind, Scenario};
+
+/// Every corpus entry at the smoke seed passes the full acceptance
+/// gate: zero violations under both policies, and strictly fewer view
+/// changes under the adaptive detector on the strict (flap/bimodal)
+/// kinds.
+#[test]
+fn corpus_passes_the_acceptance_gate() {
+    for kind in HostileKind::ALL {
+        let o = run_pair(kind, 0);
+        assert!(
+            o.pass(),
+            "{} seed 0 failed: views fixed={} adaptive={}, violations {:?}",
+            kind.name(),
+            o.fixed.views_installed,
+            o.adaptive.views_installed,
+            o.violations().first(),
+        );
+    }
+}
+
+/// The flap regime is the detector's headline: fixed timeouts reform on
+/// every down cycle while the warm accrual estimator rides the whole
+/// storm out, and availability does not regress.
+#[test]
+fn flap_adaptive_rides_out_what_fixed_thrashes_on() {
+    let o = run_pair(HostileKind::Flap, 0);
+    assert!(o.fixed.views_installed >= 10, "fixed should thrash: {}", o.fixed.views_installed);
+    assert!(
+        o.adaptive.views_installed * 5 <= o.fixed.views_installed,
+        "adaptive {} vs fixed {}: expected at least a 5x reduction",
+        o.adaptive.views_installed,
+        o.fixed.views_installed
+    );
+    assert!(o.adaptive.delivered_during_disturbance >= o.fixed.delivered_during_disturbance);
+}
+
+/// Seed-reproducibility audit: hostile runs — both policies — produce
+/// identical digests at any worker count. The corpus perturbs delivery
+/// schedules through the seeded RNG only, so the fan-out layer must not
+/// introduce any nondeterminism.
+#[test]
+fn hostile_digests_are_invariant_under_worker_count() {
+    let seeds: Vec<u64> = (0..4).collect();
+    for kind in [HostileKind::Flap, HostileKind::Bimodal, HostileKind::SplitStorm] {
+        for adaptive in [false, true] {
+            let one = par_seeds_with(&seeds, 1, |s| run(&build_hostile(kind, s, adaptive)).digest);
+            let eight =
+                par_seeds_with(&seeds, 8, |s| run(&build_hostile(kind, s, adaptive)).digest);
+            assert_eq!(one, eight, "{} adaptive={adaptive}", kind.name());
+        }
+    }
+}
+
+/// The same corpus entry replays bit-for-bit under both policies:
+/// equal digests, violation sets, and frame counts across runs.
+#[test]
+fn hostile_replay_is_bit_for_bit_deterministic() {
+    for adaptive in [false, true] {
+        let sc = build_hostile(HostileKind::Churn, 1, adaptive);
+        let a = run(&sc);
+        let b = run(&sc);
+        assert_eq!(a.digest, b.digest, "adaptive={adaptive}");
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.violations, b.violations);
+    }
+}
+
+/// The committed fixture artifacts replay clean under both policies and
+/// match the builders byte-for-byte — a drifted builder or a bitrotted
+/// fixture fails here, not in a nightly sweep.
+#[test]
+fn corpus_fixtures_replay_clean_and_match_builders() {
+    for kind in [HostileKind::Flap, HostileKind::AsymSlow, HostileKind::Bimodal] {
+        let path = format!("{}/tests/corpus/{}.scenario", env!("CARGO_MANIFEST_DIR"), kind.name());
+        let text = std::fs::read_to_string(&path).expect("fixture exists");
+        assert_eq!(
+            text,
+            build_hostile(kind, 0, false).render(),
+            "{path} drifted from the builder; regenerate it"
+        );
+
+        let fixed = Scenario::parse(&text).expect("fixture parses");
+        let report = run(&fixed);
+        assert!(report.ok(), "{path} (fixed): {:?}", report.violations.first());
+
+        let mut adaptive = fixed.clone();
+        adaptive.config.adaptive_detector = true;
+        let report = run(&adaptive);
+        assert!(report.ok(), "{path} (adaptive): {:?}", report.violations.first());
+    }
+}
+
+/// Availability accounting sanity: the disturbance metrics the corpus
+/// gate reads are populated — every hostile run has a nonzero disturbed
+/// span, and deliveries during disturbance never exceed total
+/// deliveries.
+#[test]
+fn disturbance_accounting_is_populated() {
+    for kind in HostileKind::ALL {
+        let r = run(&build_hostile(kind, 0, true));
+        assert!(r.disturbed_ms > 0, "{}: no disturbed span recorded", kind.name());
+        assert!(
+            r.delivered_during_disturbance <= r.delivered,
+            "{}: {} delivered during disturbance out of {} total",
+            kind.name(),
+            r.delivered_during_disturbance,
+            r.delivered
+        );
+    }
+}

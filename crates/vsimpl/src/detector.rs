@@ -1,0 +1,437 @@
+//! Adaptive accrual-style failure detection behind a policy seam.
+//!
+//! The paper's Section 8 membership sketch detects token loss with a
+//! *fixed* timeout `π + (n+3)δ` derived from the assumed channel bound
+//! δ. On a real network whose delays drift near that bound, the fixed
+//! timeout thrashes: every late token triggers a view formation, the
+//! formation resets the ring, and the group pays a full stabilization
+//! round for a frame that was merely slow. Accrual failure detectors
+//! (φ-detectors) replace the constant with a *measured* model of the
+//! inter-arrival distribution: suspicion grows continuously with the
+//! current silence relative to what has actually been observed, so the
+//! detection threshold tracks the network instead of the spec sheet.
+//!
+//! This module keeps both worlds behind [`DetectorPolicy`]:
+//!
+//! - [`DetectorPolicy::Fixed`] (the default everywhere) preserves the
+//!   paper's timers bit for bit — same timeouts, same wire behavior,
+//!   same simulation digests.
+//! - [`DetectorPolicy::Adaptive`] computes the token-loss timeout from
+//!   an [`AccrualEstimator`] over the measured inter-arrival gaps of
+//!   contiguous token receipts, clamped to `[fixed, cap_factor × fixed]`
+//!   — the adaptive detector only ever *loosens* relative to the paper's
+//!   derivation, so a genuinely crashed peer is still detected within a
+//!   bounded multiple of the fixed deadline.
+//!
+//! Everything here is integer arithmetic over virtual milliseconds: no
+//! floats, no wall clocks, no hashing — the same scenario replays to the
+//! same digest on any machine and under any worker count, which is the
+//! contract the deterministic simulation harness (`gcs-sim`) enforces.
+
+use gcs_model::{ProcId, Time};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Tuning for the adaptive accrual detector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccrualConfig {
+    /// How many inter-arrival samples each estimator retains. Old
+    /// samples age out, so a timeout widened by a past disturbance
+    /// re-tightens once the network has been quiet for a full window.
+    pub window: usize,
+    /// Minimum samples before the measured estimate is trusted; below
+    /// this the detector behaves exactly like the fixed policy
+    /// (cold-start safety).
+    pub min_samples: usize,
+    /// Safety margin applied to the tail estimate, in percent (200 =
+    /// suspect only after twice the largest plausible gap).
+    pub margin_pct: u64,
+    /// Upper clamp on the adaptive timeout, as a multiple of the fixed
+    /// timeout: a real crash is detected within `cap_factor ×` the
+    /// paper's deadline no matter what the estimator has absorbed.
+    pub cap_factor: Time,
+}
+
+impl Default for AccrualConfig {
+    fn default() -> Self {
+        AccrualConfig { window: 16, min_samples: 4, margin_pct: 200, cap_factor: 6 }
+    }
+}
+
+/// Which failure-detection policy a node runs (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DetectorPolicy {
+    /// The paper's fixed `π + (n+3)δ` token-loss timeout. The default:
+    /// wire behavior, benchmarks, and simulation digests are identical
+    /// to the pre-seam protocol.
+    Fixed,
+    /// Accrual detection from measured inter-arrival gaps.
+    Adaptive(AccrualConfig),
+}
+
+impl DetectorPolicy {
+    /// The adaptive policy with default tuning.
+    pub fn adaptive() -> DetectorPolicy {
+        DetectorPolicy::Adaptive(AccrualConfig::default())
+    }
+
+    /// Whether this is the adaptive policy.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, DetectorPolicy::Adaptive(_))
+    }
+}
+
+/// Integer square root (largest `r` with `r² ≤ v`), Newton's method.
+fn isqrt(v: u64) -> u64 {
+    if v < 2 {
+        return v;
+    }
+    let mut x = v;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
+/// A windowed estimator of one inter-arrival distribution, in integer
+/// milliseconds.
+///
+/// [`AccrualEstimator::observe`] records the gap since the previous
+/// arrival; [`AccrualEstimator::tail_estimate`] answers "how long a gap
+/// is still plausible?" as `max(largest windowed gap, mean + 4σ)` — the
+/// integer analog of the φ-detector's distribution tail. Suspicion is
+/// then the current silence scaled against that estimate
+/// ([`AccrualEstimator::suspicion_millis`]): 1000 means the silence has
+/// reached the tail estimate, 2000 twice it, and so on, growing
+/// monotonically while the silence lasts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccrualEstimator {
+    samples: VecDeque<Time>,
+    window: usize,
+    last: Option<Time>,
+}
+
+impl AccrualEstimator {
+    /// An empty estimator retaining at most `window` samples.
+    pub fn new(window: usize) -> AccrualEstimator {
+        AccrualEstimator { samples: VecDeque::new(), window: window.max(1), last: None }
+    }
+
+    /// Records an arrival at `now`: the gap since the previous arrival
+    /// becomes a sample (the first arrival only anchors).
+    pub fn observe(&mut self, now: Time) {
+        if let Some(last) = self.last {
+            self.push_gap(now.saturating_sub(last));
+        }
+        self.last = Some(now);
+    }
+
+    /// Re-anchors the gap baseline at `now` without recording a sample —
+    /// used across view installations, so formation time is not counted
+    /// as an inter-arrival gap.
+    pub fn reanchor(&mut self, now: Time) {
+        self.last = Some(now);
+    }
+
+    /// Records a *censored* observation: the arrival never came, but a
+    /// gap of at least `gap` ms was genuinely observed before the
+    /// detector gave up. Feeding the timeout back in on every
+    /// timeout-triggered formation gives the estimator RTO-style
+    /// backoff: a disturbance the current estimate undershoots widens
+    /// the next timeout instead of tripping at the same threshold
+    /// forever.
+    pub fn observe_censored(&mut self, gap: Time) {
+        self.push_gap(gap);
+    }
+
+    fn push_gap(&mut self, gap: Time) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(gap);
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the windowed samples (0 when empty).
+    pub fn mean(&self) -> Time {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.iter().sum::<Time>() / self.samples.len() as Time
+    }
+
+    /// Integer standard deviation of the windowed samples.
+    pub fn stddev(&self) -> Time {
+        let k = self.samples.len() as Time;
+        if k < 2 {
+            return 0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let d = s.abs_diff(mean);
+                d.saturating_mul(d)
+            })
+            .fold(0u64, u64::saturating_add)
+            / k;
+        isqrt(var)
+    }
+
+    /// Largest windowed gap (0 when empty).
+    pub fn max_gap(&self) -> Time {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The tail estimate `max(max_gap, mean + 4σ)`, or `None` with
+    /// fewer than `min_samples` samples (cold start).
+    pub fn tail_estimate(&self, min_samples: usize) -> Option<Time> {
+        if self.samples.len() < min_samples.max(1) {
+            return None;
+        }
+        Some(self.max_gap().max(self.mean().saturating_add(4 * self.stddev())).max(1))
+    }
+
+    /// Suspicion of the silence at `now`, in per-mille of the estimate:
+    /// `1000 × elapsed / estimate`. With a cold estimator the
+    /// `fallback_estimate` (the fixed-policy timeout) scales instead.
+    /// Monotone in `now` for a fixed estimator state.
+    pub fn suspicion_millis(&self, now: Time, fallback_estimate: Time, min_samples: usize) -> u64 {
+        let Some(last) = self.last else { return 0 };
+        let elapsed = now.saturating_sub(last);
+        let est = self.tail_estimate(min_samples).unwrap_or(fallback_estimate).max(1);
+        elapsed.saturating_mul(1000) / est
+    }
+}
+
+/// Effective detector-derived timing bounds, exported so the b/d
+/// monitors can widen the paper's formulas to what the detector is
+/// actually enforcing: `δ̂` solves `timeout = π + (n+3)δ̂`, so
+/// `b̂ = 9δ̂ + max{π̂ + (n+3)δ̂, μ}` again covers detection plus
+/// formation, and `d̂ = 2π̂ + nδ̂` covers two rotations at the
+/// learned pace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectorBounds {
+    /// Effective channel-delay bound δ̂, in ms (≥ the configured δ).
+    pub delta_hat_ms: Time,
+    /// Effective token period π̂, in ms (≥ the configured π).
+    pub pi_hat_ms: Time,
+}
+
+/// The per-node adaptive detector state: a token-gap estimator driving
+/// the loss timeout, plus per-peer arrival estimators for suspicion
+/// diagnostics.
+#[derive(Clone, Debug)]
+pub struct AdaptiveDetector {
+    cfg: AccrualConfig,
+    /// Gaps between contiguous token receipts — the ring heartbeat as
+    /// this node experiences it.
+    token_gaps: AccrualEstimator,
+    /// Per-peer inter-arrival gaps over *any* message kind.
+    peer_gaps: BTreeMap<ProcId, AccrualEstimator>,
+}
+
+impl AdaptiveDetector {
+    /// A fresh detector.
+    pub fn new(cfg: AccrualConfig) -> AdaptiveDetector {
+        let window = cfg.window;
+        AdaptiveDetector {
+            cfg,
+            token_gaps: AccrualEstimator::new(window),
+            peer_gaps: BTreeMap::new(),
+        }
+    }
+
+    /// The tuning this detector runs with.
+    pub fn config(&self) -> &AccrualConfig {
+        &self.cfg
+    }
+
+    /// Records a contiguous token receipt at `now`.
+    pub fn observe_token(&mut self, now: Time) {
+        self.token_gaps.observe(now);
+    }
+
+    /// Re-anchors the token-gap baseline (on view installation).
+    pub fn reanchor_token(&mut self, now: Time) {
+        self.token_gaps.reanchor(now);
+    }
+
+    /// Records a timeout-triggered formation: the `elapsed` silence is a
+    /// censored gap observation (see
+    /// [`AccrualEstimator::observe_censored`]).
+    pub fn observe_timeout(&mut self, elapsed: Time) {
+        self.token_gaps.observe_censored(elapsed);
+    }
+
+    /// Records any message arrival from `peer` at `now`.
+    pub fn observe_peer(&mut self, peer: ProcId, now: Time) {
+        self.peer_gaps
+            .entry(peer)
+            .or_insert_with(|| AccrualEstimator::new(self.cfg.window))
+            .observe(now);
+    }
+
+    /// Per-peer suspicion at `now` in per-mille of that peer's tail
+    /// estimate (`fallback` scales a cold estimator); `None` when the
+    /// peer was never heard from.
+    pub fn peer_suspicion_millis(&self, peer: ProcId, now: Time, fallback: Time) -> Option<u64> {
+        let est = self.peer_gaps.get(&peer)?;
+        Some(est.suspicion_millis(now, fallback, self.cfg.min_samples))
+    }
+
+    /// The token-gap estimator (for tests and diagnostics).
+    pub fn token_estimator(&self) -> &AccrualEstimator {
+        &self.token_gaps
+    }
+
+    /// The adaptive token-loss timeout given the fixed-policy timeout
+    /// `fixed` (stagger excluded): the margined tail estimate, clamped
+    /// to `[fixed, cap_factor × fixed]`. Cold estimators fall back to
+    /// `fixed` exactly.
+    pub fn token_timeout(&self, fixed: Time) -> Time {
+        let cap = fixed.saturating_mul(self.cfg.cap_factor.max(1));
+        match self.token_gaps.tail_estimate(self.cfg.min_samples) {
+            Some(est) => (est.saturating_mul(self.cfg.margin_pct.max(100)) / 100).clamp(fixed, cap),
+            None => fixed,
+        }
+    }
+
+    /// The effective bounds the current timeout implies (see
+    /// [`DetectorBounds`]): `δ̂ = ⌈(timeout − π) / (n+3)⌉` clamped to at
+    /// least the configured δ, and `π̂ = π` (the launch period itself is
+    /// not adapted).
+    pub fn bounds(&self, fixed: Time, pi: Time, n: u32, delta: Time) -> DetectorBounds {
+        let timeout = self.token_timeout(fixed);
+        let span = timeout.saturating_sub(pi);
+        let denom = n as Time + 3;
+        let delta_hat = span.div_ceil(denom).max(delta);
+        DetectorBounds { delta_hat_ms: delta_hat, pi_hat_ms: pi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_is_exact_floor() {
+        for v in [0u64, 1, 2, 3, 4, 8, 9, 15, 16, 17, 99, 100, 1 << 40] {
+            let r = isqrt(v);
+            assert!(r * r <= v, "v={v}");
+            assert!((r + 1) * (r + 1) > v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn cold_estimator_falls_back_to_fixed() {
+        let d = AdaptiveDetector::new(AccrualConfig::default());
+        assert_eq!(d.token_timeout(180), 180);
+        let b = d.bounds(180, 100, 5, 10);
+        assert_eq!(b, DetectorBounds { delta_hat_ms: 10, pi_hat_ms: 100 });
+    }
+
+    #[test]
+    fn warm_estimator_loosens_but_stays_capped() {
+        let mut d = AdaptiveDetector::new(AccrualConfig::default());
+        let mut t = 0;
+        for _ in 0..8 {
+            t += 130;
+            d.observe_token(t);
+        }
+        // Tail ≈ 130, margin 200% → 260; floor is the fixed timeout.
+        assert_eq!(d.token_timeout(180), 260);
+        assert_eq!(d.token_timeout(300), 300, "never below the fixed timeout");
+        // A huge censored gap saturates at the cap.
+        d.observe_timeout(1_000_000);
+        assert_eq!(d.token_timeout(180), 6 * 180);
+    }
+
+    #[test]
+    fn censored_observation_backs_off() {
+        let mut d = AdaptiveDetector::new(AccrualConfig::default());
+        for i in 1..=6u64 {
+            d.observe_token(i * 100);
+        }
+        let before = d.token_timeout(180);
+        d.observe_timeout(before);
+        let after = d.token_timeout(180);
+        assert!(after > before, "timeout must widen after a timeout-triggered formation");
+    }
+
+    #[test]
+    fn window_ages_out_old_disturbances() {
+        let cfg = AccrualConfig { window: 8, ..AccrualConfig::default() };
+        let mut d = AdaptiveDetector::new(cfg);
+        d.observe_token(0);
+        d.observe_censored_n(900, 1);
+        // Eight quiet gaps push the 900 ms outlier out of the window.
+        // (A censored sample does not move the anchor, so re-anchor as a
+        // post-formation install would.)
+        d.reanchor_token(1000);
+        let mut t = 1000;
+        for _ in 0..8 {
+            t += 100;
+            d.observe_token(t);
+        }
+        assert!(d.token_timeout(180) <= 260, "old outlier must age out");
+    }
+
+    impl AdaptiveDetector {
+        fn observe_censored_n(&mut self, gap: Time, n: usize) {
+            for _ in 0..n {
+                self.token_gaps.observe_censored(gap);
+            }
+        }
+    }
+
+    #[test]
+    fn suspicion_grows_with_silence_and_resets_on_arrival() {
+        let mut e = AccrualEstimator::new(16);
+        for i in 1..=6u64 {
+            e.observe(i * 100);
+        }
+        let s1 = e.suspicion_millis(700, 180, 4);
+        let s2 = e.suspicion_millis(900, 180, 4);
+        assert!(s2 > s1, "suspicion must grow while silent");
+        e.observe(900);
+        assert_eq!(e.suspicion_millis(900, 180, 4), 0, "arrival resets the silence");
+    }
+
+    #[test]
+    fn peer_suspicion_tracks_each_peer_separately() {
+        let mut d = AdaptiveDetector::new(AccrualConfig::default());
+        for i in 1..=5u64 {
+            d.observe_peer(ProcId(1), i * 50);
+            d.observe_peer(ProcId(2), i * 200);
+        }
+        let s1 = d.peer_suspicion_millis(ProcId(1), 1400, 180).unwrap();
+        let s2 = d.peer_suspicion_millis(ProcId(2), 1400, 180).unwrap();
+        assert!(s1 > s2, "same silence is more suspicious for a chattier peer");
+        assert_eq!(d.peer_suspicion_millis(ProcId(9), 1400, 180), None);
+    }
+
+    #[test]
+    fn bounds_cover_the_adaptive_timeout() {
+        let mut d = AdaptiveDetector::new(AccrualConfig::default());
+        for i in 1..=8u64 {
+            d.observe_token(i * 250);
+        }
+        let (fixed, pi, n, delta) = (180, 100, 5u32, 10);
+        let b = d.bounds(fixed, pi, n, delta);
+        // π + (n+3)·δ̂ must reach the enforced timeout.
+        assert!(b.pi_hat_ms + (n as Time + 3) * b.delta_hat_ms >= d.token_timeout(fixed));
+        assert!(b.delta_hat_ms >= delta);
+    }
+}

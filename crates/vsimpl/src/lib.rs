@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod convert;
+pub mod detector;
 pub mod figure11;
 pub mod node;
 pub mod sequencer;
@@ -47,6 +48,9 @@ pub mod threaded;
 pub mod timed_vstoto;
 pub mod wire;
 
+pub use detector::{
+    AccrualConfig, AccrualEstimator, AdaptiveDetector, DetectorBounds, DetectorPolicy,
+};
 pub use figure11::{check_figure11, Figure11Params, Figure11Report};
 pub use node::{MembershipMode, ProtoConfig, StableState, VsNode};
 pub use sequencer::{SeqWire, SequencerNode};

@@ -1,6 +1,7 @@
 //! The VS service node: Cristian–Schmuck membership plus the token ring
 //! (Section 8), as a [`gcs_netsim::Process`].
 
+use crate::detector::{AdaptiveDetector, DetectorBounds, DetectorPolicy};
 use crate::timed_vstoto::{ClientEffects, VsClient};
 use crate::wire::{ImplEvent, Token, TokenMsg, Wire};
 use gcs_model::{ProcId, Time, Value, View, ViewId};
@@ -46,6 +47,11 @@ pub struct ProtoConfig {
     /// values pipeline the ring so newly sequenced batches ship without
     /// waiting for the previous rotation to complete.
     pub pipeline: u32,
+    /// Failure-detection policy: the paper's fixed `π + (n+3)δ` token
+    /// timeout, or the adaptive accrual detector whose timeout tracks
+    /// measured inter-arrival gaps (see [`crate::detector`]). Fixed is
+    /// the default and keeps wire behavior byte-identical.
+    pub detector: DetectorPolicy,
 }
 
 impl ProtoConfig {
@@ -62,6 +68,7 @@ impl ProtoConfig {
             mode: MembershipMode::ThreeRound,
             safe_delivery: false,
             pipeline: 4,
+            detector: DetectorPolicy::Fixed,
         }
     }
 }
@@ -154,6 +161,10 @@ pub struct VsNode<C> {
     /// `collect` fields; mids are strictly increasing per source, so
     /// this deduplicates pickups carried by duplicated tokens.
     seq_mids: BTreeMap<ProcId, u64>,
+    /// Accrual detector state (`Some` only under
+    /// [`DetectorPolicy::Adaptive`]). Volatile, like the heard-from map:
+    /// a recovered incarnation re-learns the network from scratch.
+    detector: Option<AdaptiveDetector>,
 }
 
 /// The part of a node's state assumed to live on stable storage, for
@@ -187,6 +198,10 @@ impl<C: VsClient> VsNode<C> {
         assert!(cfg.pi > cfg.procs.len() as Time * cfg.delta, "token period π must exceed n·δ");
         let in_p0 = cfg.p0.contains(&id);
         let view = in_p0.then(|| View::initial(cfg.p0.clone()));
+        let detector = match &cfg.detector {
+            DetectorPolicy::Fixed => None,
+            DetectorPolicy::Adaptive(ac) => Some(AdaptiveDetector::new(ac.clone())),
+        };
         VsNode {
             id,
             cfg,
@@ -215,6 +230,7 @@ impl<C: VsClient> VsNode<C> {
             last_counts: BTreeMap::new(),
             launch_sps: std::collections::VecDeque::new(),
             seq_mids: BTreeMap::new(),
+            detector,
         }
     }
 
@@ -242,6 +258,10 @@ impl<C: VsClient> VsNode<C> {
     pub fn recover(id: ProcId, cfg: ProtoConfig, stable: StableState<C>) -> Self {
         assert!(cfg.procs.contains(&id), "{id} not in the ambient set");
         assert!(cfg.pi > cfg.procs.len() as Time * cfg.delta, "token period π must exceed n·δ");
+        let detector = match &cfg.detector {
+            DetectorPolicy::Fixed => None,
+            DetectorPolicy::Adaptive(ac) => Some(AdaptiveDetector::new(ac.clone())),
+        };
         VsNode {
             id,
             cfg,
@@ -270,6 +290,7 @@ impl<C: VsClient> VsNode<C> {
             last_counts: BTreeMap::new(),
             launch_sps: std::collections::VecDeque::new(),
             seq_mids: BTreeMap::new(),
+            detector,
         }
     }
 
@@ -304,11 +325,43 @@ impl<C: VsClient> VsNode<C> {
         self.view.as_ref().and_then(|v| v.leader()) == Some(self.id)
     }
 
-    fn token_timeout(&self) -> Time {
+    /// The paper's fixed token-loss deadline `π + (n+3)δ` (stagger
+    /// excluded): π between launches plus up to (n+3)δ in flight.
+    fn fixed_token_deadline(&self) -> Time {
         let n = self.view.as_ref().map(|v| v.size()).unwrap_or(1) as Time;
-        // π between launches, up to (n+3)δ in flight, plus a per-id
-        // stagger so simultaneous expiry does not cause call storms.
-        self.cfg.pi + (n + 3) * self.cfg.delta + self.id.0 as Time
+        self.cfg.pi + (n + 3) * self.cfg.delta
+    }
+
+    fn token_timeout(&self) -> Time {
+        let fixed = self.fixed_token_deadline();
+        // Under the adaptive policy the deadline tracks the measured
+        // token inter-arrival tail, clamped to [fixed, cap × fixed]; a
+        // cold detector behaves exactly like the fixed one.
+        let core = match &self.detector {
+            Some(d) => d.token_timeout(fixed),
+            None => fixed,
+        };
+        // Per-id stagger so simultaneous expiry does not cause call
+        // storms.
+        core + self.id.0 as Time
+    }
+
+    /// The effective `δ̂/π̂` bounds the current detection deadline
+    /// implies, for the gcs-obs monitors; `None` under the fixed policy
+    /// (the configured bounds apply unchanged).
+    pub fn detector_bounds(&self) -> Option<DetectorBounds> {
+        let d = self.detector.as_ref()?;
+        let n = self.view.as_ref().map(|v| v.size()).unwrap_or(1) as u32;
+        Some(d.bounds(self.fixed_token_deadline(), self.cfg.pi, n, self.cfg.delta))
+    }
+
+    /// Per-peer accrual suspicion at `now`, in per-mille of that peer's
+    /// measured inter-arrival tail (1000 = the silence has reached the
+    /// tail estimate). `None` under the fixed policy or for a peer never
+    /// heard from.
+    pub fn peer_suspicion_millis(&self, peer: ProcId, now: Time) -> Option<u64> {
+        let fallback = self.fixed_token_deadline();
+        self.detector.as_ref()?.peer_suspicion_millis(peer, now, fallback)
     }
 
     fn next_mid(&mut self) -> u64 {
@@ -398,6 +451,11 @@ impl<C: VsClient> VsNode<C> {
         self.safe_count = 0;
         self.stash.clear();
         self.last_token = ctx.now();
+        if let Some(d) = &mut self.detector {
+            // Formation time is not an inter-arrival gap: re-anchor so
+            // the estimator only ever sees in-view token pacing.
+            d.reanchor_token(ctx.now());
+        }
         self.next_round = 1;
         self.last_returned = 0;
         self.sent_high = 0;
@@ -517,6 +575,9 @@ impl<C: VsClient> VsNode<C> {
             // stales out and the loss timeout reforms the view — unless
             // the leader's floor retransmission heals the hole first.
             self.last_token = ctx.now();
+            if let Some(d) = &mut self.detector {
+                d.observe_token(ctx.now());
+            }
             let skip = (self.log_end() - tok.seq_start) as usize;
             for tm in tok.entries.iter().skip(skip) {
                 self.log.push_back(tm.clone());
@@ -579,6 +640,9 @@ impl<C: VsClient> VsNode<C> {
     /// pipeline full.
     fn leader_absorb_token(&mut self, tok: Token, ctx: &mut Context<'_, Wire, ImplEvent>) {
         self.last_token = ctx.now();
+        if let Some(d) = &mut self.detector {
+            d.observe_token(ctx.now());
+        }
         // Sequence collected sends from *any* arriving copy — a
         // duplicated token instance can carry pickups the original
         // never saw. Mids are strictly increasing per source, so the
@@ -728,6 +792,9 @@ impl<C: VsClient> Process for VsNode<C> {
 
     fn on_message(&mut self, from: ProcId, msg: Wire, ctx: &mut Context<'_, Wire, ImplEvent>) {
         self.heard.insert(from, ctx.now());
+        if let Some(d) = &mut self.detector {
+            d.observe_peer(from, ctx.now());
+        }
         match msg {
             Wire::Probe => {
                 let stranger = match &self.view {
@@ -818,6 +885,14 @@ impl<C: VsClient> Process for VsNode<C> {
                 let elapsed = ctx.now().saturating_sub(self.last_token);
                 let timeout = self.token_timeout();
                 if elapsed >= timeout && self.forming.is_none() {
+                    if let Some(d) = &mut self.detector {
+                        // The silence that tripped the detector is a
+                        // censored gap observation: feeding it back
+                        // widens the next deadline (RTO-style backoff)
+                        // instead of tripping at the same threshold
+                        // through a sustained disturbance.
+                        d.observe_timeout(elapsed);
+                    }
                     self.trigger_formation(ctx);
                     // Keep watching in case the formation stalls.
                     ctx.set_timer(timeout, timer_kind(TAG_TOKEN, self.gen));

@@ -1,6 +1,7 @@
 //! Assembly of the full TO service stack (Figure 1): clients → `VStoTO`
 //! layer → VS service (membership + token ring) → simulated network.
 
+use crate::detector::DetectorPolicy;
 use crate::node::{MembershipMode, ProtoConfig, VsNode};
 use crate::timed_vstoto::TimedVsToTo;
 use crate::wire::ImplEvent;
@@ -76,6 +77,7 @@ impl Stack {
             mode: config.mode,
             safe_delivery: config.safe_delivery,
             pipeline: 4,
+            detector: DetectorPolicy::Fixed,
         };
         let nodes = procs.iter().map(|&p| {
             VsNode::new(p, proto.clone(), TimedVsToTo::new(p, &config.p0, config.quorums.clone()))

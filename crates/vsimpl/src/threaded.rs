@@ -13,6 +13,7 @@
 //!
 //! Time unit: one tick = one millisecond.
 
+use crate::detector::DetectorPolicy;
 use crate::node::{ProtoConfig, VsNode};
 use crate::timed_vstoto::TimedVsToTo;
 use crate::wire::{ImplEvent, Wire};
@@ -123,6 +124,7 @@ impl ThreadedStack {
             mode: crate::node::MembershipMode::ThreeRound,
             safe_delivery: false,
             pipeline: 4,
+            detector: DetectorPolicy::Fixed,
         };
         // gcs-lint: allow(determinism, reason = "the threaded runtime is the intentionally wall-clock, nondeterministic harness; digest-reproducible runs go through gcs-netsim/gcs-sim instead")
         let epoch = Instant::now();

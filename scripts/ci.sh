@@ -4,9 +4,10 @@
 # warnings promoted to errors. Everything runs offline against the
 # vendored dependency set; a clean exit here is the merge bar.
 #
-# NIGHTLY=1 adds the long stages: a 200-seed simulation sweep and the
-# injected-bug end-to-end check (the harness must catch and shrink a
-# deliberately broken token path).
+# NIGHTLY=1 adds the long stages: a 200-seed simulation sweep, the
+# 200-seed hostile-network corpus (adaptive vs fixed detector gate),
+# and the injected-bug end-to-end check (the harness must catch and
+# shrink a deliberately broken token path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +29,15 @@ cargo test -q -p gcs-lint
 
 echo "==> gcs-sim run --seeds 10 (smoke)"
 ./target/release/gcs-sim run --seeds 10
+
+# Hostile-network corpus smoke: every regime (link flap at the
+# detection threshold, asymmetric slowdown, bimodal WAN delays, split
+# storms, 50-node churn) under BOTH detector policies. The gate inside
+# the command: zero checker/monitor violations on every run, and the
+# adaptive detector installs strictly fewer views than fixed timeouts
+# on the flap/bimodal regimes (per seed).
+echo "==> gcs-sim hostile --seeds 10 (adaptive-vs-fixed corpus smoke)"
+./target/release/gcs-sim hostile --seeds 10
 
 # Throughput smoke gate: the 5-node loopback cluster must clear a floor
 # of 25k ops/s (2x the pre-batching seed's 12.5k) with the VS/TO
@@ -52,6 +62,14 @@ cargo clippy --workspace -- -D warnings
 if [[ "${NIGHTLY:-0}" == "1" ]]; then
   echo "==> [nightly] gcs-sim run --seeds 200"
   ./target/release/gcs-sim run --seeds 200
+
+  # The full hostile sweep: 200 seeds x 5 regimes x 2 policies. Fails
+  # on any checker/monitor violation or any seed where the adaptive
+  # detector does not hold membership strictly more stable than fixed
+  # timeouts on the flap/bimodal regimes — the view-change-rate
+  # regression gate for the accrual detector.
+  echo "==> [nightly] gcs-sim hostile --seeds 200"
+  ./target/release/gcs-sim hostile --seeds 200
 
   echo "==> [nightly] injected-bug catch + shrink (bug-hook feature)"
   cargo test -p gcs-sim --features bug-hook --test bug_catch -q
