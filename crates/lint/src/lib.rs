@@ -4,7 +4,7 @@
 //! simulation digests, panic-free long-running daemons, fully registered
 //! executable specifications — rests on source conventions nothing in
 //! `rustc` or `clippy` enforces. This crate turns those conventions into
-//! tier-1 CI failures with four lints:
+//! tier-1 CI failures with five lints:
 //!
 //! - [`lints::determinism`] — no wall-clock reads, OS entropy, or
 //!   randomized-iteration containers in the crates whose output feeds
@@ -15,7 +15,11 @@
 //!   `// ordering: <why>` justification;
 //! - [`lints::spec_cov`] — every invariant defined in `crates/core` is
 //!   registered in `all_invariants()`, and the `Wire` enum's encode and
-//!   decode arms cover identical variant sets.
+//!   decode arms cover identical variant sets;
+//! - [`lints::mc_shim`] — the modules certified by the gcs-mc model
+//!   checker must reach every sync primitive through the `Shims`
+//!   surface, never `std::sync` directly, so the structure the checker
+//!   explores is the structure that ships.
 //!
 //! Findings are suppressed inline with
 //! `// gcs-lint: allow(<lint-id>, reason = "…")` (or `allow-file`); a
@@ -39,6 +43,8 @@ pub const PANIC_PATH: &str = "panic_path";
 pub const ATOMICS_ORDER: &str = "atomics_order";
 /// See [`lints::spec_cov`].
 pub const SPEC_COVERAGE: &str = "spec_coverage";
+/// See [`lints::mc_shim`].
+pub const MC_SHIM: &str = "mc_shim";
 /// Framework lint: a suppression missing its mandatory reason.
 pub const BAD_ALLOW: &str = "bad_allow";
 /// Framework lint: a suppression that suppresses nothing.
@@ -123,6 +129,9 @@ pub fn lint_source(src: &SourceFile) -> Vec<Finding> {
     }
     if lints::panic_path::applies(&src.path) {
         raw.extend(lints::panic_path::check(src));
+    }
+    if lints::mc_shim::applies(&src.path) {
+        raw.extend(lints::mc_shim::check(src));
     }
     raw.extend(lints::atomics::check(src));
     apply_allows(src, raw)

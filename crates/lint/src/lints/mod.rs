@@ -1,8 +1,9 @@
-//! The four project lints. Each module exposes `check(&SourceFile)`
+//! The five project lints. Each module exposes `check(&SourceFile)`
 //! (or `check_workspace` for the cross-file one) returning raw findings;
 //! suppression resolution happens in [`crate::apply_allows`].
 
 pub mod atomics;
 pub mod determinism;
+pub mod mc_shim;
 pub mod panic_path;
 pub mod spec_cov;

@@ -86,6 +86,29 @@ fn atomics_is_silent_on_good_fixture() {
 }
 
 #[test]
+fn mc_shim_fires_on_bad_fixture() {
+    let src = parse_fixture("mc_shim_bad.rs", "crates/obs/src/trace.rs");
+    let findings = lint_source(&src);
+    assert_eq!(lints_fired(&findings), vec![gcs_lint::MC_SHIM], "{findings:?}");
+    // `AtomicU64` (brace import), `std::sync::Mutex`, `std::thread`.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn mc_shim_is_silent_on_good_fixture() {
+    let src = parse_fixture("mc_shim_good.rs", "crates/net/src/queue.rs");
+    let findings = lint_source(&src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn mc_shim_does_not_apply_off_ported_files() {
+    let src = parse_fixture("mc_shim_bad.rs", "crates/obs/src/monitor.rs");
+    let findings = lint_source(&src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn reasonless_allow_is_reported_but_still_suppresses() {
     let src = parse_fixture("allow_missing_reason.rs", "crates/anywhere/src/fixture.rs");
     let findings = lint_source(&src);

@@ -1,0 +1,22 @@
+// Known-bad fixture for the `mc_shim` lint: a "ported" module that
+// reaches std::sync primitives directly — an atomic via a brace import,
+// a Mutex via a full path, and a raw thread spawn. Each bypasses the
+// Shims surface and is invisible to the model checker.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Bad {
+    seq: AtomicU64,
+    shard: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Bad {
+    pub fn bump(&self) -> u64 {
+        // ordering: Relaxed — fixture counter, no edges claimed.
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn run() {
+        let t = std::thread::spawn(|| ());
+        let _ = t.join();
+    }
+}

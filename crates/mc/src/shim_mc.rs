@@ -1,0 +1,279 @@
+//! `McShims`: the model-checking instantiation. Every cell is an id
+//! into the engine's location tables; every operation is a visible op
+//! with a schedule point and happens-before bookkeeping. All shim
+//! entry points are `#[track_caller]` (via the trait declarations), so
+//! findings point at the line *inside the ported structure* that
+//! performed the access.
+//!
+//! This module owns all the crate's `unsafe`: the `UnsafeCell` payloads
+//! of `McMutex` and `McData`. Both are safe because the engine
+//! serializes model threads (exactly one ever runs) and flags any
+//! unsynchronized `Data` access as a race before it happens.
+
+use crate::api::{
+    AtomicBoolApi, AtomicI64Api, AtomicU64Api, AtomicUsizeApi, CondvarApi, DataApi, JoinApi,
+    MutexApi, Shims,
+};
+use crate::engine::{self, RmwKind};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// The model-checking shim family; only usable inside
+/// [`Checker::check`](crate::Checker::check).
+#[derive(Debug)]
+pub struct McShims;
+
+/// Engine-backed `AtomicU64`.
+#[derive(Debug)]
+pub struct McAtomicU64 {
+    id: usize,
+}
+
+impl AtomicU64Api for McAtomicU64 {
+    fn new(v: u64) -> Self {
+        McAtomicU64 { id: engine::alloc_atomic(v, Location::caller()) }
+    }
+    fn load(&self, order: Ordering) -> u64 {
+        engine::atomic_load(self.id, order, Location::caller())
+    }
+    fn store(&self, v: u64, order: Ordering) {
+        engine::atomic_store(self.id, v, order, Location::caller())
+    }
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        engine::atomic_rmw(self.id, RmwKind::Add, v, order, Location::caller())
+    }
+    fn fetch_max(&self, v: u64, order: Ordering) -> u64 {
+        engine::atomic_rmw(self.id, RmwKind::Max, v, order, Location::caller())
+    }
+    fn fetch_min(&self, v: u64, order: Ordering) -> u64 {
+        engine::atomic_rmw(self.id, RmwKind::Min, v, order, Location::caller())
+    }
+}
+
+/// Engine-backed `AtomicI64` (values bit-cast through u64).
+#[derive(Debug)]
+pub struct McAtomicI64 {
+    id: usize,
+}
+
+impl AtomicI64Api for McAtomicI64 {
+    fn new(v: i64) -> Self {
+        McAtomicI64 { id: engine::alloc_atomic(v as u64, Location::caller()) }
+    }
+    fn load(&self, order: Ordering) -> i64 {
+        engine::atomic_load(self.id, order, Location::caller()) as i64
+    }
+    fn store(&self, v: i64, order: Ordering) {
+        engine::atomic_store(self.id, v as u64, order, Location::caller())
+    }
+    fn fetch_add(&self, v: i64, order: Ordering) -> i64 {
+        // Two's-complement wrapping add in u64 space equals i64 add.
+        engine::atomic_rmw(self.id, RmwKind::Add, v as u64, order, Location::caller()) as i64
+    }
+}
+
+/// Engine-backed `AtomicUsize`.
+#[derive(Debug)]
+pub struct McAtomicUsize {
+    id: usize,
+}
+
+impl AtomicUsizeApi for McAtomicUsize {
+    fn new(v: usize) -> Self {
+        McAtomicUsize { id: engine::alloc_atomic(v as u64, Location::caller()) }
+    }
+    fn load(&self, order: Ordering) -> usize {
+        engine::atomic_load(self.id, order, Location::caller()) as usize
+    }
+    fn store(&self, v: usize, order: Ordering) {
+        engine::atomic_store(self.id, v as u64, order, Location::caller())
+    }
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        engine::atomic_rmw(self.id, RmwKind::Add, v as u64, order, Location::caller()) as usize
+    }
+    fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+        engine::atomic_rmw(self.id, RmwKind::Sub, v as u64, order, Location::caller()) as usize
+    }
+}
+
+/// Engine-backed `AtomicBool` (0/1 in u64 space).
+#[derive(Debug)]
+pub struct McAtomicBool {
+    id: usize,
+}
+
+impl AtomicBoolApi for McAtomicBool {
+    fn new(v: bool) -> Self {
+        McAtomicBool { id: engine::alloc_atomic(v as u64, Location::caller()) }
+    }
+    fn load(&self, order: Ordering) -> bool {
+        engine::atomic_load(self.id, order, Location::caller()) != 0
+    }
+    fn store(&self, v: bool, order: Ordering) {
+        engine::atomic_store(self.id, v as u64, order, Location::caller())
+    }
+}
+
+/// Engine-backed mutex. The payload lives here; the engine only tracks
+/// ownership and the hand-off clock.
+#[derive(Debug)]
+pub struct McMutex<T> {
+    mid: usize,
+    cell: UnsafeCell<T>,
+}
+
+// Safety: the engine guarantees at most one model thread holds the
+// lock (so at most one `McMutexGuard` derefs the cell), and model
+// threads are serialized by the engine mutex, which also carries the
+// memory fence between real OS threads.
+unsafe impl<T: Send> Send for McMutex<T> {}
+unsafe impl<T: Send> Sync for McMutex<T> {}
+
+/// Guard for [`McMutex`]; unlocks (as a visible op) on drop.
+pub struct McMutexGuard<'a, T: Send + 'static> {
+    mx: &'a McMutex<T>,
+}
+
+impl<T: Send + 'static> Deref for McMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: guard existence == engine-tracked ownership.
+        unsafe { &*self.mx.cell.get() }
+    }
+}
+
+impl<T: Send + 'static> DerefMut for McMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as for deref; `&mut self` gives uniqueness.
+        unsafe { &mut *self.mx.cell.get() }
+    }
+}
+
+impl<T: Send + 'static> Drop for McMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Unwinding (model assertion or engine abort): release
+            // ownership without a schedule point — a schedule point
+            // could itself unwind, and a double panic aborts the
+            // whole test process.
+            engine::mutex_unlock_quiet(self.mx.mid);
+        } else {
+            engine::mutex_unlock(self.mx.mid);
+        }
+    }
+}
+
+impl<T: Send + 'static> MutexApi<T> for McMutex<T> {
+    type Guard<'a>
+        = McMutexGuard<'a, T>
+    where
+        T: 'a;
+    fn new(t: T) -> Self {
+        McMutex { mid: engine::alloc_mutex(), cell: UnsafeCell::new(t) }
+    }
+    fn lock_clean(&self) -> McMutexGuard<'_, T> {
+        engine::mutex_lock(self.mid, Location::caller());
+        McMutexGuard { mx: self }
+    }
+}
+
+/// Engine-backed condvar.
+#[derive(Debug)]
+pub struct McCondvar {
+    cid: usize,
+}
+
+impl CondvarApi for McCondvar {
+    fn new() -> Self {
+        McCondvar { cid: engine::alloc_cv() }
+    }
+}
+
+/// Engine-backed race-checked plain cell.
+#[derive(Debug)]
+pub struct McData<T> {
+    id: usize,
+    cell: UnsafeCell<T>,
+}
+
+// Safety: every access goes through `engine::plain_access`, which
+// aborts the execution (before touching the cell) if the access races;
+// non-racing accesses are ordered by happens-before, and the engine
+// mutex bracketing each access carries the fence between OS threads.
+unsafe impl<T: Send> Send for McData<T> {}
+unsafe impl<T: Send> Sync for McData<T> {}
+
+impl<T: Copy + Send + 'static> DataApi<T> for McData<T> {
+    fn new(v: T) -> Self {
+        McData { id: engine::alloc_plain(), cell: UnsafeCell::new(v) }
+    }
+    fn get(&self) -> T {
+        engine::plain_access(self.id, false, Location::caller());
+        // Safety: see the Send/Sync impls above.
+        unsafe { *self.cell.get() }
+    }
+    fn set(&self, v: T) {
+        engine::plain_access(self.id, true, Location::caller());
+        // Safety: see the Send/Sync impls above.
+        unsafe { *self.cell.get() = v }
+    }
+}
+
+/// Handle to a model thread; `join` is a visible op.
+#[derive(Debug)]
+pub struct McJoinHandle {
+    target: usize,
+}
+
+impl JoinApi for McJoinHandle {
+    fn join(self) {
+        engine::join_model(self.target, Location::caller());
+    }
+}
+
+impl Shims for McShims {
+    type AtomicU64 = McAtomicU64;
+    type AtomicI64 = McAtomicI64;
+    type AtomicUsize = McAtomicUsize;
+    type AtomicBool = McAtomicBool;
+    type Mutex<T: Send + 'static> = McMutex<T>;
+    type Condvar = McCondvar;
+    type Data<T: Copy + Send + 'static> = McData<T>;
+    type JoinHandle = McJoinHandle;
+
+    fn spawn<F: FnOnce() + Send + 'static>(f: F) -> McJoinHandle {
+        McJoinHandle { target: engine::spawn_model(Box::new(f)) }
+    }
+
+    fn thread_ordinal() -> usize {
+        engine::cur_tid()
+    }
+
+    fn yield_now() {
+        engine::yield_op(Location::caller());
+    }
+
+    fn cv_wait_timeout<'a, T: Send + 'static>(
+        cv: &McCondvar,
+        guard: McMutexGuard<'a, T>,
+        _timeout: Duration,
+    ) -> (McMutexGuard<'a, T>, bool)
+    where
+        McMutex<T>: 'a,
+    {
+        // The engine's wait releases and reacquires the mutex itself;
+        // forget the guard (skipping its unlock-on-drop) and mint a
+        // fresh one for the reacquired lock.
+        let mx = guard.mx;
+        std::mem::forget(guard);
+        let timed_out = engine::cv_wait(cv.cid, mx.mid, Location::caller());
+        (McMutexGuard { mx }, timed_out)
+    }
+
+    fn cv_notify_all(cv: &McCondvar) {
+        engine::cv_notify_all(cv.cid);
+    }
+}

@@ -1,0 +1,129 @@
+//! Schedule determinism: the repro contract. Same model + same
+//! schedule string ⇒ the identical execution (digest-for-digest),
+//! regardless of worker count; failing schedules replay to the same
+//! failure.
+
+use gcs_mc::{
+    AtomicU64Api, Checker, DataApi, FailureKind, JoinApi, McShims, MutexApi, Schedule, Shims,
+};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+type McAtomicU64 = <McShims as Shims>::AtomicU64;
+type McMutex<T> = <McShims as Shims>::Mutex<T>;
+type McData<T> = <McShims as Shims>::Data<T>;
+
+/// A small but branchy clean model: three threads, RMW chains, a
+/// mutex, and weak loads (so schedules have real decisions in them).
+fn busy_model() {
+    let c = Arc::new(McAtomicU64::new(0));
+    let m = Arc::new(McMutex::new(0u64));
+    let mut joins = Vec::new();
+    for _ in 0..2 {
+        let (c2, m2) = (Arc::clone(&c), Arc::clone(&m));
+        joins.push(McShims::spawn(move || {
+            // ordering: AcqRel — chained increments; the final Acquire
+            // load below reads the chain.
+            c2.fetch_add(1, Ordering::AcqRel);
+            *m2.lock_clean() += 1;
+            // ordering: Relaxed — a stale-readable observation point,
+            // deliberately weak so the read-from choice branches.
+            let _ = c2.load(Ordering::Relaxed);
+        }));
+    }
+    for j in joins {
+        j.join();
+    }
+    // ordering: Acquire — pairs with the AcqRel RMW chain.
+    assert_eq!(c.load(Ordering::Acquire), 2);
+    assert_eq!(*m.lock_clean(), 2);
+}
+
+#[test]
+fn exhaustive_exploration_is_repeatable() {
+    let a = Checker::new("det-dfs-a").preemption_bound(1).check(busy_model);
+    let b = Checker::new("det-dfs-b").preemption_bound(1).check(busy_model);
+    a.assert_ok();
+    b.assert_ok();
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.digest, b.digest);
+}
+
+#[test]
+fn same_schedule_same_digest_across_worker_counts() {
+    // The sampled fan-out must produce a combined digest that is a
+    // pure function of (model, seeds, bound) — not of how many worker
+    // threads carved up the seed space.
+    let s1 = Checker::new("det-sample-1").sample(busy_model, 64, 3, 1);
+    let s4 = Checker::new("det-sample-4").sample(busy_model, 64, 3, 4);
+    s1.assert_ok();
+    s4.assert_ok();
+    assert_eq!(s1.digest, s4.digest, "worker count changed the sampled digest");
+    assert_eq!(s1.executions, s4.executions);
+}
+
+#[test]
+fn failing_schedule_replays_to_the_same_failure() {
+    let racy = || {
+        let d = Arc::new(McData::<u64>::new(0));
+        let d2 = Arc::clone(&d);
+        let t = McShims::spawn(move || d2.set(1));
+        d.set(2);
+        t.join();
+    };
+    let found = Checker::new("det-replay-src").preemption_bound(1).check(racy);
+    let f = found.expect_failure();
+    let hex = f.schedule.to_hex();
+    // Round-trip through the artifact text form, as a user would.
+    let schedule = Schedule::from_hex(&hex).expect("hex round-trip");
+    for i in 0..3 {
+        let r = Checker::new("det-replay").replay(racy, &schedule);
+        let rf = r.expect_failure();
+        assert!(
+            matches!(rf.kind, FailureKind::Race { .. }),
+            "replay {i}: expected Race, got {}",
+            rf.kind
+        );
+        assert_eq!(rf.digest, f.digest, "replay {i} diverged");
+        let FailureKind::Race { first, second } = &rf.kind else { unreachable!() };
+        let FailureKind::Race { first: f1, second: f2 } = &f.kind else {
+            panic!("original failure was {}", f.kind)
+        };
+        assert_eq!((first.file, first.line), (f1.file, f1.line));
+        assert_eq!((second.file, second.line), (f2.file, f2.line));
+    }
+}
+
+#[test]
+fn sampled_failures_pick_the_lowest_seed_deterministically() {
+    let racy = || {
+        let d = Arc::new(McData::<u64>::new(0));
+        let d2 = Arc::clone(&d);
+        let t = McShims::spawn(move || d2.set(1));
+        d.set(2);
+        t.join();
+    };
+    let a = Checker::new("det-sample-fail-1").sample(racy, 16, 2, 1);
+    let b = Checker::new("det-sample-fail-4").sample(racy, 16, 2, 4);
+    let fa = a.expect_failure();
+    let fb = b.expect_failure();
+    assert_eq!(fa.schedule, fb.schedule, "different seed won under different workers");
+    assert_eq!(fa.digest, fb.digest);
+}
+
+#[test]
+fn edited_schedule_reports_divergence_not_garbage() {
+    let model = busy_model;
+    let found = Checker::new("det-diverge-src").preemption_bound(1).check(model);
+    found.assert_ok();
+    // A hand-mangled schedule must fail loudly as diverged (or pick a
+    // different valid path), never panic the harness.
+    let mangled = Schedule(vec![0xee, 0xee, 0xee, 0xee]);
+    let r = Checker::new("det-diverge").replay(model, &mangled);
+    let f = r.expect_failure();
+    assert!(
+        matches!(f.kind, FailureKind::ScheduleDiverged),
+        "expected ScheduleDiverged, got {}",
+        f.kind
+    );
+}

@@ -45,6 +45,7 @@
 pub mod cluster;
 pub mod codec;
 pub mod load;
+pub mod queue;
 pub mod runtime;
 pub mod transport;
 

@@ -241,7 +241,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
     }
 
     let hi = cfg.value_base + cfg.warmup + cfg.ops;
-    let latency = Histogram::new();
+    let latency: Histogram = Histogram::new();
     let started = Instant::now();
     let mut last_progress = Instant::now();
     let mut finished_at = started;
@@ -349,7 +349,7 @@ mod tests {
 
     #[test]
     fn histogram_percentiles() {
-        let h = Histogram::new();
+        let h: Histogram = Histogram::new();
         for i in 1..=100 {
             h.record(i);
         }
@@ -367,7 +367,7 @@ mod tests {
 
     #[test]
     fn empty_histogram_is_all_zero() {
-        let h = Histogram::new();
+        let h: Histogram = Histogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0);
         assert_eq!(h.percentile(99.0), 0);

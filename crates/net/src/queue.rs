@@ -1,0 +1,266 @@
+//! The bounded per-peer send queue: a small MPSC channel with
+//! `try_send` producers and a timed-wait consumer, built on the
+//! [`gcs_mc::Shims`] sync surface so the exact structure the transport
+//! ships is the one the gcs-mc model checker explores
+//! (crates/net/tests/mc_queue.rs; see docs/CONCURRENCY.md).
+//!
+//! This replaces the `std::sync::mpsc::sync_channel` the transport
+//! used before PR 10. Semantics are the subset the writer loop needs:
+//!
+//! - `try_send` never blocks: a full queue or a dead receiver is an
+//!   error the caller counts as a drop (the paper's fire-and-forget
+//!   send contract — the protocol recovers via its timers).
+//! - `recv_timeout` blocks with a timeout so the writer loop can poll
+//!   its shutdown flag; the timeout restarts on each wakeup, which is
+//!   fine for a heartbeat and keeps the wait logic free of wall-clock
+//!   branching (a requirement for deterministic model checking).
+//! - Dropping the receiver (writer death) turns every later `try_send`
+//!   into `Disconnected`; dropping the last sender wakes the receiver
+//!   so it can observe `Disconnected` instead of sleeping forever.
+//!
+//! All state sits behind one mutex, locked with the poison-tolerant
+//! `lock_clean` discipline: a sender that panicked elsewhere must not
+//! cascade-kill the writer loop (a dead writer looks exactly like a
+//! partition — the PR 5 lesson).
+
+use gcs_mc::{CondvarApi, MutexApi, Shims, StdShims};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `try_send` failure: the value comes back to the caller either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The receiver is gone (writer death).
+    Disconnected(T),
+}
+
+/// `recv_timeout` failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived within (roughly) the timeout.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+/// `try_recv` failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T: Send + 'static, S: Shims> {
+    inner: S::Mutex<Inner<T>>,
+    recv_cv: S::Condvar,
+    cap: usize,
+}
+
+/// The producer half. Clone freely; the receiver learns `Disconnected`
+/// when the last clone drops.
+pub struct QueueSender<T: Send + 'static, S: Shims = StdShims> {
+    shared: Arc<Shared<T, S>>,
+}
+
+/// The consumer half (single consumer). Dropping it fails all later
+/// sends with `Disconnected`.
+pub struct QueueReceiver<T: Send + 'static, S: Shims = StdShims> {
+    shared: Arc<Shared<T, S>>,
+}
+
+/// A bounded queue holding at most `cap` values (minimum 1).
+pub fn bounded<T: Send + 'static, S: Shims>(
+    cap: usize,
+) -> (QueueSender<T, S>, QueueReceiver<T, S>) {
+    let shared = Arc::new(Shared {
+        inner: S::Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receiver_alive: true }),
+        recv_cv: S::Condvar::new(),
+        cap: cap.max(1),
+    });
+    (QueueSender { shared: Arc::clone(&shared) }, QueueReceiver { shared })
+}
+
+impl<T: Send + 'static, S: Shims> QueueSender<T, S> {
+    /// Enqueues without blocking. Full and dead-receiver queues return
+    /// the value so the caller can count the drop.
+    pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock_clean();
+        if !inner.receiver_alive {
+            return Err(TrySendError::Disconnected(t));
+        }
+        if inner.queue.len() >= self.shared.cap {
+            return Err(TrySendError::Full(t));
+        }
+        inner.queue.push_back(t);
+        drop(inner);
+        S::cv_notify_all(&self.shared.recv_cv);
+        Ok(())
+    }
+}
+
+impl<T: Send + 'static, S: Shims> Clone for QueueSender<T, S> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock_clean().senders += 1;
+        QueueSender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T: Send + 'static, S: Shims> Drop for QueueSender<T, S> {
+    fn drop(&mut self) {
+        let last = {
+            let mut inner = self.shared.inner.lock_clean();
+            inner.senders -= 1;
+            inner.senders == 0
+        };
+        if last {
+            // Wake a receiver parked in recv_timeout so it observes
+            // Disconnected instead of waiting out its timeout.
+            S::cv_notify_all(&self.shared.recv_cv);
+        }
+    }
+}
+
+impl<T: Send + 'static, S: Shims> QueueReceiver<T, S> {
+    /// Blocks for (roughly) `timeout` awaiting a value. The timeout
+    /// restarts after a wakeup that finds the queue still empty, so a
+    /// steady trickle of traffic never times out — the writer loop
+    /// only needs the timeout as a shutdown-poll heartbeat.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let mut inner = self.shared.inner.lock_clean();
+        loop {
+            if let Some(t) = inner.queue.pop_front() {
+                return Ok(t);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let (guard, timed_out) = S::cv_wait_timeout(&self.shared.recv_cv, inner, timeout);
+            inner = guard;
+            if timed_out {
+                return match inner.queue.pop_front() {
+                    Some(t) => Ok(t),
+                    None if inner.senders == 0 => Err(RecvTimeoutError::Disconnected),
+                    None => Err(RecvTimeoutError::Timeout),
+                };
+            }
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock_clean();
+        match inner.queue.pop_front() {
+            Some(t) => Ok(t),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock_clean().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send + 'static, S: Shims> Drop for QueueReceiver<T, S> {
+    fn drop(&mut self) {
+        self.shared.inner.lock_clean().receiver_alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn chan(cap: usize) -> (QueueSender<u64>, QueueReceiver<u64>) {
+        bounded::<u64, StdShims>(cap)
+    }
+
+    #[test]
+    fn values_pass_in_order() {
+        let (tx, rx) = chan(8);
+        for v in 0..5 {
+            tx.try_send(v).unwrap();
+        }
+        for v in 0..5 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(v));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let (tx, rx) = chan(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn receiver_death_disconnects_senders() {
+        let (tx, rx) = chan(4);
+        drop(rx);
+        assert_eq!(tx.try_send(7), Err(TrySendError::Disconnected(7)));
+    }
+
+    #[test]
+    fn sender_death_wakes_and_disconnects_receiver() {
+        let (tx, rx) = chan(4);
+        tx.try_send(5).unwrap();
+        let t = std::thread::spawn(move || drop(tx));
+        // Queued value first, then Disconnected — never a long timeout.
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(5));
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Err(RecvTimeoutError::Disconnected));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn empty_queue_times_out() {
+        let (tx, rx) = chan(1);
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+        drop(tx);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = chan(64);
+        let t = std::thread::spawn(move || {
+            for v in 0..100 {
+                while tx.try_send(v).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            if let Ok(v) = rx.recv_timeout(Duration::from_secs(5)) {
+                got.push(v);
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<u64>>());
+    }
+}

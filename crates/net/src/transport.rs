@@ -22,6 +22,7 @@
 //! deterministic in-process transport of `gcs-sim`.
 
 use crate::codec::{read_frame, write_frame, Frame, FrameWriter, HelloKind};
+use crate::queue::{self, QueueReceiver, QueueSender, RecvTimeoutError, TrySendError};
 use gcs_model::{ProcId, Value, View};
 use gcs_obs::{Counter, DropReason, EventKind, FaultKind, Obs};
 use gcs_vsimpl::Wire;
@@ -29,8 +30,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -281,7 +282,7 @@ struct LinkStats {
 struct PeerLink {
     /// Outbound queue entries carry the destination group; the writer
     /// tags non-zero groups with [`Frame::PeerGroup`] on the wire.
-    tx: SyncSender<(u32, Wire)>,
+    tx: QueueSender<(u32, Wire)>,
     stats: Arc<LinkStats>,
     /// The live outbound socket, kept so `sever`/`kick` can close it out
     /// from under the writer thread.
@@ -390,7 +391,7 @@ impl TcpTransport {
             if p == me {
                 continue;
             }
-            let (tx, rx) = mpsc::sync_channel::<(u32, Wire)>(config.send_queue);
+            let (tx, rx) = queue::bounded::<(u32, Wire), _>(config.send_queue);
             let stats = Arc::new(LinkStats::default());
             let current = Arc::new(Mutex::new(None));
             {
@@ -908,7 +909,7 @@ fn peer_frame(group: u32, wire: Wire) -> Frame {
 fn writer_loop(
     peer: ProcId,
     addr: SocketAddr,
-    rx: Receiver<(u32, Wire)>,
+    rx: QueueReceiver<(u32, Wire)>,
     shared: Arc<Shared>,
     stats: Arc<LinkStats>,
     current: Arc<Mutex<Option<TcpStream>>>,

@@ -16,9 +16,18 @@
 //! upper edge — up to 12.5% above any value ever recorded (and for the
 //! final overflow bucket, `u64::MAX`). With it, `percentile(100.0)` is
 //! exactly the recorded maximum.
+//!
+//! Like the rest of the crate's concurrent core, the histogram is
+//! generic over the [`gcs_mc::Shims`] sync surface: `StdShims` (the
+//! default) in production, `McShims` under the model checker (see
+//! crates/obs/tests/mc_registry.rs and docs/CONCURRENCY.md).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use gcs_mc::{AtomicU64Api, Shims, StdShims};
+use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+type A64<S> = <S as Shims>::AtomicU64;
 
 /// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
 const SUB_BITS: u32 = 3;
@@ -64,31 +73,36 @@ fn upper_bound(i: usize) -> u64 {
 
 /// The shared histogram core: a flat array of atomic bucket counts plus
 /// count/sum/min/max. All methods take `&self`; recording is wait-free.
-#[derive(Debug)]
-pub(crate) struct HistCore {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    min: AtomicU64,
-    max: AtomicU64,
+pub(crate) struct HistCore<S: Shims = StdShims> {
+    buckets: Vec<A64<S>>,
+    count: A64<S>,
+    sum: A64<S>,
+    min: A64<S>,
+    max: A64<S>,
 }
 
-impl HistCore {
+impl<S: Shims> fmt::Debug for HistCore<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HistCore").finish_non_exhaustive()
+    }
+}
+
+impl<S: Shims> HistCore<S> {
     fn new() -> Self {
         HistCore {
-            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            min: AtomicU64::new(u64::MAX),
-            max: AtomicU64::new(0),
+            buckets: (0..NUM_BUCKETS).map(|_| A64::<S>::new(0)).collect(),
+            count: A64::<S>::new(0),
+            sum: A64::<S>::new(0),
+            min: A64::<S>::new(u64::MAX),
+            max: A64::<S>::new(0),
         }
     }
 
     fn record(&self, v: u64) {
-        // ordering: Relaxed throughout — independent statistical
-        // counters with no cross-field consistency requirement; each
-        // cell is correct on its own (fetch_add/min/max are atomic RMW)
-        // and snapshots are advisory, not a consistent cut.
+        // ordering: Relaxed throughout — independent statistical RMW
+        // counters, no cross-field consistency claimed; snapshots are
+        // advisory. The `registry_scrape_under_write` gcs-mc model checks
+        // this: per-cell exactness at quiescence, torn cuts tolerated.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -112,29 +126,40 @@ impl HistCore {
 
 /// A concurrently recordable log-scale histogram handle. Cloning shares
 /// the underlying buckets.
-#[derive(Clone, Debug)]
-pub struct Histogram {
-    core: Arc<HistCore>,
+pub struct Histogram<S: Shims = StdShims> {
+    core: Arc<HistCore<S>>,
 }
 
-impl Default for Histogram {
+impl<S: Shims> Clone for Histogram<S> {
+    fn clone(&self) -> Self {
+        Histogram { core: Arc::clone(&self.core) }
+    }
+}
+
+impl<S: Shims> fmt::Debug for Histogram<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram").finish_non_exhaustive()
+    }
+}
+
+impl<S: Shims> Default for Histogram<S> {
     fn default() -> Self {
         Histogram::new()
     }
 }
 
-impl Histogram {
+impl<S: Shims> Histogram<S> {
     /// A fresh standalone histogram (registry-managed histograms come
     /// from [`crate::Registry::histogram`]).
     pub fn new() -> Self {
         Histogram { core: Arc::new(HistCore::new()) }
     }
 
-    pub(crate) fn from_core(core: Arc<HistCore>) -> Self {
+    pub(crate) fn from_core(core: Arc<HistCore<S>>) -> Self {
         Histogram { core }
     }
 
-    pub(crate) fn core(&self) -> &Arc<HistCore> {
+    pub(crate) fn core(&self) -> &Arc<HistCore<S>> {
         &self.core
     }
 
@@ -295,7 +320,7 @@ mod tests {
 
     #[test]
     fn small_values_are_exact() {
-        let h = Histogram::new();
+        let h: Histogram = Histogram::new();
         for v in 0..8u64 {
             h.record(v);
         }
@@ -328,7 +353,7 @@ mod tests {
 
     #[test]
     fn percentiles_are_within_bucket_error() {
-        let h = Histogram::new();
+        let h: Histogram = Histogram::new();
         for v in 1..=1000u64 {
             h.record(v);
         }
@@ -341,7 +366,7 @@ mod tests {
 
     #[test]
     fn top_bucket_percentile_clamps_to_observed_max() {
-        let h = Histogram::new();
+        let h: Histogram = Histogram::new();
         // One sample deep inside a wide bucket: every percentile must
         // report a value we actually saw, not the bucket edge.
         h.record(1_000_000);
@@ -350,7 +375,7 @@ mod tests {
         assert_eq!(h.percentile(0.0), 1_000_000);
         // Many samples, then one extreme outlier: p100 is the outlier
         // itself, never the (huge) top bucket edge.
-        let h = Histogram::new();
+        let h: Histogram = Histogram::new();
         for _ in 0..999 {
             h.record(10);
         }
@@ -361,8 +386,8 @@ mod tests {
 
     #[test]
     fn merge_combines_everything() {
-        let a = Histogram::new();
-        let b = Histogram::new();
+        let a: Histogram = Histogram::new();
+        let b: Histogram = Histogram::new();
         for v in 1..=100u64 {
             a.record(v);
         }
@@ -381,7 +406,7 @@ mod tests {
 
     #[test]
     fn empty_histogram_is_all_zero() {
-        let h = Histogram::new();
+        let h: Histogram = Histogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0);
         assert_eq!(h.percentile(99.0), 0);
@@ -391,7 +416,7 @@ mod tests {
 
     #[test]
     fn concurrent_recording_loses_nothing() {
-        let h = Histogram::new();
+        let h: Histogram = Histogram::new();
         std::thread::scope(|s| {
             for t in 0..4 {
                 let h = h.clone();

@@ -18,6 +18,14 @@
 //! [`Obs`] bundles a registry and a trace ring behind one cheap
 //! clonable handle; a cluster shares one `Obs` so every node's events
 //! land on the same epoch and sequence stream.
+//!
+//! The concurrent structures ([`Registry`], [`Histogram`], [`TraceBuf`])
+//! are generic over the [`gcs_mc::Shims`] sync surface. The default
+//! (`StdShims`) monomorphizes to exactly the plain-`std` code it
+//! replaced; instantiating with `McShims` runs the identical structure
+//! under the gcs-mc model checker, which is how their lock and ordering
+//! protocols are verified (crates/obs/tests/mc_*.rs, docs/
+//! CONCURRENCY.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

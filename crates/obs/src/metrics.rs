@@ -6,24 +6,47 @@
 //! registration and snapshot time, never on the hot increment path.
 //! Shards are selected by a hash of the metric name, so concurrent
 //! registration of unrelated metrics rarely contends.
+//!
+//! The registry is generic over the [`gcs_mc::Shims`] sync surface:
+//! `Registry` (the `StdShims` default) is the zero-cost production
+//! form, and `Registry<McShims>` runs the identical code under the
+//! gcs-mc model checker — the registration and scrape-under-write
+//! protocols are exhaustively checked in crates/obs/tests/
+//! mc_registry.rs (see docs/CONCURRENCY.md).
 
 use crate::hist::{HistCore, HistSnapshot, Histogram};
+use gcs_mc::{AtomicI64Api, AtomicU64Api, MutexApi, Shims, StdShims};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+type A64<S> = <S as Shims>::AtomicU64;
+type AI64<S> = <S as Shims>::AtomicI64;
 
 const N_SHARDS: usize = 8;
 
 /// A monotonically increasing counter. Cloning shares the cell.
-#[derive(Clone, Debug)]
-pub struct Counter {
-    cell: Arc<AtomicU64>,
+pub struct Counter<S: Shims = StdShims> {
+    cell: Arc<A64<S>>,
 }
 
-impl Counter {
+impl<S: Shims> Clone for Counter<S> {
+    fn clone(&self) -> Self {
+        Counter { cell: Arc::clone(&self.cell) }
+    }
+}
+
+impl<S: Shims> fmt::Debug for Counter<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Counter").finish_non_exhaustive()
+    }
+}
+
+impl<S: Shims> Counter<S> {
     /// Adds 1.
     pub fn inc(&self) {
         self.add(1);
@@ -44,12 +67,23 @@ impl Counter {
 }
 
 /// A gauge: a value that can move both ways. Cloning shares the cell.
-#[derive(Clone, Debug)]
-pub struct Gauge {
-    cell: Arc<AtomicI64>,
+pub struct Gauge<S: Shims = StdShims> {
+    cell: Arc<AI64<S>>,
 }
 
-impl Gauge {
+impl<S: Shims> Clone for Gauge<S> {
+    fn clone(&self) -> Self {
+        Gauge { cell: Arc::clone(&self.cell) }
+    }
+}
+
+impl<S: Shims> fmt::Debug for Gauge<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gauge").finish_non_exhaustive()
+    }
+}
+
+impl<S: Shims> Gauge<S> {
     /// Sets the value.
     pub fn set(&self, v: i64) {
         // ordering: Relaxed — last-writer-wins gauge cell; no data is
@@ -99,17 +133,45 @@ impl MetricKey {
     }
 }
 
-#[derive(Clone, Debug)]
-enum Slot {
-    Counter(Arc<AtomicU64>),
-    Gauge(Arc<AtomicI64>),
-    Histogram(Arc<HistCore>),
+enum Slot<S: Shims> {
+    Counter(Arc<A64<S>>),
+    Gauge(Arc<AI64<S>>),
+    Histogram(Arc<HistCore<S>>),
 }
 
+impl<S: Shims> Clone for Slot<S> {
+    fn clone(&self) -> Self {
+        match self {
+            Slot::Counter(c) => Slot::Counter(Arc::clone(c)),
+            Slot::Gauge(g) => Slot::Gauge(Arc::clone(g)),
+            Slot::Histogram(h) => Slot::Histogram(Arc::clone(h)),
+        }
+    }
+}
+
+type Shard<S> = <S as Shims>::Mutex<BTreeMap<MetricKey, Slot<S>>>;
+
 /// The registry. Cloning shares the underlying metric store.
-#[derive(Clone, Debug, Default)]
-pub struct Registry {
-    shards: Arc<[Mutex<BTreeMap<MetricKey, Slot>>; N_SHARDS]>,
+pub struct Registry<S: Shims = StdShims> {
+    shards: Arc<[Shard<S>; N_SHARDS]>,
+}
+
+impl<S: Shims> Clone for Registry<S> {
+    fn clone(&self) -> Self {
+        Registry { shards: Arc::clone(&self.shards) }
+    }
+}
+
+impl<S: Shims> fmt::Debug for Registry<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl<S: Shims> Default for Registry<S> {
+    fn default() -> Self {
+        Registry::new()
+    }
 }
 
 fn shard_of(name: &str) -> usize {
@@ -125,14 +187,14 @@ fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
     }
 }
 
-impl Registry {
+impl<S: Shims> Registry<S> {
     /// An empty registry.
     pub fn new() -> Self {
-        Registry::default()
+        Registry { shards: Arc::new(std::array::from_fn(|_| Shard::<S>::new(BTreeMap::new()))) }
     }
 
     /// The counter `name` with no labels, created on first use.
-    pub fn counter(&self, name: &str) -> Counter {
+    pub fn counter(&self, name: &str) -> Counter<S> {
         self.counter_labeled(name, &[])
     }
 
@@ -143,10 +205,10 @@ impl Registry {
     ///
     /// Panics if the same name+labels was registered as a different
     /// metric type.
-    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter<S> {
         let k = key(name, labels);
-        let mut shard = self.shards[shard_of(name)].lock().expect("no panicking holder");
-        let slot = shard.entry(k).or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))));
+        let mut shard = self.shards[shard_of(name)].lock_clean();
+        let slot = shard.entry(k).or_insert_with(|| Slot::Counter(Arc::new(A64::<S>::new(0))));
         match slot {
             Slot::Counter(c) => Counter { cell: c.clone() },
             _ => panic!("metric {name} already registered with a different type"),
@@ -154,7 +216,7 @@ impl Registry {
     }
 
     /// The gauge `name` with no labels, created on first use.
-    pub fn gauge(&self, name: &str) -> Gauge {
+    pub fn gauge(&self, name: &str) -> Gauge<S> {
         self.gauge_labeled(name, &[])
     }
 
@@ -163,10 +225,10 @@ impl Registry {
     /// # Panics
     ///
     /// Panics on a metric-type conflict.
-    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge<S> {
         let k = key(name, labels);
-        let mut shard = self.shards[shard_of(name)].lock().expect("no panicking holder");
-        let slot = shard.entry(k).or_insert_with(|| Slot::Gauge(Arc::new(AtomicI64::new(0))));
+        let mut shard = self.shards[shard_of(name)].lock_clean();
+        let slot = shard.entry(k).or_insert_with(|| Slot::Gauge(Arc::new(AI64::<S>::new(0))));
         match slot {
             Slot::Gauge(g) => Gauge { cell: g.clone() },
             _ => panic!("metric {name} already registered with a different type"),
@@ -174,7 +236,7 @@ impl Registry {
     }
 
     /// The histogram `name` with no labels, created on first use.
-    pub fn histogram(&self, name: &str) -> Histogram {
+    pub fn histogram(&self, name: &str) -> Histogram<S> {
         self.histogram_labeled(name, &[])
     }
 
@@ -184,9 +246,9 @@ impl Registry {
     /// # Panics
     ///
     /// Panics on a metric-type conflict.
-    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Histogram<S> {
         let k = key(name, labels);
-        let mut shard = self.shards[shard_of(name)].lock().expect("no panicking holder");
+        let mut shard = self.shards[shard_of(name)].lock_clean();
         let slot =
             shard.entry(k).or_insert_with(|| Slot::Histogram(Histogram::new().core().clone()));
         match slot {
@@ -199,10 +261,12 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         let mut entries = BTreeMap::new();
         for shard in self.shards.iter() {
-            for (k, slot) in shard.lock().expect("no panicking holder").iter() {
+            for (k, slot) in shard.lock_clean().iter() {
                 let value = match slot {
                     // ordering: Relaxed — scrape-time reads; a snapshot
-                    // is not a consistent cut across metrics.
+                    // is not a consistent cut across metrics (the
+                    // `registry_scrape_under_write` gcs-mc model pins
+                    // down what that does and does not permit).
                     Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
                     Slot::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
                     Slot::Histogram(h) => {
@@ -338,7 +402,7 @@ mod tests {
 
     #[test]
     fn counters_and_gauges_roundtrip() {
-        let r = Registry::new();
+        let r: Registry = Registry::new();
         let c = r.counter("requests_total");
         c.inc();
         c.add(4);
@@ -354,7 +418,7 @@ mod tests {
 
     #[test]
     fn labels_distinguish_series() {
-        let r = Registry::new();
+        let r: Registry = Registry::new();
         r.counter_labeled("sent", &[("node", "0")]).add(10);
         r.counter_labeled("sent", &[("node", "1")]).add(20);
         let s = r.snapshot();
@@ -366,15 +430,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "different type")]
     fn type_conflicts_panic() {
-        let r = Registry::new();
+        let r: Registry = Registry::new();
         r.counter("x").inc();
         let _ = r.gauge("x");
     }
 
     #[test]
     fn snapshots_merge() {
-        let a = Registry::new();
-        let b = Registry::new();
+        let a: Registry = Registry::new();
+        let b: Registry = Registry::new();
         a.counter("ops").add(3);
         b.counter("ops").add(4);
         b.counter("only_b").add(1);
@@ -398,7 +462,7 @@ mod tests {
 
     #[test]
     fn text_exposition_shape() {
-        let r = Registry::new();
+        let r: Registry = Registry::new();
         r.counter_labeled("frames_sent_total", &[("node", "0")]).add(42);
         r.gauge("links_up").set(3);
         r.histogram("latency_us").record(100);
@@ -414,7 +478,7 @@ mod tests {
 
     #[test]
     fn sharded_registration_is_thread_safe() {
-        let r = Registry::new();
+        let r: Registry = Registry::new();
         std::thread::scope(|s| {
             for t in 0..8 {
                 let r = r.clone();

@@ -4,7 +4,7 @@
 //! reader loops, node runtimes). Each thread is pinned to one of a small
 //! fixed set of ring shards, so its shard mutex is effectively
 //! uncontended — the only cross-thread traffic on the record path is a
-//! single relaxed fetch-add for the global sequence number. When a shard
+//! single fetch-add for the global sequence number. When a shard
 //! overflows, its oldest event is evicted and counted; the eviction
 //! counter lets a consumer distinguish "complete record" from "window
 //! onto a longer run".
@@ -12,14 +12,36 @@
 //! Events carry a `(t_ms, seq)` stamp from the buffer's own epoch, so a
 //! snapshot merged across shards is one globally ordered stream — the
 //! shape the [`crate::monitor`] bound monitors consume.
+//!
+//! The ring is generic over the [`gcs_mc::Shims`] sync surface:
+//! production code uses the zero-cost `StdShims` default, and the
+//! gcs-mc models in `tests/mc_ring.rs` instantiate `McShims` to
+//! exhaustively check the record/snapshot protocol under every
+//! bounded interleaving (see docs/CONCURRENCY.md).
 
-use std::cell::Cell;
+use gcs_mc::{AtomicU64Api, MutexApi, Shims, StdShims};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
 
 const N_SHARDS: usize = 8;
+
+/// The seq-counter publish ordering. The Release half is load-bearing:
+/// it is what makes `recorded()` a safe high-water cursor (see the
+/// `// ordering:` comment at the fetch_add in [`TraceBuf::record`]).
+// ordering: AcqRel — paired with the Acquire load in recorded();
+// checked by the `ring_seeded_relaxed_bug` gcs-mc model, which proves
+// the Relaxed downgrade below is caught as a vacuous acquire.
+#[cfg(not(feature = "mc-seeded-bug"))]
+const SEQ_PUBLISH: Ordering = Ordering::AcqRel;
+/// Seeded-bug build: deliberately downgraded so the mc meta-test can
+/// assert the happens-before checker reports the broken publish pair
+/// with correct file:line on both sides. Never enabled in production
+/// profiles; ci.sh only passes the feature to the meta-test target.
+// ordering: Relaxed — the injected bug under test (see above).
+#[cfg(feature = "mc-seeded-bug")]
+const SEQ_PUBLISH: Ordering = Ordering::Relaxed;
 
 /// Why an outbound frame was dropped at the transport.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -165,26 +187,35 @@ pub struct ObsEvent {
     pub kind: EventKind,
 }
 
-struct TraceInner {
+struct TraceInner<S: Shims> {
     epoch: Instant,
     /// When present, the buffer is on a *manual* (virtual) clock:
     /// `record` stamps events from this register instead of the wall
     /// clock, so a deterministic simulation can feed the monitors
     /// virtual-time streams. Advanced via [`TraceBuf::set_now_ms`].
-    manual_ms: Option<AtomicU64>,
-    seq: AtomicU64,
-    shards: Vec<Mutex<VecDeque<ObsEvent>>>,
+    manual_ms: Option<S::AtomicU64>,
+    seq: S::AtomicU64,
+    shards: Vec<S::Mutex<VecDeque<ObsEvent>>>,
     cap_per_shard: usize,
-    evicted: AtomicU64,
+    evicted: S::AtomicU64,
 }
 
 /// The bounded tracing ring. Cloning shares the buffer.
-#[derive(Clone)]
-pub struct TraceBuf {
-    inner: Arc<TraceInner>,
+///
+/// Generic over the sync shims: `TraceBuf` (the default) is the
+/// production wall-clock/std form; `TraceBuf<McShims>` is the same
+/// structure under the gcs-mc model checker.
+pub struct TraceBuf<S: Shims = StdShims> {
+    inner: Arc<TraceInner<S>>,
 }
 
-impl std::fmt::Debug for TraceBuf {
+impl<S: Shims> Clone for TraceBuf<S> {
+    fn clone(&self) -> Self {
+        TraceBuf { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S: Shims> std::fmt::Debug for TraceBuf<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceBuf")
             .field("len", &self.len())
@@ -193,34 +224,22 @@ impl std::fmt::Debug for TraceBuf {
     }
 }
 
-impl Default for TraceBuf {
+impl<S: Shims> Default for TraceBuf<S> {
     fn default() -> Self {
         TraceBuf::new()
     }
 }
 
-// Threads are assigned shards round-robin on first record; the counter
-// is global so the assignment also balances across multiple TraceBufs.
-static NEXT_WRITER: AtomicUsize = AtomicUsize::new(0);
-thread_local! {
-    static MY_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+/// Threads are pinned to shards by their dense per-thread ordinal
+/// (round-robin over shards). Under `StdShims` the ordinal is a global
+/// ticket, so assignment balances across every `TraceBuf`; under
+/// `McShims` it is the model thread id, so shard choice is a
+/// deterministic function of the schedule.
+fn my_shard<S: Shims>() -> usize {
+    S::thread_ordinal() % N_SHARDS
 }
 
-fn my_shard() -> usize {
-    MY_SHARD.with(|c| match c.get() {
-        Some(i) => i,
-        None => {
-            // ordering: Relaxed — round-robin shard assignment; each
-            // thread only needs a distinct ticket, which fetch_add's
-            // single modification order already guarantees.
-            let i = NEXT_WRITER.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
-            c.set(Some(i));
-            i
-        }
-    })
-}
-
-impl TraceBuf {
+impl<S: Shims> TraceBuf<S> {
     /// A ring with the default capacity (65536 events).
     pub fn new() -> Self {
         TraceBuf::with_capacity(1 << 16)
@@ -245,11 +264,11 @@ impl TraceBuf {
         TraceBuf {
             inner: Arc::new(TraceInner {
                 epoch: Instant::now(),
-                manual_ms: manual.then(|| AtomicU64::new(0)),
-                seq: AtomicU64::new(0),
-                shards: (0..N_SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+                manual_ms: manual.then(|| S::AtomicU64::new(0)),
+                seq: S::AtomicU64::new(0),
+                shards: (0..N_SHARDS).map(|_| S::Mutex::new(VecDeque::new())).collect(),
                 cap_per_shard,
-                evicted: AtomicU64::new(0),
+                evicted: S::AtomicU64::new(0),
             }),
         }
     }
@@ -282,15 +301,17 @@ impl TraceBuf {
     /// shard when full.
     pub fn record(&self, kind: EventKind) {
         let t_ms = self.now_ms();
-        // ordering: AcqRel — the Release half pairs with the Acquire
-        // load in recorded(): a reader that observes seq >= n also
-        // observes every write the recording thread made before claiming
-        // sequence n-1, so `recorded()` is a safe high-water cursor for
-        // `snapshot_since` polling loops. (The claimed event itself is
-        // published under the shard mutex below; an in-flight writer may
-        // still be between the two, which snapshot_since documents.)
-        let seq = self.inner.seq.fetch_add(1, Ordering::AcqRel);
-        let mut shard = self.inner.shards[my_shard()].lock().expect("no panicking holder");
+        // ordering: AcqRel (via SEQ_PUBLISH) — the Release half pairs
+        // with the Acquire load in recorded(): a reader that observes
+        // seq >= n also observes every write the recording thread made
+        // before claiming sequence n-1, so `recorded()` is a safe
+        // high-water cursor for `snapshot_since` polling loops. (The
+        // claimed event itself is published under the shard mutex
+        // below; an in-flight writer may still be between the two —
+        // the `ring_snapshot_since_gap` gcs-mc model pins down exactly
+        // what that can and cannot cause.)
+        let seq = self.inner.seq.fetch_add(1, SEQ_PUBLISH);
+        let mut shard = self.inner.shards[my_shard::<S>()].lock_clean();
         if shard.len() >= self.inner.cap_per_shard {
             shard.pop_front();
             // ordering: Relaxed — eviction counter; read only by the
@@ -319,9 +340,10 @@ impl TraceBuf {
             return;
         }
         let t_ms = self.now_ms();
-        // ordering: AcqRel — same publication contract as record().
-        let seq0 = self.inner.seq.fetch_add(n, Ordering::AcqRel);
-        let mut shard = self.inner.shards[my_shard()].lock().expect("no panicking holder");
+        // ordering: AcqRel (via SEQ_PUBLISH) — same publication
+        // contract as record().
+        let seq0 = self.inner.seq.fetch_add(n, SEQ_PUBLISH);
+        let mut shard = self.inner.shards[my_shard::<S>()].lock_clean();
         for (i, kind) in kinds.enumerate() {
             if shard.len() >= self.inner.cap_per_shard {
                 shard.pop_front();
@@ -335,7 +357,7 @@ impl TraceBuf {
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.inner.shards.iter().map(|s| s.lock().expect("no panicking holder").len()).sum()
+        self.inner.shards.iter().map(|s| s.lock_clean().len()).sum()
     }
 
     /// Whether no events are buffered.
@@ -363,7 +385,7 @@ impl TraceBuf {
     pub fn snapshot(&self) -> Vec<ObsEvent> {
         let mut all: Vec<ObsEvent> = Vec::with_capacity(self.len());
         for s in &self.inner.shards {
-            all.extend(s.lock().expect("no panicking holder").iter().cloned());
+            all.extend(s.lock_clean().iter().cloned());
         }
         all.sort_by_key(|e| e.seq);
         all
@@ -372,19 +394,20 @@ impl TraceBuf {
     /// Like [`TraceBuf::snapshot`], but only events with `seq > after`;
     /// for incremental online consumption.
     ///
-    /// Caveat for pollers: a writer that has claimed a sequence number in
-    /// [`TraceBuf::record`] but not yet pushed into its shard is
-    /// invisible to this call, so one poll may return seq `n+1` without
-    /// `n` and a later poll (with the same `after`) fills the gap. Use
-    /// [`TraceBuf::recorded`] as the high-water cursor and tolerate
-    /// transient gaps below it, or snapshot at quiescence for a complete
-    /// prefix.
+    /// A writer that has claimed a sequence number but not yet pushed
+    /// into its shard is invisible to this call, so one poll may see
+    /// seq `n+1` without `n`; a later poll (same `after`) fills the
+    /// gap, and at quiescence the record is complete. The
+    /// `ring_snapshot_since_gap` gcs-mc model (crates/obs/tests/
+    /// mc_ring.rs) explores every bounded interleaving of this
+    /// protocol: it witnesses the transient gap and proves it is the
+    /// *only* anomaly — no event is lost, duplicated, or reordered
+    /// past [`TraceBuf::recorded`], and quiescent snapshots are always
+    /// a complete, seq-unique prefix.
     pub fn snapshot_since(&self, after: u64) -> Vec<ObsEvent> {
         let mut all: Vec<ObsEvent> = Vec::new();
         for s in &self.inner.shards {
-            all.extend(
-                s.lock().expect("no panicking holder").iter().filter(|e| e.seq > after).cloned(),
-            );
+            all.extend(s.lock_clean().iter().filter(|e| e.seq > after).cloned());
         }
         all.sort_by_key(|e| e.seq);
         all
@@ -397,7 +420,7 @@ mod tests {
 
     #[test]
     fn events_come_back_in_sequence_order() {
-        let t = TraceBuf::new();
+        let t: TraceBuf = TraceBuf::new();
         for i in 0..100 {
             t.record(EventKind::Bcast { node: 0, value: i });
         }
@@ -412,7 +435,7 @@ mod tests {
 
     #[test]
     fn manual_clock_stamps_virtual_time() {
-        let t = TraceBuf::with_manual_clock(64);
+        let t: TraceBuf = TraceBuf::with_manual_clock(64);
         t.record(EventKind::Bcast { node: 0, value: 1 });
         t.set_now_ms(250);
         t.record(EventKind::Brcv { node: 1, src: 0, value: 1 });
@@ -425,7 +448,7 @@ mod tests {
 
     #[test]
     fn overflow_evicts_and_counts() {
-        let t = TraceBuf::with_capacity(8); // 1 slot per shard
+        let t: TraceBuf = TraceBuf::with_capacity(8); // 1 slot per shard
         for i in 0..100 {
             t.record(EventKind::Bcast { node: 0, value: i });
         }
@@ -436,7 +459,7 @@ mod tests {
 
     #[test]
     fn snapshot_since_is_incremental() {
-        let t = TraceBuf::new();
+        let t: TraceBuf = TraceBuf::new();
         for i in 0..10 {
             t.record(EventKind::Bcast { node: 0, value: i });
         }
@@ -452,7 +475,7 @@ mod tests {
 
     #[test]
     fn concurrent_writers_interleave_consistently() {
-        let t = TraceBuf::new();
+        let t: TraceBuf = TraceBuf::new();
         std::thread::scope(|s| {
             for n in 0..4u32 {
                 let t = t.clone();

@@ -1,0 +1,46 @@
+//! Meta-test for the happens-before checker: with the `mc-seeded-bug`
+//! feature on, the trace ring's seq publish ordering is downgraded
+//! from AcqRel to Relaxed (see `SEQ_PUBLISH` in crates/obs/src/
+//! trace.rs). The checker must catch the broken publish pair — the
+//! Acquire load in `recorded()` claiming an edge the Relaxed fetch_add
+//! never provides — with file:line on both sides pointing into
+//! trace.rs, and the shipped schedule must replay to the same failure.
+//!
+//! Run via: cargo test -p gcs-obs --features mc-seeded-bug --test mc_seeded_bug
+#![cfg(feature = "mc-seeded-bug")]
+
+use gcs_mc::{Checker, FailureKind, JoinApi, McShims, Shims};
+use gcs_obs::trace::{EventKind, TraceBuf};
+
+#[test]
+fn seeded_relaxed_publish_is_caught_with_sites_in_trace_rs() {
+    let model = || {
+        let buf: TraceBuf<McShims> = TraceBuf::with_manual_clock(64);
+        let b = buf.clone();
+        let t = McShims::spawn(move || {
+            b.record(EventKind::Bcast { node: 0, value: 1 });
+        });
+        // The poller's high-water read: under the seeded Relaxed
+        // publish this Acquire load can observe the writer's claim
+        // without any release edge behind it.
+        let _hi = buf.recorded();
+        t.join();
+    };
+    let report = Checker::new("ring-seeded-relaxed-bug").preemption_bound(1).check(model);
+    let f = report.expect_failure();
+    match &f.kind {
+        FailureKind::VacuousAcquire { store, load } => {
+            assert!(store.file.ends_with("trace.rs"), "store site: {store}");
+            assert!(load.file.ends_with("trace.rs"), "load site: {load}");
+            assert_ne!(store.line, load.line, "sites must be distinct lines");
+        }
+        other => panic!("expected VacuousAcquire, got {other}"),
+    }
+    assert!(report.artifact.is_some(), "repro artifact must be written");
+
+    // The schedule in the artifact is a deterministic repro.
+    let replayed = Checker::new("ring-seeded-replay").replay(model, &f.schedule);
+    let rf = replayed.expect_failure();
+    assert!(matches!(rf.kind, FailureKind::VacuousAcquire { .. }), "replay produced {}", rf.kind);
+    assert_eq!(rf.digest, f.digest, "replay diverged from the original execution");
+}

@@ -225,7 +225,7 @@ pub fn run_shard_load(
     }
 
     let hi = seeds.len();
-    let latency = Histogram::new();
+    let latency: Histogram = Histogram::new();
     let started = Instant::now();
     let mut last_progress = Instant::now();
     let mut finished_at = started;

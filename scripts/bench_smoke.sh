@@ -31,3 +31,14 @@ t0=$(date +%s%N)
 ./target/release/gcs-lint --root . > /dev/null
 t1=$(date +%s%N)
 echo "lint-runtime: full workspace scan in $(( (t1 - t0) / 1000000 )) ms (budget ~2000 ms)"
+# Model-checker runtime: the tier-1 bound-1 exploration of all three
+# ported structures must stay well inside its ci.sh budget (<30 s) —
+# if a new model or a widened schedule space blows this up, it shows
+# here before it slows the merge bar.
+cargo test -q -p gcs-obs --test mc_ring --no-run 2> /dev/null
+cargo test -q -p gcs-net --test mc_queue --no-run 2> /dev/null
+t0=$(date +%s%N)
+GCS_MC_BOUND=1 cargo test -q -p gcs-obs --test mc_ring --test mc_registry > /dev/null
+GCS_MC_BOUND=1 cargo test -q -p gcs-net --test mc_queue > /dev/null
+t1=$(date +%s%N)
+echo "mc-runtime: bound-1 models (ring, registry, queue) in $(( (t1 - t0) / 1000000 )) ms (budget ~30000 ms)"

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # The full CI gate: release build (binaries included), the complete test
-# suite, a deterministic-simulation smoke sweep, and clippy with
-# warnings promoted to errors. Everything runs offline against the
-# vendored dependency set; a clean exit here is the merge bar.
+# suite, the gcs-mc model-checking gate (bound-1 interleaving
+# exploration + seeded-bug detection), a deterministic-simulation smoke
+# sweep, and clippy with warnings promoted to errors. Everything runs
+# offline against the vendored dependency set; a clean exit here is the
+# merge bar.
 #
 # NIGHTLY=1 adds the long stages: a 200-seed simulation sweep, the
 # 200-seed hostile-network corpus (adaptive vs fixed detector gate),
-# and the injected-bug end-to-end check (the harness must catch and
-# shrink a deliberately broken token path).
+# the injected-bug end-to-end check (the harness must catch and shrink
+# a deliberately broken token path), bound-2 model checking, and the
+# ThreadSanitizer pass (loudly skipped offline).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +29,25 @@ cargo test -q
 
 echo "==> cargo test -q -p gcs-lint (lint fixture self-tests + workspace-clean meta-test)"
 cargo test -q -p gcs-lint
+
+# gcs-mc model-checking gate (see docs/CONCURRENCY.md): exhaustively
+# explore every interleaving of the ported structures — obs trace ring,
+# metrics registry/histogram, net send queue — within preemption bound
+# 1 (the CHESS result: most real concurrency bugs need <=2 preemptions;
+# bound 2 runs nightly). Zero races, zero deadlocks, zero assertion
+# failures is the bar. Budget: <30 s total.
+echo "==> gcs-mc models at preemption bound 1 (ring, registry, queue)"
+GCS_MC_BOUND=1 cargo test -q -p gcs-mc
+GCS_MC_BOUND=1 cargo test -q -p gcs-obs --test mc_ring --test mc_registry
+GCS_MC_BOUND=1 cargo test -q -p gcs-net --test mc_queue
+
+# Seeded-bug meta-test: with the mc-seeded-bug feature the trace ring's
+# seq publish is downgraded AcqRel -> Relaxed; the happens-before
+# checker must catch it (VacuousAcquire, file:line on both sides) and
+# the failing schedule must replay. This proves the checker can see the
+# class of bug the clean runs above claim is absent.
+echo "==> gcs-mc seeded-bug detection (mc-seeded-bug feature)"
+cargo test -q -p gcs-obs --features mc-seeded-bug --test mc_seeded_bug
 
 echo "==> gcs-sim run --seeds 10 (smoke)"
 ./target/release/gcs-sim run --seeds 10
@@ -74,6 +96,15 @@ if [[ "${NIGHTLY:-0}" == "1" ]]; then
   echo "==> [nightly] injected-bug catch + shrink (bug-hook feature)"
   cargo test -p gcs-sim --features bug-hook --test bug_catch -q
 
+  # Deeper model-checking: preemption bound 2 explores the interleavings
+  # tier-1's bound-1 pass cannot reach (schedules needing two forced
+  # preemptions). Above the bound the checker falls back to seeded
+  # pseudo-random sampling, so this also exercises the sampling paths.
+  echo "==> [nightly] gcs-mc models at preemption bound 2"
+  GCS_MC_BOUND=2 cargo test -q -p gcs-mc
+  GCS_MC_BOUND=2 cargo test -q -p gcs-obs --test mc_ring --test mc_registry
+  GCS_MC_BOUND=2 cargo test -q -p gcs-net --test mc_queue
+
   # ThreadSanitizer over the concurrency-heavy crates validates the
   # happens-before claims the `// ordering:` annotations make (the
   # atomics_order lint forces the claims; TSan checks them). Needs the
@@ -87,7 +118,12 @@ if [[ "${NIGHTLY:-0}" == "1" ]]; then
       cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
       -p gcs-obs -p gcs-net -q
   else
-    echo "    [skip] nightly rust-src unavailable (offline); TSan stage not run"
+    echo "!!==================================================================!!"
+    echo "!! SKIPPED: ThreadSanitizer stage (nightly rust-src unavailable —   !!"
+    echo "!! offline container). The ordering: claims were NOT validated by   !!"
+    echo "!! TSan this run; the gcs-mc happens-before checker remains the     !!"
+    echo "!! only active validator. Run on a networked host to close this.    !!"
+    echo "!!==================================================================!!"
   fi
 fi
 
